@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark/experiment modules.
+
+Every module in this directory reproduces one table or figure of the paper
+(see DESIGN.md's per-experiment index).  Each exposes:
+
+* ``main(quick=False)`` — run the experiment and print the paper's
+  rows/series (``quick=True`` shrinks it for CI); invoked by
+  ``python benchmarks/<module>.py`` and by ``run_all.py``;
+* one or more ``test_*`` functions using the pytest-benchmark fixture, so
+  ``pytest benchmarks/ --benchmark-only`` times the experiment kernel and
+  prints the quick version of the table.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable
+
+
+def run_once(benchmark, func: Callable, *args, **kwargs):
+    """Benchmark ``func`` with exactly one round (experiments are slow)."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def print_report(title: str, body: str) -> None:
+    bar = "=" * max(len(title), 8)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n", flush=True)
+
+
+def cli_main(main: Callable[[bool], None]) -> None:
+    """Standard ``__main__`` entry: ``--quick`` shrinks the experiment."""
+    quick = "--quick" in sys.argv[1:]
+    main(quick=quick)

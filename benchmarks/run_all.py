@@ -1,0 +1,53 @@
+"""Run every table/figure experiment and print the full reports.
+
+Usage::
+
+    python benchmarks/run_all.py           # full (paper-scale-reduced) runs
+    python benchmarks/run_all.py --quick   # CI-sized runs
+
+The per-experiment modules can also be run individually, e.g.
+``python benchmarks/test_table4_exact_tap.py``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+EXPERIMENTS = (
+    "test_table2_datasets",
+    "test_fig4_conciseness",
+    "test_fig5_query_times",
+    "test_table4_exact_tap",
+    "test_table5_deviation",
+    "test_table6_recall",
+    "test_fig6_sample_size",
+    "test_fig7_budget",
+    "test_fig8_threads",
+    "test_fig9_flights",
+    "test_fig10_user_study",
+    "test_ablation_permutations",
+    "test_ablation_bh",
+    "test_ablation_transitivity",
+    "test_ablation_setcover",
+    "test_ablation_insertion",
+)
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv[1:]
+    total_start = time.perf_counter()
+    for name in EXPERIMENTS:
+        module = importlib.import_module(name)
+        start = time.perf_counter()
+        module.main(quick=quick)
+        print(f"[{name} finished in {time.perf_counter() - start:.1f}s]", flush=True)
+    print(f"\nAll experiments finished in {time.perf_counter() - total_start:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

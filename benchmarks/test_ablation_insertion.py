@@ -1,0 +1,75 @@
+"""Ablation — best-insertion vs append-only in Algorithm 3 (§5.3).
+
+DESIGN.md decision 4: Algorithm 3 inserts each accepted query at the
+position minimizing the total distance.  The cheap alternative is to only
+append at the end.  Expected shape: best-insertion packs more interest
+into the same ε_d (it wastes less distance budget), at identical
+asymptotic cost.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+
+from _harness import cli_main, print_report, run_once
+
+from repro.evaluation import render_table
+from repro.tap import HeuristicConfig, random_clustered_instance, random_hamming_instance, solve_heuristic
+
+
+def run_experiment(n_seeds: int):
+    rows = []
+    wins = 0
+    total = 0
+    for family, maker, budget, eps in (
+        ("hamming", random_hamming_instance, 6, 20.0),
+        ("clustered", random_clustered_instance, 6, 0.3),
+    ):
+        for n in (100, 400):
+            best_z, append_z = [], []
+            for seed in range(n_seeds):
+                instance = maker(n, seed=seed)
+                best = solve_heuristic(instance, HeuristicConfig(budget, eps, best_insertion=True))
+                append = solve_heuristic(
+                    instance, HeuristicConfig(budget, eps, best_insertion=False)
+                )
+                best_z.append(best.interest)
+                append_z.append(append.interest)
+                total += 1
+                if best.interest >= append.interest - 1e-12:
+                    wins += 1
+            gain = (np.mean(best_z) - np.mean(append_z)) / max(np.mean(append_z), 1e-9) * 100
+            rows.append(
+                (family, n, f"{np.mean(best_z):.3f}", f"{np.mean(append_z):.3f}", f"{gain:+.1f}%")
+            )
+    return rows, wins, total
+
+
+def build_report(rows, wins, total) -> str:
+    body = render_table(
+        ["instances", "n", "z best-insertion", "z append-only", "gain"], rows
+    )
+    return body + f"\n\nbest-insertion at least as good on {wins}/{total} instances"
+
+
+def main(quick: bool = False) -> None:
+    rows, wins, total = run_experiment(5 if quick else 30)
+    print_report("Ablation — best-insertion vs append-only (Algorithm 3)",
+                 build_report(rows, wins, total))
+
+
+def test_ablation_insertion(benchmark, capsys):
+    rows, wins, total = run_once(benchmark, run_experiment, 8)
+    with capsys.disabled():
+        print_report("Ablation (quick) — insertion strategy", build_report(rows, wins, total))
+    # Best-insertion dominates append-only on the vast majority of instances.
+    assert wins >= 0.8 * total
+
+
+if __name__ == "__main__":
+    cli_main(main)

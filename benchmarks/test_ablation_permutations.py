@@ -1,0 +1,76 @@
+"""Ablation — permutation-batch sharing and the test engine (§5.1.1).
+
+DESIGN.md decision 1: the paper reuses the same permutations across all
+measures of an attribute.  We measure three configurations of the
+statistical-test phase:
+
+* shared batches (paper default; also shared across equal-size pairs),
+* fresh permutations per test,
+* the parametric engine (Welch/F) as the non-resampling alternative.
+
+Expected shape: sharing is faster than fresh at equal conclusions;
+parametric is fastest but is exactly what the paper argues against.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _harness import cli_main, print_report, run_once
+
+from repro.datasets import enedis_table
+from repro.evaluation import render_table
+from repro.insights import SignificanceConfig, enumerate_candidates, run_significance_tests
+
+CONFIGS = {
+    "shared permutations": SignificanceConfig(share_across_pairs=True),
+    "fresh permutations": SignificanceConfig(share_across_pairs=False),
+    "parametric (Welch/F)": SignificanceConfig(engine="parametric"),
+}
+
+
+def run_experiment(scale: float):
+    table = enedis_table(scale)
+    candidates = list(enumerate_candidates(table))
+    rows = []
+    significant_sets = {}
+    for name, config in CONFIGS.items():
+        start = time.perf_counter()
+        tested = run_significance_tests(table, candidates, config)
+        wall = time.perf_counter() - start
+        significant = {t.candidate.key for t in tested if t.is_significant()}
+        significant_sets[name] = significant
+        rows.append((name, len(candidates), f"{wall:.2f}", len(significant)))
+    shared = significant_sets["shared permutations"]
+    fresh = significant_sets["fresh permutations"]
+    overlap = len(shared & fresh) / max(1, len(shared | fresh))
+    return rows, overlap
+
+
+def build_report(rows, overlap) -> str:
+    body = render_table(["engine", "#tests", "runtime (s)", "#significant"], rows)
+    return body + f"\n\nshared-vs-fresh significant-set Jaccard overlap: {overlap:.2%}"
+
+
+def main(quick: bool = False) -> None:
+    rows, overlap = run_experiment(0.1 if quick else 0.3)
+    print_report("Ablation — permutation sharing and test engine", build_report(rows, overlap))
+
+
+def test_ablation_permutations(benchmark, capsys):
+    rows, overlap = run_once(benchmark, run_experiment, 0.08)
+    with capsys.disabled():
+        print_report("Ablation (quick) — permutation sharing", build_report(rows, overlap))
+    by = {name: (float(wall), sig) for name, _, wall, sig in rows}
+    # Sharing must not be slower than fresh permutations.
+    assert by["shared permutations"][0] <= by["fresh permutations"][0] * 1.2
+    # The two resampling variants reach near-identical conclusions.
+    assert overlap > 0.7
+
+
+if __name__ == "__main__":
+    cli_main(main)

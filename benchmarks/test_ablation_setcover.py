@@ -1,0 +1,72 @@
+"""Ablation — Algorithm 2's set-cover merging vs pairwise vs naive (§5.2).
+
+DESIGN.md decision 3.  We compare the three support-evaluation strategies
+on aggregation passes over base data ("queries sent to the DBMS"), cache
+memory, and wall time.  Expected shape: naive sends one pass per
+hypothesis query; pairwise caps at n(n-1)/2; set cover sends the fewest
+(it merges pairs into covering group-by sets) at a modest memory premium.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _harness import cli_main, print_report, run_once
+
+from repro.datasets import enedis_table
+from repro.evaluation import render_table
+from repro.generation import GenerationConfig, generate_comparison_queries
+
+
+def run_experiment(scale: float):
+    table = enedis_table(scale)
+    rows = []
+    final_sets = {}
+    for evaluator in ("naive", "pairwise", "setcover"):
+        config = GenerationConfig(evaluator=evaluator)
+        start = time.perf_counter()
+        outcome = generate_comparison_queries(table, config)
+        wall = time.perf_counter() - start
+        rows.append(
+            (
+                evaluator,
+                outcome.counters["aggregation_queries_sent"],
+                outcome.counters["hypothesis_queries_evaluated"],
+                f"{outcome.timings.hypothesis_evaluation:.2f}",
+                f"{wall:.2f}",
+                outcome.counters["queries_final"],
+            )
+        )
+        final_sets[evaluator] = {g.query.key for g in outcome.queries}
+    return rows, final_sets
+
+
+def build_report(rows) -> str:
+    return render_table(
+        ["evaluator", "agg. passes", "hyp. queries", "hyp. eval (s)", "total (s)", "|Q|"],
+        rows,
+    )
+
+
+def main(quick: bool = False) -> None:
+    rows, _ = run_experiment(0.1 if quick else 0.3)
+    print_report("Ablation — aggregate evaluation strategy (Algorithm 2)", build_report(rows))
+
+
+def test_ablation_setcover(benchmark, capsys):
+    rows, final_sets = run_once(benchmark, run_experiment, 0.08)
+    with capsys.disabled():
+        print_report("Ablation (quick) — evaluation strategy", build_report(rows))
+    by = {r[0]: r for r in rows}
+    # All strategies compute the same final query set.
+    assert final_sets["naive"] == final_sets["pairwise"] == final_sets["setcover"]
+    # Pass counts: setcover <= pairwise <= naive (when any hypothesis ran).
+    assert by["setcover"][1] <= by["pairwise"][1] <= max(by["naive"][1], by["pairwise"][1])
+
+
+if __name__ == "__main__":
+    cli_main(main)

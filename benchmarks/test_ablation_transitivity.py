@@ -1,0 +1,86 @@
+"""Ablation — transitivity pruning of deducible insights (§3.3).
+
+DESIGN.md decision 2: mean/variance insights form dominance orders, so
+``x > y`` and ``y > z`` make ``x > z`` deducible.  We measure how much the
+pruning shrinks the significant-insight set and the downstream query set,
+and verify the pruned information is indeed recoverable (every pruned
+insight is implied by a retained path).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import networkx as nx
+
+from _harness import cli_main, print_report, run_once
+
+from repro.datasets import enedis_table
+from repro.evaluation import render_table
+from repro.generation import GenerationConfig, generate_comparison_queries
+from repro.insights import enumerate_candidates, prune_transitive, run_significance_tests
+
+
+def run_experiment(scale: float):
+    table = enedis_table(scale)
+    tested = run_significance_tests(table, enumerate_candidates(table))
+    significant = [t for t in tested if t.is_significant()]
+    pruned = prune_transitive(significant)
+
+    with_pruning = generate_comparison_queries(table, GenerationConfig(prune_transitive=True))
+    without = generate_comparison_queries(table, GenerationConfig(prune_transitive=False))
+
+    # Verify: every pruned insight is implied by retained edges.
+    retained_edges: dict[tuple, set[tuple[str, str]]] = {}
+    for insight in pruned:
+        c = insight.candidate
+        retained_edges.setdefault((c.measure, c.attribute, c.type_code), set()).add(
+            (c.val, c.val_other)
+        )
+    implied = 0
+    pruned_keys = {i.key for i in pruned}
+    removed = [i for i in significant if i.key not in pruned_keys]
+    for insight in removed:
+        c = insight.candidate
+        edges = retained_edges.get((c.measure, c.attribute, c.type_code), set())
+        graph = nx.DiGraph(edges)
+        if graph.has_node(c.val) and graph.has_node(c.val_other) and nx.has_path(
+            graph, c.val, c.val_other
+        ):
+            implied += 1
+    rows = [
+        ("significant insights", len(significant), len(pruned)),
+        ("final query set |Q|", without.counters["queries_final"],
+         with_pruning.counters["queries_final"]),
+        ("hypothesis queries", without.counters["hypothesis_queries_evaluated"],
+         with_pruning.counters["hypothesis_queries_evaluated"]),
+    ]
+    return rows, len(removed), implied
+
+
+def build_report(rows, removed, implied) -> str:
+    body = render_table(["quantity", "without pruning", "with pruning"], rows)
+    return body + f"\n\npruned insights: {removed}; implied by a retained path: {implied}"
+
+
+def main(quick: bool = False) -> None:
+    rows, removed, implied = run_experiment(0.1 if quick else 0.3)
+    print_report("Ablation — transitivity pruning", build_report(rows, removed, implied))
+
+
+def test_ablation_transitivity(benchmark, capsys):
+    rows, removed, implied = run_once(benchmark, run_experiment, 0.08)
+    with capsys.disabled():
+        print_report("Ablation (quick) — transitivity pruning", build_report(rows, removed, implied))
+    # Soundness: everything pruned must be deducible from what is kept.
+    assert implied == removed
+    # Pruning only ever shrinks the downstream work.
+    for _, without, with_p in rows:
+        assert with_p <= without
+
+
+if __name__ == "__main__":
+    cli_main(main)

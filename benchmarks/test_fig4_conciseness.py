@@ -1,0 +1,63 @@
+"""Figure 4 — the conciseness function surface.
+
+Paper: a 3-D illustration of ``conciseness(θ, γ)``: a ridge of ideal
+group counts growing with the number of aggregated tuples, an undefined
+zone where γ > θ, and decay away from the ridge.  We print the surface
+as an ASCII grid and assert its qualitative shape.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+
+from _harness import cli_main, print_report, run_once
+
+from repro.queries import DEFAULT_ALPHA, DEFAULT_DELTA, conciseness
+
+THETAS = (50, 100, 250, 500, 1000, 2500, 5000, 10000)
+GAMMAS = (2, 5, 10, 25, 50, 100, 250, 500, 1000)
+
+
+def build_surface() -> list[list[float]]:
+    return [[conciseness(theta, gamma) for gamma in GAMMAS] for theta in THETAS]
+
+
+def render_surface(surface) -> str:
+    lines = ["theta \\ gamma  " + "".join(f"{g:>7}" for g in GAMMAS)]
+    for theta, row in zip(THETAS, surface):
+        cells = []
+        for gamma, value in zip(GAMMAS, row):
+            cells.append("      -" if gamma > theta else f"{value:7.3f}")
+        lines.append(f"{theta:>13}  " + "".join(cells))
+    lines.append(f"\n(alpha={DEFAULT_ALPHA}, delta={DEFAULT_DELTA}; '-' = undefined zone gamma > theta)")
+    lines.append("paper: non-monotonic ridge at gamma ~ alpha*theta, undefined above diagonal")
+    return "\n".join(lines)
+
+
+def main(quick: bool = False) -> None:
+    print_report("Figure 4 — conciseness(theta, gamma) surface", render_surface(build_surface()))
+
+
+def test_fig4_conciseness(benchmark, capsys):
+    surface = run_once(benchmark, build_surface)
+    with capsys.disabled():
+        print_report("Figure 4 — conciseness surface", render_surface(surface))
+    arr = np.array(surface)
+    # Ridge: for theta = 2500 the maximum over gamma is interior (non-monotone).
+    row = arr[THETAS.index(2500)]
+    peak = int(np.argmax(row))
+    assert 0 < peak < len(GAMMAS) - 1
+    # Ideal group count grows with theta: the argmax column is non-decreasing.
+    peaks = [int(np.argmax(arr[i])) for i in range(len(THETAS))]
+    assert peaks == sorted(peaks)
+    # Undefined zone is exactly gamma > theta.
+    assert conciseness(10, 20) == 0.0
+
+
+if __name__ == "__main__":
+    cli_main(main)

@@ -1,0 +1,85 @@
+"""Figure 6 — adjusting the sample size (ENEDIS).
+
+Paper: runtime and % of insights detected vs sample size, for
+unbalanced-sampling (top) and random-sampling (bottom).  Unbalanced
+reaches ~95% of insights around a 20% sample; random needs ~40% for a
+similar ratio — because unbalanced preserves minority values.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _harness import cli_main, print_report, run_once
+
+from repro.datasets import enedis_table
+from repro.evaluation import render_table
+from repro.generation import GenerationConfig, SamplingSpec, generate_comparison_queries
+from repro.insights import SignificanceConfig
+
+PAPER_NOTE = (
+    "paper: unbalanced ~95% insights at 20% sample; random needs ~40% for a similar\n"
+    "ratio (our reduced scale shifts absolute levels down, but the equivalence\n"
+    "'unbalanced at r ~ random at 2r' is the reproduced shape)"
+)
+
+
+def run_experiment(scale: float, rates, n_permutations: int = 1000) -> dict:
+    table = enedis_table(scale)
+    significance = SignificanceConfig(n_permutations=n_permutations)
+    reference = generate_comparison_queries(table, GenerationConfig(significance=significance))
+    ref_keys = {i.key for i in reference.significant}
+    results = {"reference": len(ref_keys), "rows": []}
+    for strategy in ("unbalanced", "random"):
+        for rate in rates:
+            config = GenerationConfig(
+                significance=significance, sampling=SamplingSpec(strategy, rate)
+            )
+            start = time.perf_counter()
+            outcome = generate_comparison_queries(table, config)
+            wall = time.perf_counter() - start
+            keys = {i.key for i in outcome.significant}
+            fraction = len(keys & ref_keys) / len(ref_keys) if ref_keys else 0.0
+            results["rows"].append((strategy, rate, wall, fraction))
+    return results
+
+
+def build_table(results) -> str:
+    rows = [
+        (strategy, f"{rate:.0%}", f"{wall:.2f}", f"{fraction:.1%}")
+        for strategy, rate, wall, fraction in results["rows"]
+    ]
+    body = render_table(["strategy", "sample", "runtime (s)", "% insights found"], rows)
+    return (
+        f"reference (full data): {results['reference']} significant insights\n"
+        + body
+        + "\n\n"
+        + PAPER_NOTE
+    )
+
+
+def main(quick: bool = False) -> None:
+    rates = (0.1, 0.2, 0.4) if quick else (0.05, 0.1, 0.2, 0.4, 0.6, 0.8)
+    results = run_experiment(0.15 if quick else 1.0, rates, 200 if quick else 1000)
+    print_report("Figure 6 — sample size vs runtime and %insights", build_table(results))
+
+
+def test_fig6_sample_size(benchmark, capsys):
+    results = run_once(benchmark, run_experiment, 0.12, (0.1, 0.3), 200)
+    with capsys.disabled():
+        print_report("Figure 6 (quick) — sample size", build_table(results))
+    rows = results["rows"]
+    by = {(s, r): (w, f) for s, r, w, f in rows}
+    # More sample -> more insights found, for both strategies.
+    for strategy in ("unbalanced", "random"):
+        assert by[(strategy, 0.3)][1] >= by[(strategy, 0.1)][1] - 0.05
+    # Unbalanced at a small rate detects at least as much as random.
+    assert by[("unbalanced", 0.1)][1] >= by[("random", 0.1)][1] - 0.10
+
+
+if __name__ == "__main__":
+    cli_main(main)

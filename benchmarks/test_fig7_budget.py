@@ -1,0 +1,99 @@
+"""Figure 7 — runtime by budget ε_t and phase breakdown (ENEDIS).
+
+Paper: all five Table 3 implementations are flat in ε_t (the TAP heuristic
+cost is independent of the budget when |Q| ≫ ε_t); the sampling variants
+are much faster than the non-sampling ones; the statistical tests dominate
+the breakdown; TAP solving is negligible except for Naive-exact.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _harness import cli_main, print_report, run_once
+
+from repro.datasets import enedis_table
+from repro.evaluation import render_table, run_preset
+from repro.generation import preset
+
+BUDGETS = (5, 10, 20, 40)
+PRESETS = ("naive-exact", "naive-approx", "wsc-approx", "wsc-unb-approx", "wsc-rand-approx")
+PAPER_NOTE = """paper: runtimes flat in eps_t; sampling variants fastest; statistical
+tests dominate the breakdown; TAP solving negligible except Naive-exact
+(whose exact resolution timed out and is excluded from its runtime)"""
+
+
+def run_experiment(scale: float, budgets, sample_rate: float) -> dict:
+    table = enedis_table(scale)
+    results: dict[str, dict[int, object]] = {}
+    for name in PRESETS:
+        # Match the paper: Naive-exact's TAP resolution is capped (timeouts
+        # are reported, not waited out for an hour).
+        generator = preset(name, sample_rate=sample_rate, exact_timeout=10.0)
+        results[name] = {}
+        for budget in budgets:
+            results[name][budget] = run_preset(generator, table, name, budget=budget)
+    return results
+
+
+def build_tables(results) -> str:
+    budgets = sorted(next(iter(results.values())).keys())
+    runtime_rows = []
+    for name, by_budget in results.items():
+        runtime_rows.append(
+            [name] + [f"{by_budget[b].wall_seconds:.2f}" for b in budgets]
+        )
+    runtime = render_table(
+        ["implementation"] + [f"eps_t={b}" for b in budgets], runtime_rows,
+        title="Runtime (s) by budget",
+    )
+    breakdown_rows = []
+    for name, by_budget in results.items():
+        run = by_budget[budgets[0]]
+        t = run.breakdown
+        breakdown_rows.append(
+            (
+                name,
+                f"{t['preprocessing'] + t['sampling']:.2f}",
+                f"{t['statistical_tests']:.2f}",
+                f"{t['hypothesis_evaluation']:.2f}",
+                f"{t['tap_solving']:.3f}",
+                run.n_queries,
+            )
+        )
+    breakdown = render_table(
+        ["implementation", "prep+sample", "stat tests", "hyp. eval", "TAP", "|Q|"],
+        breakdown_rows,
+        title=f"Breakdown (eps_t={budgets[0]})",
+    )
+    return runtime + "\n\n" + breakdown + "\n\n" + PAPER_NOTE
+
+
+def main(quick: bool = False) -> None:
+    results = run_experiment(0.1 if quick else 0.3, (5, 10) if quick else BUDGETS, 0.2)
+    print_report("Figure 7 — runtime by budget and breakdown", build_tables(results))
+
+
+def test_fig7_budget(benchmark, capsys):
+    results = run_once(benchmark, run_experiment, 0.08, (5, 10), 0.25)
+    with capsys.disabled():
+        print_report("Figure 7 (quick) — runtime by budget", build_tables(results))
+    # Shape: sampling variants faster than the full-data setcover variant.
+    wsc = results["wsc-approx"][5].wall_seconds
+    unb = results["wsc-unb-approx"][5].wall_seconds
+    rand = results["wsc-rand-approx"][5].wall_seconds
+    assert unb < wsc and rand < wsc
+    # Shape: for the approximate solvers, runtime is flat in eps_t (within noise).
+    for name in ("naive-approx", "wsc-approx"):
+        times = [results[name][b].wall_seconds for b in (5, 10)]
+        assert max(times) <= 3.0 * min(times) + 0.2
+    # Statistical tests dominate hypothesis evaluation for the full-data runs.
+    t = results["wsc-approx"][5].breakdown
+    assert t["statistical_tests"] > t["hypothesis_evaluation"]
+
+
+if __name__ == "__main__":
+    cli_main(main)

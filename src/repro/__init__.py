@@ -1,0 +1,61 @@
+"""repro — reproduction of "Automatic generation of comparison notebooks
+for interactive data exploration" (Chanson et al., EDBT 2022).
+
+Quickstart::
+
+    from repro import NotebookGenerator, read_csv
+    from repro.notebook import write_ipynb
+
+    table = read_csv("mydata.csv")
+    run = NotebookGenerator().generate(table, budget=10)
+    write_ipynb(run.to_notebook(table, table_name="mydata"), "out.ipynb")
+
+Subpackages
+-----------
+``repro.relational``
+    Columnar in-memory relational engine (the RDBMS substrate).
+``repro.sqlengine``
+    SQL parser + executor for the emitted query subset.
+``repro.stats``
+    Permutation tests, BH-FDR correction, sampling strategies.
+``repro.insights``
+    Insight types, enumeration, significance, transitivity pruning.
+``repro.queries``
+    Comparison queries, SQL generation, interestingness, distance.
+``repro.generation``
+    Algorithm 1 / Algorithm 2 pipelines and the Table 3/7 presets.
+``repro.tap``
+    Traveling Analyst Problem: exact branch-and-bound and Algorithm 3.
+``repro.notebook``
+    ipynb / SQL-script rendering of generated notebooks.
+``repro.datasets``
+    Synthetic datasets mirroring the paper's evaluation data.
+``repro.evaluation``
+    Timing harness, solution quality metrics, simulated user study.
+"""
+
+from repro.errors import ReproError
+from repro.generation import GenerationConfig, NotebookGenerator, NotebookRun, preset
+from repro.persistence import load_outcome, load_run, resolve_outcome, save_outcome, save_run
+from repro.queries import ComparisonQuery
+from repro.relational import Table, read_csv, read_csv_text
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ComparisonQuery",
+    "GenerationConfig",
+    "NotebookGenerator",
+    "NotebookRun",
+    "ReproError",
+    "Table",
+    "load_outcome",
+    "load_run",
+    "preset",
+    "read_csv",
+    "read_csv_text",
+    "resolve_outcome",
+    "save_outcome",
+    "save_run",
+    "__version__",
+]

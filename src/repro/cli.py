@@ -1,0 +1,209 @@
+"""Command-line interface: generate a comparison notebook from a CSV file.
+
+Usage::
+
+    python -m repro generate data.csv --budget 10 --out notebook.ipynb
+    python -m repro generate data.csv --preset wsc-unb-approx --sample-rate 0.2
+    python -m repro inspect data.csv
+    python -m repro datasets --out-dir ./demo-data
+
+Sub-commands
+------------
+``generate``
+    Run the full pipeline on a CSV and write ``.ipynb`` and/or ``.sql``.
+``inspect``
+    Print the inferred schema, per-column statistics, detected functional
+    dependencies, and the comparison-query count of Lemma 3.2.
+``datasets``
+    Materialize the synthetic evaluation datasets as CSV files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.datasets import covid_table, enedis_table, flights_table, vaccine_table
+from repro.errors import ReproError
+from repro.generation import GenerationConfig, NotebookGenerator, preset, preset_names
+from repro.insights import count_comparison_queries, table_adom_sizes
+from repro.notebook import to_sql_script, write_ipynb
+from repro.relational import collect_statistics, detect_functional_dependencies, read_csv, write_csv
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Comparison-notebook generator (EDBT 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a comparison notebook from a CSV")
+    gen.add_argument("csv", type=Path, help="input CSV file (one table)")
+    gen.add_argument("--budget", type=int, default=10, help="notebook length eps_t (default 10)")
+    gen.add_argument("--epsilon-distance", type=float, default=None,
+                     help="distance bound eps_d (default: 4 per transition)")
+    gen.add_argument("--preset", choices=preset_names(), default=None,
+                     help="use a named Table 3/7 configuration")
+    gen.add_argument("--sample-rate", type=float, default=0.1,
+                     help="sampling rate for sampling presets (default 0.1)")
+    gen.add_argument("--permutations", type=int, default=200,
+                     help="permutations per statistical test (default 200)")
+    gen.add_argument("--threads", type=int, default=1, help="workers (default 1)")
+    gen.add_argument("--backend", choices=("threads", "processes"), default="threads",
+                     help="parallel backend for the test phase (processes beats the GIL)")
+    gen.add_argument("--out", type=Path, default=None, help="output .ipynb path")
+    gen.add_argument("--sql-out", type=Path, default=None, help="output .sql script path")
+    gen.add_argument("--table-name", default=None, help="table name used in the SQL")
+    gen.add_argument("--no-previews", action="store_true",
+                     help="skip executing queries for result previews")
+    gen.add_argument("--save-run", type=Path, default=None,
+                     help="also save the full run as JSON (re-cut later with 'recut')")
+    gen.add_argument("--quiet", action="store_true", help="suppress progress output")
+
+    recut = sub.add_parser(
+        "recut", help="re-solve the TAP over a saved run (no statistics re-run)"
+    )
+    recut.add_argument("run", type=Path, help="a run saved with --save-run")
+    recut.add_argument("--budget", type=int, required=True, help="new notebook length eps_t")
+    recut.add_argument("--epsilon-distance", type=float, default=None)
+    recut.add_argument("--csv", type=Path, default=None,
+                       help="original CSV (enables result previews/charts)")
+    recut.add_argument("--out", type=Path, required=True, help="output .ipynb path")
+
+    ins = sub.add_parser("inspect", help="inspect a CSV's schema and statistics")
+    ins.add_argument("csv", type=Path)
+
+    data = sub.add_parser("datasets", help="write the synthetic evaluation datasets")
+    data.add_argument("--out-dir", type=Path, default=Path("."))
+    data.add_argument("--scale", type=float, default=0.25)
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    table = read_csv(args.csv)
+    table_name = args.table_name or args.csv.stem
+    say = (lambda m: None) if args.quiet else (lambda m: print(f"[repro] {m}"))
+    say(f"loaded {table.n_rows} rows from {args.csv}")
+
+    if args.preset:
+        generator = preset(args.preset, sample_rate=args.sample_rate)
+    else:
+        from dataclasses import replace
+
+        config = GenerationConfig(n_threads=args.threads, parallel_backend=args.backend)
+        config = replace(
+            config, significance=replace(config.significance, n_permutations=args.permutations)
+        )
+        generator = NotebookGenerator(config)
+    run = generator.generate(
+        table, budget=args.budget, epsilon_distance=args.epsilon_distance, progress=say
+    )
+    if not run.selected:
+        print("no significant comparison insights found; nothing to write", file=sys.stderr)
+        return 1
+
+    say(f"selected {len(run.selected)} queries "
+        f"(interest {run.solution.interest:.3f}, distance {run.solution.distance:.2f})")
+    for rank, g in enumerate(run.selected, start=1):
+        say(f"  {rank}. {g.query.describe()}")
+
+    notebook = None
+    out = args.out or args.csv.with_suffix(".comparisons.ipynb")
+    notebook = run.to_notebook(
+        table, table_name=table_name, title=f"Comparison notebook — {table_name}",
+        include_previews=not args.no_previews,
+    )
+    write_ipynb(notebook, out)
+    print(f"wrote {out}")
+    if args.sql_out:
+        args.sql_out.write_text(to_sql_script(notebook), encoding="utf-8")
+        print(f"wrote {args.sql_out}")
+    if args.save_run:
+        from repro.persistence import save_run
+
+        save_run(run, args.save_run)
+        print(f"wrote {args.save_run}")
+    return 0
+
+
+def _cmd_recut(args: argparse.Namespace) -> int:
+    from repro.notebook import build_notebook
+    from repro.persistence import load_outcome, resolve_outcome
+
+    outcome = load_outcome(args.run)
+    run = resolve_outcome(outcome, budget=args.budget, epsilon_distance=args.epsilon_distance)
+    if not run.selected:
+        print("no queries selected under the new bounds", file=sys.stderr)
+        return 1
+    table = read_csv(args.csv) if args.csv else None
+    table_name = args.csv.stem if args.csv else "dataset"
+    notebook = build_notebook(
+        run.selected, table=table, table_name=table_name,
+        title=f"Comparison notebook — {table_name} (recut)",
+    )
+    write_ipynb(notebook, args.out)
+    print(f"selected {len(run.selected)} of {len(outcome.queries)} saved queries")
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    table = read_csv(args.csv)
+    print(f"{args.csv}: {table.n_rows} rows")
+    print(f"schema: {table.schema}")
+    stats = collect_statistics(table)
+    print("\ncolumns:")
+    for attr in table.schema:
+        s = stats[attr.name]
+        print(f"  {attr.name:<24} {attr.kind.value:<12} distinct={s.n_distinct:<8} nulls={s.n_null}")
+    fds = detect_functional_dependencies(table)
+    if fds:
+        print("\nfunctional dependencies (excluded attribute pairs):")
+        for fd in fds:
+            print(f"  {fd}")
+    adoms = list(table_adom_sizes(table).values())
+    n_queries = count_comparison_queries(adoms, len(table.schema.measure_names), 2)
+    print(f"\npotential comparison queries (Lemma 3.2, f=2): {n_queries}")
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    tables = {
+        "vaccine": vaccine_table(args.scale),
+        "enedis": enedis_table(args.scale),
+        "flights": flights_table(args.scale),
+        "covid": covid_table(),
+    }
+    for name, table in tables.items():
+        path = args.out_dir / f"{name}.csv"
+        write_csv(table, path)
+        print(f"wrote {path} ({table.n_rows} rows)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "generate":
+            return _cmd_generate(args)
+        if args.command == "recut":
+            return _cmd_recut(args)
+        if args.command == "inspect":
+            return _cmd_inspect(args)
+        if args.command == "datasets":
+            return _cmd_datasets(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError(args.command)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""Synthetic datasets mirroring the paper's evaluation data (Table 2)."""
+
+from repro.datasets.covid import covid_table
+from repro.datasets.paper_datasets import (
+    enedis_spec,
+    enedis_table,
+    flights_spec,
+    flights_table,
+    vaccine_spec,
+    vaccine_table,
+)
+from repro.datasets.synthetic import (
+    CategoricalSpec,
+    MeasureSpec,
+    SyntheticSpec,
+    describe,
+    generate,
+)
+
+__all__ = [
+    "CategoricalSpec",
+    "MeasureSpec",
+    "SyntheticSpec",
+    "covid_table",
+    "describe",
+    "enedis_spec",
+    "enedis_table",
+    "flights_spec",
+    "flights_table",
+    "generate",
+    "vaccine_spec",
+    "vaccine_table",
+]

@@ -1,0 +1,98 @@
+"""Synthetic counterparts of the paper's three datasets (Table 2).
+
+Scaled to laptop/CI budgets (~1/20 tuple counts) while preserving the
+properties the experiments depend on:
+
+* **Vaccine-like** — tiny: few tuples, one measure, small domains; the
+  dataset whose |Q| (~700 in the paper) bounds the exact-TAP experiments;
+* **ENEDIS-like** — the workhorse: 7 categorical attributes with one large
+  active domain, 2 measures.  In the paper ENEDIS yields *more*
+  comparison queries (1.57 M) than the 50× larger Flights, because the
+  count is driven by C(adom, 2), not by tuples — the generator preserves
+  that inversion via the large-domain attribute;
+* **Flights-like** — many tuples, few/medium domains, 3 measures: the
+  dataset where full testing takes too long and sampling pays off
+  (Figure 9).
+
+``scale`` multiplies tuple counts (1.0 = our default reduced size); domain
+sizes stay fixed so query counts stay comparable across scales.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.synthetic import CategoricalSpec, MeasureSpec, SyntheticSpec, generate
+from repro.relational.table import Table
+from repro.stats.rng import DEFAULT_SEED
+
+
+def vaccine_spec(scale: float = 1.0, seed: int = DEFAULT_SEED) -> SyntheticSpec:
+    """Country-level vaccination-progress shape: 6 categoricals, 1 measure."""
+    return SyntheticSpec(
+        name="vaccine",
+        n_rows=max(60, int(300 * scale)),
+        categoricals=(
+            CategoricalSpec("iso_group", 2, skew=0.0),
+            CategoricalSpec("source", 4),
+            CategoricalSpec("vaccine_kind", 6),
+            CategoricalSpec("month", 6, skew=0.2),
+            CategoricalSpec("region", 8),
+            CategoricalSpec("country", 20, skew=0.8),
+        ),
+        measures=(MeasureSpec("daily_vaccinations", base=5000.0, noise=1200.0),),
+        seed=seed,
+    )
+
+
+def enedis_spec(scale: float = 1.0, seed: int = DEFAULT_SEED) -> SyntheticSpec:
+    """Electric-consumption shape: 7 categoricals (one large), 2 measures."""
+    return SyntheticSpec(
+        name="enedis",
+        n_rows=max(500, int(6000 * scale)),
+        categoricals=(
+            CategoricalSpec("year", 3, skew=0.0),
+            CategoricalSpec("category", 4),
+            CategoricalSpec("sector", 8),
+            CategoricalSpec("tariff", 5),
+            CategoricalSpec("department", 16, skew=0.5),
+            CategoricalSpec("region", 12, skew=0.4),
+            CategoricalSpec("iris", 60, skew=0.9),
+        ),
+        measures=(
+            MeasureSpec("consumption_kwh", base=900.0, noise=250.0),
+            MeasureSpec("n_meters", base=120.0, noise=35.0),
+        ),
+        seed=seed,
+    )
+
+
+def flights_spec(scale: float = 1.0, seed: int = DEFAULT_SEED) -> SyntheticSpec:
+    """US-flights shape: many tuples, 5 categoricals, 3 measures."""
+    return SyntheticSpec(
+        name="flights",
+        n_rows=max(2000, int(30000 * scale)),
+        categoricals=(
+            CategoricalSpec("day_of_week", 7, skew=0.1),
+            CategoricalSpec("carrier", 12, skew=0.7),
+            CategoricalSpec("month", 12, skew=0.1),
+            CategoricalSpec("origin_state", 25, skew=0.8),
+            CategoricalSpec("distance_band", 8, skew=0.3),
+        ),
+        measures=(
+            MeasureSpec("dep_delay", base=18.0, noise=22.0, mean_effect_sigma=0.3),
+            MeasureSpec("arr_delay", base=15.0, noise=25.0, mean_effect_sigma=0.3),
+            MeasureSpec("taxi_time", base=14.0, noise=5.0, mean_effect_sigma=0.2),
+        ),
+        seed=seed,
+    )
+
+
+def vaccine_table(scale: float = 1.0, seed: int = DEFAULT_SEED) -> Table:
+    return generate(vaccine_spec(scale, seed))
+
+
+def enedis_table(scale: float = 1.0, seed: int = DEFAULT_SEED) -> Table:
+    return generate(enedis_spec(scale, seed))
+
+
+def flights_table(scale: float = 1.0, seed: int = DEFAULT_SEED) -> Table:
+    return generate(flights_spec(scale, seed))

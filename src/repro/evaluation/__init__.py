@@ -1,0 +1,31 @@
+"""Evaluation harness: quality metrics, timing, simulated user study."""
+
+from repro.evaluation.quality import (
+    AggregateStat,
+    objective_deviation_percent,
+    solution_recall,
+)
+from repro.evaluation.reporting import render_histogram, render_series, render_table
+from repro.evaluation.runtime import PresetRun, Stopwatch, run_preset
+from repro.evaluation.user_study import (
+    CRITERIA,
+    NotebookFeatures,
+    StudyResult,
+    simulate_user_study,
+)
+
+__all__ = [
+    "CRITERIA",
+    "AggregateStat",
+    "NotebookFeatures",
+    "PresetRun",
+    "Stopwatch",
+    "StudyResult",
+    "objective_deviation_percent",
+    "render_histogram",
+    "render_series",
+    "render_table",
+    "run_preset",
+    "simulate_user_study",
+    "solution_recall",
+]

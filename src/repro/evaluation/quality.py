@@ -1,0 +1,65 @@
+"""Solution-quality metrics for the heuristic-vs-exact experiments.
+
+Section 6.4 reports two metrics against the optimum:
+
+* **deviation** — ``(cplex.z - algo3.z) / cplex.z × 100`` where ``z`` is
+  the summed interestingness of the solution (Table 5);
+* **recall** — the fraction of the optimal solution's queries that the
+  approximate solution also picked (Table 6), order-insensitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import TAPError
+from repro.tap.instance import TAPSolution
+
+
+def objective_deviation_percent(exact: TAPSolution, approximate: TAPSolution) -> float:
+    """Table 5's metric: relative interest loss of the approximation, in %.
+
+    Zero when both are equally good; negative values (approximation better)
+    indicate the "exact" solution was a timeout incumbent.
+    """
+    if exact.interest <= 0:
+        raise TAPError("deviation undefined for a zero-interest exact solution")
+    return (exact.interest - approximate.interest) / exact.interest * 100.0
+
+
+def solution_recall(exact: TAPSolution, approximate: TAPSolution) -> float:
+    """Table 6's metric: |approx ∩ optimal| / |optimal| on query sets."""
+    optimal = set(exact.indices)
+    if not optimal:
+        raise TAPError("recall undefined for an empty exact solution")
+    return len(optimal & set(approximate.indices)) / len(optimal)
+
+
+@dataclass(frozen=True, slots=True)
+class AggregateStat:
+    """mean ± std (and extremes) of a metric over repeated runs."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    n: int
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "AggregateStat":
+        if not values:
+            raise TAPError("cannot aggregate zero values")
+        arr = np.asarray(values, dtype=np.float64)
+        return cls(
+            float(arr.mean()),
+            float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+            float(arr.min()),
+            float(arr.max()),
+            int(arr.size),
+        )
+
+    def format(self, digits: int = 2, unit: str = "") -> str:
+        return f"{self.mean:.{digits}f} ±{self.std:.{digits}f}{unit}"

@@ -1,0 +1,56 @@
+"""Plain-text rendering of experiment tables and series.
+
+Every benchmark prints its paper table/figure through these helpers so the
+output is uniform and diff-able (EXPERIMENTS.md quotes it verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Fixed-width table with a header separator."""
+    materialized = [[_cell(v) for v in row] for row in rows]
+    cells = [list(headers)] + materialized
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    for index, row in enumerate(cells):
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        if index == 0:
+            lines.append("-+-".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_series(name: str, xs: Sequence[object], ys: Sequence[object]) -> str:
+    """One figure series as ``name: x=y`` pairs (for figure benchmarks)."""
+    pairs = ", ".join(f"{_cell(x)}={_cell(y)}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def render_histogram(values: Sequence[float], n_bins: int = 10, width: int = 40) -> str:
+    """ASCII histogram (used for the Figure 5 run-time distribution)."""
+    if not values:
+        return "(no data)"
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return f"all {len(values)} values = {lo:.6g}"
+    span = (hi - lo) / n_bins
+    counts = [0] * n_bins
+    for v in values:
+        b = min(n_bins - 1, int((v - lo) / span))
+        counts[b] += 1
+    peak = max(counts)
+    lines = []
+    for b, count in enumerate(counts):
+        bar = "#" * max(1 if count else 0, int(round(count / peak * width)))
+        lines.append(f"[{lo + b * span:10.6f}, {lo + (b + 1) * span:10.6f}) {count:5d} {bar}")
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

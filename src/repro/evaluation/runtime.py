@@ -1,0 +1,74 @@
+"""Timing harness for the scalability experiments (Figures 6-9).
+
+Small helpers shared by the benchmark scripts: a stopwatch, repeated-run
+aggregation, and a one-call "run preset on dataset, return timings +
+counters" driver.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.generation.pipeline import NotebookGenerator, NotebookRun
+from repro.relational.table import Table
+
+
+@dataclass(slots=True)
+class Stopwatch:
+    """Accumulating named timers."""
+
+    laps: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def lap(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.laps[name] = self.laps.get(name, 0.0) + (time.perf_counter() - start)
+
+    def total(self) -> float:
+        return sum(self.laps.values())
+
+
+@dataclass(frozen=True, slots=True)
+class PresetRun:
+    """Outcome of one preset execution with its phase breakdown."""
+
+    preset_name: str
+    run: NotebookRun
+    wall_seconds: float
+
+    @property
+    def breakdown(self) -> dict[str, float]:
+        return self.run.timings.as_dict()
+
+    @property
+    def n_queries(self) -> int:
+        return self.run.outcome.n_queries
+
+    @property
+    def insights_tested(self) -> int:
+        return self.run.outcome.counters.get("insights_tested", 0)
+
+    @property
+    def insights_significant(self) -> int:
+        return self.run.outcome.counters.get("insights_significant", 0)
+
+
+def run_preset(
+    generator: NotebookGenerator,
+    table: Table,
+    preset_name: str,
+    budget: float,
+    epsilon_distance: float | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> PresetRun:
+    """Execute one configured generator end-to-end and time it."""
+    start = time.perf_counter()
+    run = generator.generate(table, budget=budget, epsilon_distance=epsilon_distance, progress=progress)
+    wall = time.perf_counter() - start
+    return PresetRun(preset_name, run, wall)

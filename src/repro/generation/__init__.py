@@ -1,0 +1,50 @@
+"""Comparison-query generation: Algorithm 1, Algorithm 2, presets, pipeline."""
+
+from repro.generation.config import GenerationConfig, SamplingSpec
+from repro.generation.evaluators import (
+    NaiveEvaluator,
+    PairwiseEvaluator,
+    SetCoverEvaluator,
+    SupportEvaluator,
+    build_evaluator,
+)
+from repro.generation.generator import (
+    GeneratedQuery,
+    GenerationOutcome,
+    PhaseTimings,
+    generate_comparison_queries,
+)
+from repro.generation.pipeline import (
+    DEFAULT_EPSILON_PER_QUERY,
+    NotebookGenerator,
+    NotebookRun,
+    preset,
+    preset_names,
+)
+from repro.generation.setcover import (
+    apply_memory_fallback,
+    greedy_weighted_set_cover,
+    pairs_covered,
+)
+
+__all__ = [
+    "DEFAULT_EPSILON_PER_QUERY",
+    "GeneratedQuery",
+    "GenerationConfig",
+    "GenerationOutcome",
+    "NaiveEvaluator",
+    "NotebookGenerator",
+    "NotebookRun",
+    "PairwiseEvaluator",
+    "PhaseTimings",
+    "SamplingSpec",
+    "SetCoverEvaluator",
+    "SupportEvaluator",
+    "apply_memory_fallback",
+    "build_evaluator",
+    "generate_comparison_queries",
+    "greedy_weighted_set_cover",
+    "pairs_covered",
+    "preset",
+    "preset_names",
+]

@@ -1,0 +1,129 @@
+"""Support-check evaluators: how hypothesis queries get their data.
+
+Three strategies, matching Table 3's implementation column:
+
+* :class:`NaiveEvaluator` — re-aggregates the base table for every
+  hypothesis query (the unbounded Algorithm 1; ablation arm);
+* :class:`PairwiseEvaluator` — the §5.2.1 bounding: one 2-attribute
+  group-by per (grouping, selection) pair, materialized lazily and reused
+  for every value pair, measure, and aggregate;
+* :class:`SetCoverEvaluator` — Algorithm 2: a weighted-set-cover choice of
+  larger group-by sets materialized up front; every pair is answered by
+  rolling a covering aggregate up.
+
+All three expose ``evaluate(query) -> ComparisonResult`` and a
+``queries_sent`` counter (the paper's "number of queries sent to the
+DBMS" metric).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Protocol, Sequence
+
+from repro.queries.comparison import ComparisonQuery
+from repro.queries.evaluate import ComparisonResult, evaluate_comparison, evaluate_comparison_cached
+from repro.relational.cube import MaterializedAggregate, PairAggregate, PartialAggregateCache, pair_group_by_sets
+from repro.relational.statistics import estimate_aggregate_bytes
+from repro.relational.table import Table
+from repro.generation.setcover import apply_memory_fallback, greedy_weighted_set_cover
+
+
+class SupportEvaluator(Protocol):
+    """Interface of the three evaluation strategies."""
+
+    queries_sent: int
+
+    def evaluate(self, query: ComparisonQuery) -> ComparisonResult:  # pragma: no cover
+        ...
+
+
+class NaiveEvaluator:
+    """One full aggregation pass per hypothesis query (no reuse)."""
+
+    def __init__(self, table: Table):
+        self._table = table
+        self.queries_sent = 0
+
+    def evaluate(self, query: ComparisonQuery) -> ComparisonResult:
+        self.queries_sent += 1
+        return evaluate_comparison(self._table, query)
+
+
+class PairwiseEvaluator:
+    """§5.2.1 bounding: lazy per-pair 2-group-by materialization.
+
+    At most ``n(n-1)/2`` aggregation passes regardless of how many
+    hypothesis queries are evaluated.
+    """
+
+    def __init__(self, table: Table):
+        self._table = table
+        self._cache = PartialAggregateCache()
+        self._built: set[frozenset[str]] = set()
+        self._lock = threading.Lock()  # the support phase may be threaded
+        self.queries_sent = 0
+
+    def evaluate(self, query: ComparisonQuery) -> ComparisonResult:
+        key = frozenset((query.group_by, query.selection_attribute))
+        if key not in self._built:
+            aggregate = MaterializedAggregate.build(self._table, key)
+            with self._lock:
+                if key not in self._built:
+                    self._cache.add(aggregate)
+                    self._built.add(key)
+                    self.queries_sent += 1
+        return evaluate_comparison_cached(self._cache, query)
+
+
+class SetCoverEvaluator:
+    """Algorithm 2: cover all pairs with few large group-by sets.
+
+    The cover is chosen on optimizer *estimates* (Cardenas) as in the
+    paper; ``memory_budget_bytes`` triggers the fallback replacement of
+    over-budget sets by plain 2-group-bys.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        attributes: Sequence[str] | None = None,
+        memory_budget_bytes: int | None = None,
+    ):
+        self._table = table
+        names = list(attributes or table.schema.categorical_names)
+        universe = pair_group_by_sets(names)
+        from repro.relational.cube import powerset_group_by_sets
+
+        candidates = {
+            g: estimate_aggregate_bytes(table, sorted(g))
+            for g in powerset_group_by_sets(names, min_size=2)
+        }
+        chosen = greedy_weighted_set_cover(universe, candidates)
+        chosen = apply_memory_fallback(chosen, candidates, memory_budget_bytes)
+        self.chosen_sets = tuple(chosen)
+        self._cache = PartialAggregateCache()
+        self.queries_sent = 0
+        for group_by_set in chosen:
+            self._cache.add(MaterializedAggregate.build(table, sorted(group_by_set)))
+            self.queries_sent += 1
+
+    @property
+    def cache_bytes(self) -> int:
+        return self._cache.total_bytes()
+
+    def evaluate(self, query: ComparisonQuery) -> ComparisonResult:
+        return evaluate_comparison_cached(self._cache, query)
+
+
+def build_evaluator(
+    table: Table, kind: str, memory_budget_bytes: int | None = None
+) -> SupportEvaluator:
+    """Factory keyed by :class:`GenerationConfig.evaluator`."""
+    if kind == "naive":
+        return NaiveEvaluator(table)
+    if kind == "pairwise":
+        return PairwiseEvaluator(table)
+    if kind == "setcover":
+        return SetCoverEvaluator(table, memory_budget_bytes=memory_budget_bytes)
+    raise ValueError(f"unknown evaluator kind {kind!r}")

@@ -1,0 +1,394 @@
+"""The comparison-query generation core (Algorithm 1 and its optimized forms).
+
+One code path serves every implementation row of Table 3 — they differ
+only in configuration:
+
+* which *evaluator* materializes aggregates (naive / pairwise bounding /
+  Algorithm 2 set cover);
+* whether the statistical tests run on an offline *sample*;
+* how many *threads* the test and support phases use.
+
+The output carries everything the TAP needs (queries, interests) plus the
+phase timings the scalability figures break down.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.generation.config import GenerationConfig
+from repro.generation.evaluators import SupportEvaluator, build_evaluator
+from repro.insights.enumeration import enumerate_candidates
+from repro.insights.insight import CandidateInsight, InsightEvidence, TestedInsight
+from repro.insights.significance import (
+    finalize_attribute,
+    run_attribute_chunk,
+    run_attribute_significance,
+)
+from repro.insights.transitivity import prune_transitive
+from repro.insights.types import insight_type
+from repro.queries.comparison import ComparisonQuery
+from repro.queries.evaluate import ComparisonResult
+from repro.queries.interestingness import conciseness, insight_term
+from repro.relational.functional_deps import detect_functional_dependencies, related_attributes
+from repro.relational.table import Table
+from repro.stats.rng import derive_rng
+from repro.stats.sampling import per_attribute_balanced_samples, random_sample
+
+
+@dataclass(slots=True)
+class PhaseTimings:
+    """Wall-clock seconds per pipeline phase (Figure 7's breakdown)."""
+
+    preprocessing: float = 0.0
+    sampling: float = 0.0
+    statistical_tests: float = 0.0
+    hypothesis_evaluation: float = 0.0
+    tap_solving: float = 0.0
+
+    @property
+    def generation_total(self) -> float:
+        return (
+            self.preprocessing
+            + self.sampling
+            + self.statistical_tests
+            + self.hypothesis_evaluation
+        )
+
+    @property
+    def total(self) -> float:
+        return self.generation_total + self.tap_solving
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "preprocessing": self.preprocessing,
+            "sampling": self.sampling,
+            "statistical_tests": self.statistical_tests,
+            "hypothesis_evaluation": self.hypothesis_evaluation,
+            "tap_solving": self.tap_solving,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class GeneratedQuery:
+    """A comparison query retained in Q, with its scoring ingredients."""
+
+    query: ComparisonQuery
+    tuples_aggregated: int
+    n_groups: int
+    supported: tuple[InsightEvidence, ...]
+    interest: float
+
+    @property
+    def insights(self) -> tuple[TestedInsight, ...]:
+        return tuple(e.insight for e in self.supported)
+
+
+@dataclass(slots=True)
+class GenerationOutcome:
+    """Everything the generation phase produces."""
+
+    queries: list[GeneratedQuery]
+    significant: list[TestedInsight]
+    evidences: dict[tuple, InsightEvidence]
+    timings: PhaseTimings
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.queries)
+
+
+def generate_comparison_queries(
+    table: Table,
+    config: GenerationConfig | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> GenerationOutcome:
+    """Run insight testing + hypothesis evaluation and build the set Q."""
+    config = config or GenerationConfig()
+    timings = PhaseTimings()
+    counters: dict[str, int] = {}
+    say = progress or (lambda message: None)
+
+    # -- preprocessing: functional dependencies ------------------------------
+    start = time.perf_counter()
+    excluded_pairs: set[frozenset[str]] = set()
+    if config.exclude_functional_dependencies:
+        excluded_pairs = related_attributes(detect_functional_dependencies(table))
+    timings.preprocessing = time.perf_counter() - start
+    if excluded_pairs:
+        say(f"excluding {len(excluded_pairs)} FD-related attribute pairs")
+
+    # -- offline sampling -----------------------------------------------------
+    start = time.perf_counter()
+    test_source: Table | dict[str, Table] = table
+    if config.sampling is not None:
+        rng = derive_rng(config.significance.seed, "offline-sample", config.sampling.strategy)
+        if config.sampling.strategy == "random":
+            test_source = random_sample(table, config.sampling.rate, rng)
+            say(f"testing on a random sample of {test_source.n_rows} rows")
+        else:
+            # Unbalanced: each attribute's tests run on their own sample,
+            # balanced over that attribute's values (Section 5.1.2).
+            test_source = per_attribute_balanced_samples(table, config.sampling.rate, rng)
+            sizes = {t.n_rows for t in test_source.values()}
+            say(f"testing on per-attribute balanced samples of ~{max(sizes)} rows")
+    timings.sampling = time.perf_counter() - start
+
+    # -- statistical tests ------------------------------------------------------
+    start = time.perf_counter()
+    tested = _run_tests(test_source, config)
+    counters["insights_tested"] = len(tested)
+    significant = [t for t in tested if t.is_significant(config.significance.threshold)]
+    counters["insights_significant"] = len(significant)
+    if config.prune_transitive:
+        significant = prune_transitive(significant)
+    counters["insights_after_pruning"] = len(significant)
+    timings.statistical_tests = time.perf_counter() - start
+    say(f"{counters['insights_significant']} significant insights "
+        f"({counters['insights_after_pruning']} after transitivity pruning)")
+
+    # -- hypothesis-query evaluation ---------------------------------------------
+    start = time.perf_counter()
+    evaluator = build_evaluator(table, config.evaluator, config.memory_budget_bytes)
+    queries, evidences, n_hypothesis = _evaluate_support(
+        table, significant, excluded_pairs, evaluator, config
+    )
+    counters["hypothesis_queries_evaluated"] = n_hypothesis
+    counters["queries_supported"] = len(queries)
+    counters["aggregation_queries_sent"] = evaluator.queries_sent
+
+    scored = _score_and_deduplicate(queries, config)
+    counters["queries_final"] = len(scored)
+    timings.hypothesis_evaluation = time.perf_counter() - start
+    say(f"{len(scored)} comparison queries retained in Q")
+
+    return GenerationOutcome(scored, significant, evidences, timings, counters)
+
+
+# ---------------------------------------------------------------------------
+# Phase: statistical tests
+# ---------------------------------------------------------------------------
+
+
+def _run_tests(
+    test_source: Table | dict[str, Table], config: GenerationConfig
+) -> list[TestedInsight]:
+    """Run the per-attribute significance tests, possibly threaded.
+
+    ``test_source`` is either one table shared by every attribute (full
+    data or a uniform random sample) or a mapping attribute -> table
+    (per-attribute balanced samples of the unbalanced strategy).
+    """
+    if isinstance(test_source, Table):
+        tables = {name: test_source for name in test_source.schema.categorical_names}
+    else:
+        tables = test_source
+
+    work: list[tuple[str, Table, list[CandidateInsight]]] = []
+    for attribute, sample in tables.items():
+        candidates = list(
+            enumerate_candidates(
+                sample,
+                insight_types=config.insight_types,
+                attributes=[attribute],
+                max_pairs_per_attribute=config.max_pairs_per_attribute,
+            )
+        )
+        if candidates:
+            work.append((attribute, sample, candidates))
+
+    if config.n_threads <= 1 or len(work) <= 1:
+        tested: list[TestedInsight] = []
+        for attribute, sample, candidates in work:
+            tested.extend(
+                run_attribute_significance(sample, attribute, candidates, config.significance)
+            )
+        return tested
+
+    # Chunk within attributes so one large-domain attribute cannot serialize
+    # the whole phase (its pair count dominates the total work).  The BH
+    # correction is applied per attribute family after merging the chunks;
+    # key-derived permutation batches make the outcome chunking-invariant.
+    chunk_size = 250
+    jobs: list[tuple[str, Table, list[CandidateInsight]]] = []
+    for attribute, sample, candidates in work:
+        for start_index in range(0, len(candidates), chunk_size):
+            jobs.append((attribute, sample, candidates[start_index : start_index + chunk_size]))
+
+    pool_type = (
+        ProcessPoolExecutor if config.parallel_backend == "processes" else ThreadPoolExecutor
+    )
+    merged: dict[str, tuple[list, list]] = {attribute: ([], []) for attribute, _, _ in work}
+    with pool_type(max_workers=config.n_threads) as pool:
+        futures = [
+            (attribute, pool.submit(run_attribute_chunk, sample, attribute, chunk, config.significance))
+            for attribute, sample, chunk in jobs
+        ]
+        for attribute, future in futures:
+            oriented, results = future.result()
+            merged[attribute][0].extend(oriented)
+            merged[attribute][1].extend(results)
+
+    tested = []
+    for attribute, _, _ in work:
+        oriented, results = merged[attribute]
+        tested.extend(finalize_attribute(oriented, results, config.significance))
+    return tested
+
+
+# ---------------------------------------------------------------------------
+# Phase: hypothesis evaluation / support checking
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class _SupportedQuery:
+    """Pre-dedup record of a query together with its result statistics."""
+
+    query: ComparisonQuery
+    tuples_aggregated: int
+    n_groups: int
+    supported: list[InsightEvidence]
+
+
+def _evaluate_support(
+    table: Table,
+    significant: Sequence[TestedInsight],
+    excluded_pairs: set[frozenset[str]],
+    evaluator: SupportEvaluator,
+    config: GenerationConfig,
+) -> tuple[list[_SupportedQuery], dict[tuple, InsightEvidence], int]:
+    categorical = table.schema.categorical_names
+    evidences: dict[tuple, InsightEvidence] = {}
+
+    # Group insights by (selection attribute, unordered pair, measure): one
+    # aggregated comparison answers every insight type of the group.
+    groups: dict[tuple, list[InsightEvidence]] = {}
+    valid_groupings: dict[str, list[str]] = {}
+    for insight in significant:
+        candidate = insight.candidate
+        if candidate.attribute not in valid_groupings:
+            valid_groupings[candidate.attribute] = [
+                a
+                for a in categorical
+                if a != candidate.attribute
+                and frozenset((a, candidate.attribute)) not in excluded_pairs
+            ]
+        n_postulating = len(valid_groupings[candidate.attribute]) * len(config.aggregates)
+        evidence = InsightEvidence(insight, n_supporting=0, n_postulating=n_postulating)
+        evidences[insight.key] = evidence
+        lo, hi = sorted((candidate.val, candidate.val_other))
+        groups.setdefault((candidate.attribute, lo, hi, candidate.measure), []).append(evidence)
+
+    lock = threading.Lock()
+    supported_queries: list[_SupportedQuery] = []
+    hypothesis_count = 0
+
+    def process_group(key: tuple, members: list[InsightEvidence]) -> tuple[list[_SupportedQuery], int]:
+        attribute, lo, hi, measure_name = key
+        local_queries: list[_SupportedQuery] = []
+        local_count = 0
+        for grouping in valid_groupings[attribute]:
+            for agg in config.aggregates:
+                query = ComparisonQuery(grouping, attribute, lo, hi, measure_name, agg)
+                result = evaluator.evaluate(query)
+                local_count += len(members)
+                supported_here: list[InsightEvidence] = []
+                for evidence in members:
+                    if _insight_supported(result, evidence, lo):
+                        supported_here.append(evidence)
+                if supported_here:
+                    local_queries.append(
+                        _SupportedQuery(
+                            query, result.tuples_aggregated, result.n_groups, supported_here
+                        )
+                    )
+        return local_queries, local_count
+
+    items = list(groups.items())
+    if config.n_threads <= 1 or len(items) <= 1:
+        outputs = [process_group(key, members) for key, members in items]
+    else:
+        with ThreadPoolExecutor(max_workers=config.n_threads) as pool:
+            futures = [pool.submit(process_group, key, members) for key, members in items]
+            outputs = [f.result() for f in futures]
+
+    for local_queries, local_count in outputs:
+        hypothesis_count += local_count
+        for record in local_queries:
+            for evidence in record.supported:
+                with lock:
+                    evidence.n_supporting += 1
+            supported_queries.append(record)
+
+    return supported_queries, evidences, hypothesis_count
+
+
+def _insight_supported(result: ComparisonResult, evidence: InsightEvidence, lo: str) -> bool:
+    """Support check with orientation: ``x`` is the lo-side series."""
+    itype = insight_type(evidence.insight.candidate.type_code)
+    if result.n_groups == 0:
+        return False
+    if evidence.insight.candidate.val == lo:
+        return itype.supports(result.x, result.y)
+    return itype.supports(result.y, result.x)
+
+
+# ---------------------------------------------------------------------------
+# Phase: scoring and deduplication (Algorithm 1, lines 14-17)
+# ---------------------------------------------------------------------------
+
+
+def _score_and_deduplicate(
+    records: list[_SupportedQuery], config: GenerationConfig
+) -> list[GeneratedQuery]:
+    cfg = config.interestingness
+    scored: list[GeneratedQuery] = []
+    for record in records:
+        total = sum(insight_term(e, cfg) for e in record.supported)
+        if cfg.use_conciseness:
+            total *= conciseness(
+                record.tuples_aggregated, record.n_groups, cfg.alpha, cfg.delta
+            )
+        scored.append(
+            GeneratedQuery(
+                _oriented(record),
+                record.tuples_aggregated,
+                record.n_groups,
+                tuple(record.supported),
+                total,
+            )
+        )
+
+    best: dict[tuple, GeneratedQuery] = {}
+    for generated in scored:
+        key = generated.query.dedup_key
+        incumbent = best.get(key)
+        if incumbent is None or generated.interest > incumbent.interest:
+            best[key] = generated
+    return sorted(best.values(), key=lambda g: -g.interest)
+
+
+def _oriented(record: _SupportedQuery) -> ComparisonQuery:
+    """Flip the query's value order so the dominant side displays first.
+
+    The dominant side is taken from the most significant supported insight;
+    flipping does not affect θ, γ, or interest.
+    """
+    top = max(record.supported, key=lambda e: e.insight.significance)
+    query = record.query
+    if top.insight.candidate.val == query.val:
+        return query
+    return ComparisonQuery(
+        query.group_by,
+        query.selection_attribute,
+        query.val_other,
+        query.val,
+        query.measure,
+        query.agg,
+    )

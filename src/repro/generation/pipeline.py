@@ -1,0 +1,220 @@
+"""End-to-end notebook generation: the implementations of Tables 3 and 7.
+
+:class:`NotebookGenerator` chains query generation (Algorithm 1 /
+Algorithm 2 variants) with TAP resolution (exact branch-and-bound or
+Algorithm 3) and notebook rendering.  :func:`preset` returns the named
+configurations the paper evaluates:
+
+========================  ==========================  =================
+name                      generation of Q             solving TAP
+========================  ==========================  =================
+``naive-exact``           Algo. 1 + bounding          exact B&B
+``naive-approx``          Algo. 1 + bounding          Algo. 3
+``wsc-approx``            Algo. 2                     Algo. 3
+``wsc-unb-approx``        Algo. 2 + unbalanced smp.   Algo. 3
+``wsc-rand-approx``       Algo. 2 + random smp.       Algo. 3
+``wsc-approx-sig``        Algo. 2, sig-only interest  Algo. 3
+``wsc-approx-sig-cred``   Algo. 2, sig+cred interest  Algo. 3
+========================  ==========================  =================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import TAPError
+from repro.generation.config import GenerationConfig, SamplingSpec
+from repro.generation.generator import (
+    GeneratedQuery,
+    GenerationOutcome,
+    generate_comparison_queries,
+)
+from repro.notebook.build import build_notebook
+from repro.notebook.cells import Notebook
+from repro.queries.distance import query_distance
+from repro.relational.table import Table
+from repro.tap.exact import ExactConfig, solve_exact
+from repro.tap.heuristic import HeuristicConfig, solve_heuristic_lazy
+from repro.tap.instance import TAPInstance, TAPSolution, make_solution
+
+#: Default ε_d per notebook query: generous enough that Algorithm 3 keeps
+#: the top queries, tight enough that close queries are preferred (the
+#: paper tunes ε_d "to obtain TAP solutions where queries are very close
+#: to each other").
+DEFAULT_EPSILON_PER_QUERY = 4.0
+
+_PRESET_NAMES = (
+    "naive-exact",
+    "naive-approx",
+    "wsc-approx",
+    "wsc-unb-approx",
+    "wsc-rand-approx",
+    "wsc-approx-sig",
+    "wsc-approx-sig-cred",
+)
+
+
+@dataclass(slots=True)
+class NotebookRun:
+    """Result of one end-to-end generation run."""
+
+    outcome: GenerationOutcome
+    solution: TAPSolution
+    selected: list[GeneratedQuery]
+    budget: float
+    epsilon_distance: float
+
+    @property
+    def timings(self):
+        return self.outcome.timings
+
+    def to_notebook(
+        self,
+        table: Table | None = None,
+        table_name: str = "dataset",
+        title: str = "Comparison notebook",
+        include_previews: bool = True,
+    ) -> Notebook:
+        return build_notebook(
+            self.selected,
+            table=table,
+            table_name=table_name,
+            title=title,
+            include_previews=include_previews,
+        )
+
+
+class NotebookGenerator:
+    """Facade: configure once, generate notebooks from tables.
+
+    Parameters
+    ----------
+    config:
+        Generation settings (defaults to the paper's).
+    solver:
+        ``"heuristic"`` (Algorithm 3) or ``"exact"`` (branch-and-bound).
+    exact_timeout:
+        Wall-clock limit for the exact solver, seconds.
+    max_exact_queries:
+        The exact solver needs the full distance matrix; instances larger
+        than this are refused with a clear error (use the heuristic).
+    """
+
+    def __init__(
+        self,
+        config: GenerationConfig | None = None,
+        solver: str = "heuristic",
+        exact_timeout: float | None = 60.0,
+        max_exact_queries: int = 2000,
+    ):
+        if solver not in ("heuristic", "exact"):
+            raise TAPError(f"unknown solver {solver!r}")
+        self.config = config or GenerationConfig()
+        self.solver = solver
+        self.exact_timeout = exact_timeout
+        self.max_exact_queries = max_exact_queries
+
+    def generate(
+        self,
+        table: Table,
+        budget: float = 10.0,
+        epsilon_distance: float | None = None,
+        progress: Callable[[str], None] | None = None,
+    ) -> NotebookRun:
+        """Full pipeline: Q generation, TAP resolution, ordered selection."""
+        outcome = generate_comparison_queries(table, self.config, progress)
+        if epsilon_distance is None:
+            epsilon_distance = DEFAULT_EPSILON_PER_QUERY * max(1.0, budget - 1.0)
+        start = time.perf_counter()
+        solution = self._solve(outcome.queries, budget, epsilon_distance)
+        outcome.timings.tap_solving = time.perf_counter() - start
+        selected = [outcome.queries[i] for i in solution.indices]
+        return NotebookRun(outcome, solution, selected, budget, epsilon_distance)
+
+    def _solve(
+        self, queries: Sequence[GeneratedQuery], budget: float, epsilon_distance: float
+    ) -> TAPSolution:
+        if not queries:
+            return TAPSolution((), 0.0, 0.0, 0.0, optimal=True)
+        weights = self.config.distance_weights
+        interests = [g.interest for g in queries]
+        costs = [1.0] * len(queries)
+        if self.solver == "heuristic":
+            def distance_of(i: int, j: int) -> float:
+                return query_distance(queries[i].query, queries[j].query, weights)
+
+            return solve_heuristic_lazy(
+                interests, costs, distance_of, HeuristicConfig(budget, epsilon_distance)
+            )
+        if len(queries) > self.max_exact_queries:
+            raise TAPError(
+                f"exact solver refused: {len(queries)} queries > "
+                f"max_exact_queries={self.max_exact_queries}"
+            )
+        n = len(queries)
+        matrix = np.zeros((n, n))
+        for i in range(n):
+            for j in range(i + 1, n):
+                d = query_distance(queries[i].query, queries[j].query, weights)
+                matrix[i, j] = d
+                matrix[j, i] = d
+        instance = TAPInstance(list(queries), interests, costs, matrix)
+        outcome = solve_exact(
+            instance,
+            ExactConfig(budget, epsilon_distance, timeout_seconds=self.exact_timeout),
+        )
+        return outcome.solution
+
+
+def preset(
+    name: str,
+    sample_rate: float = 0.1,
+    base: GenerationConfig | None = None,
+    exact_timeout: float | None = 60.0,
+) -> NotebookGenerator:
+    """The named generator configurations of Tables 3 and 7."""
+    if name not in _PRESET_NAMES:
+        raise TAPError(f"unknown preset {name!r}; known: {_PRESET_NAMES}")
+    config = base or GenerationConfig()
+    solver = "heuristic"
+    if name == "naive-exact":
+        config = dataclasses.replace(config, evaluator="pairwise")
+        solver = "exact"
+    elif name == "naive-approx":
+        config = dataclasses.replace(config, evaluator="pairwise")
+    elif name == "wsc-approx":
+        config = dataclasses.replace(config, evaluator="setcover")
+    elif name == "wsc-unb-approx":
+        config = dataclasses.replace(
+            config, evaluator="setcover", sampling=SamplingSpec("unbalanced", sample_rate)
+        )
+    elif name == "wsc-rand-approx":
+        config = dataclasses.replace(
+            config, evaluator="setcover", sampling=SamplingSpec("random", sample_rate)
+        )
+    elif name == "wsc-approx-sig":
+        config = dataclasses.replace(
+            config,
+            evaluator="setcover",
+            interestingness=config.interestingness.with_components(
+                conciseness_on=False, credibility_on=False
+            ),
+        )
+    elif name == "wsc-approx-sig-cred":
+        config = dataclasses.replace(
+            config,
+            evaluator="setcover",
+            interestingness=config.interestingness.with_components(
+                conciseness_on=False, credibility_on=True
+            ),
+        )
+    return NotebookGenerator(config, solver=solver, exact_timeout=exact_timeout)
+
+
+def preset_names() -> tuple[str, ...]:
+    return _PRESET_NAMES

@@ -1,0 +1,86 @@
+"""Greedy weighted set cover for Algorithm 2 (Section 5.2.2).
+
+The paper reduces "find the cheapest collection of group-by sets whose
+pairs cover all 2-group-by sets" to weighted set cover and solves it with
+the classic greedy (weight / newly-covered ratio), whose approximation
+factor is H(|U|) and complexity O(|U| · log |G|) per the cited survey.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Mapping, Sequence
+
+from repro.errors import QueryError
+
+
+def pairs_covered(group_by_set: frozenset[str]) -> set[frozenset[str]]:
+    """All attribute pairs a group-by set covers (roll-up targets)."""
+    return {frozenset(p) for p in combinations(sorted(group_by_set), 2)}
+
+
+def greedy_weighted_set_cover(
+    universe: Sequence[frozenset[str]],
+    candidates: Mapping[frozenset[str], float],
+) -> list[frozenset[str]]:
+    """Greedy cover of ``universe`` (pairs) by ``candidates`` (weighted sets).
+
+    Each iteration picks the candidate minimizing ``weight / #newly
+    covered pairs``.  Raises if the universe is not coverable.
+    """
+    uncovered = set(universe)
+    if not uncovered:
+        return []
+    coverage = {g: pairs_covered(g) for g in candidates}
+    chosen: list[frozenset[str]] = []
+    while uncovered:
+        best_set: frozenset[str] | None = None
+        best_ratio = float("inf")
+        for candidate, weight in candidates.items():
+            gain = len(coverage[candidate] & uncovered)
+            if gain == 0:
+                continue
+            ratio = weight / gain
+            if ratio < best_ratio - 1e-15 or (
+                abs(ratio - best_ratio) <= 1e-15
+                and best_set is not None
+                and sorted(candidate) < sorted(best_set)
+            ):
+                best_ratio = ratio
+                best_set = candidate
+        if best_set is None:
+            missing = sorted(tuple(sorted(p)) for p in uncovered)
+            raise QueryError(f"set cover infeasible; uncovered pairs: {missing}")
+        chosen.append(best_set)
+        uncovered -= coverage[best_set]
+    return chosen
+
+
+def apply_memory_fallback(
+    chosen: list[frozenset[str]],
+    weights: Mapping[frozenset[str], float],
+    memory_budget: float | None,
+) -> list[frozenset[str]]:
+    """The paper's fallback: replace over-budget sets by their 2-group-bys.
+
+    "In case the smallest subset of aggregates does not fit in memory, we
+    implement a fallback strategy that successively loads the smallest
+    possible aggregates (i.e. the group-by sets of U)."  Any chosen set
+    whose estimated footprint exceeds the budget is replaced by the
+    2-attribute sets it was covering.
+    """
+    if memory_budget is None:
+        return chosen
+    result: list[frozenset[str]] = []
+    seen: set[frozenset[str]] = set()
+    for group_by_set in chosen:
+        if weights.get(group_by_set, 0.0) <= memory_budget:
+            if group_by_set not in seen:
+                seen.add(group_by_set)
+                result.append(group_by_set)
+            continue
+        for pair in sorted(pairs_covered(group_by_set), key=sorted):
+            if pair not in seen:
+                seen.add(pair)
+                result.append(pair)
+    return result

@@ -1,0 +1,64 @@
+"""Insight framework: types, enumeration, significance, transitivity."""
+
+from repro.insights.enumeration import (
+    count_comparison_queries,
+    count_hypothesis_queries_per_insight,
+    count_insights,
+    enumerate_candidates,
+    table_adom_sizes,
+)
+from repro.insights.insight import CandidateInsight, InsightEvidence, TestedInsight
+from repro.insights.significance import (
+    SignificanceConfig,
+    finalize_attribute,
+    run_attribute_chunk,
+    run_attribute_significance,
+    run_significance_tests,
+    significant_insights,
+)
+from repro.insights.transitivity import deducible_count, prune_transitive
+from repro.insights.types import (
+    DEFAULT_INSIGHT_TYPES,
+    MEAN_GREATER,
+    MEDIAN_GREATER,
+    VARIANCE_GREATER,
+    InsightType,
+    MeanGreater,
+    MedianGreater,
+    VarianceGreater,
+    insight_type,
+    register_insight_type,
+    registered_insight_types,
+    resolve_insight_types,
+)
+
+__all__ = [
+    "DEFAULT_INSIGHT_TYPES",
+    "MEAN_GREATER",
+    "MEDIAN_GREATER",
+    "VARIANCE_GREATER",
+    "CandidateInsight",
+    "InsightEvidence",
+    "InsightType",
+    "MeanGreater",
+    "MedianGreater",
+    "SignificanceConfig",
+    "TestedInsight",
+    "VarianceGreater",
+    "count_comparison_queries",
+    "count_hypothesis_queries_per_insight",
+    "count_insights",
+    "deducible_count",
+    "enumerate_candidates",
+    "insight_type",
+    "prune_transitive",
+    "register_insight_type",
+    "registered_insight_types",
+    "resolve_insight_types",
+    "significant_insights",
+    "table_adom_sizes",
+    "finalize_attribute",
+    "run_attribute_chunk",
+    "run_attribute_significance",
+    "run_significance_tests",
+]

@@ -1,0 +1,90 @@
+"""Candidate-insight enumeration and the paper's counting lemmas.
+
+Lemma 3.5: the number of insights over ``R[A1..An, M1..Mm]`` with ``T``
+insight types is ``sum_i C(|dom(Ai)|, 2) * m * T``.  Enumeration yields one
+*candidate per unordered value pair*; the dominant direction is decided by
+the observed statistic when the candidate is tested (a one-sided test in
+the direction the data suggests, as a user eyeballing the chart would).
+
+Lemma 3.2: the number of comparison queries adds the choice of grouping
+attribute (``n - 1``) and aggregate function (``f``).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import InsightError
+from repro.insights.insight import CandidateInsight
+from repro.insights.types import InsightType, resolve_insight_types
+from repro.relational.table import Table
+
+
+def count_insights(adom_sizes: Sequence[int], n_measures: int, n_types: int) -> int:
+    """Lemma 3.5: total insights for the given active-domain sizes."""
+    if n_measures < 0 or n_types < 0:
+        raise InsightError("counts must be non-negative")
+    return sum(comb(size, 2) for size in adom_sizes) * n_measures * n_types
+
+
+def count_comparison_queries(
+    adom_sizes: Sequence[int], n_measures: int, n_aggregates: int
+) -> int:
+    """Lemma 3.2: total comparison queries (grouping attribute choices x aggs).
+
+    ``sum_i C(|dom(Ai)|, 2) * (n - 1) * m * f`` with ``n = len(adom_sizes)``.
+    """
+    n = len(adom_sizes)
+    if n < 2:
+        return 0
+    return sum(comb(size, 2) for size in adom_sizes) * (n - 1) * n_measures * n_aggregates
+
+
+def count_hypothesis_queries_per_insight(n_categorical: int, n_aggregates: int = 1) -> int:
+    """``|Q^i|``: hypothesis queries postulating one insight.
+
+    The paper states ``|Q^i| = n - 1`` (one per grouping attribute); with
+    ``f`` aggregate functions enabled each grouping attribute contributes
+    ``f`` hypothesis queries, so the general count is ``(n - 1) * f``.
+    """
+    return max(0, n_categorical - 1) * n_aggregates
+
+
+def table_adom_sizes(table: Table) -> dict[str, int]:
+    """Active-domain size of every categorical attribute."""
+    return {name: table.n_distinct(name) for name in table.schema.categorical_names}
+
+
+def enumerate_candidates(
+    table: Table,
+    insight_types: Iterable[InsightType | str] | None = None,
+    attributes: Sequence[str] | None = None,
+    measures: Sequence[str] | None = None,
+    max_pairs_per_attribute: int | None = None,
+) -> Iterator[CandidateInsight]:
+    """Yield every candidate insight of ``table`` (Algorithm 1's outer loop).
+
+    Pairs are unordered at this stage (``val < val'`` lexicographically);
+    orientation is fixed by the observed statistic during testing.
+    ``max_pairs_per_attribute`` truncates enumeration for very large active
+    domains (an explicit cap — callers log when it kicks in).
+    """
+    types = resolve_insight_types(insight_types)
+    cat_names = list(attributes if attributes is not None else table.schema.categorical_names)
+    measure_names = list(measures if measures is not None else table.schema.measure_names)
+    if not measure_names:
+        raise InsightError("the relation has no measures to build insights on")
+    for attribute in cat_names:
+        table.schema.require_categorical(attribute)
+        values = sorted(set(table.categorical_column(attribute).values()) - {""})
+        pair_count = 0
+        for val, val_other in combinations(values, 2):
+            if max_pairs_per_attribute is not None and pair_count >= max_pairs_per_attribute:
+                break
+            pair_count += 1
+            for measure_name in measure_names:
+                table.schema.require_measure(measure_name)
+                for itype in types:
+                    yield CandidateInsight(measure_name, attribute, val, val_other, itype.code)

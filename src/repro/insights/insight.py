@@ -1,0 +1,115 @@
+"""The insight value object (Definition 3.4) and its tested form.
+
+An insight ``i = (M, B, val, val', p)`` declares that measure ``M``
+dominates (mean- or variance-wise) for ``B = val`` over ``B = val'``.
+:class:`CandidateInsight` is the untested enumeration unit;
+:class:`TestedInsight` attaches the permutation-test outcome, the
+BH-corrected significance, and (later) the credibility evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.insights.types import InsightType
+
+
+@dataclass(frozen=True, slots=True)
+class CandidateInsight:
+    """An insight candidate before statistical testing.
+
+    ``val`` is the dominant side of the one-sided hypothesis: the candidate
+    postulates ``stat(M | B=val) > stat(M | B=val')``.
+    """
+
+    measure: str
+    attribute: str
+    val: str
+    val_other: str
+    type_code: str
+
+    @property
+    def key(self) -> tuple[str, str, str, str, str]:
+        """Identity tuple (measure, attribute, val, val', type)."""
+        return (self.measure, self.attribute, self.val, self.val_other, self.type_code)
+
+    @property
+    def pair_key(self) -> tuple[str, frozenset[str]]:
+        """Selection pair identity: (attribute, {val, val'}) — unordered."""
+        return (self.attribute, frozenset((self.val, self.val_other)))
+
+    def describe(self, insight_type: InsightType) -> str:
+        """One-line human statement, e.g. for notebook narration."""
+        return (
+            f"{insight_type.label} of {self.measure} for "
+            f"{self.attribute}={self.val} over {self.attribute}={self.val_other}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class TestedInsight:
+    """An insight with its statistical evidence attached.
+
+    Attributes
+    ----------
+    candidate:
+        The identity of the insight.
+    statistic:
+        Observed test statistic on the (possibly sampled) base data.
+    p_value:
+        Raw permutation p-value.
+    p_adjusted:
+        Benjamini–Hochberg adjusted p-value (within the attribute's family).
+    """
+
+    __test__ = False  # name starts with "Test"; tell pytest it is not one
+
+    candidate: CandidateInsight
+    statistic: float
+    p_value: float
+    p_adjusted: float
+
+    @property
+    def significance(self) -> float:
+        """The paper's ``sig(i) = 1 - p`` (on the corrected p-value)."""
+        return 1.0 - self.p_adjusted
+
+    def is_significant(self, threshold: float = 0.95) -> bool:
+        """Significance test used throughout the paper: ``sig(i) >= 0.95``."""
+        return self.significance >= threshold
+
+    @property
+    def key(self) -> tuple[str, str, str, str, str]:
+        return self.candidate.key
+
+
+@dataclass(slots=True)
+class InsightEvidence:
+    """Mutable credibility bookkeeping for one significant insight.
+
+    ``n_supporting`` counts hypothesis queries that support the insight;
+    ``n_postulating`` is ``|Q^i|`` — the number of hypothesis queries
+    postulating it (``n - 1`` grouping attributes, times the number of
+    aggregate functions when more than one is enabled).
+    """
+
+    insight: TestedInsight
+    n_supporting: int = 0
+    n_postulating: int = 0
+
+    @property
+    def credibility(self) -> int:
+        """Definition 3.11: the number of supporting hypothesis queries."""
+        return self.n_supporting
+
+    @property
+    def credibility_ratio(self) -> float:
+        """``credibility(i) / |Q^i|`` — 0 when nothing postulates it."""
+        if self.n_postulating == 0:
+            return 0.0
+        return self.n_supporting / self.n_postulating
+
+    @property
+    def type_two_error_probability(self) -> float:
+        """P(type II error) = ``1 - credibility/|Q^i|`` given significance."""
+        return 1.0 - self.credibility_ratio

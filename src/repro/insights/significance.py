@@ -1,0 +1,270 @@
+"""Statistical testing of candidate insights (Algorithm 1, line 3).
+
+The runner implements the paper's optimizations from Section 5.1:
+
+* permutation batches are *shared* across all measures and insight types of
+  a selection pair (Section 5.1.1), and — one step further — across pairs
+  with identical sample sizes (a permutation batch depends only on the two
+  sizes, never on the data);
+* p-values are corrected per attribute family with Benjamini–Hochberg;
+* tests may run on an offline sample of the relation (Section 5.1.2) —
+  callers pass the sampled table here and keep the full table for
+  credibility/interestingness.
+
+Orientation: enumeration yields unordered pairs; the runner orients each
+insight in the direction of the observed statistic (the direction a user
+looking at the chart would postulate), then tests one-sided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import StatisticsError
+from repro.insights.enumeration import enumerate_candidates
+from repro.insights.insight import CandidateInsight, TestedInsight
+from repro.insights.types import InsightType, insight_type, resolve_insight_types
+from repro.stats.corrections import benjamini_hochberg
+from repro.stats.permutation import DEFAULT_PERMUTATIONS, SharedPermutations, TestResult
+from repro.stats.rng import DEFAULT_SEED, derive_rng
+from repro.relational.table import Table
+
+
+@dataclass(frozen=True, slots=True)
+class SignificanceConfig:
+    """Settings for the significance runner.
+
+    Attributes
+    ----------
+    n_permutations:
+        Label permutations per test (permutation engine only).
+    threshold:
+        ``sig(i) >= threshold`` marks an insight significant (paper: 0.95).
+    engine:
+        ``"permutation"`` (paper default) or ``"parametric"`` (ablation).
+    apply_bh:
+        Benjamini–Hochberg correction per attribute family (paper default
+        True; False is the correction ablation).
+    share_across_pairs:
+        Reuse permutation batches between pairs with equal sample sizes.
+        Always statistically sound (batches are data-independent); disable
+        to measure the sharing speedup.
+    seed:
+        Root seed for permutation generation.
+    """
+
+    n_permutations: int = DEFAULT_PERMUTATIONS
+    threshold: float = 0.95
+    engine: str = "permutation"
+    apply_bh: bool = True
+    share_across_pairs: bool = True
+    seed: int = DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("permutation", "parametric"):
+            raise StatisticsError(f"unknown test engine {self.engine!r}")
+        if not 0 < self.threshold < 1:
+            raise StatisticsError(f"threshold must be in (0, 1), got {self.threshold}")
+
+
+class _BatchCache:
+    """Permutation batches keyed by (n_x, n_y).
+
+    Each batch's RNG is *derived from its key* (seed, attribute, sizes)
+    rather than drawn from a shared sequential stream, so results are
+    identical however the candidate list is chunked or parallelized.
+    """
+
+    def __init__(self, seed: int, attribute: str, n_permutations: int, share: bool):
+        self._seed = seed
+        self._attribute = attribute
+        self._n_permutations = n_permutations
+        self._share = share
+        self._cache: dict[tuple[int, int], SharedPermutations] = {}
+        self._fresh_counter = 0
+
+    def _make(self, n_x: int, n_y: int, extra: object = None) -> SharedPermutations:
+        rng = derive_rng(self._seed, "perm-batch", self._attribute, n_x, n_y, extra)
+        return SharedPermutations(n_x, n_y, self._n_permutations, rng)
+
+    def get(self, n_x: int, n_y: int) -> SharedPermutations:
+        if not self._share:
+            self._fresh_counter += 1
+            return self._make(n_x, n_y, self._fresh_counter)
+        key = (n_x, n_y)
+        batch = self._cache.get(key)
+        if batch is None:
+            batch = self._make(n_x, n_y)
+            self._cache[key] = batch
+        return batch
+
+
+def _value_row_index(codes: np.ndarray) -> dict[int, np.ndarray]:
+    """code -> row indices, computed in one stable pass."""
+    order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+    boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
+    index: dict[int, np.ndarray] = {}
+    for chunk in np.split(order, boundaries):
+        code = int(codes[chunk[0]])
+        if code >= 0:
+            index[code] = chunk
+    return index
+
+
+def run_significance_tests(
+    table: Table,
+    candidates: Iterable[CandidateInsight],
+    config: SignificanceConfig | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> list[TestedInsight]:
+    """Test every candidate insight against ``table``.
+
+    Returns one :class:`TestedInsight` per candidate, *oriented* toward the
+    observed dominant side, with per-attribute BH-adjusted p-values.
+    Candidates whose samples are unusable (an empty side) are dropped.
+    """
+    config = config or SignificanceConfig()
+    by_attribute: dict[str, list[CandidateInsight]] = {}
+    total = 0
+    for candidate in candidates:
+        by_attribute.setdefault(candidate.attribute, []).append(candidate)
+        total += 1
+
+    tested: list[TestedInsight] = []
+    done = 0
+    for attribute, group in by_attribute.items():
+        tested.extend(_test_attribute_group(table, attribute, group, config))
+        done += len(group)
+        if progress is not None:
+            progress(done, total)
+    return tested
+
+
+def run_attribute_significance(
+    table: Table,
+    attribute: str,
+    candidates: Sequence[CandidateInsight],
+    config: SignificanceConfig | None = None,
+) -> list[TestedInsight]:
+    """Test the candidates of a single attribute (the multithreading unit)."""
+    config = config or SignificanceConfig()
+    return _test_attribute_group(table, attribute, list(candidates), config)
+
+
+def _test_attribute_group(
+    table: Table,
+    attribute: str,
+    group: list[CandidateInsight],
+    config: SignificanceConfig,
+) -> list[TestedInsight]:
+    oriented, results = run_attribute_chunk(table, attribute, group, config)
+    return finalize_attribute(oriented, results, config)
+
+
+def run_attribute_chunk(
+    table: Table,
+    attribute: str,
+    group: Sequence[CandidateInsight],
+    config: SignificanceConfig | None = None,
+) -> tuple[list[CandidateInsight], list[TestResult]]:
+    """Raw (uncorrected) tests for a chunk of one attribute's candidates.
+
+    The parallel unit: chunks of the same attribute can run on different
+    workers and be merged before :func:`finalize_attribute` applies the
+    BH correction over the whole family.  Results are independent of the
+    chunking (permutation batches are key-derived, not stream-drawn).
+    """
+    config = config or SignificanceConfig()
+    column = table.categorical_column(attribute)
+    row_index = _value_row_index(column.codes)
+    measures = {name: table.measure_values(name) for name in table.schema.measure_names}
+    batches = _BatchCache(
+        config.seed, attribute, config.n_permutations, config.share_across_pairs
+    )
+
+    oriented: list[CandidateInsight] = []
+    results: list[TestResult] = []
+    for candidate in group:
+        itype = insight_type(candidate.type_code)
+        code_x = column.code_of(candidate.val)
+        code_y = column.code_of(candidate.val_other)
+        rows_x = row_index.get(code_x)
+        rows_y = row_index.get(code_y)
+        if rows_x is None or rows_y is None:
+            continue
+        values = measures.get(candidate.measure)
+        if values is None:
+            raise StatisticsError(f"unknown measure {candidate.measure!r}")
+        x = values[rows_x]
+        y = values[rows_y]
+        x = x[~np.isnan(x)]
+        y = y[~np.isnan(y)]
+        if x.size == 0 or y.size == 0:
+            continue
+        # Orient toward the observed dominant side.
+        statistic = itype.observed_statistic(x, y)
+        if np.isnan(statistic):
+            continue
+        if statistic >= 0:
+            side_x, side_y = x, y
+            final = candidate
+        else:
+            side_x, side_y = y, x
+            final = CandidateInsight(
+                candidate.measure,
+                candidate.attribute,
+                candidate.val_other,
+                candidate.val,
+                candidate.type_code,
+            )
+        if config.engine == "parametric":
+            result = itype.parametric_test(side_x, side_y)
+        else:
+            batch = batches.get(side_x.size, side_y.size)
+            result = itype.test(batch, side_x, side_y)
+        oriented.append(final)
+        results.append(result)
+
+    return oriented, results
+
+
+def finalize_attribute(
+    oriented: Sequence[CandidateInsight],
+    results: Sequence[TestResult],
+    config: SignificanceConfig | None = None,
+) -> list[TestedInsight]:
+    """Apply the per-attribute-family BH correction to merged chunk results."""
+    config = config or SignificanceConfig()
+    if not oriented:
+        return []
+    raw_p = [r.p_value for r in results]
+    adjusted = benjamini_hochberg(raw_p) if config.apply_bh else np.asarray(raw_p)
+    return [
+        TestedInsight(candidate, result.statistic, result.p_value, float(adj))
+        for candidate, result, adj in zip(oriented, results, adjusted)
+    ]
+
+
+def significant_insights(
+    table: Table,
+    insight_types: Iterable[InsightType | str] | None = None,
+    config: SignificanceConfig | None = None,
+    attributes: Sequence[str] | None = None,
+    measures: Sequence[str] | None = None,
+    max_pairs_per_attribute: int | None = None,
+) -> list[TestedInsight]:
+    """Enumerate, test, and filter: the significant insights of a relation."""
+    config = config or SignificanceConfig()
+    candidates = enumerate_candidates(
+        table,
+        insight_types=insight_types,
+        attributes=attributes,
+        measures=measures,
+        max_pairs_per_attribute=max_pairs_per_attribute,
+    )
+    tested = run_significance_tests(table, candidates, config)
+    return [t for t in tested if t.is_significant(config.threshold)]

@@ -1,0 +1,66 @@
+"""Transitivity pruning of deducible insights (Section 3.3).
+
+For order-like insight types (mean, variance, median), significant insights
+within one (measure, attribute, type) family form a directed graph over the
+attribute's values: an edge ``val -> val'`` for each insight "val dominates
+val'".  If ``x > y`` and ``y > z`` are retained, ``x > z`` is deducible and
+can be pruned.  Pruning keeps exactly the edges of the transitive
+*reduction* of each family's DAG.
+
+The orientation step guarantees acyclicity within a family (edges follow
+the observed statistic, which is a fixed total preorder of the values); if
+a cycle nevertheless appears (ties broken inconsistently by sampling), the
+family is left unpruned rather than guessing which edge to drop.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import networkx as nx
+
+from repro.insights.insight import TestedInsight
+
+
+def _family_key(insight: TestedInsight) -> tuple[str, str, str]:
+    candidate = insight.candidate
+    return (candidate.measure, candidate.attribute, candidate.type_code)
+
+
+def prune_transitive(insights: Sequence[TestedInsight]) -> list[TestedInsight]:
+    """Remove insights deducible by transitivity, per family.
+
+    Returns the retained insights in their original order.  Families whose
+    dominance graph is not a DAG are kept whole (see module docstring).
+    """
+    families: dict[tuple[str, str, str], list[TestedInsight]] = {}
+    for insight in insights:
+        families.setdefault(_family_key(insight), []).append(insight)
+
+    keep: set[int] = set()
+    for family in families.values():
+        keep.update(id(i) for i in _prune_family(family))
+    return [i for i in insights if id(i) in keep]
+
+
+def _prune_family(family: list[TestedInsight]) -> list[TestedInsight]:
+    if len(family) <= 1:
+        return family
+    graph = nx.DiGraph()
+    edge_to_insight: dict[tuple[str, str], TestedInsight] = {}
+    for insight in family:
+        edge = (insight.candidate.val, insight.candidate.val_other)
+        graph.add_edge(*edge)
+        # Keep the most significant duplicate if the same edge repeats.
+        existing = edge_to_insight.get(edge)
+        if existing is None or insight.significance > existing.significance:
+            edge_to_insight[edge] = insight
+    if not nx.is_directed_acyclic_graph(graph):
+        return family
+    reduced = nx.transitive_reduction(graph)
+    return [edge_to_insight[edge] for edge in reduced.edges if edge in edge_to_insight]
+
+
+def deducible_count(insights: Sequence[TestedInsight]) -> int:
+    """How many insights pruning would remove (for reporting/ablation)."""
+    return len(insights) - len(prune_transitive(insights))

@@ -1,0 +1,226 @@
+"""Insight types and their testing/supporting semantics.
+
+Definition 3.4 of the paper makes an insight type "a name giving the
+semantics of an insight"; the paper instantiates two — *mean greater*
+(``M``) and *variance greater* (``V``) — and explicitly leaves the
+framework open to more (Section 7 lists the three ingredients: a SQL
+hypothesis predicate, a statistical test, and the measure adaptations).
+
+:class:`InsightType` bundles exactly those ingredients:
+
+* :meth:`test` — the one-sided permutation test on raw data (Table 1);
+* :meth:`supports` — the predicate ``p`` evaluated on the two aggregated
+  series of a comparison-query result (Definition 3.8);
+* :meth:`hypothesis_predicate_sql` — the SQL rendering of ``p`` used in
+  hypothesis queries (Figure 3).
+
+A registry maps the one-letter codes to instances.  ``MEDIAN_GREATER`` is
+provided as a worked example of the paper's extension path and is *not*
+enabled by default.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import InsightError
+from repro.stats.parametric import f_variance_greater, welch_mean_greater
+from repro.stats.permutation import SharedPermutations, TestResult
+
+
+class InsightType(abc.ABC):
+    """Semantics of one insight family (test + support predicate + SQL)."""
+
+    #: Short registry code, e.g. ``"M"``.
+    code: str
+    #: Human-readable label used in hypothesis queries, e.g. ``"mean greater"``.
+    label: str
+    #: Null hypothesis, for documentation / Table 1 rendering.
+    null_hypothesis: str
+    #: Test statistic description, for documentation / Table 1 rendering.
+    statistic_name: str
+
+    @abc.abstractmethod
+    def test(self, batch: SharedPermutations, x: np.ndarray, y: np.ndarray) -> TestResult:
+        """One-sided permutation test that X dominates Y for this type."""
+
+    @abc.abstractmethod
+    def parametric_test(self, x: np.ndarray, y: np.ndarray) -> TestResult:
+        """Parametric counterpart (used by the ablation engine)."""
+
+    @abc.abstractmethod
+    def observed_statistic(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Signed statistic on raw data; > 0 means X dominates Y."""
+
+    @abc.abstractmethod
+    def supports(self, x_series: np.ndarray, y_series: np.ndarray) -> bool:
+        """Predicate ``p`` over the aggregated series of a comparison query."""
+
+    @abc.abstractmethod
+    def hypothesis_predicate_sql(self, x_column: str, y_column: str) -> str:
+        """SQL text of ``p`` for the HAVING clause of a hypothesis query."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(code={self.code!r})"
+
+
+def _finite(values: np.ndarray) -> np.ndarray:
+    values = np.asarray(values, dtype=np.float64)
+    return values[~np.isnan(values)]
+
+
+class MeanGreater(InsightType):
+    """Type ``M``: ``avg(val) > avg(val')`` (Definition 3.4)."""
+
+    code = "M"
+    label = "mean greater"
+    null_hypothesis = "E[X] = E[Y]"
+    statistic_name = "|mu_X - mu_Y|"
+
+    def test(self, batch: SharedPermutations, x: np.ndarray, y: np.ndarray) -> TestResult:
+        return batch.mean_greater(x, y)
+
+    def parametric_test(self, x: np.ndarray, y: np.ndarray) -> TestResult:
+        return welch_mean_greater(x, y)
+
+    def observed_statistic(self, x: np.ndarray, y: np.ndarray) -> float:
+        x, y = _finite(x), _finite(y)
+        if x.size == 0 or y.size == 0:
+            return float("nan")
+        return float(np.mean(x) - np.mean(y))
+
+    def supports(self, x_series: np.ndarray, y_series: np.ndarray) -> bool:
+        x, y = _finite(x_series), _finite(y_series)
+        if x.size == 0 or y.size == 0:
+            return False
+        return bool(np.mean(x) > np.mean(y))
+
+    def hypothesis_predicate_sql(self, x_column: str, y_column: str) -> str:
+        return f"avg({x_column}) > avg({y_column})"
+
+
+class VarianceGreater(InsightType):
+    """Type ``V``: ``variance(val) > variance(val')`` (Definition 3.4)."""
+
+    code = "V"
+    label = "variance greater"
+    null_hypothesis = "var(X) = var(Y)"
+    statistic_name = "|sigma2_X - sigma2_Y|"
+
+    def test(self, batch: SharedPermutations, x: np.ndarray, y: np.ndarray) -> TestResult:
+        return batch.variance_greater(x, y)
+
+    def parametric_test(self, x: np.ndarray, y: np.ndarray) -> TestResult:
+        return f_variance_greater(x, y)
+
+    def observed_statistic(self, x: np.ndarray, y: np.ndarray) -> float:
+        x, y = _finite(x), _finite(y)
+        if x.size < 2 or y.size < 2:
+            return float("nan")
+        return float(np.var(x, ddof=1) - np.var(y, ddof=1))
+
+    def supports(self, x_series: np.ndarray, y_series: np.ndarray) -> bool:
+        x, y = _finite(x_series), _finite(y_series)
+        if x.size < 2 or y.size < 2:
+            return False
+        return bool(np.var(x, ddof=1) > np.var(y, ddof=1))
+
+    def hypothesis_predicate_sql(self, x_column: str, y_column: str) -> str:
+        return f"var({x_column}) > var({y_column})"
+
+
+class MedianGreater(InsightType):
+    """Extension type ``D``: ``median(val) > median(val')``.
+
+    Not part of the paper's evaluation; included as the worked example of
+    the extension recipe from the paper's conclusion (new predicate, new
+    permutation statistic, same interestingness machinery).  Enable by
+    passing it in ``insight_types`` explicitly.
+    """
+
+    code = "D"
+    label = "median greater"
+    null_hypothesis = "median(X) = median(Y)"
+    statistic_name = "|med_X - med_Y|"
+
+    def test(self, batch: SharedPermutations, x: np.ndarray, y: np.ndarray) -> TestResult:
+        x, y = _finite(x), _finite(y)
+        observed = self.observed_statistic(x, y)
+        pooled = np.concatenate([x, y])
+        perm_x = np.median(pooled[batch.x_indices], axis=1)
+        perm_y = np.median(pooled[batch.y_indices], axis=1)
+        diffs = perm_x - perm_y
+        extreme = int(np.count_nonzero(diffs >= observed - 1e-12))
+        p = (1.0 + extreme) / (1.0 + diffs.size)
+        return TestResult(observed, min(1.0, p))
+
+    def parametric_test(self, x: np.ndarray, y: np.ndarray) -> TestResult:
+        # Mood's median test has no directional scipy form; use Welch as a
+        # pragmatic surrogate for the ablation engine.
+        return welch_mean_greater(x, y)
+
+    def observed_statistic(self, x: np.ndarray, y: np.ndarray) -> float:
+        x, y = _finite(x), _finite(y)
+        if x.size == 0 or y.size == 0:
+            return float("nan")
+        return float(np.median(x) - np.median(y))
+
+    def supports(self, x_series: np.ndarray, y_series: np.ndarray) -> bool:
+        x, y = _finite(x_series), _finite(y_series)
+        if x.size == 0 or y.size == 0:
+            return False
+        return bool(np.median(x) > np.median(y))
+
+    def hypothesis_predicate_sql(self, x_column: str, y_column: str) -> str:
+        # Median is not a standard SQL aggregate; the engine understands it
+        # through avg on ranked halves is overkill — we keep the SQL textual
+        # form informative even if only the in-memory evaluator checks it.
+        return f"median({x_column}) > median({y_column})"
+
+
+MEAN_GREATER = MeanGreater()
+VARIANCE_GREATER = VarianceGreater()
+MEDIAN_GREATER = MedianGreater()
+
+#: The paper's two insight types, in evaluation order.
+DEFAULT_INSIGHT_TYPES: tuple[InsightType, ...] = (MEAN_GREATER, VARIANCE_GREATER)
+
+_REGISTRY: dict[str, InsightType] = {
+    MEAN_GREATER.code: MEAN_GREATER,
+    VARIANCE_GREATER.code: VARIANCE_GREATER,
+    MEDIAN_GREATER.code: MEDIAN_GREATER,
+}
+
+
+def register_insight_type(insight_type: InsightType, replace: bool = False) -> None:
+    """Add a custom insight type to the registry."""
+    if insight_type.code in _REGISTRY and not replace:
+        raise InsightError(f"insight type code {insight_type.code!r} already registered")
+    _REGISTRY[insight_type.code] = insight_type
+
+
+def insight_type(code: str) -> InsightType:
+    """Look up a registered insight type by code."""
+    found = _REGISTRY.get(code)
+    if found is None:
+        raise InsightError(f"unknown insight type {code!r}; known: {sorted(_REGISTRY)}")
+    return found
+
+
+def registered_insight_types() -> tuple[InsightType, ...]:
+    return tuple(_REGISTRY.values())
+
+
+def resolve_insight_types(types: Iterable[InsightType | str] | None) -> tuple[InsightType, ...]:
+    """Normalize a user-supplied list of types/codes (None -> paper default)."""
+    if types is None:
+        return DEFAULT_INSIGHT_TYPES
+    resolved = []
+    for t in types:
+        resolved.append(insight_type(t) if isinstance(t, str) else t)
+    if not resolved:
+        raise InsightError("at least one insight type is required")
+    return tuple(resolved)

@@ -1,0 +1,39 @@
+"""Notebook rendering: cell model, ipynb writer, SQL script writer."""
+
+from repro.notebook.build import build_notebook
+from repro.notebook.cells import Cell, MarkdownCell, Notebook, SQLCell
+from repro.notebook.charts import (
+    chart_markdown_block,
+    comparison_chart_json,
+    comparison_chart_spec,
+    comparison_chart_values,
+)
+from repro.notebook.ipynb import to_ipynb_dict, to_ipynb_json, write_ipynb
+from repro.notebook.narrative import (
+    insight_bullet,
+    notebook_header,
+    query_narrative,
+    query_title,
+)
+from repro.notebook.sqlscript import to_sql_script, write_sql_script
+
+__all__ = [
+    "Cell",
+    "MarkdownCell",
+    "Notebook",
+    "SQLCell",
+    "build_notebook",
+    "chart_markdown_block",
+    "comparison_chart_json",
+    "comparison_chart_spec",
+    "comparison_chart_values",
+    "insight_bullet",
+    "notebook_header",
+    "query_narrative",
+    "query_title",
+    "to_ipynb_dict",
+    "to_ipynb_json",
+    "to_sql_script",
+    "write_ipynb",
+    "write_sql_script",
+]

@@ -1,0 +1,59 @@
+"""Assemble a :class:`Notebook` from an ordered list of generated queries.
+
+The builder renders each query's SQL (bound to the dataset's table name),
+optionally executes it on the SQL engine to attach a result preview, and
+interleaves the markdown narration.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import NotebookError, ReproError
+from repro.generation.generator import GeneratedQuery
+from repro.notebook.cells import Notebook
+from repro.notebook.charts import chart_markdown_block
+from repro.notebook.narrative import notebook_header, query_narrative
+from repro.queries.evaluate import evaluate_comparison
+from repro.queries.explain import explanation_sentence
+from repro.queries.sqlgen import bind_table, comparison_sql
+from repro.relational.table import Table
+from repro.sqlengine.executor import Catalog, execute_sql
+
+
+def build_notebook(
+    generated: Sequence[GeneratedQuery],
+    table: Table | None = None,
+    table_name: str = "dataset",
+    title: str = "Comparison notebook",
+    include_previews: bool = True,
+    include_explanations: bool = True,
+    include_charts: bool = True,
+    preview_rows: int = 12,
+) -> Notebook:
+    """Build the notebook; previews/explanations/charts require ``table``."""
+    if not generated:
+        raise NotebookError("cannot build a notebook from zero queries")
+    notebook = Notebook(title)
+    notebook.add_markdown(notebook_header(title, table_name, len(generated)))
+    catalog = Catalog({table_name: table}) if table is not None else None
+    for index, item in enumerate(generated, start=1):
+        comparison = None
+        if table is not None and (include_explanations or include_charts):
+            comparison = evaluate_comparison(table, item.query)
+        explanation = None
+        if include_explanations and comparison is not None:
+            try:
+                explanation = explanation_sentence(comparison)
+            except ReproError:
+                explanation = None  # empty comparison etc. — narrate without it
+        notebook.add_markdown(query_narrative(index, item, explanation))
+        sql = bind_table(comparison_sql(item.query), table_name)
+        preview = None
+        if include_previews and catalog is not None:
+            result = execute_sql(sql + ";", catalog)
+            preview = result.pretty(limit=preview_rows)
+        notebook.add_sql(sql + ";", preview)
+        if include_charts and comparison is not None and comparison.n_groups > 0:
+            notebook.add_markdown(chart_markdown_block(comparison))
+    return notebook

@@ -1,0 +1,54 @@
+"""Notebook cell model (renderer-independent).
+
+A comparison notebook is a sequence of cells: markdown narration and SQL
+code.  The model is deliberately tiny — the two renderers (:mod:`ipynb`
+and :mod:`sqlscript`) are the real products.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import NotebookError
+
+
+@dataclass(frozen=True, slots=True)
+class MarkdownCell:
+    text: str
+
+
+@dataclass(frozen=True, slots=True)
+class SQLCell:
+    """A SQL query cell, optionally with a pre-computed result preview."""
+
+    sql: str
+    result_preview: str | None = None
+
+
+Cell = MarkdownCell | SQLCell
+
+
+@dataclass(slots=True)
+class Notebook:
+    """An ordered list of cells plus a title."""
+
+    title: str
+    cells: list[Cell] = field(default_factory=list)
+
+    def add_markdown(self, text: str) -> None:
+        self.cells.append(MarkdownCell(text))
+
+    def add_sql(self, sql: str, result_preview: str | None = None) -> None:
+        self.cells.append(SQLCell(sql, result_preview))
+
+    def extend(self, cells: Iterable[Cell]) -> None:
+        self.cells.extend(cells)
+
+    @property
+    def n_queries(self) -> int:
+        return sum(1 for c in self.cells if isinstance(c, SQLCell))
+
+    def require_nonempty(self) -> None:
+        if not self.cells:
+            raise NotebookError("notebook has no cells")

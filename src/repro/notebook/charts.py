@@ -1,0 +1,75 @@
+"""Vega-Lite chart specifications for comparison results.
+
+The paper's comparison queries are "used to compare two data series" and
+Figure 2 displays the result as a grouped bar chart.  This module emits a
+self-contained Vega-Lite v5 JSON spec per comparison result — pure JSON,
+no plotting dependency — which the ipynb writer embeds so any Vega-aware
+notebook front end renders the chart the insight was triggered by.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.errors import NotebookError
+from repro.queries.comparison import ComparisonQuery
+from repro.queries.evaluate import ComparisonResult
+from repro.queries.sqlgen import comparison_aliases
+
+#: Vega-Lite schema the emitted specs declare.
+VEGA_LITE_SCHEMA = "https://vega.github.io/schema/vega-lite/v5.json"
+
+
+def comparison_chart_values(result: ComparisonResult) -> list[dict]:
+    """Long-form rows for the grouped bar chart (one per group x side)."""
+    query = result.query
+    rows: list[dict] = []
+    for group, x, y in zip(result.groups, result.x, result.y):
+        for label, value in ((query.val, x), (query.val_other, y)):
+            if value == value:  # skip NaN cells, Vega treats them poorly
+                rows.append(
+                    {
+                        str(query.group_by): str(group),
+                        str(query.selection_attribute): str(label),
+                        "value": float(value),
+                    }
+                )
+    return rows
+
+
+def comparison_chart_spec(result: ComparisonResult, title: str | None = None) -> dict:
+    """A grouped-bar Vega-Lite spec of the comparison (Figure 2's chart)."""
+    if result.n_groups == 0:
+        raise NotebookError("cannot chart an empty comparison result")
+    query = result.query
+    alias_x, alias_y = comparison_aliases(query)
+    y_title = f"{query.agg}({query.measure})"
+    return {
+        "$schema": VEGA_LITE_SCHEMA,
+        "title": title or query.describe(),
+        "data": {"values": comparison_chart_values(result)},
+        "mark": "bar",
+        "encoding": {
+            "x": {"field": query.group_by, "type": "nominal", "title": query.group_by},
+            "xOffset": {"field": query.selection_attribute},
+            "y": {"field": "value", "type": "quantitative", "title": y_title},
+            "color": {
+                "field": query.selection_attribute,
+                "type": "nominal",
+                "title": f"{query.selection_attribute} ({alias_x} vs {alias_y})",
+            },
+        },
+        "width": {"step": 28},
+    }
+
+
+def comparison_chart_json(result: ComparisonResult, title: str | None = None) -> str:
+    """The spec serialized as compact JSON."""
+    return json.dumps(comparison_chart_spec(result, title), sort_keys=True)
+
+
+def chart_markdown_block(result: ComparisonResult, title: str | None = None) -> str:
+    """A fenced ``vega-lite`` markdown block (rendered by Jupyter-like UIs)."""
+    spec = json.dumps(comparison_chart_spec(result, title), indent=1)
+    return f"```vega-lite\n{spec}\n```"

@@ -1,0 +1,79 @@
+"""Jupyter ``.ipynb`` (nbformat 4) rendering — no external dependency.
+
+The paper deploys its generated notebooks on Jupyter; this writer produces
+standard notebook JSON by hand.  SQL cells are emitted as ``%%sql``-style
+code cells (raw SQL text in a code cell, plus an attached plain-text
+result preview as an output when available).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import NotebookError
+from repro.notebook.cells import MarkdownCell, Notebook, SQLCell
+
+
+def _source_lines(text: str) -> list[str]:
+    lines = text.splitlines(keepends=True)
+    return lines if lines else [""]
+
+
+def _markdown_cell(cell: MarkdownCell) -> dict:
+    return {
+        "cell_type": "markdown",
+        "metadata": {},
+        "source": _source_lines(cell.text),
+    }
+
+
+def _code_cell(cell: SQLCell) -> dict:
+    outputs = []
+    if cell.result_preview:
+        outputs.append(
+            {
+                "output_type": "stream",
+                "name": "stdout",
+                "text": _source_lines(cell.result_preview),
+            }
+        )
+    return {
+        "cell_type": "code",
+        "execution_count": None,
+        "metadata": {"language": "sql"},
+        "source": _source_lines(cell.sql),
+        "outputs": outputs,
+    }
+
+
+def to_ipynb_dict(notebook: Notebook) -> dict:
+    """The nbformat-4 JSON structure of ``notebook``."""
+    notebook.require_nonempty()
+    cells = []
+    for cell in notebook.cells:
+        if isinstance(cell, MarkdownCell):
+            cells.append(_markdown_cell(cell))
+        elif isinstance(cell, SQLCell):
+            cells.append(_code_cell(cell))
+        else:  # pragma: no cover - model is closed
+            raise NotebookError(f"unknown cell type {type(cell).__name__}")
+    return {
+        "nbformat": 4,
+        "nbformat_minor": 5,
+        "metadata": {
+            "title": notebook.title,
+            "language_info": {"name": "sql"},
+            "generator": "repro comparison-notebook generator",
+        },
+        "cells": cells,
+    }
+
+
+def to_ipynb_json(notebook: Notebook) -> str:
+    return json.dumps(to_ipynb_dict(notebook), indent=1, ensure_ascii=False)
+
+
+def write_ipynb(notebook: Notebook, path: str | Path) -> None:
+    """Serialize to a ``.ipynb`` file."""
+    Path(path).write_text(to_ipynb_json(notebook), encoding="utf-8")

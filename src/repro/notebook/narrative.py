@@ -1,0 +1,61 @@
+"""Markdown narration of comparison queries and their insights.
+
+The generated notebook is meant to be "a starting point of the exploration
+of a potentially unknown dataset" (Section 6.5), so each query cell is
+preceded by a short narration: what is compared, which insights the chart
+evidences, how significant and how credible each is.
+"""
+
+from __future__ import annotations
+
+from repro.generation.generator import GeneratedQuery
+from repro.insights.insight import InsightEvidence
+from repro.insights.types import insight_type
+from repro.queries.comparison import ComparisonQuery
+
+
+def notebook_header(title: str, dataset_name: str, n_queries: int) -> str:
+    return (
+        f"# {title}\n\n"
+        f"Automatically generated comparison notebook over **{dataset_name}** "
+        f"({n_queries} comparison queries).\n\n"
+        "Each query compares an aggregate of a measure between two values of a "
+        "categorical attribute, grouped by another attribute. Every reported "
+        "insight passed a permutation test with Benjamini-Hochberg correction."
+    )
+
+
+def query_title(index: int, query: ComparisonQuery) -> str:
+    return (
+        f"## Query {index}: {query.agg}({query.measure}) by {query.group_by} — "
+        f"{query.selection_attribute} = {query.val} vs {query.val_other}"
+    )
+
+
+def insight_bullet(evidence: InsightEvidence) -> str:
+    candidate = evidence.insight.candidate
+    itype = insight_type(candidate.type_code)
+    return (
+        f"- **{itype.label}**: {candidate.measure} for "
+        f"{candidate.attribute}={candidate.val} dominates {candidate.attribute}="
+        f"{candidate.val_other} "
+        f"(significance {evidence.insight.significance:.3f}, "
+        f"credibility {evidence.credibility}/{evidence.n_postulating})"
+    )
+
+
+def query_narrative(index: int, generated: GeneratedQuery, explanation: str | None = None) -> str:
+    lines = [query_title(index, generated.query), ""]
+    lines.append(
+        f"Interestingness {generated.interest:.4f} — aggregates "
+        f"{generated.tuples_aggregated} tuples into {generated.n_groups} groups."
+    )
+    if generated.supported:
+        lines.append("")
+        lines.append("Insights evidenced by this comparison:")
+        ordered = sorted(generated.supported, key=lambda e: -e.insight.significance)
+        lines.extend(insight_bullet(e) for e in ordered)
+    if explanation:
+        lines.append("")
+        lines.append(f"The difference is {explanation}.")
+    return "\n".join(lines)

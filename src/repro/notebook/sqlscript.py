@@ -1,0 +1,32 @@
+"""Plain ``.sql`` script rendering of a comparison notebook.
+
+For users who want the queries without Jupyter: markdown narration becomes
+``--`` comment blocks, queries become semicolon-terminated statements.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.notebook.cells import MarkdownCell, Notebook, SQLCell
+
+
+def to_sql_script(notebook: Notebook) -> str:
+    notebook.require_nonempty()
+    chunks: list[str] = []
+    for cell in notebook.cells:
+        if isinstance(cell, MarkdownCell):
+            if cell.text.startswith("```vega-lite"):
+                continue  # chart specs are for notebook UIs, noise in .sql
+            commented = "\n".join(f"-- {line}" if line else "--" for line in cell.text.splitlines())
+            chunks.append(commented)
+        elif isinstance(cell, SQLCell):
+            sql = cell.sql.rstrip()
+            if not sql.endswith(";"):
+                sql += ";"
+            chunks.append(sql)
+    return "\n\n".join(chunks) + "\n"
+
+
+def write_sql_script(notebook: Notebook, path: str | Path) -> None:
+    Path(path).write_text(to_sql_script(notebook), encoding="utf-8")

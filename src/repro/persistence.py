@@ -1,0 +1,215 @@
+"""Save / load generation runs as JSON.
+
+Generating the query set Q is the expensive phase (statistical tests +
+hypothesis evaluation); solving the TAP and rendering notebooks are cheap.
+Persisting a run lets a user re-cut notebooks — different budgets ε_t,
+distance bounds ε_d, or solvers — without re-testing:
+
+    run = NotebookGenerator().generate(table, budget=10)
+    save_run(run, "enedis_run.json")
+    ...
+    outcome = load_outcome("enedis_run.json")
+    shorter = resolve_outcome(outcome, budget=5, epsilon_distance=12.0)
+
+The format is versioned, plain JSON, and contains only derived artifacts
+(never the dataset rows).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import ReproError
+from repro.generation.generator import (
+    GeneratedQuery,
+    GenerationOutcome,
+    PhaseTimings,
+)
+from repro.generation.pipeline import DEFAULT_EPSILON_PER_QUERY, NotebookRun
+from repro.insights.insight import CandidateInsight, InsightEvidence, TestedInsight
+from repro.queries.comparison import ComparisonQuery
+from repro.queries.distance import DEFAULT_WEIGHTS, DistanceWeights, query_distance
+from repro.tap.heuristic import HeuristicConfig, solve_heuristic_lazy
+
+SCHEMA_VERSION = 1
+
+
+class PersistenceError(ReproError):
+    """The file is not a valid saved run (wrong shape or version)."""
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+
+def _insight_to_dict(evidence: InsightEvidence) -> dict:
+    insight = evidence.insight
+    candidate = insight.candidate
+    return {
+        "measure": candidate.measure,
+        "attribute": candidate.attribute,
+        "val": candidate.val,
+        "val_other": candidate.val_other,
+        "type": candidate.type_code,
+        "statistic": insight.statistic,
+        "p_value": insight.p_value,
+        "p_adjusted": insight.p_adjusted,
+        "n_supporting": evidence.n_supporting,
+        "n_postulating": evidence.n_postulating,
+    }
+
+
+def outcome_to_dict(outcome: GenerationOutcome) -> dict:
+    """JSON-ready representation of a generation outcome."""
+    evidences = {}
+    for key, evidence in outcome.evidences.items():
+        evidences["|".join(key)] = _insight_to_dict(evidence)
+    queries = []
+    for generated in outcome.queries:
+        q = generated.query
+        queries.append(
+            {
+                "group_by": q.group_by,
+                "selection_attribute": q.selection_attribute,
+                "val": q.val,
+                "val_other": q.val_other,
+                "measure": q.measure,
+                "agg": q.agg,
+                "tuples_aggregated": generated.tuples_aggregated,
+                "n_groups": generated.n_groups,
+                "interest": generated.interest,
+                "supported": ["|".join(e.insight.key) for e in generated.supported],
+            }
+        )
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "queries": queries,
+        "evidences": evidences,
+        "counters": dict(outcome.counters),
+        "timings": outcome.timings.as_dict(),
+    }
+
+
+def run_to_dict(run: NotebookRun) -> dict:
+    """JSON-ready representation of a full end-to-end run."""
+    data = outcome_to_dict(run.outcome)
+    data["solution"] = {
+        "indices": list(run.solution.indices),
+        "interest": run.solution.interest,
+        "cost": run.solution.cost,
+        "distance": run.solution.distance,
+        "optimal": run.solution.optimal,
+    }
+    data["budget"] = run.budget
+    data["epsilon_distance"] = run.epsilon_distance
+    return data
+
+
+def save_run(run: NotebookRun, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(run_to_dict(run), indent=1), encoding="utf-8")
+
+
+def save_outcome(outcome: GenerationOutcome, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(outcome_to_dict(outcome), indent=1), encoding="utf-8")
+
+
+# ---------------------------------------------------------------------------
+# Deserialization
+# ---------------------------------------------------------------------------
+
+
+def _evidence_from_dict(data: dict) -> InsightEvidence:
+    candidate = CandidateInsight(
+        data["measure"], data["attribute"], data["val"], data["val_other"], data["type"]
+    )
+    tested = TestedInsight(candidate, data["statistic"], data["p_value"], data["p_adjusted"])
+    return InsightEvidence(
+        tested, n_supporting=data["n_supporting"], n_postulating=data["n_postulating"]
+    )
+
+
+def outcome_from_dict(data: dict) -> GenerationOutcome:
+    """Rebuild a :class:`GenerationOutcome` (shared evidence identity kept)."""
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise PersistenceError(
+            f"unsupported saved-run version {version!r} (expected {SCHEMA_VERSION})"
+        )
+    try:
+        evidences = {key: _evidence_from_dict(d) for key, d in data["evidences"].items()}
+        queries = []
+        for q in data["queries"]:
+            supported = tuple(evidences[key] for key in q["supported"])
+            queries.append(
+                GeneratedQuery(
+                    ComparisonQuery(
+                        q["group_by"],
+                        q["selection_attribute"],
+                        q["val"],
+                        q["val_other"],
+                        q["measure"],
+                        q["agg"],
+                    ),
+                    q["tuples_aggregated"],
+                    q["n_groups"],
+                    supported,
+                    q["interest"],
+                )
+            )
+        timings = PhaseTimings(**data.get("timings", {}))
+        keyed = {tuple(key.split("|")): evidence for key, evidence in evidences.items()}
+        significant = [e.insight for e in evidences.values()]
+        return GenerationOutcome(queries, significant, keyed, timings, dict(data.get("counters", {})))
+    except (KeyError, TypeError) as exc:
+        raise PersistenceError(f"malformed saved run: {exc}") from exc
+
+
+def load_outcome(path: str | Path) -> GenerationOutcome:
+    return outcome_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def load_run(path: str | Path) -> NotebookRun:
+    """Rebuild the full run, including the stored TAP solution."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    outcome = outcome_from_dict(data)
+    solution_data = data.get("solution")
+    if solution_data is None:
+        raise PersistenceError("saved file holds an outcome, not a full run")
+    from repro.tap.instance import TAPSolution
+
+    solution = TAPSolution(
+        tuple(solution_data["indices"]),
+        solution_data["interest"],
+        solution_data["cost"],
+        solution_data["distance"],
+        optimal=solution_data.get("optimal", False),
+    )
+    selected = [outcome.queries[i] for i in solution.indices]
+    return NotebookRun(outcome, solution, selected, data["budget"], data["epsilon_distance"])
+
+
+def resolve_outcome(
+    outcome: GenerationOutcome,
+    budget: float,
+    epsilon_distance: float | None = None,
+    weights: DistanceWeights = DEFAULT_WEIGHTS,
+) -> NotebookRun:
+    """Re-solve the TAP over a (loaded) outcome — no statistics re-run."""
+    if epsilon_distance is None:
+        epsilon_distance = DEFAULT_EPSILON_PER_QUERY * max(1.0, budget - 1.0)
+    queries = outcome.queries
+
+    def distance_of(i: int, j: int) -> float:
+        return query_distance(queries[i].query, queries[j].query, weights)
+
+    solution = solve_heuristic_lazy(
+        [g.interest for g in queries],
+        [1.0] * len(queries),
+        distance_of,
+        HeuristicConfig(budget, epsilon_distance),
+    )
+    selected = [queries[i] for i in solution.indices]
+    return NotebookRun(outcome, solution, selected, budget, epsilon_distance)

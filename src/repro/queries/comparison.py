@@ -1,0 +1,111 @@
+"""Comparison queries (Definition 3.1) as first-class values.
+
+A comparison query is the 6-tuple ``(A, B, val, val', M, agg)``: group by
+``A``, compare the aggregate ``agg(M)`` between the selections ``B = val``
+and ``B = val'``, presented as a join on ``A`` (one output row per common
+group, two measure columns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.relational.aggregates import is_aggregate
+from repro.relational.table import Table
+
+
+@dataclass(frozen=True, slots=True)
+class ComparisonQuery:
+    """The paper's 6-tuple ``(A, B, val, val', M, agg)``.
+
+    Attributes
+    ----------
+    group_by:
+        ``A`` — the grouping (presentation) attribute.
+    selection_attribute:
+        ``B`` — the compared attribute.
+    val, val_other:
+        The two compared members of ``dom(B)``.
+    measure:
+        ``M`` — the aggregated measure.
+    agg:
+        The aggregate function name (lower-case).
+    """
+
+    group_by: str
+    selection_attribute: str
+    val: str
+    val_other: str
+    measure: str
+    agg: str
+
+    def __post_init__(self) -> None:
+        if self.group_by == self.selection_attribute:
+            raise QueryError("grouping and selection attributes must differ")
+        if self.val == self.val_other:
+            raise QueryError("a comparison needs two distinct selection values")
+        if not is_aggregate(self.agg):
+            raise QueryError(f"unknown aggregate {self.agg!r}")
+
+    @property
+    def key(self) -> tuple[str, str, str, str, str, str]:
+        return (
+            self.group_by,
+            self.selection_attribute,
+            self.val,
+            self.val_other,
+            self.measure,
+            self.agg,
+        )
+
+    @property
+    def evidence_key(self) -> tuple[str, str, str, str]:
+        """Identity of the *insight set* a query evidences.
+
+        Per Section 3.2, comparison queries differing only in the grouping
+        attribute ``A`` evidence the same insights; the generator keeps only
+        the most interesting query per evidence key.  The key is
+        ``(B, {val, val'}, M)`` with the pair canonicalized by sorting.
+        """
+        lo, hi = sorted((self.val, self.val_other))
+        return (self.selection_attribute, lo, hi, self.measure)
+
+    @property
+    def dedup_key(self) -> tuple[str, str, str, str, str]:
+        """Grouping key of Algorithm 1's lines 15-16.
+
+        Queries sharing ``(B, {val, val'}, M, agg)`` and differing only in
+        the grouping attribute ``A`` evidence the same insights; only the
+        most interesting of each group is kept.
+        """
+        lo, hi = sorted((self.val, self.val_other))
+        return (self.selection_attribute, lo, hi, self.measure, self.agg)
+
+    @property
+    def parts(self) -> dict[str, object]:
+        """Named query parts for the weighted Hamming distance."""
+        return {
+            "group_by": self.group_by,
+            "selection_attribute": self.selection_attribute,
+            "selection_values": frozenset((self.val, self.val_other)),
+            "measure": self.measure,
+            "agg": self.agg,
+        }
+
+    def validate_against(self, table: Table) -> None:
+        """Raise :class:`QueryError` unless the query fits the schema."""
+        schema = table.schema
+        try:
+            schema.require_categorical(self.group_by)
+            schema.require_categorical(self.selection_attribute)
+            schema.require_measure(self.measure)
+        except Exception as exc:  # SchemaError -> QueryError with context
+            raise QueryError(f"comparison query {self.key} does not fit the schema: {exc}") from exc
+
+    def describe(self) -> str:
+        """Compact human-readable rendering."""
+        return (
+            f"{self.agg}({self.measure}) by {self.group_by}: "
+            f"{self.selection_attribute}={self.val} vs {self.selection_attribute}={self.val_other}"
+        )

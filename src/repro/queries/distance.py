@@ -1,0 +1,93 @@
+"""Weighted Hamming distance between comparison queries (Section 4.2).
+
+The TAP needs a *metric* — the paper insists on the triangle inequality so
+the solver never trades interestingness for distance through shortcut
+queries.  The distance is a weighted sum over the query parts, each part
+contributing a per-part metric:
+
+* selection values ``{val, val'}`` — highest weight; compared as sets via
+  the (normalized) symmetric difference, itself a metric;
+* selection attribute ``B`` — next;
+* grouping attribute ``A`` — next;
+* measure ``M`` and aggregate ``agg`` — lowest.
+
+A weighted sum of metrics is a metric, so the triangle inequality holds by
+construction (property-tested in the suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.queries.comparison import ComparisonQuery
+
+
+@dataclass(frozen=True, slots=True)
+class DistanceWeights:
+    """Per-part weights, defaulting to the paper's impact ordering
+    (val/val' > B > A > M = agg)."""
+
+    selection_values: float = 4.0
+    selection_attribute: float = 3.0
+    group_by: float = 2.0
+    measure: float = 1.0
+    agg: float = 1.0
+
+    def __post_init__(self) -> None:
+        values = (
+            self.selection_values,
+            self.selection_attribute,
+            self.group_by,
+            self.measure,
+            self.agg,
+        )
+        if any(w < 0 for w in values):
+            raise QueryError("distance weights must be non-negative")
+
+    @property
+    def maximum(self) -> float:
+        """Largest possible distance (all parts differ)."""
+        return (
+            self.selection_values
+            + self.selection_attribute
+            + self.group_by
+            + self.measure
+            + self.agg
+        )
+
+
+DEFAULT_WEIGHTS = DistanceWeights()
+
+
+def query_distance(
+    first: ComparisonQuery, second: ComparisonQuery, weights: DistanceWeights = DEFAULT_WEIGHTS
+) -> float:
+    """Weighted Hamming distance between two comparison queries.
+
+    Selection-value sets use ``|X Δ Y| / 4`` (0 when equal, ½ when one
+    value is shared, 1 when disjoint); the remaining parts use the discrete
+    0/1 metric.
+    """
+    total = 0.0
+    set_first = frozenset((first.val, first.val_other))
+    set_second = frozenset((second.val, second.val_other))
+    total += weights.selection_values * len(set_first ^ set_second) / 4.0
+    if first.selection_attribute != second.selection_attribute:
+        total += weights.selection_attribute
+    if first.group_by != second.group_by:
+        total += weights.group_by
+    if first.measure != second.measure:
+        total += weights.measure
+    if first.agg != second.agg:
+        total += weights.agg
+    return total
+
+
+def sequence_distance(
+    queries: list[ComparisonQuery], weights: DistanceWeights = DEFAULT_WEIGHTS
+) -> float:
+    """Total distance of a notebook: Σ dist(q_i, q_{i+1})."""
+    return sum(
+        query_distance(queries[i], queries[i + 1], weights) for i in range(len(queries) - 1)
+    )

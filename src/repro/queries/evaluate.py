@@ -1,0 +1,131 @@
+"""Evaluation of comparison queries: direct, cached, and via SQL.
+
+Three evaluation paths, used by different parts of the reproduction:
+
+* :func:`evaluate_comparison` — direct vectorized group-by on the base
+  table (what Algorithm 1 does per hypothesis query);
+* :func:`evaluate_comparison_cached` — from Algorithm 2's in-memory
+  partial aggregates, "for free" once the covering group-by is loaded;
+* :func:`evaluate_comparison_sql` — parse + execute the generated SQL on
+  the SQL engine (used to cross-validate the fast paths and to time the
+  Figure 5 run-time distribution).
+
+All three return the same :class:`ComparisonResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.insights.types import InsightType
+from repro.queries.comparison import ComparisonQuery
+from repro.queries.sqlgen import bind_table, comparison_aliases, comparison_sql
+from repro.relational.cube import MaterializedAggregate, PairAggregate, PartialAggregateCache
+from repro.relational.table import Table
+from repro.sqlengine.executor import Catalog, execute_sql
+
+
+@dataclass(frozen=True, slots=True)
+class ComparisonResult:
+    """Aligned result of a comparison query (Definition 3.1's join).
+
+    Attributes
+    ----------
+    groups:
+        Values of the grouping attribute present under *both* selections,
+        sorted (the τ operator).
+    x, y:
+        Aggregate series for ``B = val`` and ``B = val'``, aligned with
+        ``groups``.
+    tuples_aggregated:
+        θ_q of the conciseness measure: base tuples matching either
+        selection.
+    """
+
+    query: ComparisonQuery
+    groups: tuple[str, ...]
+    x: np.ndarray
+    y: np.ndarray
+    tuples_aggregated: int
+
+    @property
+    def n_groups(self) -> int:
+        """γ_q of the conciseness measure: output rows of the query."""
+        return len(self.groups)
+
+    def supports(self, insight_type: InsightType) -> bool:
+        """Definition 3.8: does this result support the given insight type?
+
+        The result must be non-empty — an empty comparison triggers nothing.
+        """
+        if self.n_groups == 0:
+            return False
+        return insight_type.supports(self.x, self.y)
+
+
+def evaluate_comparison(table: Table, query: ComparisonQuery) -> ComparisonResult:
+    """Direct evaluation against base data (one grouped pass per side)."""
+    query.validate_against(table)
+    aggregate = MaterializedAggregate.build(
+        table, (query.group_by, query.selection_attribute), [query.measure]
+    )
+    pair = PairAggregate(aggregate, query.group_by, query.selection_attribute)
+    return _from_pair(pair, query)
+
+
+def evaluate_comparison_cached(
+    cache: PartialAggregateCache, query: ComparisonQuery
+) -> ComparisonResult:
+    """Evaluation from Algorithm 2's partial-aggregate cache."""
+    pair = cache.pair(query.group_by, query.selection_attribute)
+    return _from_pair(pair, query)
+
+
+def _from_pair(pair: PairAggregate, query: ComparisonQuery) -> ComparisonResult:
+    groups, x, y = pair.aligned_series(
+        query.group_by,
+        query.selection_attribute,
+        query.val,
+        query.val_other,
+        query.measure,
+        query.agg,
+    )
+    theta = _selection_tuples(pair, query)
+    return ComparisonResult(query, tuple(groups), x, y, theta)
+
+
+def _selection_tuples(pair: PairAggregate, query: ComparisonQuery) -> int:
+    """Tuples matching ``B = val or B = val'`` from the count summaries."""
+    total = 0
+    for label in (query.val, query.val_other):
+        counts = pair.series(
+            query.group_by, query.selection_attribute, label, query.measure, "count"
+        )
+        total += int(sum(counts.values()))
+    return total
+
+
+def evaluate_comparison_sql(table: Table, table_name: str, query: ComparisonQuery) -> ComparisonResult:
+    """Evaluation through SQL text + the SQL engine (slow, for validation)."""
+    catalog = Catalog({table_name: table})
+    sql = bind_table(comparison_sql(query), table_name)
+    result = execute_sql(sql, catalog)
+    alias_x, alias_y = comparison_aliases(query)
+    groups = tuple(str(v) for v in result.column(result.schema.names[0]).values())
+    x = np.asarray(result.measure_values(alias_x), dtype=np.float64)
+    y = np.asarray(result.measure_values(alias_y), dtype=np.float64)
+    selection = table.categorical_column(query.selection_attribute)
+    theta = int(
+        selection.equals_mask(query.val).sum() + selection.equals_mask(query.val_other).sum()
+    )
+    return ComparisonResult(query, groups, x, y, theta)
+
+
+def supported_types(
+    result: ComparisonResult, insight_types: Sequence[InsightType]
+) -> list[InsightType]:
+    """The insight types this comparison result supports."""
+    return [t for t in insight_types if result.supports(t)]

@@ -1,0 +1,85 @@
+"""Explanation of comparison results (the paper's future-work direction).
+
+The conclusion of the paper plans to extend the approach "to other forms
+of popular analytical queries (like, e.g., explain queries [1])", citing
+DIFF-style relational explanation.  This module implements the natural
+first step for comparison queries: given a comparison result, rank the
+groups by how much they *drive* the aggregate difference between the two
+selections, so the notebook can say not only "May dominates April" but
+also "mostly because of America and Asia".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.queries.evaluate import ComparisonResult
+
+
+@dataclass(frozen=True, slots=True)
+class GroupContribution:
+    """One group's contribution to the comparison's overall gap.
+
+    ``delta`` is ``x - y`` for the group; ``share`` is the group's fraction
+    of the total absolute gap (so shares sum to 1 over all groups with a
+    non-zero delta); ``direction`` is +1 when the group moves with the
+    overall gap, -1 when it moves against it.
+    """
+
+    group: str
+    x: float
+    y: float
+    delta: float
+    share: float
+    direction: int
+
+
+def explain_comparison(result: ComparisonResult, top_k: int | None = None) -> list[GroupContribution]:
+    """Rank groups by |contribution| to the comparison's difference.
+
+    Works on any aggregate: the "gap" explained is the per-group difference
+    of the aggregated series (the quantity the chart visually shows).
+    NaN group values contribute nothing.  Returns the top ``top_k``
+    contributions (all when None), most influential first.
+    """
+    if result.n_groups == 0:
+        raise QueryError("cannot explain an empty comparison result")
+    deltas = np.asarray(result.x, dtype=np.float64) - np.asarray(result.y, dtype=np.float64)
+    deltas = np.where(np.isnan(deltas), 0.0, deltas)
+    total = float(deltas.sum())
+    overall_sign = 1 if total >= 0 else -1
+    absolute = np.abs(deltas)
+    denominator = float(absolute.sum())
+    contributions = []
+    for group, x, y, delta in zip(result.groups, result.x, result.y, deltas):
+        share = float(abs(delta) / denominator) if denominator > 0 else 0.0
+        direction = 1 if delta * overall_sign >= 0 else -1
+        contributions.append(
+            GroupContribution(group, float(x), float(y), float(delta), share, direction)
+        )
+    contributions.sort(key=lambda c: -abs(c.delta))
+    if top_k is not None:
+        contributions = contributions[:top_k]
+    return contributions
+
+
+def explanation_sentence(result: ComparisonResult, top_k: int = 3) -> str:
+    """A one-line narrative: the groups driving the comparison.
+
+    Example: "driven mostly by America (54% of the gap) and Asia (21%);
+    Europe moves against the trend".
+    """
+    ranked = explain_comparison(result, top_k=None)
+    drivers = [c for c in ranked if c.direction > 0 and c.share > 0][:top_k]
+    against = [c for c in ranked if c.direction < 0 and c.share >= 0.1]
+    if not drivers:
+        return "no single group drives the difference"
+    parts = ", ".join(f"{c.group} ({c.share:.0%} of the gap)" for c in drivers)
+    sentence = f"driven mostly by {parts}"
+    if against:
+        names = ", ".join(c.group for c in against[:top_k])
+        sentence += f"; {names} move{'s' if len(against) == 1 else ''} against the trend"
+    return sentence

@@ -1,0 +1,265 @@
+"""Group-by lattice and in-memory partial aggregates (Algorithm 2 substrate).
+
+Section 5.2.2 of the paper evaluates hypothesis queries "for free" from
+in-memory partial aggregates: it materializes a few large group-by sets
+chosen by weighted set cover, then answers every 2-attribute group-by by
+rolling the materialized aggregates up.  This module provides:
+
+* :class:`MaterializedAggregate` — a group-by result holding, per measure,
+  an additive :class:`~repro.relational.aggregates.GroupedSummary` that can
+  be rolled up to any coarser attribute subset;
+* :class:`PairAggregate` — the 2-attribute view used to evaluate comparison
+  and hypothesis queries without touching base data;
+* :class:`PartialAggregateCache` — lookup structure mapping an attribute
+  pair to a covering materialized aggregate (with memoized roll-ups).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.relational.aggregates import GroupedSummary
+from repro.relational.table import Table
+
+
+def powerset_group_by_sets(attributes: Sequence[str], min_size: int = 2) -> list[frozenset[str]]:
+    """All group-by sets of ``attributes`` with at least ``min_size`` members.
+
+    This is the candidate collection ``G`` of Algorithm 2 (the powerset
+    minus the 1-group-by sets).
+    """
+    sets: list[frozenset[str]] = []
+    for size in range(min_size, len(attributes) + 1):
+        sets.extend(frozenset(c) for c in combinations(attributes, size))
+    return sets
+
+
+def pair_group_by_sets(attributes: Sequence[str]) -> list[frozenset[str]]:
+    """The universe ``U`` of Algorithm 2: all 2-attribute group-by sets."""
+    return [frozenset(pair) for pair in combinations(attributes, 2)]
+
+
+class MaterializedAggregate:
+    """A group-by result at some granularity, with additive summaries.
+
+    Attributes
+    ----------
+    attributes:
+        Grouping attributes, in a canonical (sorted) order.
+    keys:
+        One ``int64`` code array per attribute (length = number of groups);
+        codes index the base table's category dictionaries.
+    categories:
+        The dictionary (tuple of labels) of each grouping attribute.
+    summaries:
+        Mapping measure name -> :class:`GroupedSummary` over the groups.
+    """
+
+    __slots__ = ("attributes", "keys", "categories", "summaries")
+
+    def __init__(
+        self,
+        attributes: tuple[str, ...],
+        keys: tuple[np.ndarray, ...],
+        categories: Mapping[str, tuple[str, ...]],
+        summaries: Mapping[str, GroupedSummary],
+    ):
+        self.attributes = attributes
+        self.keys = keys
+        self.categories = dict(categories)
+        self.summaries = dict(summaries)
+
+    @property
+    def n_groups(self) -> int:
+        return 0 if not self.keys else int(self.keys[0].size)
+
+    def actual_bytes(self) -> int:
+        """Measured memory footprint of keys + summaries."""
+        total = sum(int(k.nbytes) for k in self.keys)
+        for summary in self.summaries.values():
+            total += sum(
+                int(getattr(summary, field).nbytes)
+                for field in ("count", "total", "total_sq", "minimum", "maximum")
+            )
+        return total
+
+    @classmethod
+    def build(
+        cls, table: Table, attributes: Iterable[str], measures: Sequence[str] | None = None
+    ) -> "MaterializedAggregate":
+        """Materialize ``GROUP BY attributes`` summaries from base data."""
+        attrs = tuple(sorted(attributes))
+        if measures is None:
+            measures = table.schema.measure_names
+        grouping = table.group_by_codes(attrs)
+        categories = {name: table.categorical_column(name).categories for name in attrs}
+        summaries = {
+            m: GroupedSummary.from_values(
+                grouping.group_ids, table.measure_values(m), grouping.n_groups
+            )
+            for m in measures
+        }
+        return cls(attrs, grouping.key_codes, categories, summaries)
+
+    def rollup_to(self, attributes: Iterable[str]) -> "MaterializedAggregate":
+        """Re-aggregate to a coarser granularity (subset of our attributes)."""
+        target = tuple(sorted(attributes))
+        if not set(target) <= set(self.attributes):
+            raise QueryError(
+                f"cannot roll up {self.attributes} to non-subset {target}"
+            )
+        if target == self.attributes:
+            return self
+        positions = [self.attributes.index(a) for a in target]
+        # Mixed-radix combine of the retained key columns with iterative
+        # compaction (same overflow-safe scheme as Table.group_by_codes).
+        first_radix = len(self.categories[self.attributes[positions[0]]]) + 1
+        combined = self.keys[positions[0]].astype(np.int64) + 1
+        unique_combined = np.unique(combined)
+        coarse_ids = np.searchsorted(unique_combined, combined).astype(np.int64)
+        decode_stack: list[tuple[np.ndarray, int]] = [(unique_combined, first_radix)]
+        for pos in positions[1:]:
+            radix = len(self.categories[self.attributes[pos]]) + 1
+            combined = coarse_ids * radix + (self.keys[pos].astype(np.int64) + 1)
+            unique_combined, coarse_ids = np.unique(combined, return_inverse=True)
+            coarse_ids = coarse_ids.astype(np.int64)
+            decode_stack.append((unique_combined, radix))
+        n_coarse = int(unique_combined.size) if self.n_groups else 0
+        new_keys_rev: list[np.ndarray] = []
+        current = decode_stack[-1][0]
+        for level in range(len(decode_stack) - 1, 0, -1):
+            _, radix = decode_stack[level]
+            new_keys_rev.append((current % radix).astype(np.int64) - 1)
+            current = decode_stack[level - 1][0][current // radix]
+        new_keys_rev.append(current.astype(np.int64) - 1)
+        new_keys = list(reversed(new_keys_rev))
+        summaries = {m: s.rollup(coarse_ids, n_coarse) for m, s in self.summaries.items()}
+        categories = {a: self.categories[a] for a in target}
+        return MaterializedAggregate(target, tuple(new_keys), categories, summaries)
+
+
+class PairAggregate:
+    """2-attribute aggregate view used to evaluate comparison queries.
+
+    For a comparison query ``(A, B, val, val', M, agg)`` the evaluator needs,
+    for each value ``a`` of ``A``, the aggregate of ``M`` over rows with
+    ``B = val`` (and likewise ``val'``).  :meth:`series` answers exactly
+    that from the materialized summaries, and :meth:`aligned_series` returns
+    the two series joined on the grouping attribute as the comparison
+    query's join does.
+    """
+
+    __slots__ = ("aggregate", "first", "second")
+
+    def __init__(self, aggregate: MaterializedAggregate, first: str, second: str):
+        if set(aggregate.attributes) != {first, second}:
+            raise QueryError(
+                f"aggregate over {aggregate.attributes} is not the pair ({first}, {second})"
+            )
+        self.aggregate = aggregate
+        self.first = first
+        self.second = second
+
+    def _axis(self, attribute: str) -> int:
+        return self.aggregate.attributes.index(attribute)
+
+    def series(self, group_attr: str, select_attr: str, label: str, measure: str, agg: str) -> dict[str, float]:
+        """Per-``group_attr``-value aggregate of ``measure`` where ``select_attr = label``.
+
+        Returns a mapping group label -> aggregate value; groups with no
+        matching rows are absent (they would not appear in the SQL result).
+        """
+        select_axis = self._axis(select_attr)
+        group_axis = self._axis(group_attr)
+        categories = self.aggregate.categories[select_attr]
+        try:
+            code = categories.index(str(label))
+        except ValueError:
+            return {}
+        mask = self.aggregate.keys[select_axis] == code
+        group_codes = self.aggregate.keys[group_axis][mask]
+        summary = self.aggregate.summaries.get(measure)
+        if summary is None:
+            raise QueryError(f"measure {measure!r} not materialized in this aggregate")
+        selected = GroupedSummary(
+            summary.count[mask],
+            summary.total[mask],
+            summary.total_sq[mask],
+            summary.minimum[mask],
+            summary.maximum[mask],
+        )
+        values = selected.finalize(agg)
+        group_categories = self.aggregate.categories[group_attr]
+        out: dict[str, float] = {}
+        for gcode, value in zip(group_codes, values):
+            label_g = group_categories[gcode] if gcode >= 0 else ""
+            out[label_g] = float(value)
+        return out
+
+    def aligned_series(
+        self, group_attr: str, select_attr: str, label_a: str, label_b: str, measure: str, agg: str
+    ) -> tuple[list[str], np.ndarray, np.ndarray]:
+        """The comparison query's joined result: common groups + two columns.
+
+        Mirrors Definition 3.1: an inner join on the grouping attribute, so
+        only groups present under *both* selections appear; groups are
+        returned sorted (the τ operator).
+        """
+        left = self.series(group_attr, select_attr, label_a, measure, agg)
+        right = self.series(group_attr, select_attr, label_b, measure, agg)
+        common = sorted(set(left) & set(right))
+        return (
+            common,
+            np.array([left[g] for g in common], dtype=np.float64),
+            np.array([right[g] for g in common], dtype=np.float64),
+        )
+
+
+class PartialAggregateCache:
+    """Maps attribute pairs to covering materialized aggregates.
+
+    Built by Algorithm 2 from a set-cover solution: each chosen group-by set
+    is materialized once; pair lookups roll up (memoized) from a covering
+    set.  The cache reports its measured memory so the fallback strategy of
+    Section 5.2.2 can be exercised under a byte budget.
+    """
+
+    def __init__(self) -> None:
+        self._materialized: list[MaterializedAggregate] = []
+        self._pair_cache: dict[frozenset[str], PairAggregate] = {}
+
+    @property
+    def materialized(self) -> tuple[MaterializedAggregate, ...]:
+        return tuple(self._materialized)
+
+    def add(self, aggregate: MaterializedAggregate) -> None:
+        self._materialized.append(aggregate)
+
+    def total_bytes(self) -> int:
+        return sum(m.actual_bytes() for m in self._materialized)
+
+    def covers(self, first: str, second: str) -> bool:
+        pair = {first, second}
+        return any(pair <= set(m.attributes) for m in self._materialized)
+
+    def pair(self, first: str, second: str) -> PairAggregate:
+        """The 2-attribute view for ``{first, second}`` (memoized roll-up)."""
+        key = frozenset((first, second))
+        cached = self._pair_cache.get(key)
+        if cached is not None:
+            return cached
+        cover = None
+        for m in self._materialized:
+            if key <= set(m.attributes):
+                if cover is None or m.n_groups < cover.n_groups:
+                    cover = m
+        if cover is None:
+            raise QueryError(f"no materialized aggregate covers pair ({first}, {second})")
+        rolled = cover.rollup_to(key)
+        view = PairAggregate(rolled, first, second)
+        self._pair_cache[key] = view
+        return view

@@ -1,0 +1,318 @@
+"""Typed expression trees evaluated vectorized against a table.
+
+These expressions serve two clients: the relational operators (filter
+predicates, computed projections) and the SQL engine, whose planner lowers
+parsed SQL expressions into this representation.
+
+Evaluation returns numpy arrays: ``float64`` for numeric expressions,
+``bool`` for predicates, and ``object`` (labels) for categorical references.
+Comparisons between a categorical column and a string literal are evaluated
+on dictionary codes, never on materialized labels.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.relational.aggregates import SCALAR_FUNCTIONS
+from repro.relational.table import Table
+
+
+class Expression(abc.ABC):
+    """Base class for all expression nodes."""
+
+    @abc.abstractmethod
+    def evaluate(self, table: Table) -> np.ndarray:
+        """Evaluate against every row of ``table``."""
+
+    @abc.abstractmethod
+    def references(self) -> frozenset[str]:
+        """Names of the columns this expression reads."""
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return repr(self)
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant: float, string, or bool."""
+
+    value: object
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        n = table.n_rows
+        if isinstance(self.value, bool):
+            return np.full(n, self.value, dtype=bool)
+        if isinstance(self.value, (int, float)):
+            return np.full(n, float(self.value), dtype=np.float64)
+        return np.full(n, self.value, dtype=object)
+
+    def references(self) -> frozenset[str]:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """Reference to a column by name."""
+
+    name: str
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        return table.column(self.name).values()
+
+    def references(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+
+_COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    """Binary comparison producing a boolean mask."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARISON_OPS:
+            raise ExecutionError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        fast = self._evaluate_on_codes(table)
+        if fast is not None:
+            return fast
+        left = self.left.evaluate(table)
+        right = self.right.evaluate(table)
+        if left.dtype == object or right.dtype == object:
+            left = left.astype(object) if left.dtype != object else left
+            right = right.astype(object) if right.dtype != object else right
+            left = np.array([str(v) for v in left], dtype=object)
+            right = np.array([str(v) for v in right], dtype=object)
+        with np.errstate(invalid="ignore"):
+            if self.op == "=":
+                return left == right
+            if self.op == "<>":
+                return left != right
+            if self.op == "<":
+                return left < right
+            if self.op == "<=":
+                return left <= right
+            if self.op == ">":
+                return left > right
+            return left >= right
+
+    def _evaluate_on_codes(self, table: Table) -> np.ndarray | None:
+        """Fast path: categorical = 'literal' via dictionary codes."""
+        if self.op not in ("=", "<>"):
+            return None
+        ref, lit = None, None
+        if isinstance(self.left, ColumnRef) and isinstance(self.right, Literal):
+            ref, lit = self.left, self.right
+        elif isinstance(self.right, ColumnRef) and isinstance(self.left, Literal):
+            ref, lit = self.right, self.left
+        if ref is None or not isinstance(lit.value, str):
+            return None
+        if ref.name not in table.schema or not table.schema[ref.name].is_categorical:
+            return None
+        mask = table.categorical_column(ref.name).equals_mask(lit.value)
+        return ~mask if self.op == "<>" else mask
+
+    def references(self) -> frozenset[str]:
+        return self.left.references() | self.right.references()
+
+
+@dataclass(frozen=True)
+class And(Expression):
+    operands: tuple[Expression, ...]
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        result = np.ones(table.n_rows, dtype=bool)
+        for op in self.operands:
+            result &= op.evaluate(table).astype(bool)
+        return result
+
+    def references(self) -> frozenset[str]:
+        return frozenset().union(*(op.references() for op in self.operands))
+
+
+@dataclass(frozen=True)
+class Or(Expression):
+    operands: tuple[Expression, ...]
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        result = np.zeros(table.n_rows, dtype=bool)
+        for op in self.operands:
+            result |= op.evaluate(table).astype(bool)
+        return result
+
+    def references(self) -> frozenset[str]:
+        return frozenset().union(*(op.references() for op in self.operands))
+
+
+@dataclass(frozen=True)
+class Not(Expression):
+    operand: Expression
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        return ~self.operand.evaluate(table).astype(bool)
+
+    def references(self) -> frozenset[str]:
+        return self.operand.references()
+
+
+_ARITHMETIC_OPS = ("+", "-", "*", "/")
+
+
+@dataclass(frozen=True)
+class Arithmetic(Expression):
+    """Binary numeric arithmetic; division by zero yields NaN (SQL NULL)."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITHMETIC_OPS:
+            raise ExecutionError(f"unknown arithmetic operator {self.op!r}")
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        left = np.asarray(self.left.evaluate(table), dtype=np.float64)
+        right = np.asarray(self.right.evaluate(table), dtype=np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            if self.op == "+":
+                return left + right
+            if self.op == "-":
+                return left - right
+            if self.op == "*":
+                return left * right
+            out = left / right
+        out[~np.isfinite(out)] = np.nan
+        return out
+
+    def references(self) -> frozenset[str]:
+        return self.left.references() | self.right.references()
+
+
+@dataclass(frozen=True)
+class Negate(Expression):
+    operand: Expression
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        return -np.asarray(self.operand.evaluate(table), dtype=np.float64)
+
+    def references(self) -> frozenset[str]:
+        return self.operand.references()
+
+
+@dataclass(frozen=True)
+class ScalarFunction(Expression):
+    """Call to a whitelisted scalar function (see ``SCALAR_FUNCTIONS``)."""
+
+    name: str
+    arguments: tuple[Expression, ...]
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        func = SCALAR_FUNCTIONS.get(self.name.lower())
+        if func is None:
+            raise ExecutionError(f"unknown scalar function {self.name!r}")
+        args = [np.asarray(a.evaluate(table), dtype=np.float64) for a in self.arguments]
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.asarray(func(*args), dtype=np.float64)
+
+    def references(self) -> frozenset[str]:
+        return frozenset().union(*(a.references() for a in self.arguments)) if self.arguments else frozenset()
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    """SQL ``IS [NOT] NULL`` test."""
+
+    operand: Expression
+    negated: bool = False
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        values = self.operand.evaluate(table)
+        if values.dtype == object:
+            mask = np.array([v is None or v == "" for v in values], dtype=bool)
+        else:
+            mask = np.isnan(values.astype(np.float64))
+        return ~mask if self.negated else mask
+
+    def references(self) -> frozenset[str]:
+        return self.operand.references()
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    """SQL ``col IN (v1, v2, ...)`` over literal values."""
+
+    operand: Expression
+    values: tuple[object, ...]
+    negated: bool = False
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        mask = np.zeros(table.n_rows, dtype=bool)
+        for value in self.values:
+            mask |= Comparison("=", self.operand, Literal(value)).evaluate(table)
+        return ~mask if self.negated else mask
+
+    def references(self) -> frozenset[str]:
+        return self.operand.references()
+
+
+@dataclass(frozen=True)
+class Case(Expression):
+    """Searched CASE: first branch whose condition holds wins; else default.
+
+    Numeric branches produce ``float64`` (missing default -> NaN); if any
+    branch value is a string, the whole expression evaluates as labels.
+    """
+
+    branches: tuple[tuple[Expression, Expression], ...]
+    default: Expression | None = None
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        conditions = [cond.evaluate(table).astype(bool) for cond, _ in self.branches]
+        values = [value.evaluate(table) for _, value in self.branches]
+        default = self.default.evaluate(table) if self.default is not None else None
+        is_object = any(v.dtype == object for v in values) or (
+            default is not None and default.dtype == object
+        )
+        if is_object:
+            out = np.full(table.n_rows, "", dtype=object)
+            if default is not None:
+                out[:] = default.astype(object)
+            for cond, val in zip(reversed(conditions), reversed(values)):
+                # reversed so earlier branches overwrite later ones (priority)
+                out[cond] = val.astype(object)[cond]
+            return out
+        out = np.full(table.n_rows, np.nan, dtype=np.float64)
+        if default is not None:
+            out[:] = np.asarray(default, dtype=np.float64)
+        for cond, val in zip(reversed(conditions), reversed(values)):
+            out[cond] = np.asarray(val, dtype=np.float64)[cond]
+        return out
+
+    def references(self) -> frozenset[str]:
+        refs: frozenset[str] = frozenset()
+        for cond, val in self.branches:
+            refs |= cond.references() | val.references()
+        if self.default is not None:
+            refs |= self.default.references()
+        return refs
+
+
+def conjunction(parts: Sequence[Expression]) -> Expression:
+    """AND together ``parts`` (empty -> TRUE literal)."""
+    if not parts:
+        return Literal(True)
+    if len(parts) == 1:
+        return parts[0]
+    return And(tuple(parts))

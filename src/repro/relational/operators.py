@@ -1,0 +1,220 @@
+"""Physical relational operators over :class:`~repro.relational.table.Table`.
+
+These are the building blocks the SQL executor and the comparison-query
+evaluator compose: selection, projection, group-by aggregation, equi-join,
+sort, and limit.  Each operator takes tables and returns a new table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ExecutionError, SchemaError
+from repro.relational.aggregates import GroupedSummary, is_aggregate
+from repro.relational.columns import CategoricalColumn, MeasureColumn
+from repro.relational.expressions import Expression
+from repro.relational.schema import Attribute, AttributeKind, Schema, measure
+from repro.relational.table import Table
+
+
+def select(table: Table, predicate: Expression) -> Table:
+    """Filter rows by a boolean predicate expression."""
+    mask = predicate.evaluate(table)
+    if mask.dtype != bool:
+        raise ExecutionError("selection predicate did not evaluate to booleans")
+    return table.filter(mask)
+
+
+def project(table: Table, names: Sequence[str]) -> Table:
+    """Project to the named columns (duplicates not allowed)."""
+    return table.project(names)
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One output aggregate of a group-by: ``function(measure) AS alias``.
+
+    ``measure`` is ``None`` only for ``count`` (i.e. ``COUNT(*)``);
+    ``distinct`` is only valid for ``count`` with a measure argument.
+    """
+
+    function: str
+    measure: str | None
+    alias: str
+    distinct: bool = False
+
+    def __post_init__(self) -> None:
+        if not is_aggregate(self.function):
+            raise ExecutionError(f"unknown aggregate function {self.function!r}")
+        if self.measure is None and self.function.lower() != "count":
+            raise ExecutionError(f"aggregate {self.function!r} requires a measure argument")
+        if self.distinct and (self.function.lower() != "count" or self.measure is None):
+            raise ExecutionError("DISTINCT is only supported for count(<column>)")
+
+
+def group_by_aggregate(
+    table: Table, keys: Sequence[str], aggregates: Sequence[AggregateSpec]
+) -> Table:
+    """SQL ``GROUP BY keys`` with the given aggregate outputs.
+
+    The result has one categorical column per key (in order) followed by one
+    measure column per aggregate.  Shared :class:`GroupedSummary` objects are
+    computed once per distinct measure so asking for ``sum(M)`` and
+    ``avg(M)`` costs a single pass over ``M``.
+    """
+    grouping = table.group_by_codes(keys)
+    result = table.group_keys_table(keys, grouping)
+
+    summaries: dict[str, GroupedSummary] = {}
+    counts_all: np.ndarray | None = None
+    for spec in aggregates:
+        if spec.measure is None:
+            if counts_all is None:
+                counts_all = np.bincount(
+                    grouping.group_ids, minlength=grouping.n_groups
+                ).astype(np.float64)
+            values = counts_all.copy()
+        elif spec.distinct:
+            values = grouped_distinct_count(
+                grouping.group_ids, table.measure_values(spec.measure), grouping.n_groups
+            )
+        else:
+            summary = summaries.get(spec.measure)
+            if summary is None:
+                summary = GroupedSummary.from_values(
+                    grouping.group_ids, table.measure_values(spec.measure), grouping.n_groups
+                )
+                summaries[spec.measure] = summary
+            values = summary.finalize(spec.function)
+        result = result.with_column(measure(spec.alias), MeasureColumn(values))
+    return result
+
+
+def grouped_distinct_count(
+    group_ids: np.ndarray, values: np.ndarray, n_groups: int
+) -> np.ndarray:
+    """Per-group count of distinct non-null values (``COUNT(DISTINCT m)``)."""
+    values = np.asarray(values, dtype=np.float64)
+    valid = ~np.isnan(values)
+    gid = group_ids[valid]
+    vals = values[valid]
+    if gid.size == 0:
+        return np.zeros(n_groups, dtype=np.float64)
+    pairs = np.unique(np.stack([gid.astype(np.float64), vals]), axis=1)
+    return np.bincount(pairs[0].astype(np.int64), minlength=n_groups).astype(np.float64)
+
+
+def sort(table: Table, keys: Sequence[str], ascending: Sequence[bool] | None = None) -> Table:
+    """Stable multi-key sort; NULLs sort last within each direction."""
+    if not keys:
+        return table
+    if ascending is None:
+        ascending = [True] * len(keys)
+    if len(ascending) != len(keys):
+        raise ExecutionError("sort: ascending flags must match keys")
+    order = np.arange(table.n_rows)
+    # Stable sorts applied from the least-significant key to the most.
+    for name, asc in reversed(list(zip(keys, ascending))):
+        col = table.column(name)
+        if col.is_categorical:
+            labels = col.values()[order]
+            sort_key = np.array([str(v) for v in labels], dtype=object)
+            nulls = np.array([v == "" for v in labels], dtype=bool)
+        else:
+            data = col.values()[order]
+            sort_key = data
+            nulls = np.isnan(data)
+        local = _argsort_nulls_last(sort_key, nulls, asc)
+        order = order[local]
+    return table.take(order)
+
+
+def _argsort_nulls_last(keys: np.ndarray, nulls: np.ndarray, ascending: bool) -> np.ndarray:
+    """Stable argsort placing NULLs last regardless of direction."""
+    idx = np.arange(keys.size)
+    non_null = idx[~nulls]
+    null = idx[nulls]
+    present = keys[~nulls]
+    if ascending:
+        order = np.argsort(present, kind="stable")
+    else:
+        # Stable descending sort: rank values, then stable-sort negated ranks
+        # (reversing an ascending stable sort would reverse ties too).
+        _, ranks = np.unique(present, return_inverse=True)
+        order = np.argsort(-ranks, kind="stable")
+    return np.concatenate([non_null[order], null])
+
+
+def hash_join(
+    left: Table,
+    right: Table,
+    on: Sequence[tuple[str, str]],
+    suffix: str = "_r",
+) -> Table:
+    """Inner equi-join on categorical key pairs ``(left_name, right_name)``.
+
+    Right-side columns that collide with a left-side name get ``suffix``
+    appended.  The join is a classic build/probe hash join on dictionary
+    labels (robust to the two tables having different dictionaries).
+    """
+    if not on:
+        raise ExecutionError("hash_join requires at least one key pair")
+    left_keys = [left.categorical_column(l).values() for l, _ in on]
+    right_keys = [right.categorical_column(r).values() for _, r in on]
+
+    build: dict[tuple[str, ...], list[int]] = {}
+    for i in range(right.n_rows):
+        key = tuple(str(col[i]) for col in right_keys)
+        build.setdefault(key, []).append(i)
+
+    left_idx: list[int] = []
+    right_idx: list[int] = []
+    for i in range(left.n_rows):
+        key = tuple(str(col[i]) for col in left_keys)
+        for j in build.get(key, ()):
+            left_idx.append(i)
+            right_idx.append(j)
+
+    left_part = left.take(np.array(left_idx, dtype=np.int64))
+    right_part = right.take(np.array(right_idx, dtype=np.int64))
+    rename: dict[str, str] = {}
+    for attr in right.schema:
+        if attr.name in left.schema:
+            rename[attr.name] = attr.name + suffix
+    right_part = right_part.rename(rename)
+
+    attrs = list(left_part.schema) + list(right_part.schema)
+    columns = {a.name: left_part.column(a.name) for a in left_part.schema}
+    columns.update({a.name: right_part.column(a.name) for a in right_part.schema})
+    return Table(Schema(attrs), columns)
+
+
+def limit(table: Table, n: int) -> Table:
+    """First ``n`` rows."""
+    if n < 0:
+        raise ExecutionError("limit must be non-negative")
+    return table.head(n)
+
+
+def distinct(table: Table) -> Table:
+    """Remove duplicate rows (keeps first occurrence, stable)."""
+    seen: set[tuple[object, ...]] = set()
+    keep: list[int] = []
+    for i, row in enumerate(table.to_rows()):
+        if row not in seen:
+            seen.add(row)
+            keep.append(i)
+    return table.take(np.array(keep, dtype=np.int64))
+
+
+def union_all(first: Table, second: Table) -> Table:
+    """Concatenate two tables with identical schemas."""
+    if first.schema.names != second.schema.names:
+        raise SchemaError("union_all requires identical column names")
+    data: dict[str, list[object]] = {}
+    for name in first.schema.names:
+        data[name] = first.column(name).to_list() + second.column(name).to_list()
+    return Table.from_columns(first.schema, data)

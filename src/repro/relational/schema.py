@@ -1,0 +1,152 @@
+"""Relation schemas for the single-table model of the paper.
+
+The paper (Section 3.1) works with one relation ``R[A1..An, M1..Mm]`` where
+the ``Ai`` are *categorical* attributes and the ``Mj`` are numeric *measures*.
+:class:`Schema` captures that split and provides the attribute lookups used
+throughout the library.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import SchemaError
+
+
+class AttributeKind(enum.Enum):
+    """Role of an attribute in the single-table model."""
+
+    CATEGORICAL = "categorical"
+    MEASURE = "measure"
+
+
+@dataclass(frozen=True, slots=True)
+class Attribute:
+    """A named, typed attribute of a relation.
+
+    Parameters
+    ----------
+    name:
+        Attribute name; must be a non-empty identifier, unique in its schema.
+    kind:
+        Whether the attribute is categorical (a grouping/selection dimension)
+        or a numeric measure.
+    """
+
+    name: str
+    kind: AttributeKind
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"attribute name must be a non-empty string, got {self.name!r}")
+
+    @property
+    def is_categorical(self) -> bool:
+        return self.kind is AttributeKind.CATEGORICAL
+
+    @property
+    def is_measure(self) -> bool:
+        return self.kind is AttributeKind.MEASURE
+
+
+def categorical(name: str) -> Attribute:
+    """Shorthand constructor for a categorical attribute."""
+    return Attribute(name, AttributeKind.CATEGORICAL)
+
+
+def measure(name: str) -> Attribute:
+    """Shorthand constructor for a measure attribute."""
+    return Attribute(name, AttributeKind.MEASURE)
+
+
+class Schema:
+    """Ordered collection of attributes with unique names.
+
+    The ordering is the column order of the relation; lookups are by exact
+    name.  Schemas are immutable value objects: deriving a sub-schema returns
+    a new instance.
+    """
+
+    __slots__ = ("_attributes", "_by_name")
+
+    def __init__(self, attributes: Iterable[Attribute]):
+        attrs = tuple(attributes)
+        by_name: dict[str, Attribute] = {}
+        for attr in attrs:
+            if attr.name in by_name:
+                raise SchemaError(f"duplicate attribute name {attr.name!r}")
+            by_name[attr.name] = attr
+        self._attributes = attrs
+        self._by_name = by_name
+
+    # -- container protocol -------------------------------------------------
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Attribute:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown attribute {name!r}; schema has {sorted(self._by_name)}"
+            ) from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{a.name}:{a.kind.value[0].upper()}" for a in self._attributes)
+        return f"Schema({parts})"
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """All attribute names, in column order."""
+        return tuple(a.name for a in self._attributes)
+
+    @property
+    def categorical_names(self) -> tuple[str, ...]:
+        """Names of the categorical attributes, in column order."""
+        return tuple(a.name for a in self._attributes if a.is_categorical)
+
+    @property
+    def measure_names(self) -> tuple[str, ...]:
+        """Names of the measure attributes, in column order."""
+        return tuple(a.name for a in self._attributes if a.is_measure)
+
+    def kind_of(self, name: str) -> AttributeKind:
+        """Kind of the attribute called ``name`` (raises if unknown)."""
+        return self[name].kind
+
+    def require_categorical(self, name: str) -> Attribute:
+        """Return the attribute, raising :class:`SchemaError` unless categorical."""
+        attr = self[name]
+        if not attr.is_categorical:
+            raise SchemaError(f"attribute {name!r} is a measure, expected categorical")
+        return attr
+
+    def require_measure(self, name: str) -> Attribute:
+        """Return the attribute, raising :class:`SchemaError` unless a measure."""
+        attr = self[name]
+        if not attr.is_measure:
+            raise SchemaError(f"attribute {name!r} is categorical, expected a measure")
+        return attr
+
+    def subset(self, names: Iterable[str]) -> "Schema":
+        """New schema restricted to ``names``, in the order given."""
+        return Schema(self[name] for name in names)

@@ -1,0 +1,289 @@
+"""Columnar in-memory table: the relation ``R`` of the paper.
+
+A :class:`Table` pairs a :class:`~repro.relational.schema.Schema` with one
+column per attribute.  All rows-level operations (filter, take) are
+vectorized; the grouping machinery (:meth:`Table.group_by_codes`) produces
+dense group ids that the aggregate layer consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.relational.columns import (
+    CategoricalColumn,
+    Column,
+    MeasureColumn,
+    column_from_values,
+)
+from repro.relational.schema import Attribute, AttributeKind, Schema, categorical, measure
+
+
+class GroupingResult:
+    """Outcome of grouping a table by a list of categorical attributes.
+
+    Attributes
+    ----------
+    group_ids:
+        Dense ``int64`` array, one entry per input row, in ``[0, n_groups)``.
+    n_groups:
+        Number of distinct groups present.
+    key_codes:
+        For each grouped attribute, the per-group category *code* — i.e.
+        ``key_codes[j][g]`` is the code (into that attribute's dictionary)
+        of group ``g`` on the j-th key.
+    """
+
+    __slots__ = ("group_ids", "n_groups", "key_codes")
+
+    def __init__(self, group_ids: np.ndarray, n_groups: int, key_codes: tuple[np.ndarray, ...]):
+        self.group_ids = group_ids
+        self.n_groups = n_groups
+        self.key_codes = key_codes
+
+
+class Table:
+    """Immutable-by-convention columnar relation.
+
+    Construct via :meth:`from_columns`, :meth:`from_rows`, or the CSV reader.
+    Mutating the underlying arrays after construction is unsupported.
+    """
+
+    __slots__ = ("schema", "_columns")
+
+    def __init__(self, schema: Schema, columns: Mapping[str, Column]):
+        lengths = {name: len(col) for name, col in columns.items()}
+        if set(lengths) != set(schema.names):
+            raise SchemaError(
+                f"columns {sorted(lengths)} do not match schema attributes {sorted(schema.names)}"
+            )
+        if len(set(lengths.values())) > 1:
+            raise SchemaError(f"ragged columns: {lengths}")
+        for attr in schema:
+            col = columns[attr.name]
+            if attr.is_categorical != col.is_categorical:
+                raise SchemaError(
+                    f"column {attr.name!r} storage does not match its declared kind {attr.kind}"
+                )
+        self.schema = schema
+        self._columns = dict(columns)
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_columns(cls, schema: Schema, data: Mapping[str, Sequence[object]]) -> "Table":
+        """Build a table from raw per-column value sequences."""
+        if set(data) != set(schema.names):
+            raise SchemaError(
+                f"columns {sorted(data)} do not match schema attributes {sorted(schema.names)}"
+            )
+        columns = {
+            attr.name: column_from_values(data[attr.name], attr.is_measure) for attr in schema
+        }
+        return cls(schema, columns)
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: Iterable[Sequence[object]]) -> "Table":
+        """Build a table from an iterable of row tuples (schema order)."""
+        names = schema.names
+        buckets: dict[str, list[object]] = {name: [] for name in names}
+        for row in rows:
+            if len(row) != len(names):
+                raise SchemaError(f"row of arity {len(row)} for schema of arity {len(names)}")
+            for name, value in zip(names, row):
+                buckets[name].append(value)
+        return cls.from_columns(schema, buckets)
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Table":
+        """A zero-row table with the given schema."""
+        return cls.from_columns(schema, {name: [] for name in schema.names})
+
+    # -- basic protocol -------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        if not self._columns:
+            return 0
+        return len(next(iter(self._columns.values())))
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        if self.schema != other.schema:
+            return False
+        return all(self._columns[n] == other._columns[n] for n in self.schema.names)
+
+    def __repr__(self) -> str:
+        return f"Table({self.schema!r}, n_rows={self.n_rows})"
+
+    # -- column access --------------------------------------------------------
+
+    def column(self, name: str) -> Column:
+        """The column object for attribute ``name``."""
+        self.schema[name]  # raises SchemaError for unknown names
+        return self._columns[name]
+
+    def categorical_column(self, name: str) -> CategoricalColumn:
+        self.schema.require_categorical(name)
+        return self._columns[name]  # type: ignore[return-value]
+
+    def measure_column(self, name: str) -> MeasureColumn:
+        self.schema.require_measure(name)
+        return self._columns[name]  # type: ignore[return-value]
+
+    def measure_values(self, name: str) -> np.ndarray:
+        """Raw float64 array of a measure column (NaN = NULL)."""
+        return self.measure_column(name).data
+
+    def to_rows(self) -> list[tuple[object, ...]]:
+        """Materialize all rows as tuples (labels for categoricals)."""
+        materialized = [self._columns[name].values() for name in self.schema.names]
+        return [tuple(col[i] for col in materialized) for i in range(self.n_rows)]
+
+    def to_dict(self) -> dict[str, list[object]]:
+        """Materialize all columns as plain Python lists."""
+        return {name: self._columns[name].to_list() for name in self.schema.names}
+
+    # -- row-level operations ---------------------------------------------------
+
+    def take(self, indices: np.ndarray) -> "Table":
+        """Row subset/reorder by integer indices."""
+        indices = np.asarray(indices)
+        columns = {name: col.take(indices) for name, col in self._columns.items()}
+        return Table(self.schema, columns)
+
+    def filter(self, mask: np.ndarray) -> "Table":
+        """Row subset by boolean mask."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.size != self.n_rows:
+            raise SchemaError(f"mask of length {mask.size} for table of {self.n_rows} rows")
+        return self.take(np.flatnonzero(mask))
+
+    def where_equal(self, attribute: str, label: str) -> "Table":
+        """Rows where categorical ``attribute`` equals ``label``."""
+        return self.filter(self.categorical_column(attribute).equals_mask(label))
+
+    def project(self, names: Sequence[str]) -> "Table":
+        """Column subset, in the order given."""
+        schema = self.schema.subset(names)
+        return Table(schema, {name: self._columns[name] for name in names})
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        """Rename columns; attributes keep their kinds."""
+        attrs = []
+        columns = {}
+        for attr in self.schema:
+            new_name = mapping.get(attr.name, attr.name)
+            attrs.append(Attribute(new_name, attr.kind))
+            columns[new_name] = self._columns[attr.name]
+        return Table(Schema(attrs), columns)
+
+    def with_column(self, attribute: Attribute, column: Column) -> "Table":
+        """A new table with one extra column appended."""
+        attrs = list(self.schema) + [attribute]
+        columns = dict(self._columns)
+        columns[attribute.name] = column
+        return Table(Schema(attrs), columns)
+
+    def head(self, n: int) -> "Table":
+        return self.take(np.arange(min(n, self.n_rows)))
+
+    # -- grouping ---------------------------------------------------------------
+
+    def group_by_codes(self, attributes: Sequence[str]) -> GroupingResult:
+        """Group rows by categorical ``attributes`` and return dense ids.
+
+        Uses mixed-radix combination of the per-attribute dictionary codes,
+        then compacts to dense ids with ``np.unique`` — O(n log n) overall,
+        independent of the number of attributes beyond the radix product.
+        """
+        if not attributes:
+            # One global group containing all rows.
+            return GroupingResult(np.zeros(self.n_rows, dtype=np.int64), 1 if self.n_rows else 0, ())
+        code_arrays = []
+        radices = []
+        for name in attributes:
+            col = self.categorical_column(name)
+            # Shift by one so NULL (-1) participates as its own group value.
+            code_arrays.append(col.codes.astype(np.int64) + 1)
+            radices.append(len(col.categories) + 1)
+        # Mixed-radix combine with *iterative compaction*: after folding each
+        # attribute in, compact the combined key to dense ids so the running
+        # key stays below n_rows * radix — no int64 overflow however many
+        # attributes or how large their domains.
+        combined = code_arrays[0]
+        unique_combined = np.unique(combined)
+        group_ids = np.searchsorted(unique_combined, combined).astype(np.int64)
+        per_group_key = unique_combined  # dense id -> combined key (for decode)
+        decode_stack: list[tuple[np.ndarray, int]] = [(per_group_key, radices[0])]
+        for codes, radix in zip(code_arrays[1:], radices[1:]):
+            combined = group_ids * radix + codes
+            unique_combined, group_ids = np.unique(combined, return_inverse=True)
+            group_ids = group_ids.astype(np.int64)
+            decode_stack.append((unique_combined, radix))
+        n_groups = int(unique_combined.size) if self.n_rows else 0
+        # Decode per-attribute codes of each group by unwinding the stack.
+        key_codes_rev: list[np.ndarray] = []
+        current = decode_stack[-1][0]
+        for level in range(len(decode_stack) - 1, 0, -1):
+            _, radix = decode_stack[level]
+            key_codes_rev.append((current % radix).astype(np.int64) - 1)
+            parent_ids = current // radix  # dense ids at the previous level
+            current = decode_stack[level - 1][0][parent_ids]
+        key_codes_rev.append(current.astype(np.int64) - 1)
+        key_codes = tuple(reversed(key_codes_rev))
+        return GroupingResult(group_ids, n_groups, key_codes)
+
+    def group_keys_table(self, attributes: Sequence[str], grouping: GroupingResult) -> "Table":
+        """Per-group key columns as a table (one row per group)."""
+        attrs = [categorical(name) for name in attributes]
+        columns: dict[str, Column] = {}
+        for name, codes in zip(attributes, grouping.key_codes):
+            source = self.categorical_column(name)
+            columns[name] = CategoricalColumn(codes.astype(np.int32), source.categories)
+        return Table(Schema(attrs), columns)
+
+    # -- statistics ---------------------------------------------------------------
+
+    def n_distinct(self, name: str) -> int:
+        return self.column(name).n_distinct()
+
+    def estimated_bytes(self) -> int:
+        """Approximate memory footprint of all columns."""
+        return sum(col.estimated_bytes() for col in self._columns.values())
+
+    def pretty(self, limit: int = 10) -> str:
+        """Plain-text rendering of the first ``limit`` rows (for examples)."""
+        names = self.schema.names
+        rows = self.head(limit).to_rows()
+        cells = [[str(n) for n in names]] + [
+            [f"{v:.4g}" if isinstance(v, float) else str(v) for v in row] for row in rows
+        ]
+        widths = [max(len(r[i]) for r in cells) for i in range(len(names))]
+        lines = []
+        for j, row in enumerate(cells):
+            lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+            if j == 0:
+                lines.append("-+-".join("-" * w for w in widths))
+        if self.n_rows > limit:
+            lines.append(f"... ({self.n_rows - limit} more rows)")
+        return "\n".join(lines)
+
+
+def table_from_arrays(
+    categorical_data: Mapping[str, Sequence[object]],
+    measure_data: Mapping[str, Sequence[object]],
+) -> Table:
+    """Convenience builder: categoricals first, then measures, schema inferred."""
+    attrs = [categorical(n) for n in categorical_data] + [measure(n) for n in measure_data]
+    data: dict[str, Sequence[object]] = {}
+    data.update(categorical_data)
+    data.update(measure_data)
+    return Table.from_columns(Schema(attrs), data)

@@ -1,0 +1,68 @@
+"""SQL engine: the subset of SQL that comparison notebooks emit, executable.
+
+This is the reproduction's stand-in for PostgreSQL: lexer, recursive-descent
+parser, binder/planner, and a vectorized executor over
+:mod:`repro.relational` tables.  The subset covers everything the paper's
+generated queries use — derived tables, joins (comma or explicit), GROUP BY
+with the full aggregate set, HAVING over aggregates without GROUP BY (the
+hypothesis-query form of Figure 3), CTEs, ORDER BY, and LIMIT.
+"""
+
+from repro.sqlengine.ast_nodes import (
+    CommonTableExpression,
+    JoinClause,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    SqlBetween,
+    SqlBinary,
+    SqlCase,
+    SqlFunction,
+    SqlIn,
+    SqlIsNull,
+    SqlLiteral,
+    SqlName,
+    SqlStar,
+    SqlUnary,
+    Statement,
+    SubqueryRef,
+    TableRef,
+    UnionStatement,
+)
+from repro.sqlengine.executor import Catalog, SQLEngine, execute_sql, execute_statement
+from repro.sqlengine.formatter import format_expression, format_sql, format_statement
+from repro.sqlengine.lexer import Token, TokenType, tokenize
+from repro.sqlengine.parser import parse_sql
+
+__all__ = [
+    "Catalog",
+    "CommonTableExpression",
+    "JoinClause",
+    "OrderItem",
+    "SQLEngine",
+    "SelectItem",
+    "SelectStatement",
+    "SqlBetween",
+    "SqlBinary",
+    "SqlCase",
+    "SqlFunction",
+    "SqlIn",
+    "SqlIsNull",
+    "SqlLiteral",
+    "SqlName",
+    "SqlStar",
+    "SqlUnary",
+    "Statement",
+    "SubqueryRef",
+    "TableRef",
+    "UnionStatement",
+    "Token",
+    "TokenType",
+    "execute_sql",
+    "execute_statement",
+    "format_expression",
+    "format_sql",
+    "format_statement",
+    "parse_sql",
+    "tokenize",
+]

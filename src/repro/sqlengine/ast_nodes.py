@@ -1,0 +1,220 @@
+"""Abstract syntax tree for the supported SQL subset.
+
+Expression nodes here are *syntactic*: names are unresolved, aggregates are
+plain function calls.  The planner binds them against a catalog and lowers
+them onto :mod:`repro.relational.expressions` for vectorized evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SqlLiteral:
+    """Number, string, boolean, or NULL literal."""
+
+    value: object  # float | str | bool | None
+
+
+@dataclass(frozen=True)
+class SqlName:
+    """Possibly-qualified column reference: ``col`` or ``alias.col``."""
+
+    parts: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        assert 1 <= len(self.parts) <= 2
+
+    @property
+    def qualifier(self) -> Optional[str]:
+        return self.parts[0] if len(self.parts) == 2 else None
+
+    @property
+    def column(self) -> str:
+        return self.parts[-1]
+
+    def __str__(self) -> str:
+        return ".".join(self.parts)
+
+
+@dataclass(frozen=True)
+class SqlStar:
+    """``*`` or ``alias.*`` in a select list."""
+
+    qualifier: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SqlUnary:
+    """Unary operator: ``-`` or ``not``."""
+
+    op: str
+    operand: "SqlExpression"
+
+
+@dataclass(frozen=True)
+class SqlBinary:
+    """Binary operator: arithmetic, comparison, ``and``/``or``."""
+
+    op: str
+    left: "SqlExpression"
+    right: "SqlExpression"
+
+
+@dataclass(frozen=True)
+class SqlFunction:
+    """Function call; may be an aggregate (``sum``) or scalar (``abs``).
+
+    ``star`` is True only for ``count(*)``; ``distinct`` only for
+    ``count(distinct col)``.
+    """
+
+    name: str
+    arguments: tuple["SqlExpression", ...] = ()
+    star: bool = False
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class SqlCase:
+    """``CASE WHEN cond THEN value [...] [ELSE value] END`` (searched form)."""
+
+    branches: tuple[tuple["SqlExpression", "SqlExpression"], ...]
+    default: Optional["SqlExpression"] = None
+
+
+@dataclass(frozen=True)
+class SqlIsNull:
+    operand: "SqlExpression"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class SqlIn:
+    operand: "SqlExpression"
+    values: tuple[SqlLiteral, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class SqlBetween:
+    operand: "SqlExpression"
+    low: "SqlExpression"
+    high: "SqlExpression"
+    negated: bool = False
+
+
+SqlExpression = Union[
+    SqlLiteral,
+    SqlName,
+    SqlStar,
+    SqlUnary,
+    SqlBinary,
+    SqlFunction,
+    SqlIsNull,
+    SqlIn,
+    SqlBetween,
+    SqlCase,
+]
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expression: SqlExpression
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expression: SqlExpression
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """Base table or CTE reference, with optional alias."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def effective_alias(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class SubqueryRef:
+    """Derived table ``(select ...) alias``."""
+
+    query: "SelectStatement"
+    alias: str
+
+
+FromItem = Union[TableRef, SubqueryRef, "JoinClause"]
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """Explicit ``left JOIN right ON condition`` (inner joins only)."""
+
+    left: FromItem
+    right: FromItem
+    condition: Optional[SqlExpression]
+
+
+@dataclass(frozen=True)
+class CommonTableExpression:
+    name: str
+    query: "SelectStatement"
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A full SELECT, possibly with WITH-bound CTEs.
+
+    ``from_items`` is the comma-separated FROM list; an empty tuple means a
+    FROM-less select (constants only).
+    """
+
+    items: tuple[SelectItem, ...]
+    from_items: tuple[FromItem, ...] = ()
+    where: Optional[SqlExpression] = None
+    group_by: tuple[SqlExpression, ...] = ()
+    having: Optional[SqlExpression] = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+    distinct: bool = False
+    ctes: tuple[CommonTableExpression, ...] = ()
+
+
+@dataclass(frozen=True)
+class UnionStatement:
+    """``select ... UNION [ALL] select ...`` chains.
+
+    ``all`` keeps duplicates (UNION ALL); plain UNION deduplicates.  Any
+    WITH clause parsed before the chain is attached here and is visible to
+    every branch.
+    """
+
+    selects: tuple[SelectStatement, ...]
+    all: bool = False
+    ctes: tuple[CommonTableExpression, ...] = ()
+
+    def __post_init__(self) -> None:
+        assert len(self.selects) >= 2
+
+
+Statement = Union[SelectStatement, UnionStatement]

@@ -1,0 +1,502 @@
+"""SQL execution: evaluates parsed SELECT statements over registered tables.
+
+The executor is the "PostgreSQL substitute" of this reproduction: the
+comparison and hypothesis queries the generator emits are plain SQL text,
+and this module runs them end-to-end (FROM product / joins -> WHERE ->
+GROUP BY + aggregates -> HAVING -> SELECT -> DISTINCT -> ORDER BY ->
+LIMIT), with hash joins extracted from equality predicates.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import PlanningError
+from repro.relational.columns import CategoricalColumn, MeasureColumn
+from repro.relational.operators import AggregateSpec, distinct as distinct_op, group_by_aggregate, hash_join
+from repro.relational.schema import Attribute, AttributeKind, Schema, categorical, measure
+from repro.relational.table import Table
+from repro.sqlengine.ast_nodes import (
+    FromItem,
+    JoinClause,
+    SelectItem,
+    SelectStatement,
+    SqlExpression,
+    SqlFunction,
+    SqlLiteral,
+    SqlName,
+    SqlStar,
+    Statement,
+    SubqueryRef,
+    TableRef,
+    UnionStatement,
+)
+from repro.sqlengine.parser import parse_sql
+from repro.sqlengine.planner import (
+    Scope,
+    collect_aggregates,
+    equality_key_pair,
+    lower_expression,
+    split_conjuncts,
+)
+
+
+class Catalog:
+    """Named tables visible to SQL queries."""
+
+    def __init__(self, tables: Mapping[str, Table] | None = None):
+        self._tables: dict[str, Table] = dict(tables or {})
+
+    def register(self, name: str, table: Table) -> None:
+        self._tables[name] = table
+
+    def resolve(self, name: str) -> Table:
+        table = self._tables.get(name)
+        if table is None:
+            # Fall back to case-insensitive lookup (SQL identifiers fold case).
+            for key, value in self._tables.items():
+                if key.lower() == name.lower():
+                    return value
+            raise PlanningError(f"unknown table {name!r}")
+        return table
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._tables)
+
+
+class SQLEngine:
+    """Facade: register tables, execute SQL text, get result tables."""
+
+    def __init__(self) -> None:
+        self.catalog = Catalog()
+
+    def register(self, name: str, table: Table) -> None:
+        self.catalog.register(name, table)
+
+    def execute(self, sql: str) -> Table:
+        return execute_sql(sql, self.catalog)
+
+
+def execute_sql(sql: str, catalog: Catalog) -> Table:
+    """Parse and execute one SELECT statement against ``catalog``."""
+    return execute_statement(parse_sql(sql), catalog)
+
+
+def execute_statement(
+    statement: Statement, catalog: Catalog, cte_env: Mapping[str, Table] | None = None
+) -> Table:
+    """Execute a parsed statement; ``cte_env`` holds WITH-bound tables."""
+    env = dict(cte_env or {})
+    for cte in statement.ctes:
+        env[cte.name] = execute_statement(cte.query, catalog, env)
+
+    if isinstance(statement, UnionStatement):
+        return _execute_union(statement, catalog, env)
+
+    source, scope, remaining = _build_from(statement, catalog, env)
+
+    aggregate_calls = _collect_statement_aggregates(statement)
+    if statement.group_by or aggregate_calls:
+        if any(isinstance(item.expression, SqlStar) for item in statement.items):
+            raise PlanningError("* in the select list is not allowed with aggregation")
+        source, scope, agg_map = _aggregate(statement, source, scope, aggregate_calls)
+    else:
+        agg_map = {}
+
+    if statement.having is not None:
+        if not agg_map and not statement.group_by:
+            raise PlanningError("HAVING requires aggregation")
+        predicate = lower_expression(statement.having, scope, agg_map)
+        source = source.filter(predicate.evaluate(source))
+
+    output = _project(statement.items, source, scope, agg_map)
+
+    if statement.distinct:
+        output = distinct_op(output)
+
+    if statement.order_by:
+        output = _order(statement, source, scope, agg_map, output)
+
+    if statement.offset is not None:
+        keep = np.arange(statement.offset, output.n_rows)
+        output = output.take(keep)
+    if statement.limit is not None:
+        output = output.head(statement.limit)
+    return output
+
+
+def _execute_union(
+    statement: UnionStatement, catalog: Catalog, env: Mapping[str, Table]
+) -> Table:
+    """UNION [ALL]: positional column alignment, dedup unless ALL."""
+    from repro.relational.operators import union_all as union_all_op
+
+    results = [execute_statement(s, catalog, env) for s in statement.selects]
+    first = results[0]
+    combined = first
+    for result in results[1:]:
+        if len(result.schema.names) != len(first.schema.names):
+            raise PlanningError(
+                f"UNION branches have different arities: "
+                f"{len(first.schema.names)} vs {len(result.schema.names)}"
+            )
+        kinds_first = [a.kind for a in first.schema]
+        kinds_other = [a.kind for a in result.schema]
+        if kinds_first != kinds_other:
+            raise PlanningError("UNION branches have incompatible column kinds")
+        if result.schema.names != first.schema.names:
+            result = result.rename(dict(zip(result.schema.names, first.schema.names)))
+        combined = union_all_op(combined, result)
+    if not statement.all:
+        combined = distinct_op(combined)
+    return combined
+
+
+# --------------------------------------------------------------------------
+# FROM clause
+# --------------------------------------------------------------------------
+
+
+def _build_from(
+    statement: SelectStatement, catalog: Catalog, env: Mapping[str, Table]
+) -> tuple[Table, Scope, list[SqlExpression]]:
+    """Materialize the FROM product and apply WHERE.
+
+    Returns the combined (and WHERE-filtered) table, its scope, and any
+    conjuncts that could not be applied (always empty; kept for clarity).
+    """
+    leaves: list[tuple[str, Table]] = []
+    join_conditions: list[SqlExpression] = []
+    for item in statement.from_items:
+        _flatten_from_item(item, catalog, env, leaves, join_conditions)
+
+    if not leaves:
+        # FROM-less select: single synthetic row so literals evaluate once.
+        dummy = Table.from_columns(Schema([categorical("__dummy")]), {"__dummy": [""]})
+        return dummy, Scope(), []
+
+    aliases = [alias for alias, _ in leaves]
+    if len(set(aliases)) != len(aliases):
+        raise PlanningError(f"duplicate table alias in FROM: {aliases}")
+
+    multi = len(leaves) > 1
+    scope = Scope()
+    prepared: list[tuple[str, Table]] = []
+    for alias, table in leaves:
+        if multi:
+            renamed = table.rename({c: f"{alias}.{c}" for c in table.schema.names})
+        else:
+            renamed = table
+        prepared.append((alias, renamed))
+
+    conjuncts = join_conditions + split_conjuncts(statement.where)
+
+    combined = prepared[0][1]
+    combined_scope = Scope()
+    for column in prepared[0][1].schema.names:
+        original = column.split(".", 1)[1] if multi else column
+        combined_scope.add_column(prepared[0][0], original, column)
+
+    for alias, table in prepared[1:]:
+        leaf_scope = Scope()
+        for column in table.schema.names:
+            original = column.split(".", 1)[1]
+            leaf_scope.add_column(alias, column.split(".", 1)[1], column)
+        combined, combined_scope, conjuncts = _combine(
+            combined, combined_scope, table, leaf_scope, conjuncts
+        )
+
+    if conjuncts:
+        predicate_parts = [lower_expression(c, combined_scope, {}) for c in conjuncts]
+        mask = np.ones(combined.n_rows, dtype=bool)
+        for part in predicate_parts:
+            mask &= part.evaluate(combined).astype(bool)
+        combined = combined.filter(mask)
+
+    return combined, combined_scope, []
+
+
+def _flatten_from_item(
+    item: FromItem,
+    catalog: Catalog,
+    env: Mapping[str, Table],
+    leaves: list[tuple[str, Table]],
+    conditions: list[SqlExpression],
+) -> None:
+    if isinstance(item, TableRef):
+        table = env.get(item.name)
+        if table is None:
+            table = catalog.resolve(item.name)
+        leaves.append((item.effective_alias, table))
+        return
+    if isinstance(item, SubqueryRef):
+        leaves.append((item.alias, execute_statement(item.query, catalog, env)))
+        return
+    if isinstance(item, JoinClause):
+        _flatten_from_item(item.left, catalog, env, leaves, conditions)
+        _flatten_from_item(item.right, catalog, env, leaves, conditions)
+        if item.condition is not None:
+            conditions.extend(split_conjuncts(item.condition))
+        return
+    raise PlanningError(f"unsupported FROM item {type(item).__name__}")
+
+
+def _combine(
+    left: Table,
+    left_scope: Scope,
+    right: Table,
+    right_scope: Scope,
+    conjuncts: list[SqlExpression],
+) -> tuple[Table, Scope, list[SqlExpression]]:
+    """Join ``right`` into ``left``, consuming usable equality conjuncts."""
+    keys: list[tuple[str, str]] = []
+    used: list[SqlExpression] = []
+    for conjunct in conjuncts:
+        pair = equality_key_pair(conjunct)
+        if pair is None:
+            continue
+        a, b = pair
+        left_phys = left_scope.try_resolve(a)
+        right_phys = right_scope.try_resolve(b)
+        if left_phys is None or right_phys is None:
+            left_phys = left_scope.try_resolve(b)
+            right_phys = right_scope.try_resolve(a)
+        if left_phys is None or right_phys is None:
+            continue
+        if not _is_categorical(left, left_phys) or not _is_categorical(right, right_phys):
+            continue
+        keys.append((left_phys, right_phys))
+        used.append(conjunct)
+
+    if keys:
+        joined = hash_join(left, right, keys)
+    else:
+        joined = _cross_join(left, right)
+
+    merged = Scope()
+    for (alias, column), physical in left_scope.qualified.items():
+        merged.add_column(alias, column, physical)
+    for (alias, column), physical in right_scope.qualified.items():
+        merged.add_column(alias, column, physical)
+    remaining = [c for c in conjuncts if c not in used]
+    return joined, merged, remaining
+
+
+def _is_categorical(table: Table, name: str) -> bool:
+    return table.schema[name].is_categorical
+
+
+def _cross_join(left: Table, right: Table) -> Table:
+    left_idx = np.repeat(np.arange(left.n_rows), right.n_rows)
+    right_idx = np.tile(np.arange(right.n_rows), left.n_rows)
+    left_part = left.take(left_idx)
+    right_part = right.take(right_idx)
+    attrs = list(left_part.schema) + list(right_part.schema)
+    columns = {a.name: left_part.column(a.name) for a in left_part.schema}
+    columns.update({a.name: right_part.column(a.name) for a in right_part.schema})
+    return Table(Schema(attrs), columns)
+
+
+# --------------------------------------------------------------------------
+# Aggregation
+# --------------------------------------------------------------------------
+
+
+def _collect_statement_aggregates(statement: SelectStatement) -> list[SqlFunction]:
+    calls: list[SqlFunction] = []
+    seen: set[SqlFunction] = set()
+    expressions: list[SqlExpression] = [
+        item.expression for item in statement.items if not isinstance(item.expression, SqlStar)
+    ]
+    if statement.having is not None:
+        expressions.append(statement.having)
+    for order_item in statement.order_by:
+        expressions.append(order_item.expression)
+    for expression in expressions:
+        for call in collect_aggregates(expression):
+            if call not in seen:
+                seen.add(call)
+                calls.append(call)
+    return calls
+
+
+def _aggregate(
+    statement: SelectStatement,
+    source: Table,
+    scope: Scope,
+    calls: list[SqlFunction],
+) -> tuple[Table, Scope, dict[SqlFunction, str]]:
+    keys: list[str] = []
+    for expression in statement.group_by:
+        if not isinstance(expression, SqlName):
+            raise PlanningError("GROUP BY supports column references only")
+        physical = scope.resolve(expression)
+        if not source.schema[physical].is_categorical:
+            raise PlanningError(f"GROUP BY on measure column {expression} is not supported")
+        keys.append(physical)
+
+    working = source
+    specs: list[AggregateSpec] = []
+    agg_map: dict[SqlFunction, str] = {}
+    for i, call in enumerate(calls):
+        alias = f"__agg{i}"
+        agg_map[call] = alias
+        if call.star:
+            specs.append(AggregateSpec("count", None, alias))
+            continue
+        if len(call.arguments) != 1:
+            raise PlanningError(f"aggregate {call.name} takes exactly one argument")
+        argument = call.arguments[0]
+        if isinstance(argument, SqlName):
+            physical = scope.resolve(argument)
+            column = working.column(physical)
+            if column.is_categorical:
+                if call.name != "count":
+                    raise PlanningError(
+                        f"aggregate {call.name}({argument}) needs a numeric argument"
+                    )
+                if call.distinct:
+                    # Distinct labels are counted through their dictionary
+                    # codes (NULL -> NaN, excluded).
+                    values = np.where(
+                        column.codes >= 0, column.codes.astype(np.float64), np.nan
+                    )
+                else:
+                    values = np.where(column.codes >= 0, 1.0, np.nan)
+                temp = f"__arg{i}"
+                working = working.with_column(measure(temp), MeasureColumn(values))
+                specs.append(AggregateSpec("count", temp, alias, distinct=call.distinct))
+            else:
+                specs.append(AggregateSpec(call.name, physical, alias, distinct=call.distinct))
+            continue
+        lowered = lower_expression(argument, scope, {})
+        values = np.asarray(lowered.evaluate(working), dtype=np.float64)
+        temp = f"__arg{i}"
+        working = working.with_column(measure(temp), MeasureColumn(values))
+        specs.append(AggregateSpec(call.name, temp, alias, distinct=call.distinct))
+
+    aggregated = group_by_aggregate(working, keys, specs)
+
+    post_scope = Scope()
+    for (alias, column), physical in scope.qualified.items():
+        if physical in keys:
+            post_scope.add_column(alias, column, physical)
+    return aggregated, post_scope, agg_map
+
+
+# --------------------------------------------------------------------------
+# Projection and ordering
+# --------------------------------------------------------------------------
+
+
+def _project(
+    items: Sequence[SelectItem],
+    source: Table,
+    scope: Scope,
+    agg_map: dict[SqlFunction, str],
+) -> Table:
+    columns: list[tuple[str, object, bool]] = []  # (name, column, is_categorical)
+    for i, item in enumerate(items):
+        expression = item.expression
+        if isinstance(expression, SqlStar):
+            if agg_map:
+                raise PlanningError("* in the select list is not allowed with aggregation")
+            for physical, output_name in scope.star_columns(expression.qualifier):
+                column = source.column(physical)
+                columns.append((output_name, column, column.is_categorical))
+            continue
+        name = item.alias or _default_name(expression, i)
+        if isinstance(expression, SqlName):
+            physical = scope.resolve(expression)
+            column = source.column(physical)
+            columns.append((name, column, column.is_categorical))
+            continue
+        if isinstance(expression, SqlLiteral) and isinstance(expression.value, str):
+            column = CategoricalColumn.from_values([expression.value] * source.n_rows)
+            columns.append((name, column, True))
+            continue
+        lowered = lower_expression(expression, scope, agg_map)
+        values = lowered.evaluate(source)
+        if values.dtype == object:
+            columns.append((name, CategoricalColumn.from_values(list(values)), True))
+        else:
+            columns.append((name, MeasureColumn(np.asarray(values, dtype=np.float64)), False))
+
+    attrs: list[Attribute] = []
+    data: dict[str, object] = {}
+    used: set[str] = set()
+    for name, column, is_cat in columns:
+        final = name
+        suffix = 1
+        while final in used:
+            final = f"{name}_{suffix}"
+            suffix += 1
+        used.add(final)
+        attrs.append(Attribute(final, AttributeKind.CATEGORICAL if is_cat else AttributeKind.MEASURE))
+        data[final] = column
+    return Table(Schema(attrs), data)  # type: ignore[arg-type]
+
+
+def _default_name(expression: SqlExpression, position: int) -> str:
+    if isinstance(expression, SqlName):
+        return expression.column
+    if isinstance(expression, SqlFunction):
+        return expression.name
+    return f"column_{position + 1}"
+
+
+def _order(
+    statement: SelectStatement,
+    source: Table,
+    scope: Scope,
+    agg_map: dict[SqlFunction, str],
+    output: Table,
+) -> Table:
+    key_arrays: list[np.ndarray] = []
+    ascendings: list[bool] = []
+    for item in statement.order_by:
+        expression = item.expression
+        values: np.ndarray | None = None
+        if isinstance(expression, SqlLiteral) and isinstance(expression.value, float):
+            position = int(expression.value) - 1
+            if not 0 <= position < len(output.schema.names):
+                raise PlanningError(f"ORDER BY position {position + 1} out of range")
+            values = output.column(output.schema.names[position]).values()
+        elif isinstance(expression, SqlName) and expression.qualifier is None:
+            if expression.column in output.schema:
+                values = output.column(expression.column).values()
+        if values is None:
+            lowered = lower_expression(expression, scope, agg_map)
+            values = lowered.evaluate(source)
+            if values.size != output.n_rows:
+                raise PlanningError("ORDER BY expression is not aligned with the output rows")
+        key_arrays.append(values)
+        ascendings.append(item.ascending)
+
+    order = np.arange(output.n_rows)
+    for values, ascending in reversed(list(zip(key_arrays, ascendings))):
+        current = values[order]
+        if current.dtype == object:
+            keys = np.array([str(v) for v in current], dtype=object)
+            nulls = np.array([v == "" or v is None for v in current], dtype=bool)
+        else:
+            keys = current.astype(np.float64)
+            nulls = np.isnan(keys)
+        local = _argsort_nulls_last(keys, nulls, ascending)
+        order = order[local]
+    return output.take(order)
+
+
+def _argsort_nulls_last(keys: np.ndarray, nulls: np.ndarray, ascending: bool) -> np.ndarray:
+    idx = np.arange(keys.size)
+    non_null = idx[~nulls]
+    null = idx[nulls]
+    present = keys[~nulls]
+    if ascending:
+        order = np.argsort(present, kind="stable")
+    else:
+        _, ranks = np.unique(present, return_inverse=True)
+        order = np.argsort(-ranks, kind="stable")
+    return np.concatenate([non_null[order], null])

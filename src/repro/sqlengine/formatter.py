@@ -1,0 +1,182 @@
+"""Render SQL ASTs back to (pretty-printed) SQL text.
+
+Used by the notebook renderer to show canonical SQL, and by round-trip
+tests (``parse(format(parse(sql)))`` must be a fixed point).
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlanningError
+from repro.sqlengine.ast_nodes import (
+    FromItem,
+    JoinClause,
+    SelectItem,
+    SelectStatement,
+    Statement,
+    UnionStatement,
+    SqlBetween,
+    SqlBinary,
+    SqlCase,
+    SqlExpression,
+    SqlFunction,
+    SqlIn,
+    SqlIsNull,
+    SqlLiteral,
+    SqlName,
+    SqlStar,
+    SqlUnary,
+    SubqueryRef,
+    TableRef,
+)
+
+_INDENT = "  "
+
+
+def format_statement(statement: Statement, indent: int = 0) -> str:
+    """Pretty-print a full statement, including any WITH clause."""
+    pad = _INDENT * indent
+    lines: list[str] = []
+    if statement.ctes:
+        cte_parts = []
+        for cte in statement.ctes:
+            body = format_statement(cte.query, indent + 1)
+            cte_parts.append(f"{cte.name} as (\n{body}\n{pad})")
+        lines.append(pad + "with " + (",\n" + pad).join(cte_parts))
+    if isinstance(statement, UnionStatement):
+        junction = f"\n{pad}union all\n" if statement.all else f"\n{pad}union\n"
+        lines.append(junction.join(format_statement(s, indent) for s in statement.selects))
+        return "\n".join(lines)
+    select_kw = "select distinct" if statement.distinct else "select"
+    items = ", ".join(_format_select_item(i) for i in statement.items)
+    lines.append(f"{pad}{select_kw} {items}")
+    if statement.from_items:
+        froms = (",\n" + pad + _INDENT).join(
+            _format_from_item(f, indent) for f in statement.from_items
+        )
+        lines.append(f"{pad}from {froms}")
+    if statement.where is not None:
+        lines.append(f"{pad}where {format_expression(statement.where)}")
+    if statement.group_by:
+        lines.append(f"{pad}group by " + ", ".join(format_expression(e) for e in statement.group_by))
+    if statement.having is not None:
+        lines.append(f"{pad}having {format_expression(statement.having)}")
+    if statement.order_by:
+        parts = []
+        for item in statement.order_by:
+            suffix = "" if item.ascending else " desc"
+            parts.append(format_expression(item.expression) + suffix)
+        lines.append(f"{pad}order by " + ", ".join(parts))
+    if statement.limit is not None:
+        lines.append(f"{pad}limit {statement.limit}")
+    if statement.offset is not None:
+        lines.append(f"{pad}offset {statement.offset}")
+    return "\n".join(lines)
+
+
+def format_sql(statement: Statement) -> str:
+    """Pretty-print a statement with a trailing semicolon."""
+    return format_statement(statement) + ";"
+
+
+def _format_select_item(item: SelectItem) -> str:
+    text = format_expression(item.expression)
+    if item.alias:
+        return f"{text} as {item.alias}"
+    return text
+
+
+def _format_from_item(item: FromItem, indent: int) -> str:
+    if isinstance(item, TableRef):
+        if item.alias and item.alias != item.name:
+            return f"{item.name} {item.alias}"
+        return item.name
+    if isinstance(item, SubqueryRef):
+        body = format_statement(item.query, indent + 1)
+        pad = _INDENT * indent
+        return f"(\n{body}\n{pad}) {item.alias}"
+    if isinstance(item, JoinClause):
+        left = _format_from_item(item.left, indent)
+        right = _format_from_item(item.right, indent)
+        if item.condition is None:
+            return f"{left} join {right}"
+        return f"{left} join {right} on {format_expression(item.condition)}"
+    raise PlanningError(f"cannot format FROM item {type(item).__name__}")
+
+
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "=": 3,
+    "<>": 3,
+    "<": 3,
+    "<=": 3,
+    ">": 3,
+    ">=": 3,
+    "+": 4,
+    "-": 4,
+    "*": 5,
+    "/": 5,
+}
+
+
+def format_expression(node: SqlExpression, parent_precedence: int = 0) -> str:
+    """Render an expression with minimal parenthesization."""
+    if isinstance(node, SqlLiteral):
+        return _format_literal(node.value)
+    if isinstance(node, SqlName):
+        return str(node)
+    if isinstance(node, SqlStar):
+        return f"{node.qualifier}.*" if node.qualifier else "*"
+    if isinstance(node, SqlUnary):
+        inner = format_expression(node.operand, 6)
+        return f"not {inner}" if node.op == "not" else f"-{inner}"
+    if isinstance(node, SqlBinary):
+        precedence = _PRECEDENCE[node.op]
+        left = format_expression(node.left, precedence)
+        right = format_expression(node.right, precedence + 1)
+        text = f"{left} {node.op} {right}"
+        if precedence < parent_precedence:
+            return f"({text})"
+        return text
+    if isinstance(node, SqlFunction):
+        if node.star:
+            return f"{node.name}(*)"
+        args = ", ".join(format_expression(a) for a in node.arguments)
+        if node.distinct:
+            return f"{node.name}(distinct {args})"
+        return f"{node.name}({args})"
+    if isinstance(node, SqlCase):
+        parts = ["case"]
+        for condition, value in node.branches:
+            parts.append(f"when {format_expression(condition)} then {format_expression(value)}")
+        if node.default is not None:
+            parts.append(f"else {format_expression(node.default)}")
+        parts.append("end")
+        return " ".join(parts)
+    if isinstance(node, SqlIsNull):
+        verb = "is not null" if node.negated else "is null"
+        return f"{format_expression(node.operand, 3)} {verb}"
+    if isinstance(node, SqlIn):
+        verb = "not in" if node.negated else "in"
+        values = ", ".join(_format_literal(v.value) for v in node.values)
+        return f"{format_expression(node.operand, 3)} {verb} ({values})"
+    if isinstance(node, SqlBetween):
+        verb = "not between" if node.negated else "between"
+        return (
+            f"{format_expression(node.operand, 3)} {verb} "
+            f"{format_expression(node.low, 4)} and {format_expression(node.high, 4)}"
+        )
+    raise PlanningError(f"cannot format expression {type(node).__name__}")
+
+
+def _format_literal(value: object) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"

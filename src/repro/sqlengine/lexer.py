@@ -1,0 +1,156 @@
+"""SQL tokenizer for the subset of SQL the notebook generator emits.
+
+Produces a flat list of :class:`Token` with 1-based line/column positions so
+parse errors point at the offending SQL — important because the library's
+output artifact *is* SQL text, and users will read these messages.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SQLSyntaxError
+
+KEYWORDS = frozenset(
+    """
+    select from where group by having order asc desc limit offset as and or
+    not in is null join inner on with distinct union all between like
+    case when then else end
+    """.split()
+)
+
+OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/")
+PUNCTUATION = ("(", ")", ",", ";", ".")
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCTUATION = "punctuation"
+    END = "end"
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def matches(self, type_: TokenType, value: str | None = None) -> bool:
+        if self.type is not type_:
+            return False
+        return value is None or self.value == value
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql``; raises :class:`SQLSyntaxError` on bad characters."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        column = i - line_start + 1
+        if ch == "\n":
+            line += 1
+            line_start = i + 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if sql.startswith("--", i):  # line comment
+            end = sql.find("\n", i)
+            i = n if end < 0 else end
+            continue
+        if ch == "'":
+            value, i = _read_string(sql, i, line, column)
+            tokens.append(Token(TokenType.STRING, value, line, column))
+            continue
+        if ch == '"':
+            value, i = _read_quoted_identifier(sql, i, line, column)
+            tokens.append(Token(TokenType.IDENTIFIER, value, line, column))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            value, i = _read_number(sql, i)
+            tokens.append(Token(TokenType.NUMBER, value, line, column))
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, lowered, line, column))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, line, column))
+            i = j
+            continue
+        matched_operator = next((op for op in OPERATORS if sql.startswith(op, i)), None)
+        if matched_operator:
+            # Normalize != to the SQL-standard <>.
+            value = "<>" if matched_operator == "!=" else matched_operator
+            tokens.append(Token(TokenType.OPERATOR, value, line, column))
+            i += len(matched_operator)
+            continue
+        if ch in PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCTUATION, ch, line, column))
+            i += 1
+            continue
+        raise SQLSyntaxError(f"unexpected character {ch!r}", line, column)
+    tokens.append(Token(TokenType.END, "", line, n - line_start + 1))
+    return tokens
+
+
+def _read_string(sql: str, start: int, line: int, column: int) -> tuple[str, int]:
+    """Read a single-quoted string ('' escapes a quote)."""
+    i = start + 1
+    out: list[str] = []
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch == "'":
+            if i + 1 < n and sql[i + 1] == "'":
+                out.append("'")
+                i += 2
+                continue
+            return "".join(out), i + 1
+        if ch == "\n":
+            break
+        out.append(ch)
+        i += 1
+    raise SQLSyntaxError("unterminated string literal", line, column)
+
+
+def _read_quoted_identifier(sql: str, start: int, line: int, column: int) -> tuple[str, int]:
+    end = sql.find('"', start + 1)
+    if end < 0 or "\n" in sql[start:end]:
+        raise SQLSyntaxError("unterminated quoted identifier", line, column)
+    return sql[start + 1 : end], end + 1
+
+
+def _read_number(sql: str, start: int) -> tuple[str, int]:
+    i = start
+    n = len(sql)
+    seen_dot = False
+    while i < n and (sql[i].isdigit() or (sql[i] == "." and not seen_dot)):
+        if sql[i] == ".":
+            seen_dot = True
+        i += 1
+    # Scientific notation: 1e5, 2.5E-3
+    if i < n and sql[i] in "eE":
+        j = i + 1
+        if j < n and sql[j] in "+-":
+            j += 1
+        if j < n and sql[j].isdigit():
+            while j < n and sql[j].isdigit():
+                j += 1
+            i = j
+    return sql[start:i], i

@@ -1,0 +1,425 @@
+"""Recursive-descent parser for the supported SQL subset.
+
+Grammar (informal)::
+
+    statement   := [with_clause] select ';'?
+    with_clause := WITH name AS '(' select ')' (',' name AS '(' select ')')*
+    select      := SELECT [DISTINCT] items FROM from_list [WHERE expr]
+                   [GROUP BY exprs] [HAVING expr] [ORDER BY order_items]
+                   [LIMIT number]
+    from_list   := from_item (',' from_item)*
+    from_item   := (name | '(' select ')') [AS? alias]
+                   (JOIN from_item ON expr)*
+    expr        := or-precedence expression grammar with comparison,
+                   IS [NOT] NULL, [NOT] IN, [NOT] BETWEEN, arithmetic,
+                   unary minus/NOT, function calls, parens
+
+Precedence (low to high): OR, AND, NOT, comparison/IS/IN/BETWEEN,
+additive, multiplicative, unary.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SQLSyntaxError
+from repro.sqlengine.ast_nodes import (
+    CommonTableExpression,
+    FromItem,
+    JoinClause,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    SqlBetween,
+    SqlBinary,
+    SqlCase,
+    SqlExpression,
+    SqlFunction,
+    SqlIn,
+    SqlIsNull,
+    SqlLiteral,
+    SqlName,
+    SqlStar,
+    SqlUnary,
+    Statement,
+    SubqueryRef,
+    TableRef,
+    UnionStatement,
+)
+from repro.sqlengine.lexer import Token, TokenType, tokenize
+
+_COMPARISON_OPS = frozenset({"=", "<>", "<", "<=", ">", ">="})
+
+
+def parse_sql(sql: str) -> Statement:
+    """Parse one statement: SELECT or a UNION [ALL] chain, with optional WITH."""
+    return _Parser(tokenize(sql)).parse_statement()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing -------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.END:
+            self._pos += 1
+        return token
+
+    def _check(self, type_: TokenType, value: str | None = None) -> bool:
+        return self._peek().matches(type_, value)
+
+    def _accept(self, type_: TokenType, value: str | None = None) -> Optional[Token]:
+        if self._check(type_, value):
+            return self._advance()
+        return None
+
+    def _expect(self, type_: TokenType, value: str | None = None) -> Token:
+        token = self._peek()
+        if not token.matches(type_, value):
+            expected = value or type_.value
+            raise SQLSyntaxError(
+                f"expected {expected!r}, found {token.value!r}", token.line, token.column
+            )
+        return self._advance()
+
+    def _error(self, message: str) -> SQLSyntaxError:
+        token = self._peek()
+        return SQLSyntaxError(message, token.line, token.column)
+
+    # -- statements -------------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        statement = self._parse_query()
+        self._accept(TokenType.PUNCTUATION, ";")
+        if not self._check(TokenType.END):
+            raise self._error(f"unexpected trailing input {self._peek().value!r}")
+        return statement
+
+    def _parse_query(self) -> Statement:
+        ctes: list[CommonTableExpression] = []
+        if self._accept(TokenType.KEYWORD, "with"):
+            while True:
+                name = self._expect(TokenType.IDENTIFIER).value
+                self._expect(TokenType.KEYWORD, "as")
+                self._expect(TokenType.PUNCTUATION, "(")
+                query = self._parse_query()
+                self._expect(TokenType.PUNCTUATION, ")")
+                ctes.append(CommonTableExpression(name, query))
+                if not self._accept(TokenType.PUNCTUATION, ","):
+                    break
+        select = self._parse_select()
+
+        # UNION [ALL] chain; the flavor of the first junction must be kept
+        # throughout (mixing UNION and UNION ALL is not supported).
+        branches = [select]
+        union_all_flag: bool | None = None
+        while self._accept(TokenType.KEYWORD, "union"):
+            this_all = bool(self._accept(TokenType.KEYWORD, "all"))
+            if union_all_flag is None:
+                union_all_flag = this_all
+            elif union_all_flag != this_all:
+                raise self._error("mixing UNION and UNION ALL is not supported")
+            branches.append(self._parse_select())
+
+        if len(branches) > 1:
+            return UnionStatement(tuple(branches), all=bool(union_all_flag), ctes=tuple(ctes))
+        if ctes:
+            select = SelectStatement(
+                items=select.items,
+                from_items=select.from_items,
+                where=select.where,
+                group_by=select.group_by,
+                having=select.having,
+                order_by=select.order_by,
+                limit=select.limit,
+                offset=select.offset,
+                distinct=select.distinct,
+                ctes=tuple(ctes),
+            )
+        return select
+
+    def _parse_select(self) -> SelectStatement:
+        self._expect(TokenType.KEYWORD, "select")
+        distinct = bool(self._accept(TokenType.KEYWORD, "distinct"))
+        items = self._parse_select_items()
+
+        from_items: tuple[FromItem, ...] = ()
+        if self._accept(TokenType.KEYWORD, "from"):
+            from_items = self._parse_from_list()
+
+        where = None
+        if self._accept(TokenType.KEYWORD, "where"):
+            where = self._parse_expression()
+
+        group_by: tuple[SqlExpression, ...] = ()
+        if self._accept(TokenType.KEYWORD, "group"):
+            self._expect(TokenType.KEYWORD, "by")
+            group_by = tuple(self._parse_expression_list())
+
+        having = None
+        if self._accept(TokenType.KEYWORD, "having"):
+            having = self._parse_expression()
+
+        order_by: tuple[OrderItem, ...] = ()
+        if self._accept(TokenType.KEYWORD, "order"):
+            self._expect(TokenType.KEYWORD, "by")
+            order_by = tuple(self._parse_order_items())
+
+        limit = None
+        if self._accept(TokenType.KEYWORD, "limit"):
+            token = self._expect(TokenType.NUMBER)
+            limit = int(float(token.value))
+
+        offset = None
+        if self._accept(TokenType.KEYWORD, "offset"):
+            token = self._expect(TokenType.NUMBER)
+            offset = int(float(token.value))
+
+        return SelectStatement(
+            items=tuple(items),
+            from_items=from_items,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+        )
+
+    def _parse_select_items(self) -> list[SelectItem]:
+        items = [self._parse_select_item()]
+        while self._accept(TokenType.PUNCTUATION, ","):
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self) -> SelectItem:
+        if self._check(TokenType.OPERATOR, "*"):
+            self._advance()
+            return SelectItem(SqlStar())
+        # alias.* form
+        if (
+            self._check(TokenType.IDENTIFIER)
+            and self._tokens[self._pos + 1].matches(TokenType.PUNCTUATION, ".")
+            and self._tokens[self._pos + 2].matches(TokenType.OPERATOR, "*")
+        ):
+            qualifier = self._advance().value
+            self._advance()  # '.'
+            self._advance()  # '*'
+            return SelectItem(SqlStar(qualifier))
+        expression = self._parse_expression()
+        alias = None
+        if self._accept(TokenType.KEYWORD, "as"):
+            alias = self._expect(TokenType.IDENTIFIER).value
+        elif self._check(TokenType.IDENTIFIER):
+            alias = self._advance().value
+        return SelectItem(expression, alias)
+
+    def _parse_from_list(self) -> tuple[FromItem, ...]:
+        items = [self._parse_from_item()]
+        while self._accept(TokenType.PUNCTUATION, ","):
+            items.append(self._parse_from_item())
+        return tuple(items)
+
+    def _parse_from_item(self) -> FromItem:
+        item = self._parse_from_primary()
+        while True:
+            if self._accept(TokenType.KEYWORD, "inner"):
+                self._expect(TokenType.KEYWORD, "join")
+            elif not self._accept(TokenType.KEYWORD, "join"):
+                break
+            right = self._parse_from_primary()
+            self._expect(TokenType.KEYWORD, "on")
+            condition = self._parse_expression()
+            item = JoinClause(item, right, condition)
+        return item
+
+    def _parse_from_primary(self) -> FromItem:
+        if self._accept(TokenType.PUNCTUATION, "("):
+            query = self._parse_query()
+            self._expect(TokenType.PUNCTUATION, ")")
+            self._accept(TokenType.KEYWORD, "as")
+            alias_token = self._accept(TokenType.IDENTIFIER)
+            if alias_token is None:
+                raise self._error("derived table requires an alias")
+            return SubqueryRef(query, alias_token.value)
+        name = self._expect(TokenType.IDENTIFIER).value
+        alias = None
+        if self._accept(TokenType.KEYWORD, "as"):
+            alias = self._expect(TokenType.IDENTIFIER).value
+        elif self._check(TokenType.IDENTIFIER):
+            alias = self._advance().value
+        return TableRef(name, alias)
+
+    def _parse_order_items(self) -> list[OrderItem]:
+        items = []
+        while True:
+            expression = self._parse_expression()
+            ascending = True
+            if self._accept(TokenType.KEYWORD, "desc"):
+                ascending = False
+            else:
+                self._accept(TokenType.KEYWORD, "asc")
+            items.append(OrderItem(expression, ascending))
+            if not self._accept(TokenType.PUNCTUATION, ","):
+                return items
+
+    def _parse_expression_list(self) -> list[SqlExpression]:
+        items = [self._parse_expression()]
+        while self._accept(TokenType.PUNCTUATION, ","):
+            items.append(self._parse_expression())
+        return items
+
+    # -- expressions ---------------------------------------------------------------
+
+    def _parse_expression(self) -> SqlExpression:
+        return self._parse_or()
+
+    def _parse_or(self) -> SqlExpression:
+        left = self._parse_and()
+        while self._accept(TokenType.KEYWORD, "or"):
+            left = SqlBinary("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> SqlExpression:
+        left = self._parse_not()
+        while self._accept(TokenType.KEYWORD, "and"):
+            left = SqlBinary("and", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> SqlExpression:
+        if self._accept(TokenType.KEYWORD, "not"):
+            return SqlUnary("not", self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> SqlExpression:
+        left = self._parse_additive()
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value in _COMPARISON_OPS:
+            self._advance()
+            return SqlBinary(token.value, left, self._parse_additive())
+        if self._accept(TokenType.KEYWORD, "is"):
+            negated = bool(self._accept(TokenType.KEYWORD, "not"))
+            self._expect(TokenType.KEYWORD, "null")
+            return SqlIsNull(left, negated)
+        negated = bool(self._accept(TokenType.KEYWORD, "not"))
+        if self._accept(TokenType.KEYWORD, "in"):
+            self._expect(TokenType.PUNCTUATION, "(")
+            values = [self._parse_literal()]
+            while self._accept(TokenType.PUNCTUATION, ","):
+                values.append(self._parse_literal())
+            self._expect(TokenType.PUNCTUATION, ")")
+            return SqlIn(left, tuple(values), negated)
+        if self._accept(TokenType.KEYWORD, "between"):
+            low = self._parse_additive()
+            self._expect(TokenType.KEYWORD, "and")
+            high = self._parse_additive()
+            return SqlBetween(left, low, high, negated)
+        if negated:
+            raise self._error("expected IN or BETWEEN after NOT")
+        return left
+
+    def _parse_literal(self) -> SqlLiteral:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return SqlLiteral(float(token.value))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return SqlLiteral(token.value)
+        raise self._error(f"expected a literal, found {token.value!r}")
+
+    def _parse_additive(self) -> SqlExpression:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.value in ("+", "-"):
+                self._advance()
+                left = SqlBinary(token.value, left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> SqlExpression:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.value in ("*", "/"):
+                self._advance()
+                left = SqlBinary(token.value, left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> SqlExpression:
+        if self._accept(TokenType.OPERATOR, "-"):
+            return SqlUnary("-", self._parse_unary())
+        if self._accept(TokenType.OPERATOR, "+"):
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> SqlExpression:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return SqlLiteral(float(token.value))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return SqlLiteral(token.value)
+        if token.matches(TokenType.KEYWORD, "null"):
+            self._advance()
+            return SqlLiteral(None)
+        if token.matches(TokenType.PUNCTUATION, "("):
+            self._advance()
+            inner = self._parse_expression()
+            self._expect(TokenType.PUNCTUATION, ")")
+            return inner
+        if token.matches(TokenType.KEYWORD, "case"):
+            return self._parse_case()
+        if token.type is TokenType.IDENTIFIER:
+            return self._parse_name_or_call()
+        raise self._error(f"unexpected token {token.value!r}")
+
+    def _parse_case(self) -> SqlCase:
+        self._expect(TokenType.KEYWORD, "case")
+        branches: list[tuple[SqlExpression, SqlExpression]] = []
+        while self._accept(TokenType.KEYWORD, "when"):
+            condition = self._parse_expression()
+            self._expect(TokenType.KEYWORD, "then")
+            branches.append((condition, self._parse_expression()))
+        if not branches:
+            raise self._error("CASE requires at least one WHEN branch")
+        default = None
+        if self._accept(TokenType.KEYWORD, "else"):
+            default = self._parse_expression()
+        self._expect(TokenType.KEYWORD, "end")
+        return SqlCase(tuple(branches), default)
+
+    def _parse_name_or_call(self) -> SqlExpression:
+        first = self._expect(TokenType.IDENTIFIER).value
+        if self._accept(TokenType.PUNCTUATION, "("):
+            if self._accept(TokenType.OPERATOR, "*"):
+                self._expect(TokenType.PUNCTUATION, ")")
+                return SqlFunction(first.lower(), star=True)
+            if self._accept(TokenType.PUNCTUATION, ")"):
+                return SqlFunction(first.lower())
+            if self._accept(TokenType.KEYWORD, "distinct"):
+                if first.lower() != "count":
+                    raise self._error("DISTINCT inside an aggregate is only supported for count")
+                argument = self._parse_expression()
+                self._expect(TokenType.PUNCTUATION, ")")
+                return SqlFunction("count", (argument,), distinct=True)
+            arguments = [self._parse_expression()]
+            while self._accept(TokenType.PUNCTUATION, ","):
+                arguments.append(self._parse_expression())
+            self._expect(TokenType.PUNCTUATION, ")")
+            return SqlFunction(first.lower(), tuple(arguments))
+        if self._accept(TokenType.PUNCTUATION, "."):
+            second = self._expect(TokenType.IDENTIFIER).value
+            return SqlName((first, second))
+        return SqlName((first,))

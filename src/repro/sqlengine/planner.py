@@ -1,0 +1,235 @@
+"""Name resolution and lowering of SQL expressions onto the relational engine.
+
+The planner binds a parsed :class:`SelectStatement` against a scope of
+physical columns and rewrites aggregate calls into references to
+pre-computed aggregate columns.  The output of lowering is an
+:class:`repro.relational.expressions.Expression` that evaluates vectorized.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import PlanningError
+from repro.relational.aggregates import SCALAR_FUNCTIONS, is_aggregate
+from repro.relational.expressions import (
+    And,
+    Arithmetic,
+    Case,
+    ColumnRef,
+    Comparison,
+    Expression,
+    InList,
+    IsNull,
+    Literal,
+    Negate,
+    Not,
+    Or,
+    ScalarFunction,
+)
+from repro.sqlengine.ast_nodes import (
+    SqlBetween,
+    SqlBinary,
+    SqlCase,
+    SqlExpression,
+    SqlFunction,
+    SqlIn,
+    SqlIsNull,
+    SqlLiteral,
+    SqlName,
+    SqlStar,
+    SqlUnary,
+)
+
+
+@dataclass
+class Scope:
+    """Visible columns of the current FROM product.
+
+    ``qualified`` maps ``(alias, column)`` to the physical column name in
+    the combined table; ``unqualified`` maps a bare column name to its
+    physical name when unambiguous (ambiguous names map to ``None``).
+    ``order`` lists physical names in presentation order for ``*``.
+    """
+
+    qualified: dict[tuple[str, str], str] = field(default_factory=dict)
+    unqualified: dict[str, str | None] = field(default_factory=dict)
+    order: list[str] = field(default_factory=list)
+    aliases: list[str] = field(default_factory=list)
+
+    def add_column(self, alias: str, column: str, physical: str) -> None:
+        self.qualified[(alias, column)] = physical
+        if column in self.unqualified and self.unqualified[column] != physical:
+            self.unqualified[column] = None  # ambiguous
+        else:
+            self.unqualified[column] = physical
+        self.order.append(physical)
+        if alias not in self.aliases:
+            self.aliases.append(alias)
+
+    def resolve(self, name: SqlName) -> str:
+        """Physical column name for a possibly-qualified reference."""
+        if name.qualifier is not None:
+            physical = self.qualified.get((name.qualifier, name.column))
+            if physical is None:
+                raise PlanningError(f"unknown column {name}")
+            return physical
+        physical = self.unqualified.get(name.column)
+        if physical is None:
+            if name.column in self.unqualified:
+                raise PlanningError(f"ambiguous column reference {name.column!r}")
+            raise PlanningError(f"unknown column {name.column!r}")
+        return physical
+
+    def try_resolve(self, name: SqlName) -> str | None:
+        try:
+            return self.resolve(name)
+        except PlanningError:
+            return None
+
+    def star_columns(self, qualifier: str | None) -> list[tuple[str, str]]:
+        """(physical, output-name) pairs expanded from ``*`` / ``alias.*``."""
+        out: list[tuple[str, str]] = []
+        if qualifier is None:
+            seen_physical: set[str] = set()
+            for (alias, column), physical in self.qualified.items():
+                if physical not in seen_physical:
+                    seen_physical.add(physical)
+                    out.append((physical, column))
+            out.sort(key=lambda pair: self.order.index(pair[0]))
+            return out
+        if qualifier not in self.aliases:
+            raise PlanningError(f"unknown table alias {qualifier!r} in {qualifier}.*")
+        for (alias, column), physical in self.qualified.items():
+            if alias == qualifier:
+                out.append((physical, column))
+        out.sort(key=lambda pair: self.order.index(pair[0]))
+        return out
+
+
+def collect_aggregates(expression: SqlExpression) -> list[SqlFunction]:
+    """All aggregate function calls in ``expression`` (no deduplication)."""
+    found: list[SqlFunction] = []
+    _walk_aggregates(expression, found, inside_aggregate=False)
+    return found
+
+
+def _walk_aggregates(node: SqlExpression, found: list[SqlFunction], inside_aggregate: bool) -> None:
+    if isinstance(node, SqlFunction):
+        if is_aggregate(node.name):
+            if inside_aggregate:
+                raise PlanningError(f"nested aggregate call {node.name}(...)")
+            found.append(node)
+            for arg in node.arguments:
+                _walk_aggregates(arg, found, inside_aggregate=True)
+            return
+        for arg in node.arguments:
+            _walk_aggregates(arg, found, inside_aggregate)
+        return
+    if isinstance(node, SqlBinary):
+        _walk_aggregates(node.left, found, inside_aggregate)
+        _walk_aggregates(node.right, found, inside_aggregate)
+    elif isinstance(node, SqlUnary):
+        _walk_aggregates(node.operand, found, inside_aggregate)
+    elif isinstance(node, (SqlIsNull, SqlIn)):
+        _walk_aggregates(node.operand, found, inside_aggregate)
+    elif isinstance(node, SqlBetween):
+        _walk_aggregates(node.operand, found, inside_aggregate)
+        _walk_aggregates(node.low, found, inside_aggregate)
+        _walk_aggregates(node.high, found, inside_aggregate)
+    elif isinstance(node, SqlCase):
+        for condition, value in node.branches:
+            _walk_aggregates(condition, found, inside_aggregate)
+            _walk_aggregates(value, found, inside_aggregate)
+        if node.default is not None:
+            _walk_aggregates(node.default, found, inside_aggregate)
+
+
+def lower_expression(
+    node: SqlExpression,
+    scope: Scope,
+    aggregate_columns: Mapping[SqlFunction, str] | None = None,
+) -> Expression:
+    """Lower a SQL expression AST onto the vectorized expression tree.
+
+    ``aggregate_columns`` maps aggregate-call AST nodes to the physical
+    column holding their per-group value; when provided, any aggregate call
+    becomes a :class:`ColumnRef` to that column.
+    """
+    aggregate_columns = aggregate_columns or {}
+    return _lower(node, scope, aggregate_columns)
+
+
+def _lower(node: SqlExpression, scope: Scope, agg: Mapping[SqlFunction, str]) -> Expression:
+    if isinstance(node, SqlLiteral):
+        if node.value is None:
+            return Literal(math.nan)
+        return Literal(node.value)
+    if isinstance(node, SqlName):
+        return ColumnRef(scope.resolve(node))
+    if isinstance(node, SqlStar):
+        raise PlanningError("* is only allowed at the top level of a select list")
+    if isinstance(node, SqlUnary):
+        if node.op == "not":
+            return Not(_lower(node.operand, scope, agg))
+        return Negate(_lower(node.operand, scope, agg))
+    if isinstance(node, SqlBinary):
+        if node.op == "and":
+            return And((_lower(node.left, scope, agg), _lower(node.right, scope, agg)))
+        if node.op == "or":
+            return Or((_lower(node.left, scope, agg), _lower(node.right, scope, agg)))
+        if node.op in ("=", "<>", "<", "<=", ">", ">="):
+            return Comparison(node.op, _lower(node.left, scope, agg), _lower(node.right, scope, agg))
+        if node.op in ("+", "-", "*", "/"):
+            return Arithmetic(node.op, _lower(node.left, scope, agg), _lower(node.right, scope, agg))
+        raise PlanningError(f"unsupported binary operator {node.op!r}")
+    if isinstance(node, SqlFunction):
+        if node in agg:
+            return ColumnRef(agg[node])
+        if is_aggregate(node.name):
+            raise PlanningError(
+                f"aggregate {node.name}(...) is not allowed here (no GROUP BY context)"
+            )
+        if node.name not in SCALAR_FUNCTIONS:
+            raise PlanningError(f"unknown function {node.name!r}")
+        return ScalarFunction(node.name, tuple(_lower(a, scope, agg) for a in node.arguments))
+    if isinstance(node, SqlIsNull):
+        return IsNull(_lower(node.operand, scope, agg), node.negated)
+    if isinstance(node, SqlIn):
+        return InList(
+            _lower(node.operand, scope, agg),
+            tuple(v.value for v in node.values),
+            node.negated,
+        )
+    if isinstance(node, SqlBetween):
+        low = Comparison(">=", _lower(node.operand, scope, agg), _lower(node.low, scope, agg))
+        high = Comparison("<=", _lower(node.operand, scope, agg), _lower(node.high, scope, agg))
+        both: Expression = And((low, high))
+        return Not(both) if node.negated else both
+    if isinstance(node, SqlCase):
+        branches = tuple(
+            (_lower(condition, scope, agg), _lower(value, scope, agg))
+            for condition, value in node.branches
+        )
+        default = _lower(node.default, scope, agg) if node.default is not None else None
+        return Case(branches, default)
+    raise PlanningError(f"unsupported expression node {type(node).__name__}")
+
+
+def split_conjuncts(node: SqlExpression | None) -> list[SqlExpression]:
+    """Flatten a WHERE tree into AND-ed conjuncts (None -> empty list)."""
+    if node is None:
+        return []
+    if isinstance(node, SqlBinary) and node.op == "and":
+        return split_conjuncts(node.left) + split_conjuncts(node.right)
+    return [node]
+
+
+def equality_key_pair(node: SqlExpression) -> tuple[SqlName, SqlName] | None:
+    """If ``node`` is ``name = name``, the two name nodes; else None."""
+    if isinstance(node, SqlBinary) and node.op == "=":
+        if isinstance(node.left, SqlName) and isinstance(node.right, SqlName):
+            return node.left, node.right
+    return None

@@ -1,0 +1,49 @@
+"""Statistics substrate: permutation tests, FDR correction, sampling."""
+
+from repro.stats.corrections import benjamini_hochberg, bh_reject, bonferroni
+from repro.stats.parametric import f_variance_greater, levene_variance_greater, welch_mean_greater
+from repro.stats.permutation import (
+    DEFAULT_PERMUTATIONS,
+    SharedPermutations,
+    TestResult,
+    mean_difference,
+    permutation_mean_greater,
+    permutation_variance_greater,
+    variance_difference,
+)
+from repro.stats.rng import DEFAULT_SEED, derive_rng, derive_seed
+from repro.stats.sampling import (
+    balanced_sample_for_attribute,
+    minority_preservation,
+    per_attribute_balanced_samples,
+    random_sample,
+    random_sample_indices,
+    unbalanced_sample,
+    unbalanced_sample_indices,
+)
+
+__all__ = [
+    "DEFAULT_PERMUTATIONS",
+    "DEFAULT_SEED",
+    "SharedPermutations",
+    "TestResult",
+    "benjamini_hochberg",
+    "bh_reject",
+    "bonferroni",
+    "derive_rng",
+    "derive_seed",
+    "f_variance_greater",
+    "levene_variance_greater",
+    "mean_difference",
+    "balanced_sample_for_attribute",
+    "minority_preservation",
+    "per_attribute_balanced_samples",
+    "permutation_mean_greater",
+    "permutation_variance_greater",
+    "random_sample",
+    "random_sample_indices",
+    "unbalanced_sample",
+    "unbalanced_sample_indices",
+    "variance_difference",
+    "welch_mean_greater",
+]

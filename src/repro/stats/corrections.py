@@ -1,0 +1,54 @@
+"""Multiple-testing corrections.
+
+The paper corrects permutation p-values with the Benjamini–Hochberg FDR
+procedure (Section 5.1.1, citing Benjamini & Hochberg 1995).  The step-up
+implementation below returns monotone adjusted p-values clipped to [0, 1].
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import StatisticsError
+
+
+def benjamini_hochberg(p_values: Sequence[float]) -> np.ndarray:
+    """Benjamini–Hochberg adjusted p-values (a.k.a. q-values).
+
+    ``adjusted[i] = min_{j : p_(j) >= p_(i)} ( p_(j) * m / rank(j) )`` with
+    the usual running-minimum from the largest p-value down.  Rejecting all
+    hypotheses with ``adjusted <= alpha`` controls the FDR at ``alpha``.
+    """
+    p = np.asarray(list(p_values), dtype=np.float64)
+    if p.ndim != 1:
+        raise StatisticsError("benjamini_hochberg expects a 1-D sequence of p-values")
+    if p.size == 0:
+        return p.copy()
+    if np.any(np.isnan(p)) or np.any(p < 0) or np.any(p > 1):
+        raise StatisticsError("p-values must lie in [0, 1] and not be NaN")
+    m = p.size
+    order = np.argsort(p, kind="stable")
+    ranked = p[order] * m / np.arange(1, m + 1)
+    # Running minimum from the largest rank downward enforces monotonicity.
+    adjusted_sorted = np.minimum.accumulate(ranked[::-1])[::-1]
+    adjusted_sorted = np.clip(adjusted_sorted, 0.0, 1.0)
+    adjusted = np.empty(m, dtype=np.float64)
+    adjusted[order] = adjusted_sorted
+    return adjusted
+
+
+def bh_reject(p_values: Sequence[float], alpha: float = 0.05) -> np.ndarray:
+    """Boolean rejection mask of the BH procedure at FDR level ``alpha``."""
+    if not 0 < alpha < 1:
+        raise StatisticsError(f"alpha must be in (0, 1), got {alpha}")
+    return benjamini_hochberg(p_values) <= alpha
+
+
+def bonferroni(p_values: Sequence[float]) -> np.ndarray:
+    """Bonferroni-adjusted p-values (for the correction ablation)."""
+    p = np.asarray(list(p_values), dtype=np.float64)
+    if np.any(np.isnan(p)) or np.any(p < 0) or np.any(p > 1):
+        raise StatisticsError("p-values must lie in [0, 1] and not be NaN")
+    return np.clip(p * p.size, 0.0, 1.0)

@@ -1,0 +1,170 @@
+"""Permutation (resampling) tests for comparison insights.
+
+The paper tests every insight with resampling rather than parametric tests
+(Section 5.1.1), because resampling "does not assume the distributions of
+the test statistics, nor does it impose samples to be large enough".  Two
+test statistics are used (Table 1):
+
+* mean-greater (type ``M``): observed ``mean(X) - mean(Y)`` against the
+  null ``E[X] = E[Y]``;
+* variance-greater (type ``V``): observed ``var(X) - var(Y)`` against the
+  null ``var(X) = var(Y)``.
+
+Both are evaluated one-sided (the alternative is "greater"), so the
+p-value is the fraction of label permutations whose statistic is at least
+the observed one.  :class:`SharedPermutations` implements the paper's key
+optimization: the *same* permutations are reused for every measure (and
+both insight types) of a given attribute-value pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import StatisticsError
+
+#: Default number of label permutations per test.
+DEFAULT_PERMUTATIONS = 200
+
+
+@dataclass(frozen=True, slots=True)
+class TestResult:
+    """Outcome of one hypothesis test.
+
+    ``p_value`` uses the add-one (phipson-smyth) estimator
+    ``(1 + #extreme) / (1 + #permutations)`` so it is never exactly zero.
+    ``significance`` is the paper's ``sig(i) = 1 - p``.
+    """
+
+    statistic: float
+    p_value: float
+
+    @property
+    def significance(self) -> float:
+        return 1.0 - self.p_value
+
+
+def _clean_pair(x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    x = x[~np.isnan(x)]
+    y = y[~np.isnan(y)]
+    if x.size == 0 or y.size == 0:
+        raise StatisticsError("permutation test requires non-empty samples on both sides")
+    return x, y
+
+
+def mean_difference(x: np.ndarray, y: np.ndarray) -> float:
+    """Signed test statistic for mean-greater: ``mean(x) - mean(y)``."""
+    return float(np.mean(x) - np.mean(y))
+
+
+def variance_difference(x: np.ndarray, y: np.ndarray) -> float:
+    """Signed test statistic for variance-greater: ``var(x) - var(y)``.
+
+    Sample variance (ddof=1); a side with fewer than two observations has
+    undefined variance and yields NaN, making the test inconclusive
+    (p-value 1.0 downstream).
+    """
+    vx = float(np.var(x, ddof=1)) if x.size > 1 else float("nan")
+    vy = float(np.var(y, ddof=1)) if y.size > 1 else float("nan")
+    return vx - vy
+
+
+class SharedPermutations:
+    """A reusable batch of two-sample label permutations.
+
+    For a pooled sample of ``n_x + n_y`` rows, holds ``n_permutations``
+    random partitions of the pooled indices into an X-part of size ``n_x``
+    and a Y-part.  All measures of the same selection pair reuse the same
+    partitions, exactly as Section 5.1.1 prescribes — which both saves time
+    and makes the per-measure p-values comparable.
+    """
+
+    __slots__ = ("n_x", "n_y", "x_indices", "y_indices")
+
+    def __init__(self, n_x: int, n_y: int, n_permutations: int, rng: np.random.Generator):
+        if n_x <= 0 or n_y <= 0:
+            raise StatisticsError("both sides of a permutation test must be non-empty")
+        if n_permutations <= 0:
+            raise StatisticsError("n_permutations must be positive")
+        self.n_x = n_x
+        self.n_y = n_y
+        total = n_x + n_y
+        # One shuffled index row per permutation; argsort of uniforms is the
+        # standard vectorized way to draw many independent permutations.
+        uniforms = rng.random((n_permutations, total))
+        shuffled = np.argsort(uniforms, axis=1)
+        self.x_indices = shuffled[:, :n_x]
+        self.y_indices = shuffled[:, n_x:]
+
+    @property
+    def n_permutations(self) -> int:
+        return int(self.x_indices.shape[0])
+
+    def mean_greater(self, x: np.ndarray, y: np.ndarray) -> TestResult:
+        """One-sided mean-greater test of ``x`` over ``y`` reusing the batch."""
+        x, y = self._check(x, y)
+        pooled = np.concatenate([x, y])
+        observed = mean_difference(x, y)
+        perm_x_mean = pooled[self.x_indices].mean(axis=1)
+        perm_y_mean = pooled[self.y_indices].mean(axis=1)
+        return _one_sided(observed, perm_x_mean - perm_y_mean)
+
+    def variance_greater(self, x: np.ndarray, y: np.ndarray) -> TestResult:
+        """One-sided variance-greater test of ``x`` over ``y``."""
+        x, y = self._check(x, y)
+        observed = variance_difference(x, y)
+        if np.isnan(observed):
+            return TestResult(observed, 1.0)
+        pooled = np.concatenate([x, y])
+        perm_x = pooled[self.x_indices]
+        perm_y = pooled[self.y_indices]
+        diffs = perm_x.var(axis=1, ddof=1) - perm_y.var(axis=1, ddof=1)
+        return _one_sided(observed, diffs)
+
+    def _check(self, x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        x, y = _clean_pair(x, y)
+        if x.size != self.n_x or y.size != self.n_y:
+            raise StatisticsError(
+                f"sample sizes ({x.size}, {y.size}) do not match the permutation "
+                f"batch ({self.n_x}, {self.n_y}); NaNs must be removed before batching"
+            )
+        return x, y
+
+
+def _one_sided(observed: float, permuted: np.ndarray) -> TestResult:
+    if np.isnan(observed):
+        return TestResult(observed, 1.0)
+    extreme = int(np.count_nonzero(permuted >= observed - 1e-12))
+    p = (1.0 + extreme) / (1.0 + permuted.size)
+    return TestResult(observed, min(1.0, p))
+
+
+def permutation_mean_greater(
+    x: np.ndarray,
+    y: np.ndarray,
+    n_permutations: int = DEFAULT_PERMUTATIONS,
+    rng: np.random.Generator | None = None,
+) -> TestResult:
+    """Stand-alone one-sided mean-greater permutation test."""
+    x, y = _clean_pair(x, y)
+    rng = rng or np.random.default_rng()
+    batch = SharedPermutations(x.size, y.size, n_permutations, rng)
+    return batch.mean_greater(x, y)
+
+
+def permutation_variance_greater(
+    x: np.ndarray,
+    y: np.ndarray,
+    n_permutations: int = DEFAULT_PERMUTATIONS,
+    rng: np.random.Generator | None = None,
+) -> TestResult:
+    """Stand-alone one-sided variance-greater permutation test."""
+    x, y = _clean_pair(x, y)
+    rng = rng or np.random.default_rng()
+    batch = SharedPermutations(x.size, y.size, n_permutations, rng)
+    return batch.variance_greater(x, y)

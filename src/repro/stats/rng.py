@@ -1,0 +1,35 @@
+"""Deterministic random-source plumbing.
+
+Every stochastic component of the library (permutation tests, sampling,
+synthetic data, TAP instances) takes a seed or a Generator derived through
+:func:`derive_rng`, so that a whole experiment is reproducible from a single
+root seed while sub-streams stay statistically independent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+#: Root seed used by every experiment unless overridden.
+DEFAULT_SEED = 20220329  # EDBT 2022 opening day
+
+
+def derive_seed(seed: int, *keys: object) -> int:
+    """A stable 64-bit child seed from ``seed`` and arbitrary key parts.
+
+    Uses BLAKE2 over the repr of the keys, so the same logical component
+    always gets the same stream regardless of execution order.
+    """
+    digest = hashlib.blake2b(digest_size=8)
+    digest.update(str(int(seed)).encode())
+    for key in keys:
+        digest.update(b"\x00")
+        digest.update(repr(key).encode())
+    return int.from_bytes(digest.digest(), "big")
+
+
+def derive_rng(seed: int, *keys: object) -> np.random.Generator:
+    """A numpy Generator for the sub-stream identified by ``keys``."""
+    return np.random.default_rng(derive_seed(seed, *keys))

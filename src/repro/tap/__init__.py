@@ -1,0 +1,48 @@
+"""Traveling Analyst Problem: instances, exact solver, heuristic, baseline."""
+
+from repro.tap.baseline import solve_baseline
+from repro.tap.exact import ExactConfig, ExactOutcome, solve_exact
+from repro.tap.heuristic import HeuristicConfig, solve_heuristic, solve_heuristic_lazy
+from repro.tap.instance import TAPInstance, TAPSolution, make_solution, validate_solution
+from repro.tap.pareto import ParetoPoint, pareto_front, sweep_epsilon
+from repro.tap.path import (
+    MAX_EXACT_PATH,
+    best_insertion_order,
+    best_insertion_position,
+    held_karp_path,
+    min_path_length,
+    mst_lower_bound,
+)
+from repro.tap.random_instances import (
+    random_clustered_instance,
+    random_comparison_queries,
+    random_euclidean_instance,
+    random_hamming_instance,
+)
+
+__all__ = [
+    "MAX_EXACT_PATH",
+    "ExactConfig",
+    "ExactOutcome",
+    "HeuristicConfig",
+    "ParetoPoint",
+    "TAPInstance",
+    "TAPSolution",
+    "best_insertion_order",
+    "best_insertion_position",
+    "held_karp_path",
+    "make_solution",
+    "min_path_length",
+    "mst_lower_bound",
+    "pareto_front",
+    "random_clustered_instance",
+    "random_comparison_queries",
+    "random_euclidean_instance",
+    "random_hamming_instance",
+    "solve_baseline",
+    "solve_exact",
+    "solve_heuristic",
+    "solve_heuristic_lazy",
+    "sweep_epsilon",
+    "validate_solution",
+]

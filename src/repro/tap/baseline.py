@@ -1,0 +1,36 @@
+"""The top-k baseline of Section 6.4.
+
+"A baseline consisting of picking the top ε_t queries in terms of
+interestingness" — no distance awareness at all.  Used as the comparison
+arm of the recall experiment (Table 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TAPError
+from repro.tap.instance import TAPInstance, TAPSolution, make_solution
+
+_EPS = 1e-9
+
+
+def solve_baseline(instance: TAPInstance, budget: float) -> TAPSolution:
+    """Greedily take the most interesting queries until the budget is spent.
+
+    The sequence is emitted in decreasing-interest order (the baseline has
+    no notion of browsing distance), so its total distance is whatever it
+    happens to be.
+    """
+    if budget <= 0:
+        raise TAPError("budget must be positive")
+    ranked = np.argsort(-instance.interests, kind="stable")
+    order: list[int] = []
+    cost_used = 0.0
+    for raw in ranked:
+        q = int(raw)
+        if cost_used + float(instance.costs[q]) > budget + _EPS:
+            continue
+        order.append(q)
+        cost_used += float(instance.costs[q])
+    return make_solution(instance, order, optimal=False)

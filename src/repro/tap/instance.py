@@ -1,0 +1,158 @@
+"""The Traveling Analyst Problem instance and solution model (Definition 4.1).
+
+A TAP instance is a set of N queries with positive interest and cost, and a
+metric pairwise distance.  A solution is an ordered sequence of distinct
+queries; its quality ``z`` is the summed interest, subject to the cost
+budget ε_t and (in the ε-constraint formulation of Section 5.3) a bound
+ε_d on the summed consecutive distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generic, Sequence, TypeVar
+
+import numpy as np
+
+from repro.errors import TAPError
+
+T = TypeVar("T")
+
+
+class TAPInstance(Generic[T]):
+    """N items with interests, costs, and a metric distance matrix.
+
+    ``items`` carries the domain objects (e.g. :class:`ComparisonQuery`);
+    solvers work on indices.  The distance matrix is materialized once —
+    instances used with the exact solver are small by nature (Table 4), and
+    the heuristic only reads one row at a time.
+    """
+
+    __slots__ = ("items", "interests", "costs", "distances")
+
+    def __init__(
+        self,
+        items: Sequence[T],
+        interests: Sequence[float],
+        costs: Sequence[float],
+        distances: np.ndarray,
+    ):
+        n = len(items)
+        interests = np.asarray(interests, dtype=np.float64)
+        costs = np.asarray(costs, dtype=np.float64)
+        distances = np.asarray(distances, dtype=np.float64)
+        if interests.shape != (n,) or costs.shape != (n,):
+            raise TAPError("interests and costs must have one entry per item")
+        if distances.shape != (n, n):
+            raise TAPError(f"distance matrix must be {n}x{n}, got {distances.shape}")
+        if np.any(interests < 0):
+            raise TAPError("interests must be non-negative")
+        if np.any(costs <= 0):
+            raise TAPError("costs must be positive")
+        if not np.allclose(distances, distances.T, atol=1e-9):
+            raise TAPError("distance matrix must be symmetric")
+        if np.any(np.diag(distances) != 0):
+            raise TAPError("distance matrix must have a zero diagonal")
+        self.items = list(items)
+        self.interests = interests
+        self.costs = costs
+        self.distances = distances
+
+    @property
+    def n(self) -> int:
+        return len(self.items)
+
+    @classmethod
+    def build(
+        cls,
+        items: Sequence[T],
+        interest_of: Callable[[T], float],
+        cost_of: Callable[[T], float],
+        distance_of: Callable[[T, T], float],
+    ) -> "TAPInstance[T]":
+        """Materialize an instance from scoring callables."""
+        n = len(items)
+        interests = [interest_of(item) for item in items]
+        costs = [cost_of(item) for item in items]
+        distances = np.zeros((n, n), dtype=np.float64)
+        for i in range(n):
+            for j in range(i + 1, n):
+                d = distance_of(items[i], items[j])
+                distances[i, j] = d
+                distances[j, i] = d
+        return cls(items, interests, costs, distances)
+
+    def sequence_distance(self, indices: Sequence[int]) -> float:
+        """Σ consecutive distance along ``indices``."""
+        return float(
+            sum(self.distances[indices[i], indices[i + 1]] for i in range(len(indices) - 1))
+        )
+
+    def sequence_interest(self, indices: Sequence[int]) -> float:
+        return float(self.interests[list(indices)].sum()) if indices else 0.0
+
+    def sequence_cost(self, indices: Sequence[int]) -> float:
+        return float(self.costs[list(indices)].sum()) if indices else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class TAPSolution:
+    """An ordered solution with its scores.
+
+    ``optimal`` is True only when produced by the exact solver *and* the
+    solver proved optimality (no timeout).
+    """
+
+    indices: tuple[int, ...]
+    interest: float
+    cost: float
+    distance: float
+    optimal: bool = False
+    solve_seconds: float = 0.0
+    nodes_explored: int = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.indices)
+
+    def items(self, instance: TAPInstance[T]) -> list[T]:
+        return [instance.items[i] for i in self.indices]
+
+
+def make_solution(
+    instance: TAPInstance,
+    indices: Sequence[int],
+    optimal: bool = False,
+    solve_seconds: float = 0.0,
+    nodes_explored: int = 0,
+) -> TAPSolution:
+    """Score ``indices`` against ``instance`` and wrap as a solution."""
+    seq = tuple(int(i) for i in indices)
+    if len(set(seq)) != len(seq):
+        raise TAPError("a TAP solution must not repeat queries")
+    if seq and (min(seq) < 0 or max(seq) >= instance.n):
+        raise TAPError("solution indices out of range")
+    return TAPSolution(
+        seq,
+        instance.sequence_interest(seq),
+        instance.sequence_cost(seq),
+        instance.sequence_distance(seq),
+        optimal=optimal,
+        solve_seconds=solve_seconds,
+        nodes_explored=nodes_explored,
+    )
+
+
+def validate_solution(
+    instance: TAPInstance,
+    solution: TAPSolution,
+    budget: float,
+    epsilon_distance: float,
+) -> None:
+    """Raise :class:`TAPError` unless the solution satisfies both bounds."""
+    if solution.cost > budget + 1e-9:
+        raise TAPError(f"solution cost {solution.cost} exceeds budget {budget}")
+    if solution.distance > epsilon_distance + 1e-9:
+        raise TAPError(
+            f"solution distance {solution.distance} exceeds epsilon_d {epsilon_distance}"
+        )

@@ -1,0 +1,79 @@
+"""ε-constraint sweep over the distance bound (Section 5.3).
+
+"Varying ε_d allows to generate different points on the Pareto front of
+the original multi-objective problem" — this module runs a solver across a
+grid of ε_d values and keeps the non-dominated (interest ↑, distance ↓)
+outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import TAPError
+from repro.tap.exact import ExactConfig, solve_exact
+from repro.tap.heuristic import HeuristicConfig, solve_heuristic
+from repro.tap.instance import TAPInstance, TAPSolution
+
+
+@dataclass(frozen=True, slots=True)
+class ParetoPoint:
+    epsilon_distance: float
+    solution: TAPSolution
+
+    @property
+    def interest(self) -> float:
+        return self.solution.interest
+
+    @property
+    def distance(self) -> float:
+        return self.solution.distance
+
+
+def sweep_epsilon(
+    instance: TAPInstance,
+    budget: float,
+    epsilon_grid: Sequence[float],
+    solver: str = "heuristic",
+    timeout_seconds: float | None = None,
+) -> list[ParetoPoint]:
+    """One solve per ε_d value, in increasing ε_d order."""
+    if not epsilon_grid:
+        raise TAPError("epsilon_grid must not be empty")
+    points = []
+    for epsilon in sorted(epsilon_grid):
+        if solver == "heuristic":
+            solution = solve_heuristic(instance, HeuristicConfig(budget, epsilon))
+        elif solver == "exact":
+            outcome = solve_exact(
+                instance, ExactConfig(budget, epsilon, timeout_seconds=timeout_seconds)
+            )
+            solution = outcome.solution
+        else:
+            raise TAPError(f"unknown solver {solver!r}")
+        points.append(ParetoPoint(float(epsilon), solution))
+    return points
+
+
+def pareto_front(points: Sequence[ParetoPoint]) -> list[ParetoPoint]:
+    """Non-dominated subset: no other point has ≥ interest and ≤ distance."""
+    front: list[ParetoPoint] = []
+    for p in points:
+        dominated = any(
+            (q.interest >= p.interest and q.distance < p.distance)
+            or (q.interest > p.interest and q.distance <= p.distance)
+            for q in points
+            if q is not p
+        )
+        if not dominated:
+            front.append(p)
+    # Deduplicate identical (interest, distance) pairs.
+    seen: set[tuple[float, float]] = set()
+    unique = []
+    for p in front:
+        key = (round(p.interest, 12), round(p.distance, 12))
+        if key not in seen:
+            seen.add(key)
+            unique.append(p)
+    return unique

@@ -1,0 +1,152 @@
+"""Minimum Hamiltonian-path machinery for the TAP solvers.
+
+The TAP's distance objective is the length of the visiting order (an open
+path, no fixed endpoints — "differently from the classical orienteering
+problem, starting and ending points are not specified").  The exact solver
+needs the true minimum path length of a candidate subset; this module
+provides:
+
+* :func:`held_karp_path` — exact min Hamiltonian path, O(2^k · k²) dynamic
+  program, practical to k ≈ 16;
+* :func:`mst_lower_bound` — a cheap lower bound (a Hamiltonian path is a
+  spanning tree, so MST weight ≤ min path), used to prune before paying
+  for the DP;
+* :func:`best_insertion_order` — the greedy ordering primitive of
+  Algorithm 3 (insert each new element at the position minimizing the
+  total distance).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import TAPError
+
+#: Above this subset size the Held-Karp DP is refused (memory/time guard).
+MAX_EXACT_PATH = 18
+
+
+def held_karp_path(distances: np.ndarray, subset: Sequence[int]) -> tuple[float, list[int]]:
+    """Exact minimum open Hamiltonian path over ``subset``.
+
+    Returns ``(length, order)``.  The DP state is (visited-mask, last
+    vertex); both endpoints are free.
+    """
+    k = len(subset)
+    if k > MAX_EXACT_PATH:
+        raise TAPError(f"exact path limited to {MAX_EXACT_PATH} vertices, got {k}")
+    if k == 0:
+        return 0.0, []
+    if k == 1:
+        return 0.0, [int(subset[0])]
+    local = np.asarray(
+        [[distances[a, b] for b in subset] for a in subset], dtype=np.float64
+    )
+    full = 1 << k
+    INF = np.inf
+    dp = np.full((full, k), INF)
+    parent = np.full((full, k), -1, dtype=np.int64)
+    for v in range(k):
+        dp[1 << v, v] = 0.0
+    for mask in range(full):
+        row = dp[mask]
+        active = np.flatnonzero(np.isfinite(row))
+        if active.size == 0:
+            continue
+        for last in active:
+            base = row[last]
+            for nxt in range(k):
+                bit = 1 << nxt
+                if mask & bit:
+                    continue
+                new_mask = mask | bit
+                candidate = base + local[last, nxt]
+                if candidate < dp[new_mask, nxt]:
+                    dp[new_mask, nxt] = candidate
+                    parent[new_mask, nxt] = last
+    final_mask = full - 1
+    end = int(np.argmin(dp[final_mask]))
+    length = float(dp[final_mask, end])
+    order_local = []
+    mask, last = final_mask, end
+    while last >= 0:
+        order_local.append(last)
+        prev = int(parent[mask, last])
+        mask ^= 1 << last
+        last = prev
+    order_local.reverse()
+    return length, [int(subset[i]) for i in order_local]
+
+
+def mst_lower_bound(distances: np.ndarray, subset: Sequence[int]) -> float:
+    """MST weight of the subset — a lower bound on the min Hamiltonian path.
+
+    Prim's algorithm on the induced sub-matrix, O(k²).
+    """
+    k = len(subset)
+    if k <= 1:
+        return 0.0
+    idx = np.asarray(subset, dtype=np.int64)
+    sub = distances[np.ix_(idx, idx)]
+    in_tree = np.zeros(k, dtype=bool)
+    best = np.full(k, np.inf)
+    in_tree[0] = True
+    best = sub[0].copy()
+    best[0] = np.inf
+    total = 0.0
+    for _ in range(k - 1):
+        nxt = int(np.argmin(np.where(in_tree, np.inf, best)))
+        total += float(best[nxt])
+        in_tree[nxt] = True
+        best = np.minimum(best, sub[nxt])
+    return total
+
+
+def min_path_length(
+    distances: np.ndarray, subset: Sequence[int], exact_limit: int = MAX_EXACT_PATH
+) -> float:
+    """Min Hamiltonian path length; exact up to ``exact_limit``, else greedy.
+
+    Beyond the exact limit the best-insertion length is returned, which is
+    an *upper* bound — callers that rely on a lower bound must combine with
+    :func:`mst_lower_bound`.
+    """
+    if len(subset) <= exact_limit:
+        length, _ = held_karp_path(distances, subset)
+        return length
+    order = best_insertion_order(distances, subset)
+    return float(
+        sum(distances[order[i], order[i + 1]] for i in range(len(order) - 1))
+    )
+
+
+def best_insertion_position(distances: np.ndarray, order: list[int], new: int) -> tuple[int, float]:
+    """Cheapest position to insert ``new`` into ``order``.
+
+    Returns ``(position, resulting_total_delta)`` where position ``p``
+    means "insert before index p" (p = len(order) appends).
+    """
+    if not order:
+        return 0, 0.0
+    best_pos = 0
+    best_delta = float(distances[new, order[0]])  # prepend
+    tail_delta = float(distances[order[-1], new])  # append
+    if tail_delta < best_delta:
+        best_pos, best_delta = len(order), tail_delta
+    for p in range(1, len(order)):
+        a, b = order[p - 1], order[p]
+        delta = float(distances[a, new] + distances[new, b] - distances[a, b])
+        if delta < best_delta:
+            best_pos, best_delta = p, delta
+    return best_pos, best_delta
+
+
+def best_insertion_order(distances: np.ndarray, subset: Sequence[int]) -> list[int]:
+    """Greedy ordering: insert each element at its cheapest position."""
+    order: list[int] = []
+    for v in subset:
+        pos, _ = best_insertion_position(distances, order, int(v))
+        order.insert(pos, int(v))
+    return order

@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import covid_table
+from repro.relational import Schema, Table, categorical, measure, table_from_arrays
+from repro.stats import derive_rng
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return derive_rng(12345, "tests")
+
+
+@pytest.fixture
+def tiny_table() -> Table:
+    """5 rows, 2 categoricals, 1 measure (with one NULL)."""
+    return table_from_arrays(
+        {"month": ["4", "4", "5", "5", "5"], "continent": ["EU", "AS", "EU", "AS", "EU"]},
+        {"cases": [10.0, 20.0, 30.0, 40.0, None]},
+    )
+
+
+@pytest.fixture
+def covid() -> Table:
+    """The deterministic covid demo table (seeded)."""
+    return covid_table(600)
+
+
+@pytest.fixture
+def two_measure_table(rng) -> Table:
+    """200 rows, 3 categoricals, 2 measures with planted group effects."""
+    n = 200
+    a = rng.choice(["a0", "a1", "a2"], n)
+    b = rng.choice(["b0", "b1", "b2", "b3"], n)
+    c = rng.choice(["c0", "c1"], n)
+    m1 = rng.normal(50, 5, n) + np.where(b == "b0", 30.0, 0.0)
+    m2 = rng.normal(10, 1, n) * np.where(c == "c0", 3.0, 1.0)
+    return table_from_arrays({"a": a, "b": b, "c": c}, {"m1": m1, "m2": m2})
+
+
+@pytest.fixture
+def empty_schema_table() -> Table:
+    schema = Schema([categorical("k"), measure("v")])
+    return Table.empty(schema)

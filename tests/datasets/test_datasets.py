@@ -1,0 +1,167 @@
+"""Tests for repro.datasets: specs, generation, planted effects."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CategoricalSpec,
+    MeasureSpec,
+    SyntheticSpec,
+    covid_table,
+    describe,
+    enedis_spec,
+    enedis_table,
+    flights_spec,
+    flights_table,
+    generate,
+    vaccine_spec,
+    vaccine_table,
+)
+from repro.errors import DatasetError
+from repro.insights import significant_insights, SignificanceConfig
+
+
+class TestSpecValidation:
+    def test_categorical_needs_two_values(self):
+        with pytest.raises(DatasetError):
+            CategoricalSpec("a", 1)
+
+    def test_negative_skew_rejected(self):
+        with pytest.raises(DatasetError):
+            CategoricalSpec("a", 3, skew=-1.0)
+
+    def test_measure_validation(self):
+        with pytest.raises(DatasetError):
+            MeasureSpec("m", base=-1.0)
+        with pytest.raises(DatasetError):
+            MeasureSpec("m", null_rate=1.0)
+
+    def test_spec_needs_rows_and_columns(self):
+        cat = (CategoricalSpec("a", 3),)
+        meas = (MeasureSpec("m"),)
+        with pytest.raises(DatasetError):
+            SyntheticSpec("x", 0, cat, meas)
+        with pytest.raises(DatasetError):
+            SyntheticSpec("x", 10, (), meas)
+        with pytest.raises(DatasetError):
+            SyntheticSpec("x", 10, cat, ())
+
+
+class TestGeneration:
+    @pytest.fixture
+    def spec(self):
+        return SyntheticSpec(
+            "demo",
+            800,
+            (CategoricalSpec("a", 5), CategoricalSpec("b", 3, skew=0.0)),
+            (MeasureSpec("m", base=100, noise=10), MeasureSpec("k", null_rate=0.1)),
+            seed=99,
+        )
+
+    def test_shape(self, spec):
+        table = generate(spec)
+        assert table.n_rows == 800
+        assert table.schema.categorical_names == ("a", "b")
+        assert table.schema.measure_names == ("m", "k")
+
+    def test_deterministic(self, spec):
+        assert generate(spec) == generate(spec)
+
+    def test_seed_changes_data(self, spec):
+        import dataclasses
+
+        other = dataclasses.replace(spec, seed=100)
+        assert generate(spec) != generate(other)
+
+    def test_null_rate_applied(self, spec):
+        table = generate(spec)
+        nulls = np.isnan(table.measure_values("k")).mean()
+        assert 0.05 < nulls < 0.15
+
+    def test_zipf_skew_orders_frequencies(self):
+        spec = SyntheticSpec(
+            "skewed",
+            3000,
+            (CategoricalSpec("a", 6, skew=1.2),),
+            (MeasureSpec("m"),),
+        )
+        table = generate(spec)
+        col = table.categorical_column("a")
+        counts = sorted(
+            (int(col.equals_mask(f"a_{k}").sum()) for k in range(6)), reverse=True
+        )
+        # First value (rank 1) must dominate the last heavily.
+        assert counts[0] > 3 * counts[-1]
+
+    def test_planted_effects_yield_insights(self, spec):
+        table = generate(spec)
+        found = significant_insights(
+            table, measures=["m"], config=SignificanceConfig(n_permutations=100)
+        )
+        assert len(found) > 0
+
+    def test_describe_row(self, spec):
+        table = generate(spec)
+        row = describe(spec, table)
+        assert row["tuples"] == 800
+        assert row["n_categorical"] == 2
+        assert row["adom_min"] <= row["adom_max"]
+
+
+class TestPaperDatasets:
+    def test_table2_shape_vaccine(self):
+        spec = vaccine_spec()
+        assert len(spec.categoricals) == 6
+        assert len(spec.measures) == 1
+
+    def test_table2_shape_enedis(self):
+        spec = enedis_spec()
+        assert len(spec.categoricals) == 7
+        assert len(spec.measures) == 2
+
+    def test_table2_shape_flights(self):
+        spec = flights_spec()
+        assert len(spec.categoricals) == 5
+        assert len(spec.measures) == 3
+
+    def test_size_ordering_preserved(self):
+        vaccine = vaccine_table(0.5)
+        enedis = enedis_table(0.2)
+        flights = flights_table(0.1)
+        assert vaccine.n_rows < enedis.n_rows < flights.n_rows
+
+    def test_enedis_has_largest_domain(self):
+        enedis = enedis_table(0.3)
+        flights = flights_table(0.05)
+        assert max(enedis.n_distinct(c) for c in enedis.schema.categorical_names) > max(
+            flights.n_distinct(c) for c in flights.schema.categorical_names
+        )
+
+    def test_scale_parameter(self):
+        small = enedis_table(0.1)
+        large = enedis_table(0.5)
+        assert small.n_rows < large.n_rows
+
+
+class TestCovid:
+    def test_schema(self):
+        covid = covid_table(300)
+        assert covid.schema.categorical_names == ("month", "continent", "country")
+        assert covid.schema.measure_names == ("cases", "deaths")
+
+    def test_planted_may_over_april(self):
+        covid = covid_table(2000)
+        month = covid.categorical_column("month")
+        cases = covid.measure_values("cases")
+        may = cases[month.equals_mask("5")]
+        april = cases[month.equals_mask("4")]
+        assert may.mean() > april.mean()
+
+    def test_country_determines_continent(self):
+        from repro.relational.functional_deps import holds
+
+        covid = covid_table(1000)
+        assert holds(covid, "country", "continent")
+
+    def test_deterministic(self):
+        assert covid_table(200) == covid_table(200)

@@ -1,0 +1,116 @@
+"""Unit tests for repro.generation.evaluators — all strategies must agree."""
+
+import numpy as np
+import pytest
+
+from repro.generation import (
+    NaiveEvaluator,
+    PairwiseEvaluator,
+    SetCoverEvaluator,
+    build_evaluator,
+)
+from repro.queries import ComparisonQuery
+from repro.relational import table_from_arrays
+from repro.stats import derive_rng
+
+
+@pytest.fixture
+def table():
+    rng = derive_rng(66, "evaluators")
+    n = 250
+    return table_from_arrays(
+        {
+            "a": rng.choice(["a0", "a1", "a2"], n),
+            "b": rng.choice(["b0", "b1", "b2"], n),
+            "c": rng.choice(["c0", "c1"], n),
+        },
+        {"m": rng.normal(10, 2, n)},
+    )
+
+
+QUERIES = [
+    ComparisonQuery("a", "b", "b0", "b1", "m", "sum"),
+    ComparisonQuery("a", "b", "b0", "b2", "m", "avg"),
+    ComparisonQuery("c", "b", "b1", "b2", "m", "avg"),
+    ComparisonQuery("b", "a", "a0", "a1", "m", "sum"),
+    ComparisonQuery("a", "c", "c0", "c1", "m", "var"),
+]
+
+
+class TestAgreement:
+    def test_all_three_strategies_agree(self, table):
+        naive = NaiveEvaluator(table)
+        pairwise = PairwiseEvaluator(table)
+        setcover = SetCoverEvaluator(table)
+        for query in QUERIES:
+            results = [e.evaluate(query) for e in (naive, pairwise, setcover)]
+            base = results[0]
+            for other in results[1:]:
+                assert other.groups == base.groups
+                np.testing.assert_allclose(other.x, base.x, rtol=1e-9, equal_nan=True)
+                np.testing.assert_allclose(other.y, base.y, rtol=1e-9, equal_nan=True)
+                assert other.tuples_aggregated == base.tuples_aggregated
+
+
+class TestQueryCounting:
+    def test_naive_counts_every_call(self, table):
+        naive = NaiveEvaluator(table)
+        for query in QUERIES:
+            naive.evaluate(query)
+            naive.evaluate(query)
+        assert naive.queries_sent == 2 * len(QUERIES)
+
+    def test_pairwise_counts_distinct_pairs(self, table):
+        pairwise = PairwiseEvaluator(table)
+        for query in QUERIES:
+            pairwise.evaluate(query)
+            pairwise.evaluate(query)
+        distinct_pairs = {frozenset((q.group_by, q.selection_attribute)) for q in QUERIES}
+        assert pairwise.queries_sent == len(distinct_pairs)
+
+    def test_setcover_sends_cover_queries_up_front(self, table):
+        setcover = SetCoverEvaluator(table)
+        sent_before = setcover.queries_sent
+        for query in QUERIES:
+            setcover.evaluate(query)
+        assert setcover.queries_sent == sent_before  # nothing extra at query time
+        assert sent_before >= 1
+
+    def test_setcover_fewer_queries_than_pairwise_worst_case(self, table):
+        setcover = SetCoverEvaluator(table)
+        n = len(table.schema.categorical_names)
+        assert setcover.queries_sent <= n * (n - 1) / 2
+
+
+class TestSetCoverSpecifics:
+    def test_chosen_sets_cover_all_pairs(self, table):
+        from repro.generation import pairs_covered
+        from repro.relational import pair_group_by_sets
+
+        setcover = SetCoverEvaluator(table)
+        covered = set()
+        for s in setcover.chosen_sets:
+            covered |= pairs_covered(s)
+        assert set(pair_group_by_sets(table.schema.categorical_names)) <= covered
+
+    def test_memory_budget_forces_pairs(self, table):
+        tight = SetCoverEvaluator(table, memory_budget_bytes=1)
+        assert all(len(s) == 2 for s in tight.chosen_sets)
+        # Still answers everything.
+        result = tight.evaluate(QUERIES[0])
+        assert result.n_groups > 0
+
+    def test_cache_bytes_reported(self, table):
+        setcover = SetCoverEvaluator(table)
+        assert setcover.cache_bytes > 0
+
+
+class TestFactory:
+    def test_dispatch(self, table):
+        assert isinstance(build_evaluator(table, "naive"), NaiveEvaluator)
+        assert isinstance(build_evaluator(table, "pairwise"), PairwiseEvaluator)
+        assert isinstance(build_evaluator(table, "setcover"), SetCoverEvaluator)
+
+    def test_unknown_kind(self, table):
+        with pytest.raises(ValueError):
+            build_evaluator(table, "quantum")

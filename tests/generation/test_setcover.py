@@ -1,0 +1,112 @@
+"""Unit + property tests for the weighted set cover of Algorithm 2."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.generation import apply_memory_fallback, greedy_weighted_set_cover, pairs_covered
+
+
+class TestPairsCovered:
+    def test_pair_set(self):
+        covered = pairs_covered(frozenset({"a", "b", "c"}))
+        assert covered == {
+            frozenset({"a", "b"}),
+            frozenset({"a", "c"}),
+            frozenset({"b", "c"}),
+        }
+
+    def test_two_element_set(self):
+        assert pairs_covered(frozenset({"a", "b"})) == {frozenset({"a", "b"})}
+
+
+class TestGreedyCover:
+    def test_single_big_set_wins_when_cheap(self):
+        attrs = ["a", "b", "c"]
+        universe = [frozenset(p) for p in combinations(attrs, 2)]
+        candidates = {
+            frozenset(attrs): 1.0,  # covers everything, very cheap
+            frozenset({"a", "b"}): 1.0,
+            frozenset({"a", "c"}): 1.0,
+            frozenset({"b", "c"}): 1.0,
+        }
+        chosen = greedy_weighted_set_cover(universe, candidates)
+        assert chosen == [frozenset(attrs)]
+
+    def test_pairs_win_when_big_set_expensive(self):
+        attrs = ["a", "b", "c"]
+        universe = [frozenset(p) for p in combinations(attrs, 2)]
+        candidates = {
+            frozenset(attrs): 1000.0,
+            frozenset({"a", "b"}): 1.0,
+            frozenset({"a", "c"}): 1.0,
+            frozenset({"b", "c"}): 1.0,
+        }
+        chosen = greedy_weighted_set_cover(universe, candidates)
+        assert frozenset(attrs) not in chosen
+        assert len(chosen) == 3
+
+    def test_empty_universe(self):
+        assert greedy_weighted_set_cover([], {frozenset({"a", "b"}): 1.0}) == []
+
+    def test_infeasible_raises(self):
+        universe = [frozenset({"a", "b"}), frozenset({"c", "d"})]
+        candidates = {frozenset({"a", "b"}): 1.0}
+        with pytest.raises(QueryError, match="infeasible"):
+            greedy_weighted_set_cover(universe, candidates)
+
+    def test_deterministic_tie_break(self):
+        universe = [frozenset({"a", "b"})]
+        candidates = {frozenset({"a", "b"}): 1.0, frozenset({"a", "b", "c"}): 1.0}
+        one = greedy_weighted_set_cover(universe, candidates)
+        two = greedy_weighted_set_cover(universe, dict(reversed(list(candidates.items()))))
+        assert one == two
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(3, 6), st.integers(0, 1000))
+    def test_cover_property(self, n_attrs, seed):
+        """Whatever the weights, the chosen sets must cover every pair."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        attrs = [f"x{i}" for i in range(n_attrs)]
+        universe = [frozenset(p) for p in combinations(attrs, 2)]
+        candidates = {}
+        for size in range(2, n_attrs + 1):
+            for combo in combinations(attrs, size):
+                candidates[frozenset(combo)] = float(rng.uniform(1, 100))
+        chosen = greedy_weighted_set_cover(universe, candidates)
+        covered = set()
+        for s in chosen:
+            covered |= pairs_covered(s)
+        assert set(universe) <= covered
+
+
+class TestMemoryFallback:
+    def test_none_budget_passthrough(self):
+        chosen = [frozenset({"a", "b", "c"})]
+        assert apply_memory_fallback(chosen, {frozenset({"a", "b", "c"}): 50.0}, None) == chosen
+
+    def test_over_budget_set_replaced_by_pairs(self):
+        big = frozenset({"a", "b", "c"})
+        chosen = [big]
+        out = apply_memory_fallback(chosen, {big: 100.0}, memory_budget=10.0)
+        assert big not in out
+        assert set(out) == pairs_covered(big)
+
+    def test_under_budget_kept(self):
+        big = frozenset({"a", "b", "c"})
+        out = apply_memory_fallback([big], {big: 5.0}, memory_budget=10.0)
+        assert out == [big]
+
+    def test_duplicates_not_added(self):
+        big1 = frozenset({"a", "b", "c"})
+        big2 = frozenset({"b", "c", "d"})
+        out = apply_memory_fallback(
+            [big1, big2], {big1: 100.0, big2: 100.0}, memory_budget=1.0
+        )
+        assert len(out) == len(set(out))
+        assert frozenset({"b", "c"}) in out

@@ -1,0 +1,95 @@
+"""Unit tests for repro.insights.enumeration (and the counting lemmas)."""
+
+from math import comb
+
+import pytest
+
+from repro.errors import InsightError
+from repro.insights import (
+    count_comparison_queries,
+    count_hypothesis_queries_per_insight,
+    count_insights,
+    enumerate_candidates,
+    table_adom_sizes,
+)
+from repro.relational import table_from_arrays
+
+
+@pytest.fixture
+def table():
+    return table_from_arrays(
+        {"a": ["x", "y", "z", "x"], "b": ["p", "q", "p", "q"]},
+        {"m1": [1, 2, 3, 4], "m2": [4, 3, 2, 1]},
+    )
+
+
+class TestLemmas:
+    def test_lemma_3_5_insight_count(self):
+        # Vaccine-like: adoms [2, 107], 1 measure, 2 types.
+        expected = (comb(2, 2) + comb(107, 2)) * 1 * 2
+        assert count_insights([2, 107], 1, 2) == expected
+
+    def test_lemma_3_2_comparison_count(self):
+        # n=3 attributes -> factor (n-1)=2.
+        expected = (comb(3, 2) + comb(4, 2) + comb(5, 2)) * 2 * 2 * 2
+        assert count_comparison_queries([3, 4, 5], 2, 2) == expected
+
+    def test_lemma_3_2_single_attribute_zero(self):
+        assert count_comparison_queries([10], 1, 1) == 0
+
+    def test_hypothesis_queries_per_insight(self):
+        assert count_hypothesis_queries_per_insight(7) == 6  # paper: n - 1
+        assert count_hypothesis_queries_per_insight(7, n_aggregates=2) == 12
+        assert count_hypothesis_queries_per_insight(1) == 0
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(InsightError):
+            count_insights([2], -1, 1)
+
+
+class TestEnumeration:
+    def test_candidate_count_matches_lemma(self, table):
+        candidates = list(enumerate_candidates(table))
+        sizes = list(table_adom_sizes(table).values())
+        assert len(candidates) == count_insights(sizes, 2, 2)
+
+    def test_pairs_are_canonical(self, table):
+        for c in enumerate_candidates(table):
+            assert c.val < c.val_other  # lexicographic at enumeration time
+
+    def test_types_filter(self, table):
+        only_mean = list(enumerate_candidates(table, insight_types=["M"]))
+        assert all(c.type_code == "M" for c in only_mean)
+        both = list(enumerate_candidates(table))
+        assert len(both) == 2 * len(only_mean)
+
+    def test_attribute_filter(self, table):
+        only_a = list(enumerate_candidates(table, attributes=["a"]))
+        assert all(c.attribute == "a" for c in only_a)
+
+    def test_measure_filter(self, table):
+        only_m1 = list(enumerate_candidates(table, measures=["m1"]))
+        assert all(c.measure == "m1" for c in only_m1)
+
+    def test_pair_cap(self, table):
+        capped = list(
+            enumerate_candidates(table, insight_types=["M"], measures=["m1"],
+                                 max_pairs_per_attribute=1)
+        )
+        by_attr = {}
+        for c in capped:
+            by_attr.setdefault(c.attribute, set()).add((c.val, c.val_other))
+        assert all(len(pairs) == 1 for pairs in by_attr.values())
+
+    def test_null_values_excluded(self):
+        t = table_from_arrays({"a": ["x", None, "y"]}, {"m": [1, 2, 3]})
+        values = {(c.val, c.val_other) for c in enumerate_candidates(t)}
+        assert values == {("x", "y")}
+
+    def test_no_measures_rejected(self):
+        t = table_from_arrays({"a": ["x", "y"]}, {"m": [1, 2]})
+        with pytest.raises(InsightError):
+            list(enumerate_candidates(t, measures=[]))
+
+    def test_adom_sizes(self, table):
+        assert table_adom_sizes(table) == {"a": 3, "b": 2}

@@ -1,0 +1,58 @@
+"""Unit tests for repro.insights.insight (value objects + evidence)."""
+
+import pytest
+
+from repro.insights import CandidateInsight, InsightEvidence, MEAN_GREATER, TestedInsight
+
+
+@pytest.fixture
+def candidate():
+    return CandidateInsight("cases", "month", "5", "4", "M")
+
+
+@pytest.fixture
+def tested(candidate):
+    return TestedInsight(candidate, statistic=12.3, p_value=0.01, p_adjusted=0.03)
+
+
+class TestCandidate:
+    def test_key(self, candidate):
+        assert candidate.key == ("cases", "month", "5", "4", "M")
+
+    def test_pair_key_unordered(self, candidate):
+        flipped = CandidateInsight("cases", "month", "4", "5", "M")
+        assert candidate.pair_key == flipped.pair_key
+
+    def test_describe(self, candidate):
+        text = candidate.describe(MEAN_GREATER)
+        assert "mean greater" in text and "month=5" in text
+
+
+class TestTested:
+    def test_significance_uses_adjusted_p(self, tested):
+        assert tested.significance == pytest.approx(0.97)
+
+    def test_is_significant_threshold(self, tested):
+        assert tested.is_significant(0.95)
+        assert not tested.is_significant(0.99)
+
+    def test_key_delegates(self, tested, candidate):
+        assert tested.key == candidate.key
+
+
+class TestEvidence:
+    def test_credibility_counts(self, tested):
+        evidence = InsightEvidence(tested, n_supporting=3, n_postulating=6)
+        assert evidence.credibility == 3
+        assert evidence.credibility_ratio == 0.5
+        assert evidence.type_two_error_probability == 0.5
+
+    def test_zero_postulating_ratio_zero(self, tested):
+        evidence = InsightEvidence(tested, n_supporting=0, n_postulating=0)
+        assert evidence.credibility_ratio == 0.0
+        assert evidence.type_two_error_probability == 1.0
+
+    def test_full_support(self, tested):
+        evidence = InsightEvidence(tested, n_supporting=4, n_postulating=4)
+        assert evidence.credibility_ratio == 1.0
+        assert evidence.type_two_error_probability == 0.0

@@ -1,0 +1,81 @@
+"""Unit tests for repro.insights.transitivity."""
+
+import pytest
+
+from repro.insights import CandidateInsight, TestedInsight, deducible_count, prune_transitive
+
+
+def insight(val, val_other, sig=0.99, measure="m", attribute="a", type_code="M"):
+    return TestedInsight(
+        CandidateInsight(measure, attribute, val, val_other, type_code),
+        statistic=1.0,
+        p_value=1 - sig,
+        p_adjusted=1 - sig,
+    )
+
+
+class TestPruning:
+    def test_transitive_edge_removed(self):
+        chain = [insight("x", "y"), insight("y", "z"), insight("x", "z")]
+        kept = prune_transitive(chain)
+        pairs = {(i.candidate.val, i.candidate.val_other) for i in kept}
+        assert pairs == {("x", "y"), ("y", "z")}
+
+    def test_non_deducible_kept(self):
+        star = [insight("x", "y"), insight("x", "z")]
+        assert len(prune_transitive(star)) == 2
+
+    def test_longer_chain(self):
+        chain = [
+            insight("a", "b"), insight("b", "c"), insight("c", "d"),
+            insight("a", "c"), insight("a", "d"), insight("b", "d"),
+        ]
+        kept = prune_transitive(chain)
+        pairs = {(i.candidate.val, i.candidate.val_other) for i in kept}
+        assert pairs == {("a", "b"), ("b", "c"), ("c", "d")}
+
+    def test_families_independent(self):
+        mixed = [
+            insight("x", "y", measure="m1"),
+            insight("y", "z", measure="m2"),
+            insight("x", "z", measure="m1"),  # not deducible: m2 edge is another family
+        ]
+        assert len(prune_transitive(mixed)) == 3
+
+    def test_types_are_separate_families(self):
+        mixed = [
+            insight("x", "y", type_code="M"),
+            insight("y", "z", type_code="V"),
+            insight("x", "z", type_code="M"),
+        ]
+        assert len(prune_transitive(mixed)) == 3
+
+    def test_cycle_left_untouched(self):
+        cycle = [insight("x", "y"), insight("y", "z"), insight("z", "x")]
+        assert len(prune_transitive(cycle)) == 3
+
+    def test_empty_and_singleton(self):
+        assert prune_transitive([]) == []
+        single = [insight("x", "y")]
+        assert prune_transitive(single) == single
+
+    def test_duplicate_edge_keeps_most_significant(self):
+        weak = insight("x", "y", sig=0.96)
+        strong = insight("x", "y", sig=0.999)
+        kept = prune_transitive([weak, strong])
+        assert len(kept) == 1
+        assert kept[0].significance == pytest.approx(0.999)
+
+    def test_order_preserved(self):
+        items = [insight("x", "y"), insight("p", "q"), insight("y", "z")]
+        kept = prune_transitive(items)
+        assert [(i.candidate.val, i.candidate.val_other) for i in kept] == [
+            ("x", "y"), ("p", "q"), ("y", "z"),
+        ]
+
+
+class TestDeducibleCount:
+    def test_counts_removed(self):
+        chain = [insight("x", "y"), insight("y", "z"), insight("x", "z")]
+        assert deducible_count(chain) == 1
+        assert deducible_count(chain[:2]) == 0

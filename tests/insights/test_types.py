@@ -1,0 +1,112 @@
+"""Unit tests for repro.insights.types."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InsightError
+from repro.insights import (
+    DEFAULT_INSIGHT_TYPES,
+    MEAN_GREATER,
+    MEDIAN_GREATER,
+    VARIANCE_GREATER,
+    InsightType,
+    insight_type,
+    register_insight_type,
+    registered_insight_types,
+    resolve_insight_types,
+)
+from repro.stats import SharedPermutations, derive_rng
+
+
+class TestRegistry:
+    def test_lookup_by_code(self):
+        assert insight_type("M") is MEAN_GREATER
+        assert insight_type("V") is VARIANCE_GREATER
+        assert insight_type("D") is MEDIAN_GREATER
+
+    def test_unknown_code(self):
+        with pytest.raises(InsightError, match="unknown insight type"):
+            insight_type("Z")
+
+    def test_defaults_are_paper_types(self):
+        assert tuple(t.code for t in DEFAULT_INSIGHT_TYPES) == ("M", "V")
+
+    def test_resolve_none_gives_defaults(self):
+        assert resolve_insight_types(None) == DEFAULT_INSIGHT_TYPES
+
+    def test_resolve_mixes_codes_and_instances(self):
+        out = resolve_insight_types(["M", VARIANCE_GREATER])
+        assert out == (MEAN_GREATER, VARIANCE_GREATER)
+
+    def test_resolve_empty_rejected(self):
+        with pytest.raises(InsightError):
+            resolve_insight_types([])
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(InsightError, match="already registered"):
+            register_insight_type(MEAN_GREATER)
+
+    def test_registered_contains_extension(self):
+        codes = {t.code for t in registered_insight_types()}
+        assert {"M", "V", "D"} <= codes
+
+
+class TestMeanGreater:
+    def test_observed_statistic_sign(self):
+        assert MEAN_GREATER.observed_statistic(np.array([4.0]), np.array([1.0])) == 3.0
+
+    def test_supports(self):
+        assert MEAN_GREATER.supports(np.array([5.0, 5.0]), np.array([1.0, 1.0]))
+        assert not MEAN_GREATER.supports(np.array([1.0]), np.array([5.0]))
+
+    def test_supports_empty_false(self):
+        assert not MEAN_GREATER.supports(np.array([]), np.array([1.0]))
+        assert not MEAN_GREATER.supports(np.array([np.nan]), np.array([1.0]))
+
+    def test_sql_predicate(self):
+        assert MEAN_GREATER.hypothesis_predicate_sql("a", "b") == "avg(a) > avg(b)"
+
+    def test_permutation_test_wired(self):
+        rng = derive_rng(1, "t")
+        batch = SharedPermutations(30, 30, 100, rng)
+        x = rng.normal(4, 1, 30)
+        y = rng.normal(0, 1, 30)
+        assert MEAN_GREATER.test(batch, x, y).p_value < 0.05
+
+    def test_parametric_test_wired(self):
+        rng = derive_rng(2, "t")
+        x = rng.normal(4, 1, 30)
+        y = rng.normal(0, 1, 30)
+        assert MEAN_GREATER.parametric_test(x, y).p_value < 0.01
+
+
+class TestVarianceGreater:
+    def test_supports_requires_two_points(self):
+        assert not VARIANCE_GREATER.supports(np.array([1.0]), np.array([1.0, 5.0]))
+
+    def test_supports(self):
+        wide = np.array([0.0, 10.0, 20.0])
+        narrow = np.array([5.0, 5.1, 5.2])
+        assert VARIANCE_GREATER.supports(wide, narrow)
+        assert not VARIANCE_GREATER.supports(narrow, wide)
+
+    def test_sql_predicate(self):
+        assert VARIANCE_GREATER.hypothesis_predicate_sql("x", "y") == "var(x) > var(y)"
+
+    def test_observed_statistic_nan_when_undefined(self):
+        assert np.isnan(VARIANCE_GREATER.observed_statistic(np.array([1.0]), np.array([1.0, 2.0])))
+
+
+class TestMedianGreaterExtension:
+    def test_supports(self):
+        assert MEDIAN_GREATER.supports(np.array([1.0, 9.0, 9.0]), np.array([1.0, 1.0, 9.0]))
+
+    def test_permutation_test(self):
+        rng = derive_rng(3, "t")
+        x = rng.normal(5, 1, 40)
+        y = rng.normal(0, 1, 40)
+        batch = SharedPermutations(40, 40, 100, rng)
+        assert MEDIAN_GREATER.test(batch, x, y).p_value < 0.05
+
+    def test_not_in_defaults(self):
+        assert MEDIAN_GREATER not in DEFAULT_INSIGHT_TYPES

@@ -1,0 +1,69 @@
+"""Unit tests for the Vega-Lite chart specs."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import NotebookError
+from repro.notebook import (
+    chart_markdown_block,
+    comparison_chart_json,
+    comparison_chart_spec,
+    comparison_chart_values,
+)
+from repro.queries import ComparisonQuery
+from repro.queries.evaluate import ComparisonResult
+
+
+def make_result(groups, x, y, query=None):
+    query = query or ComparisonQuery("continent", "month", "5", "4", "cases", "sum")
+    return ComparisonResult(
+        query, tuple(groups), np.asarray(x, dtype=float), np.asarray(y, dtype=float), 100
+    )
+
+
+class TestChartValues:
+    def test_long_form_rows(self):
+        result = make_result(["EU", "AS"], [10.0, 20.0], [1.0, 2.0])
+        rows = comparison_chart_values(result)
+        assert len(rows) == 4
+        assert {"continent": "EU", "month": "5", "value": 10.0} in rows
+        assert {"continent": "AS", "month": "4", "value": 2.0} in rows
+
+    def test_nan_cells_skipped(self):
+        result = make_result(["EU"], [np.nan], [2.0])
+        rows = comparison_chart_values(result)
+        assert len(rows) == 1
+        assert rows[0]["value"] == 2.0
+
+
+class TestChartSpec:
+    def test_structure(self):
+        result = make_result(["EU", "AS"], [10.0, 20.0], [1.0, 2.0])
+        spec = comparison_chart_spec(result)
+        assert spec["$schema"].endswith("v5.json")
+        assert spec["mark"] == "bar"
+        assert spec["encoding"]["x"]["field"] == "continent"
+        assert spec["encoding"]["y"]["title"] == "sum(cases)"
+        assert spec["encoding"]["color"]["field"] == "month"
+
+    def test_custom_title(self):
+        result = make_result(["EU"], [1.0], [2.0])
+        assert comparison_chart_spec(result, title="Hello")["title"] == "Hello"
+
+    def test_empty_result_rejected(self):
+        with pytest.raises(NotebookError):
+            comparison_chart_spec(make_result([], [], []))
+
+    def test_json_serializable(self):
+        result = make_result(["EU"], [1.0], [2.0])
+        parsed = json.loads(comparison_chart_json(result))
+        assert parsed["mark"] == "bar"
+
+    def test_markdown_block_round_trips(self):
+        result = make_result(["EU"], [1.0], [2.0])
+        block = chart_markdown_block(result)
+        assert block.startswith("```vega-lite\n") and block.endswith("\n```")
+        inner = block.removeprefix("```vega-lite\n").removesuffix("\n```")
+        assert json.loads(inner)["data"]["values"]

@@ -1,0 +1,65 @@
+"""Unit tests for repro.queries.comparison."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.queries import ComparisonQuery
+from repro.relational import table_from_arrays
+
+
+@pytest.fixture
+def query():
+    return ComparisonQuery("continent", "month", "5", "4", "cases", "sum")
+
+
+class TestValidation:
+    def test_same_attribute_rejected(self):
+        with pytest.raises(QueryError, match="must differ"):
+            ComparisonQuery("month", "month", "4", "5", "cases", "sum")
+
+    def test_same_values_rejected(self):
+        with pytest.raises(QueryError, match="distinct"):
+            ComparisonQuery("a", "b", "v", "v", "m", "sum")
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(QueryError, match="unknown aggregate"):
+            ComparisonQuery("a", "b", "v", "w", "m", "frob")
+
+    def test_validate_against_schema(self, query):
+        table = table_from_arrays(
+            {"month": ["4"], "continent": ["EU"]}, {"cases": [1.0]}
+        )
+        query.validate_against(table)  # should not raise
+
+    def test_validate_against_wrong_kinds(self, query):
+        table = table_from_arrays({"month": ["4"]}, {"continent": [1.0], "cases": [1.0]})
+        with pytest.raises(QueryError, match="does not fit"):
+            query.validate_against(table)
+
+
+class TestKeys:
+    def test_key_tuple(self, query):
+        assert query.key == ("continent", "month", "5", "4", "cases", "sum")
+
+    def test_evidence_key_canonicalizes_pair(self, query):
+        flipped = ComparisonQuery("continent", "month", "4", "5", "cases", "sum")
+        assert query.evidence_key == flipped.evidence_key
+        assert query.evidence_key == ("month", "4", "5", "cases")
+
+    def test_evidence_key_ignores_grouping_and_agg(self, query):
+        other = ComparisonQuery("country", "month", "5", "4", "cases", "avg")
+        assert query.evidence_key == other.evidence_key
+
+    def test_dedup_key_keeps_agg(self, query):
+        avg = ComparisonQuery("continent", "month", "5", "4", "cases", "avg")
+        assert query.dedup_key != avg.dedup_key
+        other_group = ComparisonQuery("country", "month", "5", "4", "cases", "sum")
+        assert query.dedup_key == other_group.dedup_key
+
+    def test_parts(self, query):
+        parts = query.parts
+        assert parts["selection_values"] == frozenset({"4", "5"})
+        assert parts["group_by"] == "continent"
+
+    def test_describe(self, query):
+        assert "sum(cases) by continent" in query.describe()

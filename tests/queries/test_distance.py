@@ -1,0 +1,123 @@
+"""Unit + property tests: the query distance must be a true metric."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.queries import (
+    DEFAULT_WEIGHTS,
+    ComparisonQuery,
+    DistanceWeights,
+    query_distance,
+    sequence_distance,
+)
+
+ATTRS = ["a1", "a2", "a3"]
+VALUES = ["v1", "v2", "v3", "v4"]
+MEASURES = ["m1", "m2"]
+AGGS = ["sum", "avg"]
+
+
+@st.composite
+def queries(draw):
+    b, a = draw(st.permutations(ATTRS).map(lambda p: p[:2]))
+    val, val_other = draw(st.permutations(VALUES).map(lambda p: p[:2]))
+    return ComparisonQuery(
+        a, b, val, val_other, draw(st.sampled_from(MEASURES)), draw(st.sampled_from(AGGS))
+    )
+
+
+class TestWeights:
+    def test_defaults_follow_paper_ordering(self):
+        w = DEFAULT_WEIGHTS
+        assert w.selection_values > w.selection_attribute > w.group_by >= w.measure
+        assert w.measure == w.agg
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(QueryError):
+            DistanceWeights(selection_values=-1.0)
+
+    def test_maximum(self):
+        w = DistanceWeights(1, 1, 1, 1, 1)
+        assert w.maximum == 5.0
+
+
+class TestPointwise:
+    def test_identical_queries_zero(self):
+        q = ComparisonQuery("a1", "a2", "v1", "v2", "m1", "sum")
+        assert query_distance(q, q) == 0.0
+
+    def test_flipped_values_zero_distance(self):
+        q1 = ComparisonQuery("a1", "a2", "v1", "v2", "m1", "sum")
+        q2 = ComparisonQuery("a1", "a2", "v2", "v1", "m1", "sum")
+        assert query_distance(q1, q2) == 0.0  # unordered pair
+
+    def test_one_shared_value_half_weight(self):
+        q1 = ComparisonQuery("a1", "a2", "v1", "v2", "m1", "sum")
+        q2 = ComparisonQuery("a1", "a2", "v1", "v3", "m1", "sum")
+        assert query_distance(q1, q2) == DEFAULT_WEIGHTS.selection_values * 0.5
+
+    def test_disjoint_values_full_weight(self):
+        q1 = ComparisonQuery("a1", "a2", "v1", "v2", "m1", "sum")
+        q2 = ComparisonQuery("a1", "a2", "v3", "v4", "m1", "sum")
+        assert query_distance(q1, q2) == DEFAULT_WEIGHTS.selection_values
+
+    def test_each_part_contributes(self):
+        base = ComparisonQuery("a1", "a2", "v1", "v2", "m1", "sum")
+        assert query_distance(
+            base, ComparisonQuery("a3", "a2", "v1", "v2", "m1", "sum")
+        ) == DEFAULT_WEIGHTS.group_by
+        assert query_distance(
+            base, ComparisonQuery("a1", "a2", "v1", "v2", "m2", "sum")
+        ) == DEFAULT_WEIGHTS.measure
+        assert query_distance(
+            base, ComparisonQuery("a1", "a2", "v1", "v2", "m1", "avg")
+        ) == DEFAULT_WEIGHTS.agg
+
+    def test_selection_attribute_change(self):
+        q1 = ComparisonQuery("a1", "a2", "v1", "v2", "m1", "sum")
+        q2 = ComparisonQuery("a1", "a3", "v1", "v2", "m1", "sum")
+        assert query_distance(q1, q2) == DEFAULT_WEIGHTS.selection_attribute
+
+
+class TestMetricAxioms:
+    @settings(max_examples=200, deadline=None)
+    @given(queries(), queries())
+    def test_symmetry(self, q1, q2):
+        assert query_distance(q1, q2) == query_distance(q2, q1)
+
+    @settings(max_examples=200, deadline=None)
+    @given(queries(), queries())
+    def test_non_negativity_and_bound(self, q1, q2):
+        d = query_distance(q1, q2)
+        assert 0.0 <= d <= DEFAULT_WEIGHTS.maximum
+
+    @settings(max_examples=300, deadline=None)
+    @given(queries(), queries(), queries())
+    def test_triangle_inequality(self, q1, q2, q3):
+        """The TAP's correctness hinges on this (Section 4.2)."""
+        d12 = query_distance(q1, q2)
+        d23 = query_distance(q2, q3)
+        d13 = query_distance(q1, q3)
+        assert d13 <= d12 + d23 + 1e-12
+
+    @settings(max_examples=100, deadline=None)
+    @given(queries())
+    def test_identity(self, q):
+        assert query_distance(q, q) == 0.0
+
+
+class TestSequenceDistance:
+    def test_empty_and_single(self):
+        q = ComparisonQuery("a1", "a2", "v1", "v2", "m1", "sum")
+        assert sequence_distance([]) == 0.0
+        assert sequence_distance([q]) == 0.0
+
+    def test_sums_consecutive(self):
+        q1 = ComparisonQuery("a1", "a2", "v1", "v2", "m1", "sum")
+        q2 = ComparisonQuery("a1", "a2", "v1", "v2", "m2", "sum")
+        q3 = ComparisonQuery("a1", "a2", "v1", "v2", "m2", "avg")
+        assert sequence_distance([q1, q2, q3]) == pytest.approx(
+            query_distance(q1, q2) + query_distance(q2, q3)
+        )

@@ -1,0 +1,83 @@
+"""Unit tests for the comparison-explanation extension."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.queries import ComparisonQuery
+from repro.queries.evaluate import ComparisonResult
+from repro.queries.explain import explain_comparison, explanation_sentence
+
+
+def make_result(groups, x, y):
+    query = ComparisonQuery("g", "b", "v1", "v2", "m", "sum")
+    return ComparisonResult(
+        query, tuple(groups), np.asarray(x, dtype=float), np.asarray(y, dtype=float), 100
+    )
+
+
+class TestExplain:
+    def test_ranking_by_absolute_delta(self):
+        result = make_result(["a", "b", "c"], [10, 100, 30], [5, 20, 29])
+        ranked = explain_comparison(result)
+        assert [c.group for c in ranked] == ["b", "a", "c"]
+
+    def test_shares_sum_to_one(self):
+        result = make_result(["a", "b", "c"], [10, 100, 30], [5, 20, 29])
+        ranked = explain_comparison(result)
+        assert sum(c.share for c in ranked) == pytest.approx(1.0)
+
+    def test_direction_flags(self):
+        # Overall gap positive, but 'c' moves against it.
+        result = make_result(["a", "b", "c"], [10, 100, 5], [5, 20, 50])
+        by_group = {c.group: c for c in explain_comparison(result)}
+        assert by_group["a"].direction == 1
+        assert by_group["b"].direction == 1
+        assert by_group["c"].direction == -1
+
+    def test_top_k(self):
+        result = make_result(["a", "b", "c"], [10, 100, 30], [5, 20, 29])
+        assert len(explain_comparison(result, top_k=2)) == 2
+
+    def test_nan_groups_contribute_nothing(self):
+        result = make_result(["a", "b"], [10, np.nan], [5, 3])
+        by_group = {c.group: c for c in explain_comparison(result)}
+        assert by_group["b"].delta == 0.0
+        assert by_group["a"].share == pytest.approx(1.0)
+
+    def test_empty_result_rejected(self):
+        result = make_result([], [], [])
+        with pytest.raises(QueryError):
+            explain_comparison(result)
+
+    def test_all_zero_deltas(self):
+        result = make_result(["a", "b"], [5, 5], [5, 5])
+        ranked = explain_comparison(result)
+        assert all(c.share == 0.0 for c in ranked)
+
+
+class TestSentence:
+    def test_mentions_top_driver(self):
+        result = make_result(["america", "asia", "europe"], [100, 40, 10], [20, 20, 9])
+        text = explanation_sentence(result)
+        assert "america" in text
+        assert "% of the gap" in text
+
+    def test_mentions_counter_trend_groups(self):
+        result = make_result(["a", "b"], [100, 5], [20, 60])
+        text = explanation_sentence(result)
+        assert "against the trend" in text and "b" in text
+
+    def test_degenerate(self):
+        result = make_result(["a"], [5.0], [5.0])
+        assert "no single group" in explanation_sentence(result)
+
+    def test_end_to_end_on_real_comparison(self):
+        from repro.datasets import covid_table
+        from repro.queries import evaluate_comparison
+
+        covid = covid_table(1000)
+        query = ComparisonQuery("continent", "month", "5", "4", "cases", "sum")
+        result = evaluate_comparison(covid, query)
+        text = explanation_sentence(result)
+        assert "gap" in text

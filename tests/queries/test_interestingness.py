@@ -1,0 +1,96 @@
+"""Unit tests for repro.queries.interestingness (Definition 4.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.insights import CandidateInsight, InsightEvidence, TestedInsight
+from repro.queries import InterestingnessConfig, conciseness, insight_term, query_interest
+
+
+def evidence(sig=0.99, supporting=1, postulating=4):
+    tested = TestedInsight(
+        CandidateInsight("m", "b", "x", "y", "M"), 1.0, 1 - sig, 1 - sig
+    )
+    return InsightEvidence(tested, n_supporting=supporting, n_postulating=postulating)
+
+
+class TestConciseness:
+    def test_zero_outside_domain(self):
+        assert conciseness(0, 5) == 0.0
+        assert conciseness(100, 0) == 0.0
+        assert conciseness(10, 20) == 0.0  # more groups than tuples: undefined zone
+
+    def test_peak_at_ideal_ratio(self):
+        alpha = 0.02
+        theta = 1000
+        ideal = alpha * theta
+        at_peak = conciseness(theta, ideal, alpha=alpha)
+        assert at_peak == pytest.approx(1.0)
+        assert conciseness(theta, ideal * 10, alpha=alpha) < at_peak
+        assert conciseness(theta, max(1, ideal / 10), alpha=alpha) < at_peak
+
+    def test_non_monotone_in_groups(self):
+        values = [conciseness(2000, g) for g in (2, 40, 1500)]
+        assert values[1] > values[0] and values[1] > values[2]
+
+    def test_delta_spreads_tolerance(self):
+        tight = conciseness(1000, 100, alpha=0.02, delta=1.0)
+        loose = conciseness(1000, 100, alpha=0.02, delta=2.0)
+        assert loose > tight
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(1, 1e6), st.floats(1, 1e6))
+    def test_bounded_in_unit_interval(self, theta, gamma):
+        assert 0.0 <= conciseness(theta, gamma) <= 1.0
+
+
+class TestConfig:
+    def test_parameters_validated(self):
+        with pytest.raises(QueryError):
+            InterestingnessConfig(alpha=0.0)
+        with pytest.raises(QueryError):
+            InterestingnessConfig(omega=-1.0)
+
+    def test_with_components(self):
+        base = InterestingnessConfig()
+        sig_only = base.with_components(conciseness_on=False, credibility_on=False)
+        assert not sig_only.use_conciseness and not sig_only.use_credibility
+        assert sig_only.use_significance
+
+
+class TestInsightTerm:
+    def test_full_term(self):
+        config = InterestingnessConfig(omega=2.0)
+        # sig=0.99, 1 - cred/|Qi| = 1 - 1/4 = 0.75
+        assert insight_term(evidence(), config) == pytest.approx(2.0 * 0.99 * 0.75)
+
+    def test_sig_only(self):
+        config = InterestingnessConfig().with_components(False, False)
+        assert insight_term(evidence(), config) == pytest.approx(0.99)
+
+    def test_fully_credible_insight_contributes_zero(self):
+        config = InterestingnessConfig()
+        assert insight_term(evidence(supporting=4, postulating=4), config) == 0.0
+
+
+class TestQueryInterest:
+    def test_sums_over_insights(self):
+        config = InterestingnessConfig().with_components(False, False)
+        total = query_interest(100, 5, [evidence(0.99), evidence(0.95)], config)
+        assert total == pytest.approx(0.99 + 0.95)
+
+    def test_conciseness_multiplies(self):
+        config = InterestingnessConfig()
+        with_conc = query_interest(100, 90, [evidence()], config)
+        without = query_interest(
+            100, 90, [evidence()], config.with_components(False, True)
+        )
+        assert with_conc == pytest.approx(without * conciseness(100, 90))
+
+    def test_no_insights_zero(self):
+        assert query_interest(100, 5, []) == 0.0
+
+    def test_default_config(self):
+        assert query_interest(100, 5, [evidence()]) > 0.0

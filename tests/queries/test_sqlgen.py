@@ -1,0 +1,152 @@
+"""Unit tests for repro.queries.sqlgen — all emitted SQL must parse and run."""
+
+import pytest
+
+from repro.insights import MEAN_GREATER, VARIANCE_GREATER
+from repro.queries import (
+    ComparisonQuery,
+    bind_table,
+    comparison_aliases,
+    comparison_sql,
+    comparison_sql_pivot,
+    hypothesis_sql,
+    sql_identifier,
+    sql_string,
+    value_alias,
+)
+from repro.relational import table_from_arrays
+from repro.sqlengine import Catalog, execute_sql, parse_sql
+
+
+@pytest.fixture
+def query():
+    return ComparisonQuery("continent", "month", "5", "4", "cases", "sum")
+
+
+@pytest.fixture
+def table():
+    return table_from_arrays(
+        {"month": ["4", "5", "4", "5"], "continent": ["EU", "EU", "AS", "AS"]},
+        {"cases": [10.0, 30.0, 20.0, 60.0]},
+    )
+
+
+class TestIdentifiers:
+    def test_plain_identifier_unquoted(self):
+        assert sql_identifier("continent") == "continent"
+
+    def test_keyword_quoted(self):
+        assert sql_identifier("order") == '"order"'
+
+    def test_spaces_quoted(self):
+        assert sql_identifier("nb meters") == '"nb meters"'
+
+    def test_sql_string_escaping(self):
+        assert sql_string("it's") == "'it''s'"
+
+    def test_value_alias_plain(self):
+        assert value_alias("May") == "May"
+
+    def test_value_alias_numeric(self):
+        assert value_alias("4") == "val_4"
+
+    def test_value_alias_sanitized(self):
+        assert value_alias("Île-de-France") == "val__le_de_France"
+
+    def test_value_alias_collision_avoided(self):
+        taken = set()
+        first = value_alias("4", taken)
+        second = value_alias("4", taken)
+        assert first != second
+
+    def test_comparison_aliases_distinct(self):
+        q = ComparisonQuery("a", "b", "x!", "x?", "m", "sum")
+        one, two = comparison_aliases(q)
+        assert one != two
+
+
+class TestGeneratedSQLParses:
+    def test_comparison_sql_parses(self, query):
+        parse_sql(bind_table(comparison_sql(query), "covid"))
+
+    def test_pivot_sql_parses(self, query):
+        parse_sql(bind_table(comparison_sql_pivot(query), "covid"))
+
+    def test_hypothesis_sql_parses(self, query):
+        for itype in (MEAN_GREATER, VARIANCE_GREATER):
+            parse_sql(bind_table(hypothesis_sql(query, itype), "covid"))
+
+    def test_weird_labels_still_parse(self):
+        q = ComparisonQuery("group by", "sel'attr", "val'1", "val 2", "my measure", "avg")
+        parse_sql(bind_table(comparison_sql(q), "the table"))
+        parse_sql(bind_table(hypothesis_sql(q, MEAN_GREATER), "the table"))
+
+
+class TestGeneratedSQLRuns:
+    def test_comparison_sql_result(self, query, table):
+        catalog = Catalog({"covid": table})
+        out = execute_sql(bind_table(comparison_sql(query), "covid"), catalog)
+        assert out.n_rows == 2
+        assert out.to_dict()["continent"] == ["AS", "EU"]
+        assert out.to_dict()["val_5"] == [60.0, 30.0]
+        assert out.to_dict()["val_4"] == [20.0, 10.0]
+
+    def test_pivot_sql_result(self, query, table):
+        catalog = Catalog({"covid": table})
+        out = execute_sql(bind_table(comparison_sql_pivot(query), "covid"), catalog)
+        assert out.n_rows == 4  # (continent, month) combinations
+
+    def test_hypothesis_sql_supports(self, query, table):
+        catalog = Catalog({"covid": table})
+        sql = bind_table(hypothesis_sql(query, MEAN_GREATER), "covid")
+        out = execute_sql(sql, catalog)
+        assert out.n_rows == 1
+        assert out.to_dict()["hypothesis"] == ["mean greater"]
+
+    def test_hypothesis_sql_not_supported(self, table):
+        reversed_query = ComparisonQuery("continent", "month", "4", "5", "cases", "sum")
+        catalog = Catalog({"covid": table})
+        sql = bind_table(hypothesis_sql(reversed_query, MEAN_GREATER), "covid")
+        assert execute_sql(sql, catalog).n_rows == 0
+
+    def test_join_and_pivot_forms_agree(self, query, table):
+        catalog = Catalog({"covid": table})
+        join_form = execute_sql(bind_table(comparison_sql(query), "covid"), catalog)
+        pivot_form = execute_sql(bind_table(comparison_sql_pivot(query), "covid"), catalog)
+        # Reassemble the pivot rows into the join form's two columns.
+        per_group: dict[str, dict[str, float]] = {}
+        for cont, month, value in zip(*pivot_form.to_dict().values()):
+            per_group.setdefault(cont, {})[month] = value
+        for cont, v5, v4 in zip(*join_form.to_dict().values()):
+            assert per_group[cont]["5"] == v5
+            assert per_group[cont]["4"] == v4
+
+
+class TestPivotAndJoinFormsProperty:
+    """Property: the two comparison-query SQL forms agree on random data."""
+
+    def test_forms_agree_on_random_tables(self):
+        import numpy as np
+
+        from repro.sqlengine import Catalog, execute_sql
+
+        for seed in range(6):
+            rng = np.random.default_rng(seed)
+            n = int(rng.integers(20, 80))
+            t = table_from_arrays(
+                {
+                    "g": rng.choice(["g0", "g1", "g2"], n),
+                    "s": rng.choice(["s0", "s1", "s2"], n),
+                },
+                {"m": rng.normal(0, 5, n)},
+            )
+            q = ComparisonQuery("g", "s", "s0", "s1", "m", "avg")
+            catalog = Catalog({"d": t})
+            join_form = execute_sql(bind_table(comparison_sql(q), "d"), catalog)
+            pivot_form = execute_sql(bind_table(comparison_sql_pivot(q), "d"), catalog)
+            per_group: dict[str, dict[str, float]] = {}
+            for g, s, v in zip(*pivot_form.to_dict().values()):
+                per_group.setdefault(g, {})[s] = v
+            for g, x, y in zip(*join_form.to_dict().values()):
+                assert per_group[g]["s0"] == pytest.approx(x)
+                assert per_group[g]["s1"] == pytest.approx(y)

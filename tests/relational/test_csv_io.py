@@ -1,0 +1,91 @@
+"""Unit tests for repro.relational.csv_io."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TypeInferenceError
+from repro.relational import AttributeKind, infer_kinds, read_csv, read_csv_text, write_csv
+from repro.relational.csv_io import MEASURE_MIN_DISTINCT
+
+
+def _numeric_rows(n):
+    return [[f"v{i % 3}", str(float(i))] for i in range(n)]
+
+
+class TestInference:
+    def test_numeric_high_cardinality_is_measure(self):
+        kinds = infer_kinds(["cat", "num"], _numeric_rows(MEASURE_MIN_DISTINCT + 5))
+        assert kinds["num"] is AttributeKind.MEASURE
+        assert kinds["cat"] is AttributeKind.CATEGORICAL
+
+    def test_numeric_low_cardinality_is_categorical(self):
+        rows = [["a", str(i % 4)] for i in range(40)]
+        kinds = infer_kinds(["cat", "num"], rows)
+        assert kinds["num"] is AttributeKind.CATEGORICAL
+
+    def test_mixed_column_is_categorical(self):
+        rows = [["a", "1"], ["b", "two"]] * 20
+        kinds = infer_kinds(["cat", "mix"], rows)
+        assert kinds["mix"] is AttributeKind.CATEGORICAL
+
+    def test_override_wins(self):
+        rows = [["a", str(i % 4)] for i in range(40)]
+        kinds = infer_kinds(["cat", "num"], rows, {"num": AttributeKind.MEASURE})
+        assert kinds["num"] is AttributeKind.MEASURE
+
+    def test_override_unknown_column_raises(self):
+        with pytest.raises(TypeInferenceError, match="unknown columns"):
+            infer_kinds(["a"], [], {"zzz": AttributeKind.MEASURE})
+
+    def test_all_empty_column_is_categorical(self):
+        kinds = infer_kinds(["a", "b"], [["x", ""], ["y", ""]])
+        assert kinds["b"] is AttributeKind.CATEGORICAL
+
+
+class TestReadWrite:
+    def test_read_csv_text(self):
+        n = MEASURE_MIN_DISTINCT + 2
+        text = "cat,num\n" + "\n".join(f"v{i % 3},{i}.5" for i in range(n))
+        table = read_csv_text(text)
+        assert table.n_rows == n
+        assert table.schema["num"].is_measure
+        assert table.measure_values("num")[0] == 0.5
+
+    def test_empty_input_raises(self):
+        with pytest.raises(TypeInferenceError, match="empty"):
+            read_csv_text("")
+
+    def test_blank_lines_skipped(self):
+        table = read_csv_text("a,b\nx,1\n\n \ny,2\n")
+        assert table.n_rows == 2
+
+    def test_missing_cells_become_null(self):
+        text = "cat,num\n" + "\n".join(f"v,{i}" for i in range(20)) + "\nw\n"
+        table = read_csv_text(text)
+        assert np.isnan(table.measure_values("num")[-1])
+
+    def test_round_trip_via_files(self, tmp_path):
+        n = MEASURE_MIN_DISTINCT + 2
+        text = "cat,num\n" + "\n".join(f"v{i % 3},{i}" for i in range(n))
+        source = tmp_path / "in.csv"
+        source.write_text(text)
+        table = read_csv(source)
+        target = tmp_path / "out.csv"
+        write_csv(table, target)
+        table2 = read_csv(target)
+        assert table.to_dict() == table2.to_dict()
+
+    def test_write_nulls_as_empty(self, tmp_path):
+        table = read_csv_text("cat,num\n" + "\n".join(f"v,{i}" for i in range(20)) + "\nw,\n")
+        target = tmp_path / "nulls.csv"
+        write_csv(table, target)
+        last_line = target.read_text().strip().splitlines()[-1]
+        assert last_line == "w,"
+
+    def test_custom_delimiter(self):
+        table = read_csv_text("a;b\nx;y\n", delimiter=";")
+        assert table.schema.names == ("a", "b")
+
+    def test_header_whitespace_stripped(self):
+        table = read_csv_text(" a , b \nx,y\n")
+        assert table.schema.names == ("a", "b")

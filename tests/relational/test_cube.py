@@ -1,0 +1,149 @@
+"""Unit + property tests for repro.relational.cube (Algorithm 2 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.relational import (
+    MaterializedAggregate,
+    PairAggregate,
+    PartialAggregateCache,
+    aggregate_all,
+    pair_group_by_sets,
+    powerset_group_by_sets,
+    table_from_arrays,
+)
+
+
+@pytest.fixture
+def table(rng):
+    n = 400
+    return table_from_arrays(
+        {
+            "a": rng.choice(["a0", "a1", "a2"], n),
+            "b": rng.choice(["b0", "b1", "b2", "b3"], n),
+            "c": rng.choice(["c0", "c1"], n),
+        },
+        {"m1": rng.normal(10, 3, n), "m2": rng.gamma(2.0, 5.0, n)},
+    )
+
+
+class TestLatticeEnumeration:
+    def test_powerset_excludes_singletons(self):
+        sets = powerset_group_by_sets(["a", "b", "c"])
+        assert frozenset(("a",)) not in sets
+        assert frozenset(("a", "b", "c")) in sets
+        assert len(sets) == 4  # 3 pairs + 1 triple
+
+    def test_pair_sets(self):
+        pairs = pair_group_by_sets(["a", "b", "c"])
+        assert len(pairs) == 3
+        assert all(len(p) == 2 for p in pairs)
+
+
+class TestMaterializedAggregate:
+    def test_build_group_count(self, table):
+        agg = MaterializedAggregate.build(table, ["a", "b"])
+        assert agg.n_groups == table.group_by_codes(["a", "b"]).n_groups
+
+    def test_rollup_matches_direct_build(self, table):
+        fine = MaterializedAggregate.build(table, ["a", "b", "c"])
+        rolled = fine.rollup_to(["a", "b"])
+        direct = MaterializedAggregate.build(table, ["a", "b"])
+        assert rolled.n_groups == direct.n_groups
+        # Compare the summaries group-by-group through a PairAggregate view.
+        rolled_view = PairAggregate(rolled, "a", "b")
+        direct_view = PairAggregate(direct, "a", "b")
+        for agg_name in ("sum", "avg", "count", "min", "max", "var"):
+            got = rolled_view.series("a", "b", "b1", "m1", agg_name)
+            expected = direct_view.series("a", "b", "b1", "m1", agg_name)
+            assert set(got) == set(expected)
+            for key in got:
+                assert got[key] == pytest.approx(expected[key], rel=1e-9, nan_ok=True)
+
+    def test_rollup_to_non_subset_rejected(self, table):
+        agg = MaterializedAggregate.build(table, ["a", "b"])
+        with pytest.raises(QueryError, match="non-subset"):
+            agg.rollup_to(["a", "c"])
+
+    def test_rollup_identity(self, table):
+        agg = MaterializedAggregate.build(table, ["a", "b"])
+        assert agg.rollup_to(["a", "b"]) is agg
+
+    def test_actual_bytes_positive(self, table):
+        agg = MaterializedAggregate.build(table, ["a"])
+        assert agg.actual_bytes() > 0
+
+
+class TestPairAggregate:
+    def test_series_matches_manual_aggregation(self, table):
+        agg = MaterializedAggregate.build(table, ["a", "b"])
+        view = PairAggregate(agg, "a", "b")
+        series = view.series("a", "b", "b0", "m1", "avg")
+        mask_b = table.categorical_column("b").equals_mask("b0")
+        for label, value in series.items():
+            mask_a = table.categorical_column("a").equals_mask(label)
+            expected = aggregate_all("avg", table.measure_values("m1")[mask_a & mask_b])
+            assert value == pytest.approx(expected, rel=1e-9)
+
+    def test_unknown_selection_label_empty(self, table):
+        agg = MaterializedAggregate.build(table, ["a", "b"])
+        view = PairAggregate(agg, "a", "b")
+        assert view.series("a", "b", "nothere", "m1", "sum") == {}
+
+    def test_unknown_measure_raises(self, table):
+        agg = MaterializedAggregate.build(table, ["a", "b"], measures=["m1"])
+        view = PairAggregate(agg, "a", "b")
+        with pytest.raises(QueryError, match="not materialized"):
+            view.series("a", "b", "b0", "m2", "sum")
+
+    def test_aligned_series_inner_join_semantics(self):
+        # b1 only co-occurs with a0; the join must keep only common groups.
+        t = table_from_arrays(
+            {"a": ["a0", "a0", "a1"], "b": ["b0", "b1", "b0"]},
+            {"m": [1.0, 2.0, 3.0]},
+        )
+        agg = MaterializedAggregate.build(t, ["a", "b"])
+        view = PairAggregate(agg, "a", "b")
+        groups, x, y = view.aligned_series("a", "b", "b0", "b1", "m", "sum")
+        assert groups == ["a0"]
+        assert x.tolist() == [1.0] and y.tolist() == [2.0]
+
+    def test_wrong_pair_rejected(self, table):
+        agg = MaterializedAggregate.build(table, ["a", "b"])
+        with pytest.raises(QueryError):
+            PairAggregate(agg, "a", "c")
+
+
+class TestPartialAggregateCache:
+    def test_pair_lookup_from_cover(self, table):
+        cache = PartialAggregateCache()
+        cache.add(MaterializedAggregate.build(table, ["a", "b", "c"]))
+        assert cache.covers("a", "c")
+        view = cache.pair("a", "c")
+        assert set(view.aggregate.attributes) == {"a", "c"}
+
+    def test_pair_lookup_memoized(self, table):
+        cache = PartialAggregateCache()
+        cache.add(MaterializedAggregate.build(table, ["a", "b", "c"]))
+        assert cache.pair("a", "b") is cache.pair("a", "b")
+
+    def test_missing_cover_raises(self, table):
+        cache = PartialAggregateCache()
+        cache.add(MaterializedAggregate.build(table, ["a", "b"]))
+        with pytest.raises(QueryError, match="covers"):
+            cache.pair("a", "c")
+
+    def test_smallest_cover_preferred(self, table):
+        cache = PartialAggregateCache()
+        big = MaterializedAggregate.build(table, ["a", "b", "c"])
+        small = MaterializedAggregate.build(table, ["a", "b"])
+        cache.add(big)
+        cache.add(small)
+        view = cache.pair("a", "b")
+        assert view.aggregate.n_groups == small.n_groups
+
+    def test_total_bytes(self, table):
+        cache = PartialAggregateCache()
+        cache.add(MaterializedAggregate.build(table, ["a", "b"]))
+        assert cache.total_bytes() > 0

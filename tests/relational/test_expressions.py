@@ -1,0 +1,182 @@
+"""Unit tests for repro.relational.expressions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.relational import table_from_arrays
+from repro.relational.expressions import (
+    And,
+    Arithmetic,
+    ColumnRef,
+    Comparison,
+    InList,
+    IsNull,
+    Literal,
+    Negate,
+    Not,
+    Or,
+    ScalarFunction,
+    conjunction,
+)
+
+
+@pytest.fixture
+def table():
+    return table_from_arrays(
+        {"cat": ["a", "b", "a", None]},
+        {"m": [1.0, 2.0, None, 4.0]},
+    )
+
+
+class TestLiteralsAndRefs:
+    def test_numeric_literal_broadcasts(self, table):
+        out = Literal(3).evaluate(table)
+        assert out.tolist() == [3.0] * 4
+
+    def test_string_literal_is_object(self, table):
+        out = Literal("x").evaluate(table)
+        assert out.dtype == object
+
+    def test_bool_literal(self, table):
+        assert Literal(True).evaluate(table).dtype == bool
+
+    def test_column_ref(self, table):
+        assert ColumnRef("cat").evaluate(table).tolist() == ["a", "b", "a", ""]
+
+    def test_references(self, table):
+        expr = Comparison("=", ColumnRef("cat"), Literal("a"))
+        assert expr.references() == {"cat"}
+        assert Literal(1).references() == frozenset()
+
+
+class TestComparison:
+    def test_categorical_equality_uses_codes(self, table):
+        mask = Comparison("=", ColumnRef("cat"), Literal("a")).evaluate(table)
+        assert mask.tolist() == [True, False, True, False]
+
+    def test_categorical_inequality(self, table):
+        mask = Comparison("<>", ColumnRef("cat"), Literal("a")).evaluate(table)
+        assert mask.tolist() == [False, True, False, True]
+
+    def test_unknown_label_matches_nothing(self, table):
+        mask = Comparison("=", ColumnRef("cat"), Literal("zzz")).evaluate(table)
+        assert not mask.any()
+
+    def test_numeric_comparisons(self, table):
+        gt = Comparison(">", ColumnRef("m"), Literal(1.5)).evaluate(table)
+        assert gt.tolist() == [False, True, False, True]
+        # NaN compares false
+        ge = Comparison(">=", ColumnRef("m"), Literal(0)).evaluate(table)
+        assert ge.tolist() == [True, True, False, True]
+
+    def test_literal_on_left(self, table):
+        mask = Comparison("=", Literal("b"), ColumnRef("cat")).evaluate(table)
+        assert mask.tolist() == [False, True, False, False]
+
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(ExecutionError):
+            Comparison("~", Literal(1), Literal(2))
+
+
+class TestBoolean:
+    def test_and_or_not(self, table):
+        a = Comparison("=", ColumnRef("cat"), Literal("a"))
+        b = Comparison(">", ColumnRef("m"), Literal(0.5))
+        assert And((a, b)).evaluate(table).tolist() == [True, False, False, False]
+        assert Or((a, b)).evaluate(table).tolist() == [True, True, True, True]
+        assert Not(a).evaluate(table).tolist() == [False, True, False, True]
+
+    def test_conjunction_empty_is_true(self, table):
+        assert conjunction([]).evaluate(table).all()
+
+    def test_conjunction_single_passthrough(self, table):
+        a = Comparison("=", ColumnRef("cat"), Literal("a"))
+        assert conjunction([a]) is a
+
+
+class TestArithmetic:
+    def test_operations(self, table):
+        out = Arithmetic("+", ColumnRef("m"), Literal(1)).evaluate(table)
+        assert out[0] == 2.0 and np.isnan(out[2])
+        out = Arithmetic("*", ColumnRef("m"), Literal(2)).evaluate(table)
+        assert out[1] == 4.0
+
+    def test_division_by_zero_is_nan(self, table):
+        out = Arithmetic("/", ColumnRef("m"), Literal(0)).evaluate(table)
+        assert np.isnan(out).all()
+
+    def test_negate(self, table):
+        assert Negate(Literal(3)).evaluate(table)[0] == -3.0
+
+    def test_invalid_op(self):
+        with pytest.raises(ExecutionError):
+            Arithmetic("%", Literal(1), Literal(2))
+
+
+class TestFunctionsAndPredicates:
+    def test_scalar_function(self, table):
+        out = ScalarFunction("abs", (Negate(ColumnRef("m")),)).evaluate(table)
+        assert out[0] == 1.0
+
+    def test_unknown_scalar_function(self, table):
+        with pytest.raises(ExecutionError, match="unknown scalar"):
+            ScalarFunction("nope", (Literal(1),)).evaluate(table)
+
+    def test_is_null_on_measure(self, table):
+        assert IsNull(ColumnRef("m")).evaluate(table).tolist() == [False, False, True, False]
+        assert IsNull(ColumnRef("m"), negated=True).evaluate(table).tolist() == [
+            True,
+            True,
+            False,
+            True,
+        ]
+
+    def test_is_null_on_categorical(self, table):
+        assert IsNull(ColumnRef("cat")).evaluate(table).tolist() == [False, False, False, True]
+
+    def test_in_list(self, table):
+        mask = InList(ColumnRef("cat"), ("a", "b")).evaluate(table)
+        assert mask.tolist() == [True, True, True, False]
+        mask = InList(ColumnRef("cat"), ("a",), negated=True).evaluate(table)
+        assert mask.tolist() == [False, True, False, True]
+
+
+class TestCaseExpression:
+    def test_numeric_priority(self, table):
+        from repro.relational.expressions import Case
+
+        expr = Case(
+            branches=(
+                (Comparison(">", ColumnRef("m"), Literal(1.5)), Literal(10)),
+                (Comparison(">", ColumnRef("m"), Literal(0.5)), Literal(1)),
+            ),
+            default=Literal(0),
+        )
+        out = expr.evaluate(table)
+        assert out[0] == 1.0 and out[1] == 10.0
+        assert out[2] == 0.0  # NULL m: no branch matches -> default
+
+    def test_no_default_yields_nan(self, table):
+        from repro.relational.expressions import Case
+
+        expr = Case(branches=((Comparison(">", ColumnRef("m"), Literal(100)), Literal(1)),))
+        assert np.isnan(expr.evaluate(table)).all()
+
+    def test_string_branches(self, table):
+        from repro.relational.expressions import Case
+
+        expr = Case(
+            branches=((Comparison("=", ColumnRef("cat"), Literal("a")), Literal("yes")),),
+            default=Literal("no"),
+        )
+        assert expr.evaluate(table).tolist() == ["yes", "no", "yes", "no"]
+
+    def test_references(self, table):
+        from repro.relational.expressions import Case
+
+        expr = Case(
+            branches=((Comparison("=", ColumnRef("cat"), Literal("a")), ColumnRef("m")),),
+            default=Literal(0),
+        )
+        assert expr.references() == {"cat", "m"}

@@ -1,0 +1,66 @@
+"""Unit tests for repro.relational.functional_deps."""
+
+from repro.relational import (
+    detect_functional_dependencies,
+    related_attributes,
+    table_from_arrays,
+)
+from repro.relational.functional_deps import FunctionalDependency, holds
+
+
+def _table():
+    # country -> continent holds; month is independent.
+    return table_from_arrays(
+        {
+            "country": ["fr", "fr", "de", "it", "it", "jp"],
+            "continent": ["eu", "eu", "eu", "eu", "eu", "as"],
+            "month": ["1", "2", "1", "2", "1", "2"],
+        },
+        {"m": [1, 2, 3, 4, 5, 6]},
+    )
+
+
+class TestHolds:
+    def test_fd_holds(self):
+        assert holds(_table(), "country", "continent")
+
+    def test_fd_does_not_hold(self):
+        assert not holds(_table(), "continent", "country")
+        assert not holds(_table(), "month", "country")
+
+    def test_fd_trivially_holds_for_keylike_attribute(self):
+        t = table_from_arrays(
+            {"id": ["a", "b", "c"], "x": ["1", "1", "2"]}, {"m": [1, 2, 3]}
+        )
+        assert holds(t, "id", "x")
+
+
+class TestDetection:
+    def test_detects_country_continent(self):
+        fds = detect_functional_dependencies(_table())
+        assert FunctionalDependency("country", "continent") in fds
+
+    def test_no_trivial_dependencies(self):
+        fds = detect_functional_dependencies(_table())
+        assert all(fd.determinant != fd.dependent for fd in fds)
+
+    def test_no_reverse_direction(self):
+        fds = detect_functional_dependencies(_table())
+        assert FunctionalDependency("continent", "country") not in fds
+
+    def test_str_rendering(self):
+        assert str(FunctionalDependency("a", "b")) == "a -> b"
+
+
+class TestRelatedAttributes:
+    def test_pairs_are_unordered(self):
+        fds = [FunctionalDependency("a", "b"), FunctionalDependency("b", "a")]
+        assert related_attributes(fds) == {frozenset(("a", "b"))}
+
+    def test_empty(self):
+        assert related_attributes([]) == set()
+
+    def test_excludes_nothing_extra(self):
+        pairs = related_attributes(detect_functional_dependencies(_table()))
+        assert frozenset(("country", "continent")) in pairs
+        assert frozenset(("month", "continent")) not in pairs

@@ -1,0 +1,188 @@
+"""Unit tests for repro.relational.operators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError, SchemaError
+from repro.relational import (
+    AggregateSpec,
+    distinct,
+    group_by_aggregate,
+    hash_join,
+    limit,
+    select,
+    sort,
+    table_from_arrays,
+    union_all,
+)
+from repro.relational.expressions import ColumnRef, Comparison, Literal
+
+
+@pytest.fixture
+def sales():
+    return table_from_arrays(
+        {"city": ["paris", "lyon", "paris", "nice", "lyon"]},
+        {"amount": [10.0, 5.0, 20.0, None, 7.0]},
+    )
+
+
+class TestSelect:
+    def test_filters_rows(self, sales):
+        out = select(sales, Comparison("=", ColumnRef("city"), Literal("paris")))
+        assert out.n_rows == 2
+
+    def test_non_boolean_predicate_rejected(self, sales):
+        with pytest.raises(ExecutionError, match="boolean"):
+            select(sales, Literal(1.0))
+
+
+class TestGroupByAggregate:
+    def test_multiple_aggregates_one_pass(self, sales):
+        out = group_by_aggregate(
+            sales,
+            ["city"],
+            [
+                AggregateSpec("sum", "amount", "total"),
+                AggregateSpec("avg", "amount", "mean"),
+                AggregateSpec("count", None, "n"),
+            ],
+        )
+        d = dict(zip(out.to_dict()["city"], out.to_dict()["total"]))
+        assert d["paris"] == 30.0 and d["lyon"] == 12.0
+        n = dict(zip(out.to_dict()["city"], out.to_dict()["n"]))
+        assert n["nice"] == 1.0  # count(*) counts the NULL row
+
+    def test_count_star_vs_count_column(self, sales):
+        out = group_by_aggregate(
+            sales,
+            ["city"],
+            [AggregateSpec("count", None, "rows"), AggregateSpec("count", "amount", "vals")],
+        )
+        row = {c: (r, v) for c, r, v in zip(*out.to_dict().values())}
+        assert row["nice"] == (1.0, 0.0)  # NULL measure not counted
+
+    def test_empty_key_list_global_aggregate(self, sales):
+        out = group_by_aggregate(sales, [], [AggregateSpec("sum", "amount", "s")])
+        assert out.n_rows == 1
+        assert out.to_dict()["s"] == [42.0]
+
+    def test_empty_table(self, sales):
+        empty = sales.filter(np.zeros(5, dtype=bool))
+        out = group_by_aggregate(empty, ["city"], [AggregateSpec("sum", "amount", "s")])
+        assert out.n_rows == 0
+
+    def test_invalid_aggregate_spec(self):
+        with pytest.raises(ExecutionError):
+            AggregateSpec("nope", "amount", "x")
+        with pytest.raises(ExecutionError, match="requires a measure"):
+            AggregateSpec("sum", None, "x")
+
+
+class TestSort:
+    def test_ascending(self, sales):
+        out = sort(sales, ["amount"])
+        amounts = out.to_dict()["amount"]
+        assert amounts[:4] == [5.0, 7.0, 10.0, 20.0]
+        assert np.isnan(amounts[4])  # NULLs last
+
+    def test_descending_nulls_still_last(self, sales):
+        out = sort(sales, ["amount"], [False])
+        amounts = out.to_dict()["amount"]
+        assert amounts[:4] == [20.0, 10.0, 7.0, 5.0]
+        assert np.isnan(amounts[4])
+
+    def test_multi_key_stability(self):
+        t = table_from_arrays(
+            {"g": ["b", "a", "b", "a"], "tag": ["1", "2", "3", "4"]},
+            {"m": [1.0, 1.0, 1.0, 1.0]},
+        )
+        out = sort(t, ["m", "g"], [True, True])
+        assert out.to_dict()["tag"] == ["2", "4", "1", "3"]  # stable within groups
+
+    def test_categorical_sort(self, sales):
+        out = sort(sales, ["city"])
+        assert out.to_dict()["city"][0] == "lyon"
+
+    def test_empty_keys_identity(self, sales):
+        assert sort(sales, []) == sales
+
+    def test_mismatched_flags(self, sales):
+        with pytest.raises(ExecutionError):
+            sort(sales, ["city"], [True, False])
+
+
+class TestHashJoin:
+    def test_inner_join(self):
+        left = table_from_arrays({"k": ["a", "b", "c"]}, {"x": [1, 2, 3]})
+        right = table_from_arrays({"k": ["b", "c", "d"]}, {"y": [20, 30, 40]})
+        out = hash_join(left, right, [("k", "k")])
+        assert out.n_rows == 2
+        assert out.schema.names == ("k", "x", "k_r", "y")
+        assert out.to_dict()["y"] == [20.0, 30.0]
+
+    def test_duplicate_keys_produce_products(self):
+        left = table_from_arrays({"k": ["a", "a"]}, {"x": [1, 2]})
+        right = table_from_arrays({"k": ["a", "a"]}, {"y": [10, 20]})
+        out = hash_join(left, right, [("k", "k")])
+        assert out.n_rows == 4
+
+    def test_multi_key_join(self):
+        left = table_from_arrays({"k": ["a", "a"], "j": ["1", "2"]}, {"x": [1, 2]})
+        right = table_from_arrays({"k": ["a", "a"], "j": ["2", "3"]}, {"y": [5, 6]})
+        out = hash_join(left, right, [("k", "k"), ("j", "j")])
+        assert out.n_rows == 1
+        assert out.to_dict()["x"] == [2.0]
+
+    def test_requires_keys(self):
+        t = table_from_arrays({"k": ["a"]}, {"x": [1]})
+        with pytest.raises(ExecutionError):
+            hash_join(t, t, [])
+
+
+class TestLimitDistinctUnion:
+    def test_limit(self, sales):
+        assert limit(sales, 2).n_rows == 2
+        with pytest.raises(ExecutionError):
+            limit(sales, -1)
+
+    def test_distinct(self):
+        t = table_from_arrays({"a": ["x", "x", "y"]}, {"m": [1, 1, 1]})
+        assert distinct(t).n_rows == 2
+
+    def test_union_all(self, sales):
+        out = union_all(sales, sales)
+        assert out.n_rows == 10
+
+    def test_union_all_schema_mismatch(self, sales):
+        other = sales.rename({"city": "town"})
+        with pytest.raises(SchemaError):
+            union_all(sales, other)
+
+
+class TestDistinctCount:
+    def test_grouped_distinct_count(self):
+        from repro.relational import grouped_distinct_count
+
+        gid = np.array([0, 0, 0, 1, 1, 1])
+        vals = np.array([1.0, 1.0, 2.0, 5.0, np.nan, 5.0])
+        out = grouped_distinct_count(gid, vals, 3)
+        assert out.tolist() == [2.0, 1.0, 0.0]
+
+    def test_all_nan_group(self):
+        from repro.relational import grouped_distinct_count
+
+        out = grouped_distinct_count(np.array([0, 0]), np.array([np.nan, np.nan]), 1)
+        assert out.tolist() == [0.0]
+
+    def test_spec_validation(self):
+        with pytest.raises(ExecutionError, match="DISTINCT"):
+            AggregateSpec("sum", "m", "x", distinct=True)
+        with pytest.raises(ExecutionError, match="DISTINCT"):
+            AggregateSpec("count", None, "x", distinct=True)
+
+    def test_group_by_with_distinct_spec(self, sales):
+        out = group_by_aggregate(
+            sales, ["city"], [AggregateSpec("count", "amount", "d", distinct=True)]
+        )
+        rows = dict(zip(out.to_dict()["city"], out.to_dict()["d"]))
+        assert rows == {"paris": 2.0, "lyon": 2.0, "nice": 0.0}

@@ -1,0 +1,94 @@
+"""Unit tests for repro.relational.schema."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.schema import Attribute, AttributeKind, Schema, categorical, measure
+
+
+class TestAttribute:
+    def test_categorical_constructor(self):
+        attr = categorical("city")
+        assert attr.name == "city"
+        assert attr.is_categorical
+        assert not attr.is_measure
+
+    def test_measure_constructor(self):
+        attr = measure("sales")
+        assert attr.is_measure
+        assert attr.kind is AttributeKind.MEASURE
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("", AttributeKind.MEASURE)
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute(3, AttributeKind.MEASURE)  # type: ignore[arg-type]
+
+    def test_attributes_are_hashable_value_objects(self):
+        assert categorical("x") == categorical("x")
+        assert len({categorical("x"), categorical("x"), measure("x")}) == 2
+
+
+class TestSchema:
+    def test_iteration_preserves_order(self):
+        schema = Schema([categorical("a"), measure("m"), categorical("b")])
+        assert [a.name for a in schema] == ["a", "m", "b"]
+
+    def test_len_and_contains(self):
+        schema = Schema([categorical("a"), measure("m")])
+        assert len(schema) == 2
+        assert "a" in schema
+        assert "zzz" not in schema
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema([categorical("a"), measure("a")])
+
+    def test_lookup_unknown_raises_with_candidates(self):
+        schema = Schema([categorical("a")])
+        with pytest.raises(SchemaError, match="unknown attribute"):
+            schema["nope"]
+
+    def test_names_split_by_kind(self):
+        schema = Schema([categorical("a"), measure("m1"), categorical("b"), measure("m2")])
+        assert schema.categorical_names == ("a", "b")
+        assert schema.measure_names == ("m1", "m2")
+        assert schema.names == ("a", "m1", "b", "m2")
+
+    def test_require_categorical_rejects_measure(self):
+        schema = Schema([measure("m")])
+        with pytest.raises(SchemaError, match="expected categorical"):
+            schema.require_categorical("m")
+
+    def test_require_measure_rejects_categorical(self):
+        schema = Schema([categorical("a")])
+        with pytest.raises(SchemaError, match="expected a measure"):
+            schema.require_measure("a")
+
+    def test_subset_keeps_given_order(self):
+        schema = Schema([categorical("a"), categorical("b"), measure("m")])
+        sub = schema.subset(["m", "a"])
+        assert sub.names == ("m", "a")
+
+    def test_subset_unknown_raises(self):
+        schema = Schema([categorical("a")])
+        with pytest.raises(SchemaError):
+            schema.subset(["a", "q"])
+
+    def test_equality_and_hash(self):
+        one = Schema([categorical("a"), measure("m")])
+        two = Schema([categorical("a"), measure("m")])
+        assert one == two
+        assert hash(one) == hash(two)
+        assert one != Schema([measure("m"), categorical("a")])
+
+    def test_kind_of(self):
+        schema = Schema([categorical("a"), measure("m")])
+        assert schema.kind_of("a") is AttributeKind.CATEGORICAL
+        assert schema.kind_of("m") is AttributeKind.MEASURE
+
+    def test_repr_is_compact(self):
+        schema = Schema([categorical("a"), measure("m")])
+        assert repr(schema) == "Schema(a:C, m:M)"

@@ -1,0 +1,78 @@
+"""Unit tests for repro.relational.statistics (size estimation)."""
+
+import pytest
+
+from repro.relational import (
+    collect_statistics,
+    estimate_aggregate_bytes,
+    estimate_group_count,
+    exact_group_count,
+    table_from_arrays,
+)
+from repro.relational.statistics import cardenas
+
+
+class TestCardenas:
+    def test_zero_rows(self):
+        assert cardenas(0, 100) == 0.0
+
+    def test_saturation(self):
+        # Far more balls than cells: every cell occupied.
+        assert cardenas(100000, 10) == pytest.approx(10.0)
+
+    def test_sparse_regime(self):
+        # Few balls, many cells: nearly every ball its own cell.
+        assert cardenas(10, 1_000_000) == pytest.approx(10.0, rel=1e-3)
+
+    def test_single_cell(self):
+        assert cardenas(50, 1) == 1.0
+
+    def test_monotone_in_rows(self):
+        values = [cardenas(n, 100) for n in (1, 10, 100, 1000)]
+        assert values == sorted(values)
+
+
+class TestGroupCountEstimate:
+    @pytest.fixture
+    def table(self, rng):
+        n = 2000
+        return table_from_arrays(
+            {
+                "a": rng.choice([f"a{i}" for i in range(10)], n),
+                "b": rng.choice([f"b{i}" for i in range(20)], n),
+            },
+            {"m": rng.normal(0, 1, n)},
+        )
+
+    def test_single_attribute_estimate_is_exact(self, table):
+        assert estimate_group_count(table, ["a"]) == pytest.approx(
+            exact_group_count(table, ["a"]), rel=0.05
+        )
+
+    def test_pair_estimate_close_to_exact(self, table):
+        estimated = estimate_group_count(table, ["a", "b"])
+        exact = exact_group_count(table, ["a", "b"])
+        # Independence holds by construction, so the estimate is good.
+        assert estimated == pytest.approx(exact, rel=0.15)
+
+    def test_never_exceeds_rows(self, table):
+        assert estimate_group_count(table, ["a", "b"]) <= table.n_rows
+
+    def test_empty_attribute_list(self, table):
+        assert estimate_group_count(table, []) == 1.0
+
+    def test_bytes_scale_with_groups_and_measures(self, table):
+        small = estimate_aggregate_bytes(table, ["a"])
+        large = estimate_aggregate_bytes(table, ["a", "b"])
+        assert large > small
+        assert estimate_aggregate_bytes(table, ["a"], n_measures=5) > small
+
+
+class TestCollectStatistics:
+    def test_per_column_stats(self):
+        t = table_from_arrays({"a": ["x", "y", None]}, {"m": [1.0, None, 3.0]})
+        stats = collect_statistics(t)
+        assert stats["a"].n_distinct == 2
+        assert stats["a"].n_null == 1
+        assert stats["m"].n_distinct == 2
+        assert stats["m"].n_null == 1

@@ -1,0 +1,99 @@
+"""Tests for CASE WHEN and COUNT(DISTINCT) support."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.relational import table_from_arrays
+from repro.sqlengine import SQLEngine, format_sql, parse_sql
+
+
+@pytest.fixture
+def engine():
+    eng = SQLEngine()
+    eng.register(
+        "t",
+        table_from_arrays(
+            {"cat": ["a", "a", "b", "b", "b", None]},
+            {"m": [1.0, 1.0, 2.0, 3.0, None, 7.0]},
+        ),
+    )
+    return eng
+
+
+class TestCase:
+    def test_numeric_case(self, engine):
+        out = engine.execute(
+            "select case when m > 2 then 100 when m > 1 then 10 else 0 end as tier from t"
+        )
+        values = out.to_dict()["tier"]
+        assert values[:4] == [0.0, 0.0, 10.0, 100.0]
+        assert values[4] == 0.0  # NULL m: both comparisons are false -> ELSE
+        assert values[5] == 100.0
+
+    def test_first_branch_wins(self, engine):
+        out = engine.execute(
+            "select case when m > 0 then 1 when m > 2 then 2 end as x from t where m = 3"
+        )
+        assert out.to_dict()["x"] == [1.0]
+
+    def test_missing_else_gives_null(self, engine):
+        out = engine.execute("select case when m > 100 then 1 end as x from t where m = 1")
+        assert all(np.isnan(v) for v in out.to_dict()["x"])
+
+    def test_string_case(self, engine):
+        out = engine.execute(
+            "select case when cat = 'a' then 'small' else 'large' end as label "
+            "from t where m is not null order by m"
+        )
+        assert out.to_dict()["label"] == ["small", "small", "large", "large", "large"]
+
+    def test_case_in_where(self, engine):
+        out = engine.execute(
+            "select m from t where case when cat = 'a' then 1 else 0 end = 1"
+        )
+        assert out.n_rows == 2
+
+    def test_aggregate_of_case(self, engine):
+        # Conditional aggregation: sum of m only where cat='b'.
+        out = engine.execute(
+            "select sum(case when cat = 'b' then m else 0 end) as s from t"
+        )
+        assert out.to_dict()["s"] == [5.0]
+
+    def test_case_requires_when(self):
+        with pytest.raises(SQLSyntaxError, match="WHEN"):
+            parse_sql("select case else 1 end from t")
+
+    def test_case_round_trip(self):
+        sql = "select case when a = 1 then 2 else 3 end as x from t;"
+        once = format_sql(parse_sql(sql))
+        assert format_sql(parse_sql(once)) == once
+
+
+class TestCountDistinct:
+    def test_distinct_measure(self, engine):
+        out = engine.execute("select count(distinct m) as d, count(m) as c from t")
+        assert out.to_dict()["d"] == [4.0]  # 1, 2, 3, 7
+        assert out.to_dict()["c"] == [5.0]
+
+    def test_distinct_categorical(self, engine):
+        out = engine.execute("select count(distinct cat) as d from t")
+        assert out.to_dict()["d"] == [2.0]  # NULL excluded
+
+    def test_distinct_grouped(self, engine):
+        out = engine.execute(
+            "select cat, count(distinct m) as d from t group by cat order by cat"
+        )
+        rows = dict(zip(out.to_dict()["cat"], out.to_dict()["d"]))
+        assert rows["a"] == 1.0 and rows["b"] == 2.0
+
+    def test_distinct_only_for_count(self):
+        with pytest.raises(SQLSyntaxError, match="only supported for count"):
+            parse_sql("select sum(distinct m) from t")
+
+    def test_distinct_round_trip(self):
+        sql = "select count(distinct m) from t;"
+        once = format_sql(parse_sql(sql))
+        assert "count(distinct m)" in once
+        assert format_sql(parse_sql(once)) == once

@@ -1,0 +1,246 @@
+"""Unit/integration tests for repro.sqlengine.executor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanningError
+from repro.relational import table_from_arrays
+from repro.sqlengine import Catalog, SQLEngine, execute_sql
+
+
+@pytest.fixture
+def engine():
+    covid = table_from_arrays(
+        {
+            "month": ["4", "4", "4", "5", "5", "5"],
+            "continent": ["EU", "AS", "EU", "EU", "AS", "AS"],
+        },
+        {"cases": [10.0, 20.0, 30.0, 50.0, 60.0, None]},
+    )
+    people = table_from_arrays(
+        {"continent": ["EU", "AS", "OC"]}, {"population": [700.0, 4000.0, 40.0]}
+    )
+    eng = SQLEngine()
+    eng.register("covid", covid)
+    eng.register("people", people)
+    return eng
+
+
+class TestBasicSelect:
+    def test_star(self, engine):
+        out = engine.execute("select * from covid")
+        assert out.schema.names == ("month", "continent", "cases")
+        assert out.n_rows == 6
+
+    def test_projection_and_alias(self, engine):
+        out = engine.execute("select month as m, cases from covid limit 2")
+        assert out.schema.names == ("m", "cases")
+        assert out.n_rows == 2
+
+    def test_where_equality(self, engine):
+        out = engine.execute("select cases from covid where month = '4'")
+        assert out.n_rows == 3
+
+    def test_where_numeric(self, engine):
+        out = engine.execute("select cases from covid where cases >= 30")
+        assert out.n_rows == 3
+
+    def test_where_or_and_not(self, engine):
+        out = engine.execute(
+            "select * from covid where month = '4' or continent = 'AS'"
+        )
+        assert out.n_rows == 5
+
+    def test_in_predicate(self, engine):
+        out = engine.execute("select * from covid where continent in ('EU')")
+        assert out.n_rows == 3
+
+    def test_is_null(self, engine):
+        out = engine.execute("select * from covid where cases is null")
+        assert out.n_rows == 1
+
+    def test_between(self, engine):
+        out = engine.execute("select * from covid where cases between 20 and 50")
+        assert out.n_rows == 3
+
+    def test_arithmetic_projection(self, engine):
+        out = engine.execute("select cases * 2 as dbl from covid where month = '4'")
+        assert sorted(out.to_dict()["dbl"]) == [20.0, 40.0, 60.0]
+
+    def test_distinct(self, engine):
+        out = engine.execute("select distinct continent from covid")
+        assert out.n_rows == 2
+
+    def test_unknown_table(self, engine):
+        with pytest.raises(PlanningError, match="unknown table"):
+            engine.execute("select * from ghost")
+
+    def test_unknown_column(self, engine):
+        with pytest.raises(PlanningError, match="unknown column"):
+            engine.execute("select ghost from covid")
+
+    def test_case_insensitive_table_lookup(self, engine):
+        assert engine.execute("select * from COVID").n_rows == 6
+
+
+class TestAggregation:
+    def test_group_by(self, engine):
+        out = engine.execute(
+            "select continent, sum(cases) as total from covid group by continent"
+        )
+        totals = dict(zip(out.to_dict()["continent"], out.to_dict()["total"]))
+        assert totals == {"EU": 90.0, "AS": 80.0}
+
+    def test_count_star_vs_column(self, engine):
+        out = engine.execute(
+            "select continent, count(*) as n, count(cases) as k "
+            "from covid group by continent"
+        )
+        rows = {c: (n, k) for c, n, k in zip(*out.to_dict().values())}
+        assert rows["AS"] == (3.0, 2.0)  # NULL cases not counted by count(col)
+
+    def test_global_aggregate_without_group_by(self, engine):
+        out = engine.execute("select avg(cases) as a from covid")
+        assert out.n_rows == 1
+        assert out.to_dict()["a"][0] == pytest.approx(34.0)
+
+    def test_having_filters_groups(self, engine):
+        out = engine.execute(
+            "select continent from covid group by continent having sum(cases) > 85"
+        )
+        assert out.to_dict()["continent"] == ["EU"]
+
+    def test_having_without_group_by(self, engine):
+        one = engine.execute("select 'yes' as flag from covid having avg(cases) > 10")
+        assert one.n_rows == 1 and one.to_dict()["flag"] == ["yes"]
+        zero = engine.execute("select 'yes' as flag from covid having avg(cases) > 1000")
+        assert zero.n_rows == 0
+
+    def test_aggregate_of_expression(self, engine):
+        out = engine.execute("select sum(cases * 2) as s from covid")
+        assert out.to_dict()["s"][0] == 340.0
+
+    def test_var_and_stddev(self, engine):
+        out = engine.execute("select var(cases) as v, stddev(cases) as s from covid")
+        values = np.array([10.0, 20.0, 30.0, 50.0, 60.0])
+        assert out.to_dict()["v"][0] == pytest.approx(np.var(values, ddof=1))
+        assert out.to_dict()["s"][0] == pytest.approx(np.std(values, ddof=1))
+
+    def test_star_with_group_by_rejected(self, engine):
+        with pytest.raises(PlanningError, match="not allowed"):
+            engine.execute("select * from covid group by continent")
+
+    def test_non_grouped_column_rejected(self, engine):
+        with pytest.raises(PlanningError):
+            engine.execute("select month, sum(cases) from covid group by continent")
+
+
+class TestJoins:
+    def test_comma_join_with_where(self, engine):
+        out = engine.execute(
+            "select c.continent, population from covid c, people p "
+            "where c.continent = p.continent and c.month = '5'"
+        )
+        assert out.n_rows == 3
+        assert set(out.to_dict()["population"]) == {700.0, 4000.0}
+
+    def test_explicit_join(self, engine):
+        out = engine.execute(
+            "select c.cases, p.population from covid c "
+            "join people p on c.continent = p.continent"
+        )
+        assert out.n_rows == 6
+
+    def test_join_is_inner(self, engine):
+        out = engine.execute(
+            "select distinct p.continent from people p join covid c "
+            "on p.continent = c.continent"
+        )
+        assert sorted(out.to_dict()["continent"]) == ["AS", "EU"]  # OC dropped
+
+    def test_derived_tables_joined(self, engine):
+        out = engine.execute(
+            """
+            select t1.continent, April, May
+            from
+              (select continent, sum(cases) as April from covid
+               where month = '4' group by continent) t1,
+              (select continent, sum(cases) as May from covid
+               where month = '5' group by continent) t2
+            where t1.continent = t2.continent
+            order by t1.continent
+            """
+        )
+        assert out.to_dict() == {
+            "continent": ["AS", "EU"],
+            "April": [20.0, 40.0],
+            "May": [60.0, 50.0],
+        }
+
+    def test_duplicate_alias_rejected(self, engine):
+        with pytest.raises(PlanningError, match="duplicate table alias"):
+            engine.execute("select 1 from covid c, people c")
+
+    def test_ambiguous_column_rejected(self, engine):
+        with pytest.raises(PlanningError, match="ambiguous"):
+            engine.execute("select continent from covid, people")
+
+
+class TestOrderLimitCte:
+    def test_order_by_measure_desc(self, engine):
+        out = engine.execute("select cases from covid order by cases desc")
+        values = out.to_dict()["cases"]
+        assert values[:5] == [60.0, 50.0, 30.0, 20.0, 10.0]
+        assert np.isnan(values[5])  # NULL last
+
+    def test_order_by_position(self, engine):
+        out = engine.execute("select continent, cases from covid order by 2 desc limit 1")
+        assert out.to_dict()["continent"] == ["AS"]
+
+    def test_order_by_alias(self, engine):
+        out = engine.execute(
+            "select continent, sum(cases) as total from covid "
+            "group by continent order by total desc"
+        )
+        assert out.to_dict()["continent"] == ["EU", "AS"]
+
+    def test_order_by_aggregate_expression(self, engine):
+        out = engine.execute(
+            "select continent from covid group by continent order by sum(cases)"
+        )
+        assert out.to_dict()["continent"] == ["AS", "EU"]
+
+    def test_cte(self, engine):
+        out = engine.execute(
+            "with totals as (select continent, sum(cases) as t from covid "
+            "group by continent) select * from totals order by t desc"
+        )
+        assert out.to_dict()["continent"] == ["EU", "AS"]
+
+    def test_cte_chained(self, engine):
+        out = engine.execute(
+            "with a as (select cases from covid where month = '4'), "
+            "b as (select cases from a where cases > 15) "
+            "select count(*) as n from b"
+        )
+        assert out.to_dict()["n"] == [2.0]
+
+    def test_from_less_select(self, engine):
+        out = engine.execute("select 1 + 1 as two")
+        assert out.to_dict()["two"] == [2.0]
+
+    def test_string_literal_select(self, engine):
+        out = engine.execute("select 'hello' as greeting from people")
+        assert out.to_dict()["greeting"] == ["hello"] * 3
+
+
+class TestCatalog:
+    def test_register_and_names(self):
+        catalog = Catalog()
+        catalog.register("t", table_from_arrays({"a": ["x"]}, {"m": [1]}))
+        assert catalog.names() == ("t",)
+        assert catalog.resolve("T").n_rows == 1
+
+    def test_execute_sql_function(self):
+        catalog = Catalog({"t": table_from_arrays({"a": ["x", "y"]}, {"m": [1, 2]})})
+        assert execute_sql("select sum(m) as s from t", catalog).to_dict()["s"] == [3.0]

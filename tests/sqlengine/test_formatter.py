@@ -1,0 +1,88 @@
+"""Unit + round-trip tests for repro.sqlengine.formatter."""
+
+import pytest
+
+from repro.sqlengine import format_expression, format_sql, format_statement, parse_sql
+
+
+def roundtrip(sql: str) -> str:
+    return format_sql(parse_sql(sql))
+
+
+class TestExpressionFormatting:
+    def test_literals(self):
+        assert format_expression(parse_sql("select 1 from t").items[0].expression) == "1"
+        assert format_expression(parse_sql("select 1.5 from t").items[0].expression) == "1.5"
+        assert (
+            format_expression(parse_sql("select 'it''s' from t").items[0].expression)
+            == "'it''s'"
+        )
+        assert format_expression(parse_sql("select null from t").items[0].expression) == "null"
+
+    def test_precedence_parens_minimal(self):
+        expr = parse_sql("select (a + b) * c from t").items[0].expression
+        assert format_expression(expr) == "(a + b) * c"
+        expr = parse_sql("select a + b * c from t").items[0].expression
+        assert format_expression(expr) == "a + b * c"
+
+    def test_boolean_formatting(self):
+        expr = parse_sql("select 1 from t where (a = 1 or b = 2) and c = 3").where
+        assert format_expression(expr) == "(a = 1 or b = 2) and c = 3"
+
+    def test_function_and_star(self):
+        expr = parse_sql("select count(*) from t").items[0].expression
+        assert format_expression(expr) == "count(*)"
+        expr = parse_sql("select sum(a + 1) from t").items[0].expression
+        assert format_expression(expr) == "sum(a + 1)"
+
+    def test_in_between_isnull(self):
+        where = parse_sql("select 1 from t where a in ('x','y')").where
+        assert format_expression(where) == "a in ('x', 'y')"
+        where = parse_sql("select 1 from t where a between 1 and 2").where
+        assert format_expression(where) == "a between 1 and 2"
+        where = parse_sql("select 1 from t where a is not null").where
+        assert format_expression(where) == "a is not null"
+
+
+class TestStatementFormatting:
+    def test_contains_all_clauses(self):
+        sql = (
+            "select a, sum(m) as s from t where b = 'x' group by a "
+            "having sum(m) > 3 order by s desc limit 5"
+        )
+        text = format_statement(parse_sql(sql))
+        for fragment in ("select", "from t", "where", "group by", "having", "order by", "limit 5"):
+            assert fragment in text
+
+    def test_cte_rendering(self):
+        sql = "with c as (select a from t) select a from c"
+        text = format_statement(parse_sql(sql))
+        assert text.startswith("with c as (")
+
+    def test_join_rendering(self):
+        sql = "select a from t1 join t2 on t1.k = t2.k"
+        assert "join t2 on t1.k = t2.k" in format_statement(parse_sql(sql))
+
+
+FIXED_POINT_QUERIES = [
+    "select a from t;",
+    "select distinct a, b from t where a = 'x' or b > 3;",
+    "select a, sum(m) as s from t group by a having sum(m) > 1 order by s desc limit 3;",
+    "select t1.a, t2.b from t1, t2 where t1.k = t2.k;",
+    "with c as (select a from t) select a from c;",
+    "select count(*) from t where a in ('x', 'y') and m between 1 and 2;",
+    "select a from (select a from t where b is null) s order by a;",
+]
+
+
+@pytest.mark.parametrize("sql", FIXED_POINT_QUERIES)
+def test_format_parse_fixed_point(sql):
+    """format(parse(x)) must be a fixed point of parse-format."""
+    once = roundtrip(sql)
+    twice = format_sql(parse_sql(once))
+    assert once == twice
+
+
+@pytest.mark.parametrize("sql", FIXED_POINT_QUERIES)
+def test_roundtrip_preserves_ast(sql):
+    assert parse_sql(roundtrip(sql)) == parse_sql(sql)

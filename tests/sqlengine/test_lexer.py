@@ -1,0 +1,96 @@
+"""Unit tests for repro.sqlengine.lexer."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sqlengine import Token, TokenType, tokenize
+
+
+def kinds(sql):
+    return [(t.type, t.value) for t in tokenize(sql)[:-1]]  # drop END
+
+
+class TestBasics:
+    def test_keywords_fold_case(self):
+        assert kinds("SELECT FROM Where") == [
+            (TokenType.KEYWORD, "select"),
+            (TokenType.KEYWORD, "from"),
+            (TokenType.KEYWORD, "where"),
+        ]
+
+    def test_identifiers_preserve_case(self):
+        assert kinds("April") == [(TokenType.IDENTIFIER, "April")]
+
+    def test_numbers(self):
+        assert kinds("42 3.14 .5 1e5 2.5E-3") == [
+            (TokenType.NUMBER, "42"),
+            (TokenType.NUMBER, "3.14"),
+            (TokenType.NUMBER, ".5"),
+            (TokenType.NUMBER, "1e5"),
+            (TokenType.NUMBER, "2.5E-3"),
+        ]
+
+    def test_operators(self):
+        assert [v for _, v in kinds("<= >= <> = < > + - * /")] == [
+            "<=", ">=", "<>", "=", "<", ">", "+", "-", "*", "/",
+        ]
+
+    def test_bang_equals_normalized(self):
+        assert kinds("a != b")[1] == (TokenType.OPERATOR, "<>")
+
+    def test_punctuation(self):
+        assert [v for _, v in kinds("( ) , ; .")] == ["(", ")", ",", ";", "."]
+
+    def test_end_token_always_present(self):
+        assert tokenize("")[-1].type is TokenType.END
+
+
+class TestStrings:
+    def test_simple_string(self):
+        assert kinds("'hello'") == [(TokenType.STRING, "hello")]
+
+    def test_escaped_quote(self):
+        assert kinds("'it''s'") == [(TokenType.STRING, "it's")]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SQLSyntaxError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_quoted_identifier(self):
+        assert kinds('"weird name"') == [(TokenType.IDENTIFIER, "weird name")]
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(SQLSyntaxError, match="unterminated"):
+            tokenize('"oops')
+
+
+class TestCommentsAndPositions:
+    def test_line_comments_skipped(self):
+        assert kinds("select -- comment here\n 1") == [
+            (TokenType.KEYWORD, "select"),
+            (TokenType.NUMBER, "1"),
+        ]
+
+    def test_positions_track_lines(self):
+        tokens = tokenize("select\n  x")
+        x = tokens[1]
+        assert (x.line, x.column) == (2, 3)
+
+    def test_error_carries_position(self):
+        with pytest.raises(SQLSyntaxError) as err:
+            tokenize("select @")
+        assert err.value.line == 1
+        assert err.value.column == 8
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError, match="unexpected character"):
+            tokenize("select #tag")
+
+
+class TestTokenHelpers:
+    def test_matches(self):
+        token = Token(TokenType.KEYWORD, "select", 1, 1)
+        assert token.matches(TokenType.KEYWORD)
+        assert token.matches(TokenType.KEYWORD, "select")
+        assert not token.matches(TokenType.KEYWORD, "from")
+        assert not token.matches(TokenType.IDENTIFIER)

@@ -1,0 +1,192 @@
+"""Unit tests for repro.sqlengine.parser."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sqlengine import parse_sql
+from repro.sqlengine.ast_nodes import (
+    JoinClause,
+    SqlBetween,
+    SqlBinary,
+    SqlFunction,
+    SqlIn,
+    SqlIsNull,
+    SqlLiteral,
+    SqlName,
+    SqlStar,
+    SqlUnary,
+    SubqueryRef,
+    TableRef,
+)
+
+
+class TestSelectList:
+    def test_star(self):
+        stmt = parse_sql("select * from t")
+        assert isinstance(stmt.items[0].expression, SqlStar)
+
+    def test_qualified_star(self):
+        stmt = parse_sql("select t1.* from t t1")
+        star = stmt.items[0].expression
+        assert isinstance(star, SqlStar) and star.qualifier == "t1"
+
+    def test_alias_with_and_without_as(self):
+        stmt = parse_sql("select a as x, b y from t")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+
+    def test_qualified_name(self):
+        stmt = parse_sql("select t1.col from t t1")
+        name = stmt.items[0].expression
+        assert isinstance(name, SqlName)
+        assert name.qualifier == "t1" and name.column == "col"
+
+    def test_function_calls(self):
+        stmt = parse_sql("select sum(m), count(*), avg(a + b) from t")
+        sum_call = stmt.items[0].expression
+        assert isinstance(sum_call, SqlFunction) and sum_call.name == "sum"
+        count = stmt.items[1].expression
+        assert count.star
+        avg = stmt.items[2].expression
+        assert isinstance(avg.arguments[0], SqlBinary)
+
+    def test_string_literal_item(self):
+        stmt = parse_sql("select 'mean greater' as hypothesis from t")
+        lit = stmt.items[0].expression
+        assert isinstance(lit, SqlLiteral) and lit.value == "mean greater"
+
+    def test_distinct_flag(self):
+        assert parse_sql("select distinct a from t").distinct
+        assert not parse_sql("select a from t").distinct
+
+
+class TestFromClause:
+    def test_table_with_alias(self):
+        stmt = parse_sql("select a from covid c")
+        ref = stmt.from_items[0]
+        assert isinstance(ref, TableRef)
+        assert ref.name == "covid" and ref.effective_alias == "c"
+
+    def test_comma_list(self):
+        stmt = parse_sql("select a from t1, t2, t3")
+        assert len(stmt.from_items) == 3
+
+    def test_subquery_requires_alias(self):
+        with pytest.raises(SQLSyntaxError, match="alias"):
+            parse_sql("select a from (select b from t)")
+
+    def test_subquery_with_alias(self):
+        stmt = parse_sql("select a from (select b from t) s")
+        sub = stmt.from_items[0]
+        assert isinstance(sub, SubqueryRef) and sub.alias == "s"
+
+    def test_explicit_join(self):
+        stmt = parse_sql("select a from t1 join t2 on t1.k = t2.k")
+        join = stmt.from_items[0]
+        assert isinstance(join, JoinClause)
+        assert isinstance(join.condition, SqlBinary)
+
+    def test_inner_join_keyword(self):
+        stmt = parse_sql("select a from t1 inner join t2 on t1.k = t2.k")
+        assert isinstance(stmt.from_items[0], JoinClause)
+
+    def test_chained_joins(self):
+        stmt = parse_sql("select a from t1 join t2 on x = y join t3 on y = z")
+        outer = stmt.from_items[0]
+        assert isinstance(outer, JoinClause) and isinstance(outer.left, JoinClause)
+
+
+class TestClauses:
+    def test_where_precedence(self):
+        stmt = parse_sql("select a from t where x = 1 or y = 2 and z = 3")
+        where = stmt.where
+        assert where.op == "or"  # AND binds tighter
+        assert where.right.op == "and"
+
+    def test_not(self):
+        stmt = parse_sql("select a from t where not x = 1")
+        assert isinstance(stmt.where, SqlUnary) and stmt.where.op == "not"
+
+    def test_in_and_not_in(self):
+        stmt = parse_sql("select a from t where x in ('p', 'q') and y not in (1)")
+        left = stmt.where.left
+        assert isinstance(left, SqlIn) and not left.negated
+        right = stmt.where.right
+        assert isinstance(right, SqlIn) and right.negated
+
+    def test_is_null(self):
+        stmt = parse_sql("select a from t where x is null and y is not null")
+        assert isinstance(stmt.where.left, SqlIsNull) and not stmt.where.left.negated
+        assert stmt.where.right.negated
+
+    def test_between(self):
+        stmt = parse_sql("select a from t where x between 1 and 5")
+        assert isinstance(stmt.where, SqlBetween)
+
+    def test_group_by_and_having(self):
+        stmt = parse_sql("select a, sum(m) from t group by a having sum(m) > 10")
+        assert len(stmt.group_by) == 1
+        assert isinstance(stmt.having, SqlBinary)
+
+    def test_order_by_directions(self):
+        stmt = parse_sql("select a from t order by a desc, b asc, c")
+        assert [o.ascending for o in stmt.order_by] == [False, True, True]
+
+    def test_limit(self):
+        assert parse_sql("select a from t limit 7").limit == 7
+
+    def test_semicolon_optional(self):
+        assert parse_sql("select a from t;").items
+        assert parse_sql("select a from t").items
+
+
+class TestCTE:
+    def test_single_cte(self):
+        stmt = parse_sql("with c as (select a from t) select a from c")
+        assert len(stmt.ctes) == 1
+        assert stmt.ctes[0].name == "c"
+
+    def test_multiple_ctes(self):
+        stmt = parse_sql(
+            "with c1 as (select a from t), c2 as (select a from c1) select a from c2"
+        )
+        assert [c.name for c in stmt.ctes] == ["c1", "c2"]
+
+
+class TestArithmeticParsing:
+    def test_precedence(self):
+        stmt = parse_sql("select 1 + 2 * 3 from t")
+        expr = stmt.items[0].expression
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parens_override(self):
+        stmt = parse_sql("select (1 + 2) * 3 from t")
+        assert stmt.items[0].expression.op == "*"
+
+    def test_unary_minus(self):
+        stmt = parse_sql("select -x from t")
+        assert isinstance(stmt.items[0].expression, SqlUnary)
+
+    def test_unary_plus_absorbed(self):
+        stmt = parse_sql("select +x from t")
+        assert isinstance(stmt.items[0].expression, SqlName)
+
+
+class TestErrors:
+    def test_trailing_garbage(self):
+        with pytest.raises(SQLSyntaxError, match="trailing"):
+            parse_sql("select a from t where x = 1 2")
+
+    def test_missing_from_item(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("select a from")
+
+    def test_bad_not(self):
+        with pytest.raises(SQLSyntaxError, match="IN or BETWEEN"):
+            parse_sql("select a from t where x not 5")
+
+    def test_error_position_reported(self):
+        with pytest.raises(SQLSyntaxError) as err:
+            parse_sql("select a\nfrom t where")
+        assert err.value.line == 2

@@ -1,0 +1,93 @@
+"""Robustness / failure-injection tests for the SQL engine.
+
+Property: whatever garbage comes in, the engine fails with the library's
+typed errors (SQLSyntaxError / PlanningError / ExecutionError), never with
+a bare TypeError/IndexError/RecursionError leaking from internals.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError, ReproError, SQLSyntaxError
+from repro.relational import table_from_arrays
+from repro.sqlengine import Catalog, execute_sql, parse_sql
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return Catalog(
+        {"t": table_from_arrays({"a": ["x", "y"], "b": ["p", "q"]}, {"m": [1.0, 2.0]})}
+    )
+
+
+# A vocabulary biased toward SQL fragments to reach deep parser states.
+_WORDS = st.sampled_from(
+    [
+        "select", "from", "where", "group", "by", "having", "order", "limit",
+        "and", "or", "not", "in", "is", "null", "join", "on", "as", "with",
+        "t", "a", "b", "m", "sum", "avg", "count", "(", ")", ",", "*", "=",
+        "<", ">", "<=", ">=", "<>", "+", "-", "/", "'x'", "1", "2.5", ";",
+        ".", "t1", "distinct", "between", "desc", "asc",
+    ]
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.lists(_WORDS, min_size=1, max_size=25))
+def test_parser_only_raises_typed_errors(tokens):
+    sql = " ".join(tokens)
+    try:
+        parse_sql(sql)
+    except SQLSyntaxError:
+        pass  # the contract
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(_WORDS, min_size=1, max_size=20))
+def test_executor_only_raises_typed_errors(catalog, tokens):
+    sql = " ".join(tokens)
+    try:
+        execute_sql(sql, catalog)
+    except ReproError:
+        pass  # SQLSyntaxError, PlanningError, ExecutionError are all fine
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(max_size=80))
+def test_lexer_arbitrary_text(text):
+    try:
+        parse_sql(text)
+    except ReproError:
+        pass
+
+
+class TestSpecificFailures:
+    def test_deeply_nested_parens(self, catalog):
+        sql = "select " + "(" * 50 + "1" + ")" * 50 + " as x from t"
+        out = execute_sql(sql, catalog)
+        assert out.to_dict()["x"] == [1.0, 1.0]
+
+    def test_empty_statement(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("")
+
+    def test_statement_is_just_semicolon(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql(";")
+
+    def test_aggregate_in_where_rejected(self, catalog):
+        with pytest.raises(QueryError):
+            execute_sql("select a from t where sum(m) > 1", catalog)
+
+    def test_nested_aggregate_rejected(self, catalog):
+        with pytest.raises(QueryError):
+            execute_sql("select sum(avg(m)) from t", catalog)
+
+    def test_group_by_unknown_column(self, catalog):
+        with pytest.raises(QueryError):
+            execute_sql("select ghost, sum(m) from t group by ghost", catalog)
+
+    def test_order_by_position_out_of_range(self, catalog):
+        with pytest.raises(QueryError):
+            execute_sql("select a from t order by 5", catalog)

@@ -1,0 +1,107 @@
+"""Tests for UNION [ALL] and LIMIT/OFFSET in the SQL engine."""
+
+import pytest
+
+from repro.errors import PlanningError, SQLSyntaxError
+from repro.relational import table_from_arrays
+from repro.sqlengine import (
+    Catalog,
+    SQLEngine,
+    UnionStatement,
+    execute_sql,
+    format_sql,
+    parse_sql,
+)
+
+
+@pytest.fixture
+def engine():
+    eng = SQLEngine()
+    eng.register(
+        "t",
+        table_from_arrays({"a": ["x", "y", "z", "x"]}, {"m": [1.0, 2.0, 3.0, 4.0]}),
+    )
+    eng.register("u", table_from_arrays({"b": ["x", "w"]}, {"k": [1.0, 9.0]}))
+    return eng
+
+
+class TestUnionParsing:
+    def test_union_all_ast(self):
+        stmt = parse_sql("select a from t union all select b from u")
+        assert isinstance(stmt, UnionStatement)
+        assert stmt.all and len(stmt.selects) == 2
+
+    def test_union_dedup_ast(self):
+        stmt = parse_sql("select a from t union select b from u")
+        assert isinstance(stmt, UnionStatement) and not stmt.all
+
+    def test_chain_of_three(self):
+        stmt = parse_sql("select 1 union all select 2 union all select 3")
+        assert len(stmt.selects) == 3
+
+    def test_mixed_flavors_rejected(self):
+        with pytest.raises(SQLSyntaxError, match="mixing"):
+            parse_sql("select 1 union select 2 union all select 3")
+
+    def test_with_clause_attaches_to_union(self):
+        stmt = parse_sql("with c as (select a from t) select a from c union select b from u")
+        assert isinstance(stmt, UnionStatement)
+        assert stmt.ctes and stmt.ctes[0].name == "c"
+
+
+class TestUnionExecution:
+    def test_union_all_concatenates(self, engine):
+        out = engine.execute("select a, m from t union all select b, k from u")
+        assert out.n_rows == 6
+        assert out.schema.names == ("a", "m")  # first branch names win
+
+    def test_union_deduplicates(self, engine):
+        out = engine.execute("select a from t union select a from t")
+        assert out.n_rows == 3  # x, y, z
+
+    def test_union_across_tables(self, engine):
+        out = engine.execute("select a from t union select b from u")
+        assert sorted(out.to_dict()["a"]) == ["w", "x", "y", "z"]
+
+    def test_arity_mismatch_rejected(self, engine):
+        with pytest.raises(PlanningError, match="arities"):
+            engine.execute("select a, m from t union select b from u")
+
+    def test_kind_mismatch_rejected(self, engine):
+        with pytest.raises(PlanningError, match="kinds"):
+            engine.execute("select a from t union select k from u")
+
+    def test_cte_visible_in_all_branches(self, engine):
+        out = engine.execute(
+            "with c as (select a from t where a = 'x') "
+            "select a from c union all select a from c"
+        )
+        assert out.n_rows == 4
+
+
+class TestOffset:
+    def test_offset_skips_rows(self, engine):
+        out = engine.execute("select m from t order by m offset 2")
+        assert out.to_dict()["m"] == [3.0, 4.0]
+
+    def test_limit_with_offset(self, engine):
+        out = engine.execute("select m from t order by m limit 2 offset 1")
+        assert out.to_dict()["m"] == [2.0, 3.0]
+
+    def test_offset_beyond_end(self, engine):
+        out = engine.execute("select m from t offset 100")
+        assert out.n_rows == 0
+
+
+class TestFormatting:
+    def test_union_round_trip(self):
+        sql = "select a from t union all select b from u;"
+        once = format_sql(parse_sql(sql))
+        assert format_sql(parse_sql(once)) == once
+        assert "union all" in once
+
+    def test_offset_round_trip(self):
+        sql = "select a from t limit 5 offset 3;"
+        once = format_sql(parse_sql(sql))
+        assert "offset 3" in once
+        assert format_sql(parse_sql(once)) == once

@@ -1,0 +1,52 @@
+"""Statistical calibration: the pipeline must not manufacture insights.
+
+These tests feed *null* data (no real effects) through the significance
+machinery and assert the false-discovery behaviour the paper's design
+(permutation tests + BH) promises.
+"""
+
+import numpy as np
+import pytest
+
+from repro.insights import SignificanceConfig, enumerate_candidates, run_significance_tests
+from repro.relational import table_from_arrays
+from repro.stats import derive_rng
+
+
+@pytest.fixture(scope="module")
+def null_table():
+    rng = derive_rng(4321, "calibration")
+    n = 600
+    return table_from_arrays(
+        {
+            "a": rng.choice([f"a{i}" for i in range(6)], n),
+            "b": rng.choice([f"b{i}" for i in range(4)], n),
+        },
+        {"m1": rng.normal(0, 1, n), "m2": rng.gamma(2.0, 1.0, n)},
+    )
+
+
+class TestNullCalibration:
+    def test_bh_kills_null_discoveries(self, null_table):
+        tested = run_significance_tests(null_table, enumerate_candidates(null_table))
+        significant = [t for t in tested if t.is_significant()]
+        # A handful can survive by chance; anywhere near 5% of tests means
+        # the correction is broken.
+        assert len(significant) <= max(2, 0.01 * len(tested))
+
+    def test_uncorrected_rate_near_alpha(self, null_table):
+        config = SignificanceConfig(apply_bh=False)
+        tested = run_significance_tests(null_table, enumerate_candidates(null_table), config)
+        rate = sum(1 for t in tested if t.is_significant()) / len(tested)
+        # One-sided tests oriented toward the observed direction roughly
+        # double the nominal 5% level; it must stay in that ballpark and
+        # far above the BH-corrected level.
+        assert 0.01 < rate < 0.25
+
+    def test_full_pipeline_on_null_data_yields_few_queries(self, null_table):
+        from repro.generation import GenerationConfig, generate_comparison_queries
+
+        outcome = generate_comparison_queries(null_table, GenerationConfig())
+        assert outcome.counters["insights_significant"] <= max(
+            2, 0.01 * outcome.counters["insights_tested"]
+        )

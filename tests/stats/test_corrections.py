@@ -1,0 +1,80 @@
+"""Unit + property tests for repro.stats.corrections."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import StatisticsError
+from repro.stats import benjamini_hochberg, bh_reject, bonferroni
+
+
+class TestBenjaminiHochberg:
+    def test_known_example(self):
+        # Classic worked example.
+        p = [0.01, 0.04, 0.03, 0.005]
+        adjusted = benjamini_hochberg(p)
+        # sorted: 0.005*4/1=0.02, 0.01*4/2=0.02, 0.03*4/3=0.04, 0.04*4/4=0.04
+        assert adjusted.tolist() == pytest.approx([0.02, 0.04, 0.04, 0.02])
+
+    def test_single_p_value_unchanged(self):
+        assert benjamini_hochberg([0.2]).tolist() == [0.2]
+
+    def test_empty_input(self):
+        assert benjamini_hochberg([]).size == 0
+
+    def test_all_ones(self):
+        assert benjamini_hochberg([1.0, 1.0]).tolist() == [1.0, 1.0]
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(StatisticsError):
+            benjamini_hochberg([0.5, 1.5])
+        with pytest.raises(StatisticsError):
+            benjamini_hochberg([-0.1])
+        with pytest.raises(StatisticsError):
+            benjamini_hochberg([float("nan")])
+
+    def test_2d_rejected(self):
+        with pytest.raises(StatisticsError):
+            benjamini_hochberg(np.zeros((2, 2)))  # type: ignore[arg-type]
+
+    @given(st.lists(st.floats(0, 1), min_size=1, max_size=50))
+    def test_adjusted_at_least_raw(self, ps):
+        adjusted = benjamini_hochberg(ps)
+        assert np.all(adjusted >= np.asarray(ps) - 1e-12)
+
+    @given(st.lists(st.floats(0, 1), min_size=1, max_size=50))
+    def test_adjusted_within_unit_interval(self, ps):
+        adjusted = benjamini_hochberg(ps)
+        assert np.all((0 <= adjusted) & (adjusted <= 1))
+
+    @given(st.lists(st.floats(0, 1), min_size=2, max_size=50))
+    def test_order_preserving(self, ps):
+        """Smaller raw p-values never get larger adjusted p-values."""
+        adjusted = benjamini_hochberg(ps)
+        order = np.argsort(ps, kind="stable")
+        assert np.all(np.diff(adjusted[order]) >= -1e-12)
+
+    def test_rejection_mask(self):
+        mask = bh_reject([0.001, 0.5, 0.002], alpha=0.05)
+        assert mask.tolist() == [True, False, True]
+
+    def test_alpha_validated(self):
+        with pytest.raises(StatisticsError):
+            bh_reject([0.1], alpha=1.5)
+
+
+class TestBonferroni:
+    def test_scaling(self):
+        assert bonferroni([0.01, 0.02]).tolist() == [0.02, 0.04]
+
+    def test_clipped_at_one(self):
+        assert bonferroni([0.5, 0.9]).tolist() == [1.0, 1.0]
+
+    def test_more_conservative_than_bh(self):
+        p = [0.001, 0.01, 0.02, 0.04, 0.9]
+        assert np.all(bonferroni(p) >= benjamini_hochberg(p) - 1e-12)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(StatisticsError):
+            bonferroni([2.0])

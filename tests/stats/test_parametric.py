@@ -1,0 +1,84 @@
+"""Unit tests for repro.stats.parametric."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StatisticsError
+from repro.stats import (
+    derive_rng,
+    f_variance_greater,
+    levene_variance_greater,
+    welch_mean_greater,
+)
+
+
+@pytest.fixture
+def prng():
+    return derive_rng(31, "parametric")
+
+
+class TestWelch:
+    def test_detects_mean_shift(self, prng):
+        x = prng.normal(2, 1, 80)
+        y = prng.normal(0, 1, 80)
+        assert welch_mean_greater(x, y).p_value < 0.001
+
+    def test_wrong_direction(self, prng):
+        x = prng.normal(0, 1, 80)
+        y = prng.normal(2, 1, 80)
+        assert welch_mean_greater(x, y).p_value > 0.99
+
+    def test_tiny_samples_inconclusive(self):
+        assert welch_mean_greater(np.array([5.0]), np.array([1.0])).p_value == 1.0
+
+    def test_constant_samples_degenerate(self):
+        bigger = welch_mean_greater(np.array([2.0, 2.0]), np.array([1.0, 1.0]))
+        assert bigger.p_value == 0.0
+        smaller = welch_mean_greater(np.array([1.0, 1.0]), np.array([2.0, 2.0]))
+        assert smaller.p_value == 1.0
+
+    def test_nan_stripped(self, prng):
+        x = np.concatenate([prng.normal(3, 1, 50), [np.nan]])
+        y = prng.normal(0, 1, 50)
+        assert welch_mean_greater(x, y).p_value < 0.01
+
+    def test_empty_rejected(self):
+        with pytest.raises(StatisticsError):
+            welch_mean_greater(np.array([]), np.array([1.0]))
+
+
+class TestVarianceTests:
+    def test_f_test_detects_spread(self, prng):
+        x = prng.normal(0, 4, 100)
+        y = prng.normal(0, 1, 100)
+        assert f_variance_greater(x, y).p_value < 0.001
+
+    def test_f_test_wrong_direction(self, prng):
+        x = prng.normal(0, 1, 100)
+        y = prng.normal(0, 4, 100)
+        assert f_variance_greater(x, y).p_value > 0.5
+
+    def test_f_zero_variance_baseline(self):
+        result = f_variance_greater(np.array([1.0, 2.0]), np.array([3.0, 3.0]))
+        assert result.p_value == 0.0
+        result = f_variance_greater(np.array([3.0, 3.0]), np.array([3.0, 3.0]))
+        assert result.p_value == 1.0
+
+    def test_levene_detects_spread(self, prng):
+        x = prng.normal(0, 4, 120)
+        y = prng.normal(0, 1, 120)
+        assert levene_variance_greater(x, y).p_value < 0.01
+
+    def test_levene_direction(self, prng):
+        x = prng.normal(0, 1, 120)
+        y = prng.normal(0, 4, 120)
+        assert levene_variance_greater(x, y).p_value > 0.5
+
+    def test_levene_small_samples(self):
+        assert levene_variance_greater(np.array([1.0]), np.array([2.0, 3.0])).p_value == 1.0
+
+    def test_agreement_between_tests_on_strong_effect(self, prng):
+        x = prng.normal(0, 5, 200)
+        y = prng.normal(0, 1, 200)
+        assert f_variance_greater(x, y).p_value < 0.01
+        assert levene_variance_greater(x, y).p_value < 0.01

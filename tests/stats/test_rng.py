@@ -1,0 +1,34 @@
+"""Unit tests for repro.stats.rng (deterministic sub-streams)."""
+
+from repro.stats import derive_rng, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_distinct_keys_distinct_seeds(self):
+        seeds = {derive_seed(1, part) for part in ("a", "b", "c", "d", ("a", "b"))}
+        assert len(seeds) == 5
+
+    def test_root_seed_matters(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_key_order_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_no_concatenation_collision(self):
+        # ("ab",) and ("a", "b") must not collide.
+        assert derive_seed(1, "ab") != derive_seed(1, "a", "b")
+
+
+class TestDeriveRng:
+    def test_same_stream_same_draws(self):
+        one = derive_rng(5, "stream").random(4)
+        two = derive_rng(5, "stream").random(4)
+        assert one.tolist() == two.tolist()
+
+    def test_different_streams_differ(self):
+        one = derive_rng(5, "s1").random(4)
+        two = derive_rng(5, "s2").random(4)
+        assert one.tolist() != two.tolist()

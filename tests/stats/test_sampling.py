@@ -1,0 +1,145 @@
+"""Unit tests for repro.stats.sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.relational import table_from_arrays
+from repro.stats import (
+    derive_rng,
+    minority_preservation,
+    random_sample,
+    random_sample_indices,
+    unbalanced_sample,
+    unbalanced_sample_indices,
+)
+
+
+@pytest.fixture
+def prng():
+    return derive_rng(77, "sampling")
+
+
+@pytest.fixture
+def skewed(prng):
+    """900 rows of a majority value, 90 of a medium one, 10 of a minority."""
+    values = ["big"] * 900 + ["mid"] * 90 + ["tiny"] * 10
+    return table_from_arrays({"attr": values}, {"m": list(range(1000))})
+
+
+class TestRandomSampling:
+    def test_size(self, skewed, prng):
+        sample = random_sample(skewed, 0.1, prng)
+        assert sample.n_rows == 100
+
+    def test_indices_sorted_and_unique(self, prng):
+        idx = random_sample_indices(1000, 0.2, prng)
+        assert len(set(idx.tolist())) == len(idx)
+        assert np.all(np.diff(idx) > 0)
+
+    def test_rate_validation(self, skewed, prng):
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(SamplingError):
+                random_sample(skewed, bad, prng)
+
+    def test_empty_table_rejected(self, prng):
+        empty = table_from_arrays({"a": []}, {"m": []})
+        with pytest.raises(SamplingError):
+            random_sample(empty, 0.5, prng)
+
+    def test_full_rate_returns_everything(self, skewed, prng):
+        assert random_sample(skewed, 1.0, prng).n_rows == skewed.n_rows
+
+    def test_tiny_rate_at_least_one_row(self, prng):
+        t = table_from_arrays({"a": ["x"] * 10}, {"m": range(10)})
+        assert random_sample(t, 0.01, prng).n_rows >= 1
+
+
+class TestUnbalancedSampling:
+    def test_size_roughly_rate(self, skewed, prng):
+        sample = unbalanced_sample(skewed, 0.1, prng)
+        assert 50 <= sample.n_rows <= 110  # union of per-attribute draws
+
+    def test_minority_values_preserved(self, skewed, prng):
+        """The signature property: all attribute values survive a 10% sample."""
+        sample = unbalanced_sample(skewed, 0.1, prng)
+        assert minority_preservation(skewed, sample, "attr") == 1.0
+
+    def test_random_sampling_loses_minorities_more(self, prng):
+        """At very low rates, unbalanced must preserve >= values vs random."""
+        values = ["big"] * 990 + [f"rare{i}" for i in range(10)]
+        t = table_from_arrays({"attr": values}, {"m": range(1000)})
+        unb, rnd = [], []
+        for trial in range(10):
+            r1 = derive_rng(trial, "u")
+            r2 = derive_rng(trial, "r")
+            unb.append(minority_preservation(t, unbalanced_sample(t, 0.05, r1), "attr"))
+            rnd.append(minority_preservation(t, random_sample(t, 0.05, r2), "attr"))
+        assert np.mean(unb) > np.mean(rnd)
+
+    def test_indices_valid(self, skewed, prng):
+        idx = unbalanced_sample_indices(skewed, 0.2, prng)
+        assert idx.min() >= 0 and idx.max() < skewed.n_rows
+        assert len(set(idx.tolist())) == len(idx)
+
+    def test_multi_attribute_union(self, prng):
+        t = table_from_arrays(
+            {"a": ["x", "x", "y", "y"] * 25, "b": ["p", "q", "p", "q"] * 25},
+            {"m": range(100)},
+        )
+        sample = unbalanced_sample(t, 0.2, prng)
+        assert sample.n_rows >= 4  # at least one row per (attribute, value)
+        assert minority_preservation(t, sample, "a") == 1.0
+        assert minority_preservation(t, sample, "b") == 1.0
+
+    def test_no_categorical_falls_back_to_random(self, prng):
+        t = table_from_arrays({}, {"m": range(50)})
+        idx = unbalanced_sample_indices(t, 0.1, prng)
+        assert idx.size == 5
+
+    def test_rate_validation(self, skewed, prng):
+        with pytest.raises(SamplingError):
+            unbalanced_sample(skewed, 0.0, prng)
+
+
+class TestMinorityPreservation:
+    def test_bounds(self, skewed, prng):
+        sample = random_sample(skewed, 0.2, prng)
+        value = minority_preservation(skewed, sample, "attr")
+        assert 0.0 <= value <= 1.0
+
+    def test_full_sample_is_one(self, skewed):
+        assert minority_preservation(skewed, skewed, "attr") == 1.0
+
+
+class TestPerAttributeBalancedSamples:
+    def test_full_budget_per_attribute(self, prng):
+        from repro.stats import balanced_sample_for_attribute, per_attribute_balanced_samples
+
+        values = ["big"] * 900 + ["mid"] * 90 + ["tiny"] * 10
+        t = table_from_arrays({"attr": values, "other": ["x", "y"] * 500}, {"m": range(1000)})
+        samples = per_attribute_balanced_samples(t, 0.2, prng)
+        assert set(samples) == {"attr", "other"}
+        # Each attribute's sample uses the full rate*n budget, not a split.
+        for sample in samples.values():
+            assert sample.n_rows == 200
+
+    def test_minority_values_get_equal_quota(self, prng):
+        from repro.stats import balanced_sample_for_attribute
+
+        values = ["big"] * 950 + ["rare"] * 50
+        t = table_from_arrays({"attr": values}, {"m": range(1000)})
+        sample = balanced_sample_for_attribute(t, "attr", 0.1, prng)
+        col = sample.categorical_column("attr")
+        n_rare = int(col.equals_mask("rare").sum())
+        n_big = int(col.equals_mask("big").sum())
+        # The 5% minority holds ~half of the balanced sample.
+        assert n_rare >= 0.3 * sample.n_rows
+        assert n_big + n_rare == sample.n_rows
+
+    def test_rate_validation(self, prng):
+        from repro.stats import balanced_sample_for_attribute
+
+        t = table_from_arrays({"a": ["x", "y"]}, {"m": [1, 2]})
+        with pytest.raises(SamplingError):
+            balanced_sample_for_attribute(t, "a", 0.0, prng)

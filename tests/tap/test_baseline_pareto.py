@@ -1,0 +1,88 @@
+"""Unit tests for repro.tap.baseline and repro.tap.pareto."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TAPError
+from repro.tap import (
+    HeuristicConfig,
+    pareto_front,
+    random_euclidean_instance,
+    solve_baseline,
+    solve_heuristic,
+    sweep_epsilon,
+)
+
+
+class TestBaseline:
+    def test_takes_top_interest(self):
+        instance = random_euclidean_instance(15, seed=1)
+        solution = solve_baseline(instance, budget=4)
+        top = set(np.argsort(-instance.interests)[:4].tolist())
+        assert set(solution.indices) == top
+
+    def test_ordering_by_interest(self):
+        instance = random_euclidean_instance(15, seed=2)
+        solution = solve_baseline(instance, budget=5)
+        interests = [instance.interests[i] for i in solution.indices]
+        assert interests == sorted(interests, reverse=True)
+
+    def test_ignores_distance(self):
+        # The baseline may violate any epsilon_d; it only respects the budget.
+        instance = random_euclidean_instance(15, seed=3)
+        solution = solve_baseline(instance, budget=5)
+        assert solution.cost <= 5.0
+
+    def test_invalid_budget(self):
+        with pytest.raises(TAPError):
+            solve_baseline(random_euclidean_instance(5, seed=1), budget=0)
+
+
+class TestSweep:
+    def test_interest_monotone_in_epsilon(self):
+        instance = random_euclidean_instance(25, seed=4)
+        points = sweep_epsilon(instance, budget=5, epsilon_grid=[0.2, 0.6, 1.2, 3.0])
+        interests = [p.interest for p in points]
+        assert interests == sorted(interests)
+
+    def test_distance_within_epsilon(self):
+        instance = random_euclidean_instance(25, seed=5)
+        for point in sweep_epsilon(instance, 5, [0.5, 1.0, 2.0]):
+            assert point.distance <= point.epsilon_distance + 1e-9
+
+    def test_exact_solver_option(self):
+        instance = random_euclidean_instance(10, seed=6)
+        points = sweep_epsilon(
+            instance, 3, [0.5, 2.0], solver="exact", timeout_seconds=20
+        )
+        assert all(p.solution.optimal for p in points)
+
+    def test_unknown_solver(self):
+        instance = random_euclidean_instance(5, seed=7)
+        with pytest.raises(TAPError):
+            sweep_epsilon(instance, 2, [1.0], solver="quantum")
+
+    def test_empty_grid_rejected(self):
+        instance = random_euclidean_instance(5, seed=7)
+        with pytest.raises(TAPError):
+            sweep_epsilon(instance, 2, [])
+
+
+class TestParetoFront:
+    def test_front_is_non_dominated(self):
+        instance = random_euclidean_instance(25, seed=8)
+        points = sweep_epsilon(instance, 5, [0.2, 0.5, 1.0, 2.0, 4.0])
+        front = pareto_front(points)
+        assert front
+        for p in front:
+            for q in points:
+                assert not (
+                    q.interest > p.interest and q.distance <= p.distance
+                ) or p in front
+
+    def test_duplicates_removed(self):
+        instance = random_euclidean_instance(10, seed=9)
+        points = sweep_epsilon(instance, 3, [100.0, 200.0])  # both saturate
+        front = pareto_front(points)
+        keys = {(round(p.interest, 9), round(p.distance, 9)) for p in front}
+        assert len(keys) == len(front)

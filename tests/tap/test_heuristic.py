@@ -1,0 +1,109 @@
+"""Unit tests for Algorithm 3 (and its lazy variant)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TAPError
+from repro.tap import (
+    ExactConfig,
+    HeuristicConfig,
+    random_euclidean_instance,
+    random_hamming_instance,
+    solve_exact,
+    solve_heuristic,
+    solve_heuristic_lazy,
+    validate_solution,
+)
+
+
+class TestFeasibility:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_respects_both_bounds(self, seed):
+        instance = random_hamming_instance(60, seed=seed)
+        config = HeuristicConfig(budget=7, epsilon_distance=18.0)
+        solution = solve_heuristic(instance, config)
+        validate_solution(instance, solution, 7, 18.0)
+
+    def test_zero_epsilon_single_query(self):
+        instance = random_euclidean_instance(20, seed=1)
+        solution = solve_heuristic(instance, HeuristicConfig(5, 0.0))
+        assert solution.size == 1
+        assert solution.interest == pytest.approx(float(instance.interests.max()))
+
+    def test_generous_epsilon_matches_baseline_set(self):
+        instance = random_euclidean_instance(20, seed=2)
+        solution = solve_heuristic(instance, HeuristicConfig(4, 1e9))
+        top4 = set(np.argsort(-instance.interests)[:4].tolist())
+        assert set(solution.indices) == top4
+
+    def test_never_worse_than_single_best(self):
+        for seed in range(5):
+            instance = random_hamming_instance(40, seed=seed)
+            solution = solve_heuristic(instance, HeuristicConfig(6, 10.0))
+            assert solution.interest >= float(instance.interests.max()) - 1e-9
+
+    def test_upper_bounded_by_exact(self):
+        instance = random_euclidean_instance(14, seed=3)
+        config_h = HeuristicConfig(4, 1.0)
+        heuristic = solve_heuristic(instance, config_h)
+        exact = solve_exact(instance, ExactConfig(4, 1.0, timeout_seconds=30))
+        assert heuristic.interest <= exact.solution.interest + 1e-9
+
+    def test_invalid_config(self):
+        with pytest.raises(TAPError):
+            HeuristicConfig(0, 1.0)
+
+
+class TestInsertionBehaviour:
+    def test_best_insertion_at_least_as_good_as_append(self):
+        for seed in range(6):
+            instance = random_euclidean_instance(30, seed=seed)
+            best = solve_heuristic(instance, HeuristicConfig(6, 1.2, best_insertion=True))
+            append = solve_heuristic(instance, HeuristicConfig(6, 1.2, best_insertion=False))
+            assert best.interest >= append.interest - 1e-9
+
+    def test_reported_scores_consistent(self):
+        instance = random_hamming_instance(30, seed=4)
+        solution = solve_heuristic(instance, HeuristicConfig(5, 12.0))
+        assert solution.interest == pytest.approx(
+            instance.sequence_interest(solution.indices)
+        )
+        assert solution.distance == pytest.approx(
+            instance.sequence_distance(solution.indices)
+        )
+
+
+class TestLazyVariant:
+    def test_matches_matrix_variant(self):
+        for seed in range(5):
+            instance = random_hamming_instance(50, seed=seed)
+            config = HeuristicConfig(6, 15.0)
+            dense = solve_heuristic(instance, config)
+            lazy = solve_heuristic_lazy(
+                instance.interests,
+                instance.costs,
+                lambda i, j: float(instance.distances[i, j]),
+                config,
+            )
+            assert lazy.indices == dense.indices
+            assert lazy.interest == pytest.approx(dense.interest)
+            assert lazy.distance == pytest.approx(dense.distance)
+
+    def test_lazy_validates_input(self):
+        config = HeuristicConfig(2, 5.0)
+        with pytest.raises(TAPError, match="align"):
+            solve_heuristic_lazy([1.0, 2.0], [1.0], lambda i, j: 0.0, config)
+        with pytest.raises(TAPError, match="positive"):
+            solve_heuristic_lazy([1.0], [0.0], lambda i, j: 0.0, config)
+
+    def test_lazy_append_only(self):
+        instance = random_hamming_instance(25, seed=6)
+        config = HeuristicConfig(5, 10.0, best_insertion=False)
+        dense = solve_heuristic(instance, config)
+        lazy = solve_heuristic_lazy(
+            instance.interests,
+            instance.costs,
+            lambda i, j: float(instance.distances[i, j]),
+            config,
+        )
+        assert lazy.indices == dense.indices

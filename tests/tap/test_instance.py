@@ -1,0 +1,87 @@
+"""Unit tests for repro.tap.instance."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TAPError
+from repro.tap import TAPInstance, make_solution, validate_solution
+
+
+def small_instance():
+    distances = np.array(
+        [[0.0, 1.0, 2.0], [1.0, 0.0, 1.5], [2.0, 1.5, 0.0]]
+    )
+    return TAPInstance(["q0", "q1", "q2"], [0.5, 0.9, 0.2], [1.0, 1.0, 1.0], distances)
+
+
+class TestValidation:
+    def test_shape_checks(self):
+        with pytest.raises(TAPError, match="one entry per item"):
+            TAPInstance(["a"], [1.0, 2.0], [1.0], np.zeros((1, 1)))
+        with pytest.raises(TAPError, match="matrix"):
+            TAPInstance(["a"], [1.0], [1.0], np.zeros((2, 2)))
+
+    def test_negative_interest_rejected(self):
+        with pytest.raises(TAPError, match="non-negative"):
+            TAPInstance(["a"], [-1.0], [1.0], np.zeros((1, 1)))
+
+    def test_zero_cost_rejected(self):
+        with pytest.raises(TAPError, match="positive"):
+            TAPInstance(["a"], [1.0], [0.0], np.zeros((1, 1)))
+
+    def test_asymmetric_matrix_rejected(self):
+        bad = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(TAPError, match="symmetric"):
+            TAPInstance(["a", "b"], [1, 1], [1, 1], bad)
+
+    def test_nonzero_diagonal_rejected(self):
+        bad = np.array([[1.0]])
+        with pytest.raises(TAPError, match="diagonal"):
+            TAPInstance(["a"], [1.0], [1.0], bad)
+
+
+class TestScoring:
+    def test_sequence_scores(self):
+        inst = small_instance()
+        assert inst.sequence_interest([0, 2]) == pytest.approx(0.7)
+        assert inst.sequence_cost([0, 2]) == 2.0
+        assert inst.sequence_distance([0, 1, 2]) == pytest.approx(2.5)
+        assert inst.sequence_distance([1]) == 0.0
+        assert inst.sequence_interest([]) == 0.0
+
+    def test_build_from_callables(self):
+        inst = TAPInstance.build(
+            ["a", "bb", "ccc"],
+            interest_of=len,
+            cost_of=lambda s: 1.0,
+            distance_of=lambda s1, s2: abs(len(s1) - len(s2)),
+        )
+        assert inst.interests.tolist() == [1.0, 2.0, 3.0]
+        assert inst.distances[0, 2] == 2.0
+        assert inst.distances[2, 0] == 2.0
+
+
+class TestSolutionHelpers:
+    def test_make_solution_scores(self):
+        inst = small_instance()
+        sol = make_solution(inst, [1, 0])
+        assert sol.interest == pytest.approx(1.4)
+        assert sol.distance == 1.0
+        assert sol.items(inst) == ["q1", "q0"]
+
+    def test_repeated_indices_rejected(self):
+        with pytest.raises(TAPError, match="repeat"):
+            make_solution(small_instance(), [0, 0])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(TAPError, match="range"):
+            make_solution(small_instance(), [5])
+
+    def test_validate_solution_bounds(self):
+        inst = small_instance()
+        sol = make_solution(inst, [0, 1])
+        validate_solution(inst, sol, budget=2, epsilon_distance=1.0)
+        with pytest.raises(TAPError, match="cost"):
+            validate_solution(inst, sol, budget=1, epsilon_distance=10.0)
+        with pytest.raises(TAPError, match="distance"):
+            validate_solution(inst, sol, budget=5, epsilon_distance=0.5)

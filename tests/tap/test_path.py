@@ -1,0 +1,131 @@
+"""Unit + property tests for repro.tap.path."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TAPError
+from repro.tap import (
+    best_insertion_order,
+    best_insertion_position,
+    held_karp_path,
+    min_path_length,
+    mst_lower_bound,
+)
+
+
+def euclidean(points):
+    diff = points[:, None, :] - points[None, :, :]
+    return np.sqrt((diff**2).sum(axis=2))
+
+
+def brute_force_path(distances, subset):
+    best = (float("inf"), None)
+    for perm in itertools.permutations(subset):
+        length = sum(distances[perm[i], perm[i + 1]] for i in range(len(perm) - 1))
+        if length < best[0]:
+            best = (length, list(perm))
+    return best
+
+
+class TestHeldKarp:
+    def test_trivial_sizes(self):
+        d = np.zeros((3, 3))
+        assert held_karp_path(d, []) == (0.0, [])
+        assert held_karp_path(d, [2]) == (0.0, [2])
+
+    def test_two_points(self):
+        d = np.array([[0.0, 3.0], [3.0, 0.0]])
+        length, order = held_karp_path(d, [0, 1])
+        assert length == 3.0 and sorted(order) == [0, 1]
+
+    def test_size_guard(self):
+        d = np.zeros((30, 30))
+        with pytest.raises(TAPError, match="limited"):
+            held_karp_path(d, list(range(25)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(3, 7))
+    def test_matches_brute_force(self, seed, k):
+        rng = np.random.default_rng(seed)
+        points = rng.random((k, 2))
+        d = euclidean(points)
+        expected_length, _ = brute_force_path(d, list(range(k)))
+        length, order = held_karp_path(d, list(range(k)))
+        assert length == pytest.approx(expected_length, rel=1e-9)
+        # The returned order must realize the returned length.
+        realized = sum(d[order[i], order[i + 1]] for i in range(k - 1))
+        assert realized == pytest.approx(length, rel=1e-9)
+        assert sorted(order) == list(range(k))
+
+    def test_subset_indices_respected(self):
+        rng = np.random.default_rng(1)
+        d = euclidean(rng.random((10, 2)))
+        subset = [7, 2, 9]
+        _, order = held_karp_path(d, subset)
+        assert sorted(order) == sorted(subset)
+
+
+class TestMSTBound:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 8))
+    def test_lower_bounds_path(self, seed, k):
+        rng = np.random.default_rng(seed)
+        d = euclidean(rng.random((k, 2)))
+        path_length, _ = held_karp_path(d, list(range(k)))
+        assert mst_lower_bound(d, list(range(k))) <= path_length + 1e-9
+
+    def test_trivial(self):
+        d = np.zeros((2, 2))
+        assert mst_lower_bound(d, [0]) == 0.0
+        assert mst_lower_bound(d, []) == 0.0
+
+
+class TestBestInsertion:
+    def test_insert_into_empty(self):
+        d = np.zeros((2, 2))
+        assert best_insertion_position(d, [], 0) == (0, 0.0)
+
+    def test_prepend_append_middle(self):
+        # Points on a line: 0 --- 1 --- 2; inserting 1 between 0 and 2 is free-ish.
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        d = euclidean(points)
+        pos, delta = best_insertion_position(d, [0, 2], 1)
+        assert pos == 1
+        assert delta == pytest.approx(0.0)
+
+    def test_append_when_cheapest(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        d = euclidean(points)
+        pos, delta = best_insertion_position(d, [0, 1], 2)
+        assert pos == 2 and delta == pytest.approx(1.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 9))
+    def test_insertion_order_at_least_optimal(self, seed, k):
+        rng = np.random.default_rng(seed)
+        d = euclidean(rng.random((k, 2)))
+        order = best_insertion_order(d, list(range(k)))
+        greedy_length = sum(d[order[i], order[i + 1]] for i in range(k - 1))
+        optimal_length, _ = held_karp_path(d, list(range(k)))
+        assert greedy_length >= optimal_length - 1e-9
+        assert sorted(order) == list(range(k))
+
+
+class TestMinPathLength:
+    def test_exact_regime(self):
+        rng = np.random.default_rng(0)
+        d = euclidean(rng.random((6, 2)))
+        assert min_path_length(d, list(range(6))) == pytest.approx(
+            held_karp_path(d, list(range(6)))[0]
+        )
+
+    def test_greedy_regime_is_upper_bound(self):
+        rng = np.random.default_rng(0)
+        d = euclidean(rng.random((12, 2)))
+        greedy = min_path_length(d, list(range(12)), exact_limit=5)
+        exact, _ = held_karp_path(d, list(range(12)))
+        assert greedy >= exact - 1e-9

@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import covid_table
+from repro.relational import write_csv
+
+
+@pytest.fixture
+def covid_csv(tmp_path):
+    path = tmp_path / "covid.csv"
+    write_csv(covid_table(400), path)
+    return path
+
+
+class TestGenerate:
+    def test_writes_ipynb(self, covid_csv, tmp_path, capsys):
+        out = tmp_path / "nb.ipynb"
+        code = main(
+            ["generate", str(covid_csv), "--budget", "4", "--out", str(out), "--quiet"]
+        )
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert doc["nbformat"] == 4
+        assert any(c["cell_type"] == "code" for c in doc["cells"])
+
+    def test_writes_sql_script(self, covid_csv, tmp_path):
+        out = tmp_path / "nb.ipynb"
+        sql = tmp_path / "nb.sql"
+        code = main(
+            ["generate", str(covid_csv), "--budget", "3", "--out", str(out),
+             "--sql-out", str(sql), "--quiet", "--no-previews"]
+        )
+        assert code == 0
+        assert sql.read_text().startswith("--")
+
+    def test_preset_option(self, covid_csv, tmp_path):
+        out = tmp_path / "nb.ipynb"
+        code = main(
+            ["generate", str(covid_csv), "--preset", "wsc-rand-approx",
+             "--sample-rate", "0.4", "--budget", "3", "--out", str(out), "--quiet"]
+        )
+        assert code == 0
+
+    def test_default_output_path(self, covid_csv):
+        code = main(["generate", str(covid_csv), "--budget", "3", "--quiet"])
+        assert code == 0
+        assert covid_csv.with_suffix(".comparisons.ipynb").exists()
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        code = main(["generate", str(tmp_path / "ghost.csv"), "--quiet"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_progress_output(self, covid_csv, tmp_path, capsys):
+        out = tmp_path / "nb.ipynb"
+        main(["generate", str(covid_csv), "--budget", "3", "--out", str(out)])
+        stdout = capsys.readouterr().out
+        assert "[repro]" in stdout and "selected" in stdout
+
+
+class TestInspect:
+    def test_prints_schema_and_fds(self, covid_csv, capsys):
+        assert main(["inspect", str(covid_csv)]) == 0
+        out = capsys.readouterr().out
+        assert "month" in out
+        assert "country -> continent" in out
+        assert "Lemma 3.2" in out
+
+
+class TestDatasets:
+    def test_writes_all_four(self, tmp_path):
+        assert main(["datasets", "--out-dir", str(tmp_path), "--scale", "0.1"]) == 0
+        for name in ("vaccine", "enedis", "flights", "covid"):
+            assert (tmp_path / f"{name}.csv").exists()
+
+
+class TestRecut:
+    def test_save_and_recut(self, covid_csv, tmp_path):
+        out = tmp_path / "nb.ipynb"
+        saved = tmp_path / "run.json"
+        assert main(
+            ["generate", str(covid_csv), "--budget", "6", "--out", str(out),
+             "--save-run", str(saved), "--quiet"]
+        ) == 0
+        assert saved.exists()
+        recut_out = tmp_path / "recut.ipynb"
+        code = main(
+            ["recut", str(saved), "--budget", "3", "--out", str(recut_out),
+             "--csv", str(covid_csv)]
+        )
+        assert code == 0
+        doc = json.loads(recut_out.read_text())
+        code_cells = [c for c in doc["cells"] if c["cell_type"] == "code"]
+        assert 1 <= len(code_cells) <= 3
+
+    def test_recut_without_csv_has_no_previews(self, covid_csv, tmp_path):
+        saved = tmp_path / "run.json"
+        main(["generate", str(covid_csv), "--budget", "4",
+              "--out", str(tmp_path / "a.ipynb"), "--save-run", str(saved), "--quiet"])
+        recut_out = tmp_path / "recut.ipynb"
+        assert main(["recut", str(saved), "--budget", "2", "--out", str(recut_out)]) == 0
+        doc = json.loads(recut_out.read_text())
+        code_cells = [c for c in doc["cells"] if c["cell_type"] == "code"]
+        assert all(not c["outputs"] for c in code_cells)

@@ -1,0 +1,36 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and obj is not Exception:
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_sql_syntax_error_carries_position(self):
+        err = errors.SQLSyntaxError("boom", line=3, column=7)
+        assert err.line == 3 and err.column == 7
+        assert "line 3" in str(err) and "column 7" in str(err)
+
+    def test_sql_syntax_error_without_position(self):
+        err = errors.SQLSyntaxError("boom")
+        assert "line" not in str(err)
+
+    def test_solver_timeout_carries_incumbent(self):
+        err = errors.SolverTimeout("slow", incumbent="partial")
+        assert err.incumbent == "partial"
+
+    def test_specific_catches(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.PlanningError("x")
+        with pytest.raises(errors.QueryError):
+            raise errors.SQLSyntaxError("x")
+        with pytest.raises(errors.StatisticsError):
+            raise errors.SamplingError("x")
+        with pytest.raises(errors.TAPError):
+            raise errors.SolverTimeout("x")
