@@ -4,6 +4,8 @@ Usage::
 
     python -m repro generate data.csv --budget 10 --out notebook.ipynb
     python -m repro generate data.csv --preset wsc-unb-approx --sample-rate 0.2
+    python -m repro generate data.csv --deadline 5 --checkpoint run.ckpt.json
+    python -m repro generate data.csv --resume run.ckpt.json --out notebook.ipynb
     python -m repro inspect data.csv
     python -m repro datasets --out-dir ./demo-data
 
@@ -11,36 +13,58 @@ Sub-commands
 ------------
 ``generate``
     Run the full pipeline on a CSV and write ``.ipynb`` and/or ``.sql``.
+    Runs under the resilient controller: ``--deadline`` bounds the wall
+    clock, ``--checkpoint``/``--resume`` snapshot and restore stage
+    boundaries, and the per-stage run report is printed at the end.
+``recut``
+    Re-solve the TAP over a saved run (no statistics re-run).
 ``inspect``
     Print the inferred schema, per-column statistics, detected functional
     dependencies, and the comparison-query count of Lemma 3.2.
 ``datasets``
     Materialize the synthetic evaluation datasets as CSV files.
+
+The ``REPRO_FAULTS`` environment variable (e.g. ``stats:kill`` or
+``tap:stall:10``) activates deterministic fault injection — a test hook,
+see ``docs/resilience.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
+import os
 import sys
 from pathlib import Path
 
 from repro.datasets import covid_table, enedis_table, flights_table, vaccine_table
 from repro.errors import ReproError
-from repro.generation import GenerationConfig, NotebookGenerator, preset, preset_names
+from repro.generation import GenerationConfig, preset, preset_names
 from repro.insights import count_comparison_queries, table_adom_sizes
 from repro.notebook import to_sql_script, write_ipynb
 from repro.relational import collect_statistics, detect_functional_dependencies, read_csv, write_csv
 
+logger = logging.getLogger(__name__)
+
 
 def build_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--verbose", action="store_true",
+                        help="enable debug logging on stderr")
+    common.add_argument("--quiet", action="store_true",
+                        help="suppress progress output and warnings")
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Comparison-notebook generator (EDBT 2022 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    gen = sub.add_parser("generate", help="generate a comparison notebook from a CSV")
-    gen.add_argument("csv", type=Path, help="input CSV file (one table)")
+    gen = sub.add_parser("generate", parents=[common],
+                         help="generate a comparison notebook from a CSV")
+    gen.add_argument("csv", type=Path, nargs="?", default=None,
+                     help="input CSV file (optional when --resume holds the "
+                          "generation stage)")
     gen.add_argument("--budget", type=int, default=10, help="notebook length eps_t (default 10)")
     gen.add_argument("--epsilon-distance", type=float, default=None,
                      help="distance bound eps_d (default: 4 per transition)")
@@ -53,6 +77,14 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--threads", type=int, default=1, help="workers (default 1)")
     gen.add_argument("--backend", choices=("threads", "processes"), default="threads",
                      help="parallel backend for the test phase (processes beats the GIL)")
+    gen.add_argument("--solver", choices=("heuristic", "exact"), default=None,
+                     help="TAP solver (default from preset, else heuristic)")
+    gen.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                     help="wall-clock budget; stages degrade instead of overrunning")
+    gen.add_argument("--checkpoint", type=Path, default=None, metavar="PATH",
+                     help="write stage snapshots here (resume with --resume)")
+    gen.add_argument("--resume", type=Path, default=None, metavar="PATH",
+                     help="resume from a stage checkpoint (skips completed stages)")
     gen.add_argument("--out", type=Path, default=None, help="output .ipynb path")
     gen.add_argument("--sql-out", type=Path, default=None, help="output .sql script path")
     gen.add_argument("--table-name", default=None, help="table name used in the SQL")
@@ -60,10 +92,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="skip executing queries for result previews")
     gen.add_argument("--save-run", type=Path, default=None,
                      help="also save the full run as JSON (re-cut later with 'recut')")
-    gen.add_argument("--quiet", action="store_true", help="suppress progress output")
 
     recut = sub.add_parser(
-        "recut", help="re-solve the TAP over a saved run (no statistics re-run)"
+        "recut", parents=[common],
+        help="re-solve the TAP over a saved run (no statistics re-run)"
     )
     recut.add_argument("run", type=Path, help="a run saved with --save-run")
     recut.add_argument("--budget", type=int, required=True, help="new notebook length eps_t")
@@ -72,23 +104,58 @@ def build_parser() -> argparse.ArgumentParser:
                        help="original CSV (enables result previews/charts)")
     recut.add_argument("--out", type=Path, required=True, help="output .ipynb path")
 
-    ins = sub.add_parser("inspect", help="inspect a CSV's schema and statistics")
+    ins = sub.add_parser("inspect", parents=[common],
+                         help="inspect a CSV's schema and statistics")
     ins.add_argument("csv", type=Path)
 
-    data = sub.add_parser("datasets", help="write the synthetic evaluation datasets")
+    data = sub.add_parser("datasets", parents=[common],
+                          help="write the synthetic evaluation datasets")
     data.add_argument("--out-dir", type=Path, default=Path("."))
     data.add_argument("--scale", type=float, default=0.25)
     return parser
 
 
+def _configure_logging(verbose: bool, quiet: bool) -> None:
+    """Wire the library's module loggers to stderr.
+
+    ``--verbose`` shows everything (DEBUG); the default shows warnings
+    (degradations, timeouts); ``--quiet`` shows only errors.
+    """
+    level = logging.DEBUG if verbose else logging.ERROR if quiet else logging.WARNING
+    root = logging.getLogger("repro")
+    root.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in root.handlers):
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("[%(levelname)s] %(name)s: %(message)s"))
+        root.addHandler(handler)
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
-    table = read_csv(args.csv)
-    table_name = args.table_name or args.csv.stem
+    from repro.persistence import load_checkpoint, save_run
+    from repro.runtime import parse_fault_plan, resilient_generate, resilient_render
+
     say = (lambda m: None) if args.quiet else (lambda m: print(f"[repro] {m}"))
-    say(f"loaded {table.n_rows} rows from {args.csv}")
+    faults = parse_fault_plan(os.environ.get("REPRO_FAULTS"))
+    if faults.active:
+        say("fault injection active (REPRO_FAULTS)")
+
+    resume = load_checkpoint(args.resume) if args.resume else None
+    table = None
+    if args.csv is not None:
+        table = read_csv(args.csv, strict=True)
+        say(f"loaded {table.n_rows} rows from {args.csv}")
+    elif resume is None or resume.outcome is None:
+        raise ReproError(
+            "a CSV argument is required unless --resume points at a checkpoint "
+            "that already contains the generation stage"
+        )
+    table_name = args.table_name or (args.csv.stem if args.csv else "dataset")
 
     if args.preset:
         generator = preset(args.preset, sample_rate=args.sample_rate)
+        config, solver, exact_timeout = (
+            generator.config, generator.solver, generator.exact_timeout
+        )
     else:
         from dataclasses import replace
 
@@ -96,11 +163,26 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         config = replace(
             config, significance=replace(config.significance, n_permutations=args.permutations)
         )
-        generator = NotebookGenerator(config)
-    run = generator.generate(
-        table, budget=args.budget, epsilon_distance=args.epsilon_distance, progress=say
+        solver, exact_timeout = "heuristic", 60.0
+    if args.solver:
+        solver = args.solver
+
+    run = resilient_generate(
+        table,
+        config,
+        budget=args.budget,
+        epsilon_distance=args.epsilon_distance,
+        solver=solver,
+        exact_timeout=exact_timeout,
+        deadline_seconds=args.deadline,
+        faults=faults,
+        checkpoint_path=args.checkpoint,
+        resume=resume,
+        progress=say,
     )
+
     if not run.selected:
+        _print_report(run, args.quiet)
         print("no significant comparison insights found; nothing to write", file=sys.stderr)
         return 1
 
@@ -109,11 +191,14 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     for rank, g in enumerate(run.selected, start=1):
         say(f"  {rank}. {g.query.describe()}")
 
-    notebook = None
-    out = args.out or args.csv.with_suffix(".comparisons.ipynb")
-    notebook = run.to_notebook(
-        table, table_name=table_name, title=f"Comparison notebook — {table_name}",
+    out = args.out or (
+        args.csv.with_suffix(".comparisons.ipynb") if args.csv else Path("comparisons.ipynb")
+    )
+    notebook = resilient_render(
+        run, table, table_name=table_name,
+        title=f"Comparison notebook — {table_name}",
         include_previews=not args.no_previews,
+        faults=faults,
     )
     write_ipynb(notebook, out)
     print(f"wrote {out}")
@@ -121,10 +206,19 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         args.sql_out.write_text(to_sql_script(notebook), encoding="utf-8")
         print(f"wrote {args.sql_out}")
     if args.save_run:
-        from repro.persistence import save_run
-
         save_run(run, args.save_run)
         print(f"wrote {args.save_run}")
+    _print_report(run, args.quiet)
+    return 0
+
+
+def _print_report(run, quiet: bool) -> int:
+    if run.report is None:
+        return 0
+    if quiet:
+        return 0
+    for line in run.report.summary_lines():
+        print(f"[repro] {line}")
     return 0
 
 
@@ -187,6 +281,7 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(getattr(args, "verbose", False), getattr(args, "quiet", False))
     try:
         if args.command == "generate":
             return _cmd_generate(args)
@@ -199,7 +294,9 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    except FileNotFoundError as exc:
+    except OSError as exc:
+        # Covers missing inputs and unwritable outputs (FileNotFoundError,
+        # PermissionError, IsADirectoryError, ...): one line, exit code 2.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     raise AssertionError(args.command)

@@ -61,6 +61,19 @@ class InsightError(ReproError):
     """An insight definition is inconsistent with its relation."""
 
 
+class DeadlineExceeded(ReproError):
+    """A cooperative cancellation checkpoint fired past the run deadline.
+
+    Raised by stage loops when the shared wall-clock deadline expires; the
+    resilient run controller catches it and falls back to a cheaper rung of
+    the stage's degradation ladder instead of losing the run.
+    """
+
+    def __init__(self, message: str, stage: str | None = None):
+        super().__init__(message)
+        self.stage = stage
+
+
 class TAPError(ReproError):
     """A TAP instance or solver configuration is invalid."""
 

@@ -12,7 +12,10 @@ from repro.generation.generator import (
     GeneratedQuery,
     GenerationOutcome,
     PhaseTimings,
+    StatsStageResult,
     generate_comparison_queries,
+    run_stats_stage,
+    run_support_stage,
 )
 from repro.generation.pipeline import (
     DEFAULT_EPSILON_PER_QUERY,
@@ -39,10 +42,13 @@ __all__ = [
     "PhaseTimings",
     "SamplingSpec",
     "SetCoverEvaluator",
+    "StatsStageResult",
     "SupportEvaluator",
     "apply_memory_fallback",
     "build_evaluator",
     "generate_comparison_queries",
+    "run_stats_stage",
+    "run_support_stage",
     "greedy_weighted_set_cover",
     "pairs_covered",
     "preset",

@@ -14,6 +14,7 @@ phase timings the scalability figures break down.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -36,8 +37,11 @@ from repro.queries.evaluate import ComparisonResult
 from repro.queries.interestingness import conciseness, insight_term
 from repro.relational.functional_deps import detect_functional_dependencies, related_attributes
 from repro.relational.table import Table
+from repro.runtime.deadline import Deadline
 from repro.stats.rng import derive_rng
 from repro.stats.sampling import per_attribute_balanced_samples, random_sample
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(slots=True)
@@ -103,12 +107,33 @@ class GenerationOutcome:
         return len(self.queries)
 
 
-def generate_comparison_queries(
+@dataclass(slots=True)
+class StatsStageResult:
+    """Everything the statistical stage produces (the checkpointable unit).
+
+    Holds the significant insights plus the FD-derived exclusions the
+    support stage needs, so an interrupted run can resume from here without
+    re-running a single permutation test.
+    """
+
+    significant: list[TestedInsight]
+    excluded_pairs: set[frozenset[str]]
+    timings: PhaseTimings
+    counters: dict[str, int] = field(default_factory=dict)
+
+
+def run_stats_stage(
     table: Table,
     config: GenerationConfig | None = None,
     progress: Callable[[str], None] | None = None,
-) -> GenerationOutcome:
-    """Run insight testing + hypothesis evaluation and build the set Q."""
+    deadline: Deadline | None = None,
+) -> StatsStageResult:
+    """FD preprocessing, offline sampling, and the statistical tests.
+
+    The expensive half of Algorithm 1 (lines 1-3).  ``deadline`` threads a
+    cooperative cancellation checkpoint into the test loops; on expiry a
+    :class:`~repro.errors.DeadlineExceeded` escapes with no partial state.
+    """
     config = config or GenerationConfig()
     timings = PhaseTimings()
     counters: dict[str, int] = {}
@@ -122,6 +147,7 @@ def generate_comparison_queries(
     timings.preprocessing = time.perf_counter() - start
     if excluded_pairs:
         say(f"excluding {len(excluded_pairs)} FD-related attribute pairs")
+        logger.debug("excluding %d FD-related attribute pairs", len(excluded_pairs))
 
     # -- offline sampling -----------------------------------------------------
     start = time.perf_counter()
@@ -141,7 +167,9 @@ def generate_comparison_queries(
 
     # -- statistical tests ------------------------------------------------------
     start = time.perf_counter()
-    tested = _run_tests(test_source, config)
+    logger.info("statistical tests: %d permutations, engine=%s",
+                config.significance.n_permutations, config.significance.engine)
+    tested = _run_tests(test_source, config, deadline)
     counters["insights_tested"] = len(tested)
     significant = [t for t in tested if t.is_significant(config.significance.threshold)]
     counters["insights_significant"] = len(significant)
@@ -151,12 +179,36 @@ def generate_comparison_queries(
     timings.statistical_tests = time.perf_counter() - start
     say(f"{counters['insights_significant']} significant insights "
         f"({counters['insights_after_pruning']} after transitivity pruning)")
+    logger.info("%d/%d insights significant (%d after pruning) in %.3fs",
+                counters["insights_significant"], counters["insights_tested"],
+                counters["insights_after_pruning"], timings.statistical_tests)
+    return StatsStageResult(significant, excluded_pairs, timings, counters)
 
-    # -- hypothesis-query evaluation ---------------------------------------------
+
+def run_support_stage(
+    table: Table,
+    stats: StatsStageResult,
+    config: GenerationConfig | None = None,
+    progress: Callable[[str], None] | None = None,
+    deadline: Deadline | None = None,
+) -> GenerationOutcome:
+    """Hypothesis-query evaluation and scoring over a stats-stage result.
+
+    The second half of Algorithm 1 (lines 4-17); runs against the *full*
+    relation regardless of any test-phase sampling.  Merges the stats
+    stage's timings and counters into the returned outcome.
+    """
+    config = config or GenerationConfig()
+    say = progress or (lambda message: None)
+    timings = stats.timings
+    counters = dict(stats.counters)
+
     start = time.perf_counter()
     evaluator = build_evaluator(table, config.evaluator, config.memory_budget_bytes)
+    logger.info("hypothesis evaluation: evaluator=%s over %d insights",
+                config.evaluator, len(stats.significant))
     queries, evidences, n_hypothesis = _evaluate_support(
-        table, significant, excluded_pairs, evaluator, config
+        table, stats.significant, stats.excluded_pairs, evaluator, config, deadline
     )
     counters["hypothesis_queries_evaluated"] = n_hypothesis
     counters["queries_supported"] = len(queries)
@@ -166,8 +218,21 @@ def generate_comparison_queries(
     counters["queries_final"] = len(scored)
     timings.hypothesis_evaluation = time.perf_counter() - start
     say(f"{len(scored)} comparison queries retained in Q")
+    logger.info("%d comparison queries retained in Q (%.3fs)",
+                len(scored), timings.hypothesis_evaluation)
+    return GenerationOutcome(scored, stats.significant, evidences, timings, counters)
 
-    return GenerationOutcome(scored, significant, evidences, timings, counters)
+
+def generate_comparison_queries(
+    table: Table,
+    config: GenerationConfig | None = None,
+    progress: Callable[[str], None] | None = None,
+    deadline: Deadline | None = None,
+) -> GenerationOutcome:
+    """Run insight testing + hypothesis evaluation and build the set Q."""
+    config = config or GenerationConfig()
+    stats = run_stats_stage(table, config, progress, deadline)
+    return run_support_stage(table, stats, config, progress, deadline)
 
 
 # ---------------------------------------------------------------------------
@@ -176,21 +241,32 @@ def generate_comparison_queries(
 
 
 def _run_tests(
-    test_source: Table | dict[str, Table], config: GenerationConfig
+    test_source: Table | dict[str, Table],
+    config: GenerationConfig,
+    deadline: Deadline | None = None,
 ) -> list[TestedInsight]:
     """Run the per-attribute significance tests, possibly threaded.
 
     ``test_source`` is either one table shared by every attribute (full
     data or a uniform random sample) or a mapping attribute -> table
     (per-attribute balanced samples of the unbalanced strategy).
+
+    ``deadline`` adds cooperative cancellation: per candidate on the
+    sequential and threaded paths, per chunk result on the process path
+    (a deadline cannot cross a process boundary).
     """
     if isinstance(test_source, Table):
         tables = {name: test_source for name in test_source.schema.categorical_names}
     else:
         tables = test_source
+    checkpoint = None
+    if deadline is not None and deadline.limited:
+        checkpoint = lambda: deadline.check("statistical tests")  # noqa: E731
 
     work: list[tuple[str, Table, list[CandidateInsight]]] = []
     for attribute, sample in tables.items():
+        if checkpoint is not None:
+            checkpoint()
         candidates = list(
             enumerate_candidates(
                 sample,
@@ -206,7 +282,9 @@ def _run_tests(
         tested: list[TestedInsight] = []
         for attribute, sample, candidates in work:
             tested.extend(
-                run_attribute_significance(sample, attribute, candidates, config.significance)
+                run_attribute_significance(
+                    sample, attribute, candidates, config.significance, checkpoint=checkpoint
+                )
             )
         return tested
 
@@ -220,19 +298,28 @@ def _run_tests(
         for start_index in range(0, len(candidates), chunk_size):
             jobs.append((attribute, sample, candidates[start_index : start_index + chunk_size]))
 
-    pool_type = (
-        ProcessPoolExecutor if config.parallel_backend == "processes" else ThreadPoolExecutor
-    )
+    use_processes = config.parallel_backend == "processes"
+    pool_type = ProcessPoolExecutor if use_processes else ThreadPoolExecutor
+    # Worker-side checkpoints only work in-process; a process pool falls
+    # back to checking between chunk results on the consumer side.
+    worker_checkpoint = None if use_processes else checkpoint
     merged: dict[str, tuple[list, list]] = {attribute: ([], []) for attribute, _, _ in work}
     with pool_type(max_workers=config.n_threads) as pool:
-        futures = [
-            (attribute, pool.submit(run_attribute_chunk, sample, attribute, chunk, config.significance))
-            for attribute, sample, chunk in jobs
-        ]
-        for attribute, future in futures:
-            oriented, results = future.result()
-            merged[attribute][0].extend(oriented)
-            merged[attribute][1].extend(results)
+        try:
+            futures = [
+                (attribute, pool.submit(run_attribute_chunk, sample, attribute, chunk,
+                                        config.significance, worker_checkpoint))
+                for attribute, sample, chunk in jobs
+            ]
+            for attribute, future in futures:
+                if checkpoint is not None:
+                    checkpoint()
+                oriented, results = future.result()
+                merged[attribute][0].extend(oriented)
+                merged[attribute][1].extend(results)
+        except BaseException:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
 
     tested = []
     for attribute, _, _ in work:
@@ -262,6 +349,7 @@ def _evaluate_support(
     excluded_pairs: set[frozenset[str]],
     evaluator: SupportEvaluator,
     config: GenerationConfig,
+    deadline: Deadline | None = None,
 ) -> tuple[list[_SupportedQuery], dict[tuple, InsightEvidence], int]:
     categorical = table.schema.categorical_names
     evidences: dict[tuple, InsightEvidence] = {}
@@ -294,6 +382,8 @@ def _evaluate_support(
         local_queries: list[_SupportedQuery] = []
         local_count = 0
         for grouping in valid_groupings[attribute]:
+            if deadline is not None:
+                deadline.check("hypothesis evaluation")
             for agg in config.aggregates:
                 query = ComparisonQuery(grouping, attribute, lo, hi, measure_name, agg)
                 result = evaluator.evaluate(query)

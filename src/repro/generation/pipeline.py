@@ -21,6 +21,7 @@ name                      generation of Q             solving TAP
 from __future__ import annotations
 
 import dataclasses
+import logging
 import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
@@ -38,9 +39,12 @@ from repro.notebook.build import build_notebook
 from repro.notebook.cells import Notebook
 from repro.queries.distance import query_distance
 from repro.relational.table import Table
+from repro.runtime.report import RunReport
 from repro.tap.exact import ExactConfig, solve_exact
 from repro.tap.heuristic import HeuristicConfig, solve_heuristic_lazy
 from repro.tap.instance import TAPInstance, TAPSolution, make_solution
+
+logger = logging.getLogger(__name__)
 
 #: Default ε_d per notebook query: generous enough that Algorithm 3 keeps
 #: the top queries, tight enough that close queries are preferred (the
@@ -61,17 +65,28 @@ _PRESET_NAMES = (
 
 @dataclass(slots=True)
 class NotebookRun:
-    """Result of one end-to-end generation run."""
+    """Result of one end-to-end generation run.
+
+    ``report`` is attached when the run went through the resilient
+    controller (:mod:`repro.runtime`): per-stage timings, degradations
+    applied, warnings, and retry counts.
+    """
 
     outcome: GenerationOutcome
     solution: TAPSolution
     selected: list[GeneratedQuery]
     budget: float
     epsilon_distance: float
+    report: RunReport | None = None
 
     @property
     def timings(self):
         return self.outcome.timings
+
+    @property
+    def degraded(self) -> bool:
+        """True when the resilient controller applied any fallback."""
+        return self.report is not None and self.report.degraded
 
     def to_notebook(
         self,
@@ -127,6 +142,8 @@ class NotebookGenerator:
         progress: Callable[[str], None] | None = None,
     ) -> NotebookRun:
         """Full pipeline: Q generation, TAP resolution, ordered selection."""
+        logger.info("generate: %d rows, budget=%g, solver=%s",
+                    table.n_rows, budget, self.solver)
         outcome = generate_comparison_queries(table, self.config, progress)
         if epsilon_distance is None:
             epsilon_distance = DEFAULT_EPSILON_PER_QUERY * max(1.0, budget - 1.0)
@@ -134,6 +151,8 @@ class NotebookGenerator:
         solution = self._solve(outcome.queries, budget, epsilon_distance)
         outcome.timings.tap_solving = time.perf_counter() - start
         selected = [outcome.queries[i] for i in solution.indices]
+        logger.info("generate done: %d/%d queries selected in %.3fs",
+                    len(selected), len(outcome.queries), outcome.timings.total)
         return NotebookRun(outcome, solution, selected, budget, epsilon_distance)
 
     def _solve(

@@ -18,6 +18,7 @@ looking at the chart would postulate), then tests one-sided.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -31,6 +32,8 @@ from repro.stats.corrections import benjamini_hochberg
 from repro.stats.permutation import DEFAULT_PERMUTATIONS, SharedPermutations, TestResult
 from repro.stats.rng import DEFAULT_SEED, derive_rng
 from repro.relational.table import Table
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True, slots=True)
@@ -149,10 +152,11 @@ def run_attribute_significance(
     attribute: str,
     candidates: Sequence[CandidateInsight],
     config: SignificanceConfig | None = None,
+    checkpoint: Callable[[], None] | None = None,
 ) -> list[TestedInsight]:
     """Test the candidates of a single attribute (the multithreading unit)."""
     config = config or SignificanceConfig()
-    return _test_attribute_group(table, attribute, list(candidates), config)
+    return _test_attribute_group(table, attribute, list(candidates), config, checkpoint)
 
 
 def _test_attribute_group(
@@ -160,8 +164,9 @@ def _test_attribute_group(
     attribute: str,
     group: list[CandidateInsight],
     config: SignificanceConfig,
+    checkpoint: Callable[[], None] | None = None,
 ) -> list[TestedInsight]:
-    oriented, results = run_attribute_chunk(table, attribute, group, config)
+    oriented, results = run_attribute_chunk(table, attribute, group, config, checkpoint)
     return finalize_attribute(oriented, results, config)
 
 
@@ -170,6 +175,7 @@ def run_attribute_chunk(
     attribute: str,
     group: Sequence[CandidateInsight],
     config: SignificanceConfig | None = None,
+    checkpoint: Callable[[], None] | None = None,
 ) -> tuple[list[CandidateInsight], list[TestResult]]:
     """Raw (uncorrected) tests for a chunk of one attribute's candidates.
 
@@ -177,6 +183,10 @@ def run_attribute_chunk(
     workers and be merged before :func:`finalize_attribute` applies the
     BH correction over the whole family.  Results are independent of the
     chunking (permutation batches are key-derived, not stream-drawn).
+
+    ``checkpoint`` is called once per candidate — the cooperative
+    cancellation hook of the resilient runtime (it raises
+    :class:`~repro.errors.DeadlineExceeded` past the run deadline).
     """
     config = config or SignificanceConfig()
     column = table.categorical_column(attribute)
@@ -189,6 +199,8 @@ def run_attribute_chunk(
     oriented: list[CandidateInsight] = []
     results: list[TestResult] = []
     for candidate in group:
+        if checkpoint is not None:
+            checkpoint()
         itype = insight_type(candidate.type_code)
         code_x = column.code_of(candidate.val)
         code_y = column.code_of(candidate.val_other)

@@ -18,6 +18,7 @@ The format is versioned, plain JSON, and contains only derived artifacts
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
 
@@ -26,14 +27,19 @@ from repro.generation.generator import (
     GeneratedQuery,
     GenerationOutcome,
     PhaseTimings,
+    StatsStageResult,
 )
 from repro.generation.pipeline import DEFAULT_EPSILON_PER_QUERY, NotebookRun
 from repro.insights.insight import CandidateInsight, InsightEvidence, TestedInsight
 from repro.queries.comparison import ComparisonQuery
 from repro.queries.distance import DEFAULT_WEIGHTS, DistanceWeights, query_distance
+from repro.runtime.report import RunReport
 from repro.tap.heuristic import HeuristicConfig, solve_heuristic_lazy
 
 SCHEMA_VERSION = 1
+
+#: Version of the stage-checkpoint format (independent of saved runs).
+CHECKPOINT_VERSION = 1
 
 
 class PersistenceError(ReproError):
@@ -105,6 +111,8 @@ def run_to_dict(run: NotebookRun) -> dict:
     }
     data["budget"] = run.budget
     data["epsilon_distance"] = run.epsilon_distance
+    if run.report is not None:
+        data["report"] = run.report.as_dict()
     return data
 
 
@@ -188,7 +196,132 @@ def load_run(path: str | Path) -> NotebookRun:
         optimal=solution_data.get("optimal", False),
     )
     selected = [outcome.queries[i] for i in solution.indices]
-    return NotebookRun(outcome, solution, selected, data["budget"], data["epsilon_distance"])
+    report = None
+    if data.get("report") is not None:
+        report = RunReport.from_dict(data["report"])
+    return NotebookRun(
+        outcome, solution, selected, data["budget"], data["epsilon_distance"],
+        report=report,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Stage-level checkpoints (the resilient runtime's resume unit)
+# ---------------------------------------------------------------------------
+
+
+def _tested_to_dict(tested: TestedInsight) -> dict:
+    candidate = tested.candidate
+    return {
+        "measure": candidate.measure,
+        "attribute": candidate.attribute,
+        "val": candidate.val,
+        "val_other": candidate.val_other,
+        "type": candidate.type_code,
+        "statistic": tested.statistic,
+        "p_value": tested.p_value,
+        "p_adjusted": tested.p_adjusted,
+    }
+
+
+def _tested_from_dict(data: dict) -> TestedInsight:
+    candidate = CandidateInsight(
+        data["measure"], data["attribute"], data["val"], data["val_other"], data["type"]
+    )
+    return TestedInsight(candidate, data["statistic"], data["p_value"], data["p_adjusted"])
+
+
+def stats_stage_to_dict(stats: StatsStageResult) -> dict:
+    """JSON-ready snapshot of a completed statistical stage."""
+    return {
+        "significant": [_tested_to_dict(t) for t in stats.significant],
+        "excluded_pairs": sorted(sorted(pair) for pair in stats.excluded_pairs),
+        "timings": stats.timings.as_dict(),
+        "counters": dict(stats.counters),
+    }
+
+
+def stats_stage_from_dict(data: dict) -> StatsStageResult:
+    try:
+        significant = [_tested_from_dict(d) for d in data["significant"]]
+        excluded = {frozenset(pair) for pair in data.get("excluded_pairs", [])}
+        timings = PhaseTimings(**data.get("timings", {}))
+        return StatsStageResult(significant, excluded, timings, dict(data.get("counters", {})))
+    except (KeyError, TypeError) as exc:
+        raise PersistenceError(f"malformed stats checkpoint: {exc}") from exc
+
+
+@dataclass(slots=True)
+class RunCheckpoint:
+    """A loaded stage checkpoint: what completed, ready to resume from.
+
+    ``stage`` names the last completed stage (``"stats"`` or
+    ``"generation"``); the matching payload field is populated.  The TAP
+    and render stages are cheap and always re-run on resume.
+    """
+
+    stage: str
+    stats: StatsStageResult | None = None
+    outcome: GenerationOutcome | None = None
+    report: RunReport | None = None
+    source: Path | None = None
+
+
+def save_checkpoint(
+    path: str | Path,
+    stats: StatsStageResult | None = None,
+    outcome: GenerationOutcome | None = None,
+    report: RunReport | None = None,
+) -> None:
+    """Write a stage snapshot; the generation outcome supersedes stats.
+
+    The write goes through a temporary file and an atomic rename so a
+    crash mid-checkpoint never leaves a truncated file behind.
+    """
+    if outcome is None and stats is None:
+        raise PersistenceError("a checkpoint needs a stats result or an outcome")
+    data: dict = {
+        "schema_version": CHECKPOINT_VERSION,
+        "kind": "checkpoint",
+        "stage": "generation" if outcome is not None else "stats",
+    }
+    if outcome is not None:
+        data["outcome"] = outcome_to_dict(outcome)
+    elif stats is not None:
+        data["stats"] = stats_stage_to_dict(stats)
+    if report is not None:
+        data["report"] = report.as_dict()
+    path = Path(path)
+    scratch = path.with_name(path.name + ".tmp")
+    scratch.write_text(json.dumps(data, indent=1), encoding="utf-8")
+    scratch.replace(path)
+
+
+def load_checkpoint(path: str | Path) -> RunCheckpoint:
+    """Load a stage checkpoint written by :func:`save_checkpoint`."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"checkpoint {path} is not valid JSON: {exc}") from exc
+    if data.get("kind") != "checkpoint":
+        raise PersistenceError(f"{path} is not a stage checkpoint")
+    version = data.get("schema_version")
+    if version != CHECKPOINT_VERSION:
+        raise PersistenceError(
+            f"unsupported checkpoint version {version!r} (expected {CHECKPOINT_VERSION})"
+        )
+    stage = data.get("stage")
+    if stage not in ("stats", "generation"):
+        raise PersistenceError(f"checkpoint names unknown stage {stage!r}")
+    stats = None
+    outcome = None
+    if stage == "generation":
+        outcome = outcome_from_dict(data["outcome"])
+    else:
+        stats = stats_stage_from_dict(data["stats"])
+    report = RunReport.from_dict(data["report"]) if data.get("report") else None
+    return RunCheckpoint(stage, stats=stats, outcome=outcome, report=report, source=path)
 
 
 def resolve_outcome(

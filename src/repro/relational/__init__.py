@@ -16,7 +16,13 @@ from repro.relational.aggregates import (
     is_aggregate,
 )
 from repro.relational.columns import CategoricalColumn, MeasureColumn
-from repro.relational.csv_io import infer_kinds, read_csv, read_csv_text, write_csv
+from repro.relational.csv_io import (
+    infer_kinds,
+    read_csv,
+    read_csv_text,
+    validate_for_analysis,
+    write_csv,
+)
 from repro.relational.cube import (
     MaterializedAggregate,
     PairAggregate,
@@ -116,6 +122,7 @@ __all__ = [
     "project",
     "read_csv",
     "read_csv_text",
+    "validate_for_analysis",
     "related_attributes",
     "select",
     "sort",

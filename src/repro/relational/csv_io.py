@@ -13,7 +13,7 @@ import io
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
-from repro.errors import TypeInferenceError
+from repro.errors import SchemaError, TypeInferenceError
 from repro.relational.schema import AttributeKind, Schema, categorical, measure
 from repro.relational.table import Table
 
@@ -69,16 +69,26 @@ def read_csv(
     path: str | Path,
     overrides: Mapping[str, AttributeKind] | None = None,
     delimiter: str = ",",
+    strict: bool = False,
 ) -> Table:
-    """Load a CSV file into a :class:`Table`, inferring attribute kinds."""
+    """Load a CSV file into a :class:`Table`, inferring attribute kinds.
+
+    ``strict=True`` additionally runs :func:`validate_for_analysis`, so a
+    file the generation pipeline cannot use fails here with a clear
+    :class:`~repro.errors.SchemaError` rather than deep inside the
+    permutation tests.
+    """
     with open(path, newline="", encoding="utf-8") as handle:
-        return read_csv_text(handle.read(), overrides=overrides, delimiter=delimiter)
+        return read_csv_text(
+            handle.read(), overrides=overrides, delimiter=delimiter, strict=strict
+        )
 
 
 def read_csv_text(
     text: str,
     overrides: Mapping[str, AttributeKind] | None = None,
     delimiter: str = ",",
+    strict: bool = False,
 ) -> Table:
     """Parse CSV from a string (same semantics as :func:`read_csv`)."""
     reader = csv.reader(io.StringIO(text), delimiter=delimiter)
@@ -87,6 +97,9 @@ def read_csv_text(
     except StopIteration:
         raise TypeInferenceError("CSV input is empty") from None
     header = [h.strip() for h in header]
+    if len(set(header)) != len(header):
+        duplicated = sorted({h for h in header if header.count(h) > 1})
+        raise SchemaError(f"duplicate column names in CSV header: {duplicated}")
     rows = [row for row in reader if any(cell.strip() for cell in row)]
     kinds = infer_kinds(header, rows, overrides)
 
@@ -102,7 +115,38 @@ def read_csv_text(
                 data[name].append(cell if cell else None)
             else:
                 data[name].append(cell if cell else None)
-    return Table.from_columns(Schema(attrs), data)
+    table = Table.from_columns(Schema(attrs), data)
+    if strict:
+        validate_for_analysis(table)
+    return table
+
+
+def validate_for_analysis(table: Table) -> None:
+    """Reject tables the comparison pipeline cannot meaningfully process.
+
+    Raises :class:`~repro.errors.SchemaError` when the table is empty, a
+    measure column holds no values at all (all-NULL/NaN — its permutation
+    tests would have empty sides), or a categorical attribute has fewer
+    than two distinct values (no pair to compare).  Catching these at
+    ingestion gives the user one actionable message instead of a failure
+    deep inside the statistics stage.
+    """
+    if table.n_rows == 0:
+        raise SchemaError("CSV contains a header but no data rows")
+    problems: list[str] = []
+    for name in table.schema.measure_names:
+        values = table.measure_values(name)
+        if values.size == 0 or not (values == values).any():  # NaN != NaN
+            problems.append(f"measure column {name!r} has no usable (non-NaN) values")
+    for name in table.schema.categorical_names:
+        if table.categorical_column(name).n_distinct() < 2:
+            problems.append(
+                f"categorical attribute {name!r} has fewer than two distinct values"
+            )
+    if problems:
+        raise SchemaError(
+            "table is unusable for comparison analysis: " + "; ".join(problems)
+        )
 
 
 def write_csv(table: Table, path: str | Path, delimiter: str = ",") -> None:

@@ -1,0 +1,51 @@
+"""Resilient pipeline runtime: deadlines, degradation ladders, checkpoints.
+
+The generation pipeline's stages (statistical testing, hypothesis
+evaluation, TAP solving, notebook rendering) can each blow their budget on
+real data — the paper's own evaluation reports solver timeouts (Table 4)
+and memory fallbacks (Algorithm 2).  This package wraps the pipeline in a
+run controller that
+
+* enforces one shared wall-clock :class:`~repro.runtime.deadline.Deadline`
+  through cooperative cancellation checkpoints threaded into the stage
+  loops;
+* degrades each stage down a ladder of cheaper configurations instead of
+  failing (see :mod:`repro.runtime.controller`);
+* checkpoints stage boundaries through :mod:`repro.persistence` so an
+  interrupted run resumes without re-running permutation tests;
+* records everything in a structured
+  :class:`~repro.runtime.report.RunReport` attached to the resulting
+  :class:`~repro.generation.pipeline.NotebookRun`;
+* supports deterministic fault injection
+  (:mod:`repro.runtime.faults`) so tests can prove every rung.
+
+``controller`` is imported lazily: it depends on :mod:`repro.generation`,
+which itself imports :mod:`repro.runtime.deadline`.
+"""
+
+from repro.runtime.deadline import Deadline
+from repro.runtime.faults import FaultInjector, FaultSpec, InjectedFault, parse_fault_plan
+from repro.runtime.report import RunReport, StageReport
+
+__all__ = [
+    "Deadline",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "RunReport",
+    "RuntimePolicy",
+    "StageReport",
+    "parse_fault_plan",
+    "resilient_generate",
+    "resilient_render",
+]
+
+_CONTROLLER_EXPORTS = ("RuntimePolicy", "resilient_generate", "resilient_render")
+
+
+def __getattr__(name: str):
+    if name in _CONTROLLER_EXPORTS:
+        from repro.runtime import controller
+
+        return getattr(controller, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

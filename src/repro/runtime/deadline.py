@@ -1,0 +1,104 @@
+"""Shared wall-clock deadlines with cooperative cancellation.
+
+A :class:`Deadline` is created once per run and threaded through every
+pipeline stage.  Stage loops call :meth:`Deadline.check` at natural
+checkpoints (between attributes, between hypothesis groups, between
+branch-and-bound nodes); when the budget is gone the check raises
+:class:`~repro.errors.DeadlineExceeded`, which the run controller turns
+into a fall-back to a cheaper rung of the stage's degradation ladder.
+
+The clock is injectable so tests can drive time deterministically, and
+fault injection can *consume* budget (shift the deadline earlier) instead
+of really sleeping — a stalled stage is simulated in microseconds.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.errors import DeadlineExceeded
+
+__all__ = ["Deadline"]
+
+
+class Deadline:
+    """A wall-clock budget shared by every stage of one run.
+
+    Parameters
+    ----------
+    seconds:
+        Total budget from now; ``None`` means unlimited (checks never fire).
+    clock:
+        Monotonic time source, injectable for tests.
+    """
+
+    __slots__ = ("_clock", "_expires_at", "_seconds")
+
+    def __init__(
+        self,
+        seconds: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if seconds is not None and seconds <= 0:
+            raise DeadlineExceeded(f"deadline must be positive, got {seconds}")
+        self._clock = clock
+        self._seconds = seconds
+        self._expires_at = None if seconds is None else clock() + seconds
+
+    @classmethod
+    def unlimited(cls) -> "Deadline":
+        return cls(None)
+
+    @property
+    def seconds(self) -> float | None:
+        """The total budget this deadline was created with."""
+        return self._seconds
+
+    @property
+    def limited(self) -> bool:
+        return self._expires_at is not None
+
+    def remaining(self) -> float:
+        """Seconds left (may be negative); ``inf`` when unlimited."""
+        if self._expires_at is None:
+            return float("inf")
+        return self._expires_at - self._clock()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0
+
+    def check(self, stage: str | None = None) -> None:
+        """Cooperative cancellation point: raise when the budget is gone."""
+        if self.expired:
+            where = f" in stage {stage!r}" if stage else ""
+            raise DeadlineExceeded(
+                f"run deadline of {self._seconds}s exceeded{where}", stage=stage
+            )
+
+    def consume(self, seconds: float) -> None:
+        """Move the deadline ``seconds`` earlier (fault-injected stalls).
+
+        A no-op on unlimited deadlines: with no budget there is nothing a
+        stall can exhaust.
+        """
+        if self._expires_at is not None:
+            self._expires_at -= seconds
+
+    def extended(self, grace_seconds: float) -> "Deadline":
+        """A child deadline with ``grace_seconds`` past *this* deadline.
+
+        The final rung of every ladder runs under a small grace extension so
+        a run that blew its budget mid-stage still finishes the cheap
+        fallback instead of failing outright.
+        """
+        if self._expires_at is None:
+            return Deadline(None, self._clock)
+        remaining = max(0.0, self.remaining())
+        return Deadline(remaining + grace_seconds, self._clock)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._expires_at is None:
+            return "Deadline(unlimited)"
+        return f"Deadline({self._seconds}s, {self.remaining():.3f}s remaining)"

@@ -1,0 +1,145 @@
+"""Deterministic fault injection for the resilient run controller.
+
+Every stage attempt of :mod:`repro.runtime.controller` passes through
+:meth:`FaultInjector.fire` before doing real work.  A matching
+:class:`FaultSpec` then either *kills* the attempt (raises
+:class:`InjectedFault`) or *stalls* it (consumes deadline budget — no real
+sleeping, so tests run in microseconds).  Specs are one-shot by default:
+the first attempt of a stage dies, the retry or the next ladder rung
+proceeds, which is exactly the shape needed to prove each rung of the
+degradation ladder.
+
+The CLI activates injection from the ``REPRO_FAULTS`` environment variable
+(a test hook, documented in ``docs/resilience.md``)::
+
+    REPRO_FAULTS="stats:kill" repro generate data.csv ...
+    REPRO_FAULTS="tap:stall:10,render:kill" ...
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.runtime.deadline import Deadline
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["FaultInjector", "FaultSpec", "InjectedFault", "parse_fault_plan"]
+
+_ACTIONS = ("kill", "stall")
+
+
+class InjectedFault(ReproError):
+    """An artificial stage failure raised by the fault injector."""
+
+    def __init__(self, stage: str):
+        super().__init__(f"injected fault: stage {stage!r} killed")
+        self.stage = stage
+
+
+@dataclass(slots=True)
+class FaultSpec:
+    """One planned fault.
+
+    Attributes
+    ----------
+    stage:
+        Stage name the fault targets (``stats``, ``generation``, ``tap``,
+        ``render``) — must match the controller's stage names.
+    action:
+        ``"kill"`` raises :class:`InjectedFault`; ``"stall"`` consumes
+        ``seconds`` of deadline budget (or really sleeps, capped, when the
+        run has no deadline).
+    seconds:
+        Stall duration; ignored for kills.
+    times:
+        How many attempts to hit before going quiet (default 1: the first
+        attempt fails, the fallback succeeds).  ``None`` means every
+        attempt — with it, a whole stage can be forced to fail.
+    """
+
+    stage: str
+    action: str = "kill"
+    seconds: float = 0.0
+    times: int | None = 1
+    fired: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ReproError(f"unknown fault action {self.action!r}; known: {_ACTIONS}")
+        if self.action == "stall" and self.seconds <= 0:
+            raise ReproError("stall faults need a positive duration")
+
+
+#: Real sleeping is capped so a stall on an unlimited-deadline run cannot
+#: hang the process (stalls against a deadline never sleep at all).
+MAX_REAL_STALL_SECONDS = 2.0
+
+
+class FaultInjector:
+    """Fires planned faults at stage-attempt boundaries."""
+
+    def __init__(self, specs: list[FaultSpec] | None = None):
+        self.specs = list(specs or [])
+
+    @classmethod
+    def none(cls) -> "FaultInjector":
+        return cls([])
+
+    @property
+    def active(self) -> bool:
+        return bool(self.specs)
+
+    def fire(self, stage: str, deadline: Deadline | None = None) -> None:
+        """Apply every still-armed fault targeting ``stage``."""
+        for spec in self.specs:
+            if spec.stage != stage:
+                continue
+            if spec.times is not None and spec.fired >= spec.times:
+                continue
+            spec.fired += 1
+            if spec.action == "stall":
+                logger.warning("fault injection: stalling stage %r for %.3gs",
+                               stage, spec.seconds)
+                if deadline is not None and deadline.limited:
+                    deadline.consume(spec.seconds)
+                else:
+                    time.sleep(min(spec.seconds, MAX_REAL_STALL_SECONDS))
+            else:
+                logger.warning("fault injection: killing stage %r", stage)
+                raise InjectedFault(stage)
+
+
+def parse_fault_plan(text: str | None) -> FaultInjector:
+    """Parse the ``REPRO_FAULTS`` syntax: ``stage:action[:seconds][:xN]``.
+
+    Comma-separated entries; examples: ``stats:kill``, ``tap:stall:10``,
+    ``generation:kill:x3`` (kill the first three attempts),
+    ``tap:kill:xall`` (kill every attempt).
+    """
+    if not text or not text.strip():
+        return FaultInjector.none()
+    specs: list[FaultSpec] = []
+    for entry in text.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        parts = entry.split(":")
+        if len(parts) < 2:
+            raise ReproError(f"malformed fault spec {entry!r} (want stage:action[:...])")
+        stage, action, *rest = parts
+        seconds = 0.0
+        times: int | None = 1
+        for token in rest:
+            token = token.strip().lower()
+            if token == "xall":
+                times = None
+            elif token.startswith("x"):
+                times = int(token[1:])
+            else:
+                seconds = float(token)
+        specs.append(FaultSpec(stage.strip(), action.strip(), seconds, times))
+    return FaultInjector(specs)

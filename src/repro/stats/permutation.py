@@ -19,6 +19,7 @@ both insight types) of a given attribute-value pair.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -26,8 +27,33 @@ import numpy as np
 
 from repro.errors import StatisticsError
 
+logger = logging.getLogger(__name__)
+
 #: Default number of label permutations per test.
 DEFAULT_PERMUTATIONS = 200
+
+#: Below this many permutations the add-one p-value estimator cannot fall
+#: under the paper's 0.05 threshold reliably; the degradation ladder never
+#: cuts past it.
+MIN_USEFUL_PERMUTATIONS = 32
+
+
+def reduced_permutations(n_permutations: int, factor: int = 4) -> int:
+    """Cut a permutation count for deadline pressure, respecting the floor.
+
+    Used by the resilient runtime's stats-stage degradation ladder: with
+    ``(1 + #extreme) / (1 + n)`` p-values, fewer permutations coarsen the
+    p-value resolution but keep the test valid, so cutting the count is a
+    sound accuracy-for-time trade.
+    """
+    if factor < 1:
+        raise StatisticsError("reduction factor must be at least 1")
+    reduced = max(MIN_USEFUL_PERMUTATIONS, n_permutations // factor)
+    reduced = min(reduced, n_permutations)
+    if reduced != n_permutations:
+        logger.debug("reduced permutation count available: %d -> %d",
+                     n_permutations, reduced)
+    return reduced
 
 
 @dataclass(frozen=True, slots=True)

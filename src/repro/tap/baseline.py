@@ -7,10 +7,15 @@ arm of the recall experiment (Table 6).
 
 from __future__ import annotations
 
+import logging
+from typing import Callable, Sequence
+
 import numpy as np
 
 from repro.errors import TAPError
 from repro.tap.instance import TAPInstance, TAPSolution, make_solution
+
+logger = logging.getLogger(__name__)
 
 _EPS = 1e-9
 
@@ -33,4 +38,44 @@ def solve_baseline(instance: TAPInstance, budget: float) -> TAPSolution:
             continue
         order.append(q)
         cost_used += float(instance.costs[q])
+    logger.debug("top-k baseline selected %d of %d queries", len(order), instance.n)
     return make_solution(instance, order, optimal=False)
+
+
+def solve_baseline_lazy(
+    interests: Sequence[float],
+    costs: Sequence[float],
+    distance_of: Callable[[int, int], float],
+    budget: float,
+) -> TAPSolution:
+    """Matrix-free top-k baseline (the last rung of the TAP degradation ladder).
+
+    Same selection rule as :func:`solve_baseline`, but distances are only
+    evaluated along the emitted sequence — O(ε_t) distance calls, nothing
+    quadratic — so it stays viable however large Q grows and however little
+    time is left.  Always returns a valid (possibly empty) solution.
+    """
+    if budget <= 0:
+        raise TAPError("budget must be positive")
+    interests = np.asarray(interests, dtype=np.float64)
+    costs = np.asarray(costs, dtype=np.float64)
+    if interests.shape != costs.shape:
+        raise TAPError("interests and costs must align")
+    if np.any(costs <= 0):
+        raise TAPError("costs must be positive")
+    ranked = np.argsort(-interests, kind="stable")
+    order: list[int] = []
+    cost_used = 0.0
+    for raw in ranked:
+        q = int(raw)
+        if cost_used + float(costs[q]) > budget + _EPS:
+            continue
+        order.append(q)
+        cost_used += float(costs[q])
+    distance = float(
+        sum(distance_of(order[i], order[i + 1]) for i in range(len(order) - 1))
+    )
+    interest = float(interests[order].sum()) if order else 0.0
+    logger.debug("lazy top-k baseline selected %d of %d queries",
+                 len(order), interests.size)
+    return TAPSolution(tuple(order), interest, cost_used, distance, optimal=False)

@@ -23,14 +23,17 @@ is reproduced).
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import TAPError
+from repro.errors import SolverTimeout, TAPError
 from repro.tap.instance import TAPInstance, TAPSolution, make_solution
 from repro.tap.path import MAX_EXACT_PATH, best_insertion_order, held_karp_path, mst_lower_bound
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True, slots=True)
@@ -51,6 +54,10 @@ class ExactConfig:
     epsilon_distance: float
     timeout_seconds: float | None = None
     exact_path_limit: int = DEFAULT_PATH_LIMIT
+    #: When True, a timeout raises :class:`~repro.errors.SolverTimeout`
+    #: carrying the anytime incumbent instead of returning it silently —
+    #: the contract the resilient runtime's degradation ladder consumes.
+    raise_on_timeout: bool = False
 
     def __post_init__(self) -> None:
         if self.budget <= 0:
@@ -188,6 +195,9 @@ def solve_exact(instance: TAPInstance, config: ExactConfig) -> ExactOutcome:
     valid (possibly empty) solution.
     """
     start = time.perf_counter()
+    logger.debug("exact B&B: n=%d budget=%g eps_d=%g timeout=%s",
+                 instance.n, config.budget, config.epsilon_distance,
+                 config.timeout_seconds)
     search = _Search(instance, config)
     search.run()
     elapsed = time.perf_counter() - start
@@ -199,4 +209,17 @@ def solve_exact(instance: TAPInstance, config: ExactConfig) -> ExactOutcome:
         solve_seconds=elapsed,
         nodes_explored=search.nodes,
     )
+    if search.timed_out:
+        logger.warning("exact B&B timed out after %.3fs (%d nodes); "
+                       "incumbent interest=%.4f", elapsed, search.nodes,
+                       solution.interest)
+        if config.raise_on_timeout:
+            raise SolverTimeout(
+                f"exact TAP solver exceeded {config.timeout_seconds}s "
+                f"({search.nodes} nodes explored)",
+                incumbent=solution,
+            )
+    else:
+        logger.info("exact B&B solved in %.3fs (%d nodes, optimal=%s)",
+                    elapsed, search.nodes, solution.optimal)
     return ExactOutcome(solution, search.timed_out, search.nodes, elapsed)

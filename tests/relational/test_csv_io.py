@@ -3,8 +3,15 @@
 import numpy as np
 import pytest
 
-from repro.errors import TypeInferenceError
-from repro.relational import AttributeKind, infer_kinds, read_csv, read_csv_text, write_csv
+from repro.errors import SchemaError, TypeInferenceError
+from repro.relational import (
+    AttributeKind,
+    infer_kinds,
+    read_csv,
+    read_csv_text,
+    validate_for_analysis,
+    write_csv,
+)
 from repro.relational.csv_io import MEASURE_MIN_DISTINCT
 
 
@@ -89,3 +96,44 @@ class TestReadWrite:
     def test_header_whitespace_stripped(self):
         table = read_csv_text(" a , b \nx,y\n")
         assert table.schema.names == ("a", "b")
+
+
+class TestStrictValidation:
+    """``strict=True`` rejects tables the pipeline cannot analyse."""
+
+    GOOD = "cat,num\n" + "\n".join(f"v{i % 3},{i}" for i in range(20))
+
+    def test_good_table_passes(self):
+        table = read_csv_text(self.GOOD, strict=True)
+        validate_for_analysis(table)  # idempotent, no raise
+
+    def test_header_only_rejected(self):
+        with pytest.raises(SchemaError, match="no data rows"):
+            read_csv_text("cat,num\n", strict=True)
+
+    def test_nan_only_measure_rejected(self):
+        text = "cat,num\n" + "\n".join(f"v{i % 3}," for i in range(20))
+        table = read_csv_text(text, overrides={"num": AttributeKind.MEASURE})
+        with pytest.raises(SchemaError, match="non-NaN"):
+            validate_for_analysis(table)
+
+    def test_single_value_categorical_rejected(self):
+        text = "cat,num\n" + "\n".join(f"same,{i}" for i in range(20))
+        with pytest.raises(SchemaError, match="fewer than two distinct"):
+            read_csv_text(text, strict=True)
+
+    def test_duplicate_header_rejected_even_lenient(self):
+        with pytest.raises(SchemaError, match="duplicate column names"):
+            read_csv_text("a,a\n1,2\n")
+
+    def test_lenient_mode_still_permissive(self):
+        # The seed behaviour: single-row / single-value tables load fine
+        # when strict validation is not requested.
+        table = read_csv_text("cat,num\nsame,1\n")
+        assert table.n_rows == 1
+
+    def test_strict_file_loading(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("cat,num\n")
+        with pytest.raises(SchemaError):
+            read_csv(path, strict=True)

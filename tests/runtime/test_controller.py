@@ -1,0 +1,248 @@
+"""The resilient controller: degradation ladders under injected faults.
+
+Every test asserts the acceptance property of the issue: killing or
+stalling any single stage still yields a *valid* NotebookRun whose report
+names the degradation that was applied.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import ReproError, SolverTimeout
+from repro.generation import GenerationConfig, NotebookRun
+from repro.runtime import (
+    Deadline,
+    FaultInjector,
+    FaultSpec,
+    RuntimePolicy,
+    resilient_generate,
+    resilient_render,
+)
+from repro.notebook.cells import SQLCell
+from repro.runtime.report import STATUS_COMPLETED, STATUS_DEGRADED, STATUS_FAILED
+from repro.tap.instance import TAPSolution
+
+
+@pytest.fixture
+def fast_config() -> GenerationConfig:
+    # The default config takes ~20ms on the 200-row fixture; fewer
+    # permutations would starve the BH correction of resolution and leave
+    # no significant insights to select from.
+    return GenerationConfig()
+
+
+def kill(stage: str, times: int | None = 1) -> FaultInjector:
+    return FaultInjector([FaultSpec(stage, "kill", times=times)])
+
+
+def assert_valid_run(run: NotebookRun) -> None:
+    assert isinstance(run, NotebookRun)
+    assert run.solution is not None
+    assert len(run.selected) == len(run.solution.indices)
+    assert all(g in run.outcome.queries for g in run.selected)
+    assert run.report is not None
+
+
+class TestHappyPath:
+    def test_no_faults_no_degradation(self, two_measure_table, fast_config):
+        run = resilient_generate(two_measure_table, fast_config, budget=4)
+        assert_valid_run(run)
+        assert run.selected
+        assert not run.degraded
+        for name in ("stats", "generation", "tap"):
+            assert run.report.stage(name).status == STATUS_COMPLETED
+        assert run.report.stage("tap").rung == "heuristic"
+
+    def test_deadline_recorded_in_report(self, two_measure_table, fast_config):
+        run = resilient_generate(two_measure_table, fast_config, budget=3,
+                                 deadline_seconds=60.0)
+        assert run.report.deadline_seconds == 60.0
+        assert run.report.total_seconds > 0
+
+    def test_unknown_solver_rejected(self, two_measure_table):
+        with pytest.raises(ReproError):
+            resilient_generate(two_measure_table, solver="cplex")
+
+    def test_table_required_without_resume(self):
+        with pytest.raises(ReproError):
+            resilient_generate(None)
+
+
+class TestStatsLadder:
+    def test_kill_falls_back_to_reduced_permutations(self, two_measure_table, fast_config):
+        run = resilient_generate(two_measure_table, fast_config, budget=4,
+                                 faults=kill("stats"),
+                                 policy=RuntimePolicy(permutation_cut_factor=2))
+        assert_valid_run(run)
+        stats = run.report.stage("stats")
+        assert stats.status == STATUS_DEGRADED
+        assert stats.rung == "reduced"
+        assert stats.retries == 1
+        assert any("permutations cut 200 -> 100" in d for d in stats.degradations)
+        assert run.selected  # the reduced rung still finds the planted effects
+
+    def test_two_kills_reach_parametric_rung(self, two_measure_table, fast_config):
+        run = resilient_generate(two_measure_table, fast_config, budget=4,
+                                 faults=kill("stats", times=2))
+        stats = run.report.stage("stats")
+        assert stats.rung == "parametric"
+        assert any("parametric" in d for d in stats.degradations)
+        assert_valid_run(run)
+
+    def test_all_rungs_killed_still_returns_a_run(self, two_measure_table, fast_config):
+        run = resilient_generate(two_measure_table, fast_config, budget=4,
+                                 faults=kill("stats", times=None))
+        assert_valid_run(run)
+        assert run.report.stage("stats").status == STATUS_FAILED
+        assert not run.report.ok
+        assert run.selected == []  # empty stand-in propagates to an empty notebook
+
+
+class TestGenerationLadder:
+    def test_kill_falls_back_to_pairwise(self, two_measure_table, fast_config):
+        config = replace(fast_config, evaluator="setcover")
+        run = resilient_generate(two_measure_table, config, budget=4,
+                                 faults=kill("generation"))
+        assert_valid_run(run)
+        generation = run.report.stage("generation")
+        assert generation.status == STATUS_DEGRADED
+        assert generation.rung == "pairwise"
+        assert any("Algorithm 1" in d for d in generation.degradations)
+
+    def test_kill_on_pairwise_reaches_top_k(self, two_measure_table, fast_config):
+        run = resilient_generate(two_measure_table, fast_config, budget=4,
+                                 faults=kill("generation"))
+        generation = run.report.stage("generation")
+        assert generation.rung == "top-k"
+        assert any("top" in d for d in generation.degradations)
+        assert_valid_run(run)
+
+
+class TestTapLadder:
+    def test_kill_falls_back_to_baseline(self, two_measure_table, fast_config):
+        run = resilient_generate(two_measure_table, fast_config, budget=4,
+                                 faults=kill("tap"))
+        assert_valid_run(run)
+        tap = run.report.stage("tap")
+        assert tap.status == STATUS_DEGRADED
+        assert tap.rung == "baseline"
+        assert any("baseline" in d for d in tap.degradations)
+        assert 0 < len(run.selected) <= 4
+
+    def test_stall_consumes_deadline_and_degrades(self, two_measure_table, fast_config):
+        faults = FaultInjector([FaultSpec("tap", "stall", seconds=120.0)])
+        run = resilient_generate(two_measure_table, fast_config, budget=4,
+                                 deadline_seconds=60.0, faults=faults)
+        assert_valid_run(run)
+        tap = run.report.stage("tap")
+        # The stall burns the whole budget, so the heuristic rung's deadline
+        # check fires and the final rung finishes under the grace extension.
+        assert tap.status == STATUS_DEGRADED
+        assert tap.rung == "baseline"
+        assert run.selected
+
+    def test_exact_solver_kill_falls_back_to_heuristic(self, two_measure_table, fast_config):
+        run = resilient_generate(two_measure_table, fast_config, budget=4,
+                                 solver="exact", faults=kill("tap"))
+        assert_valid_run(run)
+        tap = run.report.stage("tap")
+        assert tap.rung == "heuristic"
+        assert any("heuristic" in d for d in tap.degradations)
+
+    def test_anytime_incumbent_consumed_on_timeout(self, two_measure_table,
+                                                   fast_config, monkeypatch):
+        incumbent = TAPSolution((0,), 1.0, 1.0, 0.0, optimal=False)
+
+        def fake_solve_exact(instance, config):
+            assert config.raise_on_timeout
+            raise SolverTimeout("exact TAP solver exceeded 0.1s", incumbent=incumbent)
+
+        monkeypatch.setattr("repro.runtime.controller.solve_exact", fake_solve_exact)
+        run = resilient_generate(two_measure_table, fast_config, budget=4,
+                                 solver="exact")
+        assert_valid_run(run)
+        assert run.solution is incumbent
+        assert not run.solution.optimal
+        assert run.selected == [run.outcome.queries[0]]
+        tap = run.report.stage("tap")
+        assert tap.status == STATUS_DEGRADED
+        assert tap.rung == "exact"
+        assert any("incumbent" in d for d in tap.degradations)
+
+    def test_timeout_without_incumbent_falls_through(self, two_measure_table,
+                                                     fast_config, monkeypatch):
+        def fake_solve_exact(instance, config):
+            raise SolverTimeout("no incumbent yet")
+
+        monkeypatch.setattr("repro.runtime.controller.solve_exact", fake_solve_exact)
+        run = resilient_generate(two_measure_table, fast_config, budget=4,
+                                 solver="exact")
+        assert_valid_run(run)
+        assert run.report.stage("tap").rung == "heuristic"
+
+
+class TestDeadline:
+    def test_tiny_deadline_still_returns_a_valid_run(self, two_measure_table, fast_config):
+        run = resilient_generate(two_measure_table, fast_config, budget=4,
+                                 deadline_seconds=0.001,
+                                 policy=RuntimePolicy(grace_seconds=5.0))
+        assert_valid_run(run)
+        assert run.degraded
+        # Every stage ended on its grace-extended final rung (or failed into
+        # a valid stand-in) — the run never escapes as an exception.
+        assert run.report.stage("stats").rung in ("parametric", "")
+
+
+class TestRenderLadder:
+    @pytest.fixture
+    def run(self, two_measure_table, fast_config):
+        return resilient_generate(two_measure_table, fast_config, budget=3)
+
+    def test_kill_falls_back_to_sql_only(self, run, two_measure_table):
+        notebook = resilient_render(
+            run, two_measure_table, table_name="t",
+            faults=kill("render"),
+        )
+        render = run.report.stage("render")
+        assert render.status == STATUS_DEGRADED
+        assert render.rung == "sql-only"
+        assert any("previews" in d for d in render.degradations)
+        assert any(isinstance(cell, SQLCell) for cell in notebook.cells)
+
+    def test_two_kills_reach_skeleton(self, run, two_measure_table):
+        notebook = resilient_render(
+            run, two_measure_table, table_name="t",
+            faults=kill("render", times=2),
+        )
+        assert run.report.stage("render").rung == "skeleton"
+        sql_cells = [c for c in notebook.cells if isinstance(c, SQLCell)]
+        assert len(sql_cells) == len(run.selected)
+
+    def test_all_kills_yield_empty_notebook(self, run, two_measure_table):
+        notebook = resilient_render(
+            run, two_measure_table, table_name="t",
+            faults=kill("render", times=None),
+        )
+        assert run.report.stage("render").status == STATUS_FAILED
+        assert notebook.cells  # header survives; the notebook is still valid
+
+    def test_render_without_report_attaches_one(self, run, two_measure_table):
+        run = replace_report(run)
+        notebook = resilient_render(run, two_measure_table, table_name="t")
+        assert notebook.cells
+        assert run.report.stage("render").status == STATUS_COMPLETED
+
+    def test_render_honours_deadline(self, run, two_measure_table):
+        deadline = Deadline(30.0)
+        deadline.consume(120.0)  # already blown: first rungs refuse
+        notebook = resilient_render(
+            run, two_measure_table, table_name="t", deadline=deadline,
+        )
+        assert run.report.stage("render").rung == "skeleton"
+        assert notebook.cells
+
+
+def replace_report(run: NotebookRun) -> NotebookRun:
+    run.report = None
+    return run

@@ -1,0 +1,102 @@
+"""Deadline semantics: cooperative cancellation, consume, grace extension."""
+
+import pytest
+
+from repro.errors import DeadlineExceeded
+from repro.runtime import Deadline
+
+
+class FakeClock:
+    """A controllable monotonic clock."""
+
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, seconds: float) -> None:
+        self.t += seconds
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+class TestUnlimited:
+    def test_never_expires(self, clock):
+        d = Deadline(None, clock)
+        assert not d.limited
+        assert d.remaining() == float("inf")
+        clock.advance(1e9)
+        assert not d.expired
+        d.check("stats")  # must not raise
+
+    def test_unlimited_constructor(self):
+        assert not Deadline.unlimited().limited
+
+    def test_consume_is_noop(self, clock):
+        d = Deadline(None, clock)
+        d.consume(1e9)
+        assert d.remaining() == float("inf")
+
+
+class TestLimited:
+    def test_remaining_tracks_clock(self, clock):
+        d = Deadline(10.0, clock)
+        assert d.limited
+        assert d.seconds == 10.0
+        assert d.remaining() == pytest.approx(10.0)
+        clock.advance(4.0)
+        assert d.remaining() == pytest.approx(6.0)
+        assert not d.expired
+
+    def test_check_raises_when_expired(self, clock):
+        d = Deadline(2.0, clock)
+        d.check()
+        clock.advance(2.5)
+        assert d.expired
+        with pytest.raises(DeadlineExceeded) as err:
+            d.check("tap")
+        assert err.value.stage == "tap"
+        assert "tap" in str(err.value)
+
+    def test_consume_moves_deadline_earlier(self, clock):
+        d = Deadline(10.0, clock)
+        d.consume(8.0)
+        assert d.remaining() == pytest.approx(2.0)
+        d.consume(5.0)
+        assert d.expired
+
+    def test_non_positive_budget_rejected(self, clock):
+        with pytest.raises(DeadlineExceeded):
+            Deadline(0.0, clock)
+        with pytest.raises(DeadlineExceeded):
+            Deadline(-1.0, clock)
+
+
+class TestExtended:
+    def test_grace_adds_to_remaining(self, clock):
+        d = Deadline(10.0, clock)
+        clock.advance(9.0)
+        child = d.extended(2.0)
+        assert child.remaining() == pytest.approx(3.0)
+
+    def test_expired_parent_gets_grace_only(self, clock):
+        d = Deadline(1.0, clock)
+        clock.advance(5.0)
+        child = d.extended(1.5)
+        assert child.remaining() == pytest.approx(1.5)
+        child.check()  # inside the grace window
+
+    def test_unlimited_parent_stays_unlimited(self, clock):
+        child = Deadline(None, clock).extended(1.0)
+        assert not child.limited
+
+    def test_child_is_independent(self, clock):
+        d = Deadline(1.0, clock)
+        clock.advance(2.0)
+        child = d.extended(1.0)
+        assert d.expired
+        assert not child.expired

@@ -1,0 +1,90 @@
+"""Fault-injection plumbing: spec parsing and firing semantics."""
+
+import time
+
+import pytest
+
+from repro.errors import ReproError
+from repro.runtime import Deadline, FaultInjector, FaultSpec, InjectedFault, parse_fault_plan
+
+from .test_deadline import FakeClock
+
+
+class TestParseFaultPlan:
+    def test_empty_plans_are_inactive(self):
+        assert not parse_fault_plan(None).active
+        assert not parse_fault_plan("").active
+        assert not parse_fault_plan("  ").active
+
+    def test_simple_kill(self):
+        injector = parse_fault_plan("stats:kill")
+        assert injector.active
+        (spec,) = injector.specs
+        assert spec == FaultSpec("stats", "kill", 0.0, 1)
+
+    def test_stall_with_duration(self):
+        (spec,) = parse_fault_plan("tap:stall:10").specs
+        assert spec.action == "stall"
+        assert spec.seconds == 10.0
+        assert spec.times == 1
+
+    def test_repeat_counts(self):
+        (spec,) = parse_fault_plan("generation:kill:x3").specs
+        assert spec.times == 3
+        (spec,) = parse_fault_plan("tap:kill:xall").specs
+        assert spec.times is None
+
+    def test_comma_separated_entries(self):
+        injector = parse_fault_plan("stats:kill, tap:stall:5:x2")
+        assert [s.stage for s in injector.specs] == ["stats", "tap"]
+        assert injector.specs[1].seconds == 5.0
+        assert injector.specs[1].times == 2
+
+    def test_malformed_entry_rejected(self):
+        with pytest.raises(ReproError):
+            parse_fault_plan("stats")
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ReproError):
+            parse_fault_plan("stats:explode")
+
+    def test_stall_needs_duration(self):
+        with pytest.raises(ReproError):
+            parse_fault_plan("stats:stall")
+
+
+class TestFire:
+    def test_kill_is_one_shot_by_default(self):
+        injector = FaultInjector([FaultSpec("stats")])
+        with pytest.raises(InjectedFault):
+            injector.fire("stats")
+        injector.fire("stats")  # spent: second attempt proceeds
+
+    def test_other_stages_unaffected(self):
+        injector = FaultInjector([FaultSpec("tap")])
+        injector.fire("stats")
+        injector.fire("render")
+
+    def test_xall_fires_every_attempt(self):
+        injector = FaultInjector([FaultSpec("tap", times=None)])
+        for _ in range(5):
+            with pytest.raises(InjectedFault):
+                injector.fire("tap")
+
+    def test_stall_consumes_deadline_budget(self):
+        clock = FakeClock()
+        deadline = Deadline(10.0, clock)
+        injector = FaultInjector([FaultSpec("tap", "stall", seconds=30.0)])
+        start = time.perf_counter()
+        injector.fire("tap", deadline)
+        assert time.perf_counter() - start < 1.0  # no real sleeping
+        assert deadline.expired
+
+    def test_stall_without_deadline_sleeps_capped(self):
+        injector = FaultInjector([FaultSpec("tap", "stall", seconds=0.01)])
+        injector.fire("tap", Deadline(None))  # returns promptly, no error
+
+    def test_none_injector(self):
+        injector = FaultInjector.none()
+        assert not injector.active
+        injector.fire("stats")

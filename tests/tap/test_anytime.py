@@ -1,0 +1,71 @@
+"""Anytime behaviour of the lazy solvers (the TAP degradation ladder's rungs)."""
+
+import pytest
+
+from repro.errors import TAPError
+from repro.runtime import Deadline
+from repro.tap import HeuristicConfig, solve_heuristic_lazy
+from repro.tap.baseline import solve_baseline_lazy
+from repro.tap.random_instances import random_euclidean_instance
+
+
+@pytest.fixture
+def instance():
+    return random_euclidean_instance(40, seed=5)
+
+
+def lazy_args(instance):
+    def distance_of(i: int, j: int) -> float:
+        return float(instance.distances[i, j])
+
+    return list(instance.interests), list(instance.costs), distance_of
+
+
+class TestHeuristicDeadline:
+    def test_expired_deadline_stops_the_scan_immediately(self, instance):
+        interests, costs, distance_of = lazy_args(instance)
+        deadline = Deadline(10.0)
+        deadline.consume(60.0)
+        solution = solve_heuristic_lazy(
+            interests, costs, distance_of, HeuristicConfig(5, 4.0), deadline=deadline
+        )
+        assert solution.indices == ()
+        assert not solution.optimal
+
+    def test_unlimited_deadline_matches_no_deadline(self, instance):
+        interests, costs, distance_of = lazy_args(instance)
+        config = HeuristicConfig(5, 4.0)
+        with_deadline = solve_heuristic_lazy(
+            interests, costs, distance_of, config, deadline=Deadline.unlimited()
+        )
+        without = solve_heuristic_lazy(interests, costs, distance_of, config)
+        assert with_deadline.indices == without.indices
+
+
+class TestBaselineLazy:
+    def test_picks_top_interest_within_budget(self, instance):
+        interests, costs, distance_of = lazy_args(instance)
+        solution = solve_baseline_lazy(interests, costs, distance_of, budget=5)
+        assert solution.size == 5
+        chosen = set(solution.indices)
+        top5 = sorted(range(len(interests)), key=lambda i: -interests[i])[:5]
+        assert chosen == set(top5)
+        assert not solution.optimal
+
+    def test_distance_is_along_emitted_sequence(self, instance):
+        interests, costs, distance_of = lazy_args(instance)
+        solution = solve_baseline_lazy(interests, costs, distance_of, budget=4)
+        expected = sum(
+            distance_of(solution.indices[i], solution.indices[i + 1])
+            for i in range(len(solution.indices) - 1)
+        )
+        assert solution.distance == pytest.approx(expected)
+
+    def test_invalid_inputs_rejected(self, instance):
+        interests, costs, distance_of = lazy_args(instance)
+        with pytest.raises(TAPError):
+            solve_baseline_lazy(interests, costs, distance_of, budget=0)
+        with pytest.raises(TAPError):
+            solve_baseline_lazy(interests[:3], costs, distance_of, budget=2)
+        with pytest.raises(TAPError):
+            solve_baseline_lazy([1.0], [0.0], distance_of, budget=2)

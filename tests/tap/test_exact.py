@@ -114,3 +114,48 @@ class TestBeyondExactPathLimit:
         outcome = solve_exact(instance, config)
         validate_solution(instance, outcome.solution, 30, 12.0)
         assert not outcome.solution.optimal
+
+
+class TestRaiseOnTimeout:
+    """The anytime contract consumed by the resilient runtime's TAP ladder."""
+
+    def _ticking_clock(self, monkeypatch, step=1.0):
+        """Replace the exact module's clock: each call advances `step`s."""
+        import types
+
+        from repro.tap import exact as exact_module
+
+        state = {"t": 0.0}
+
+        def perf_counter():
+            state["t"] += step
+            return state["t"]
+
+        monkeypatch.setattr(
+            exact_module, "time", types.SimpleNamespace(perf_counter=perf_counter)
+        )
+
+    def test_timeout_raises_with_incumbent(self, monkeypatch):
+        # Each clock tick is one second and every B&B node reads the clock,
+        # so a 10s timeout deterministically expires after ~10 nodes — well
+        # after the first include made an incumbent, well before the search
+        # is done.
+        self._ticking_clock(monkeypatch)
+        instance = random_euclidean_instance(14, seed=21)
+        config = ExactConfig(4, 5.0, timeout_seconds=10.0, raise_on_timeout=True)
+        from repro.errors import SolverTimeout
+
+        with pytest.raises(SolverTimeout) as err:
+            solve_exact(instance, config)
+        incumbent = err.value.incumbent
+        assert incumbent is not None
+        assert not incumbent.optimal
+        assert incumbent.size > 0
+        validate_solution(instance, incumbent, 4, 5.0)
+
+    def test_default_keeps_returning_silently(self, monkeypatch):
+        self._ticking_clock(monkeypatch)
+        instance = random_euclidean_instance(14, seed=21)
+        outcome = solve_exact(instance, ExactConfig(4, 5.0, timeout_seconds=10.0))
+        assert outcome.timed_out
+        assert not outcome.solution.optimal

@@ -106,3 +106,100 @@ class TestRecut:
         doc = json.loads(recut_out.read_text())
         code_cells = [c for c in doc["cells"] if c["cell_type"] == "code"]
         assert all(not c["outputs"] for c in code_cells)
+
+
+class TestErrorExits:
+    """Malformed inputs exit with code 2 and a one-line message, no traceback."""
+
+    def test_empty_csv(self, tmp_path, capsys):
+        path = tmp_path / "empty.csv"
+        path.write_text("cat,num\n")
+        assert main(["generate", str(path), "--quiet"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "no data rows" in err
+        assert "Traceback" not in err
+
+    def test_single_value_categorical(self, tmp_path, capsys):
+        path = tmp_path / "flat.csv"
+        path.write_text("cat,num\n" + "\n".join(f"same,{i}" for i in range(20)))
+        assert main(["generate", str(path), "--quiet"]) == 2
+        assert "fewer than two distinct" in capsys.readouterr().err
+
+    def test_unwritable_out(self, covid_csv, tmp_path, capsys):
+        out = tmp_path / "no" / "such" / "dir" / "nb.ipynb"
+        assert main(["generate", str(covid_csv), "--budget", "3",
+                     "--out", str(out), "--quiet"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_missing_csv_without_resume(self, capsys):
+        assert main(["generate", "--quiet"]) == 2
+        assert "CSV argument is required" in capsys.readouterr().err
+
+    def test_malformed_fault_plan(self, covid_csv, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_FAULTS", "stats")
+        assert main(["generate", str(covid_csv), "--quiet"]) == 2
+        assert "malformed fault spec" in capsys.readouterr().err
+
+
+class TestResilience:
+    def test_deadline_run_completes(self, covid_csv, tmp_path, capsys):
+        out = tmp_path / "nb.ipynb"
+        code = main(["generate", str(covid_csv), "--budget", "4",
+                     "--deadline", "30", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        assert "run report" in capsys.readouterr().out
+
+    def test_report_lines_printed(self, covid_csv, tmp_path, capsys):
+        out = tmp_path / "nb.ipynb"
+        main(["generate", str(covid_csv), "--budget", "3", "--out", str(out)])
+        stdout = capsys.readouterr().out
+        for stage in ("stats", "generation", "tap", "render"):
+            assert stage in stdout
+
+    def test_quiet_suppresses_report(self, covid_csv, tmp_path, capsys):
+        out = tmp_path / "nb.ipynb"
+        main(["generate", str(covid_csv), "--budget", "3", "--out", str(out), "--quiet"])
+        assert "run report" not in capsys.readouterr().out
+
+    def test_injected_fault_still_writes_notebook(self, covid_csv, tmp_path,
+                                                  monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_FAULTS", "tap:kill")
+        out = tmp_path / "nb.ipynb"
+        code = main(["generate", str(covid_csv), "--budget", "4", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        stdout = capsys.readouterr().out
+        assert "degraded" in stdout
+        assert "baseline" in stdout
+
+    def test_checkpoint_and_resume(self, covid_csv, tmp_path, monkeypatch, capsys):
+        ck = tmp_path / "run.ckpt.json"
+        out = tmp_path / "nb.ipynb"
+        # Interrupt the run after the stats stage: every generation attempt dies.
+        monkeypatch.setenv("REPRO_FAULTS", "generation:kill:xall")
+        code = main(["generate", str(covid_csv), "--budget", "4",
+                     "--checkpoint", str(ck), "--quiet"])
+        assert code == 1  # nothing selected, but no crash
+        assert json.loads(ck.read_text())["stage"] == "stats"
+
+        monkeypatch.delenv("REPRO_FAULTS")
+        code = main(["generate", str(covid_csv), "--budget", "4",
+                     "--resume", str(ck), "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        stdout = capsys.readouterr().out
+        assert "resumed" in stdout
+
+    def test_resume_generation_checkpoint_without_csv(self, covid_csv, tmp_path):
+        ck = tmp_path / "run.ckpt.json"
+        out = tmp_path / "nb.ipynb"
+        assert main(["generate", str(covid_csv), "--budget", "4",
+                     "--checkpoint", str(ck), "--quiet"]) == 0
+        assert json.loads(ck.read_text())["stage"] == "generation"
+        assert main(["generate", "--resume", str(ck), "--budget", "4",
+                     "--out", str(out), "--quiet", "--no-previews"]) == 0
+        assert out.exists()

@@ -116,3 +116,23 @@ class TestValidation:
         data = json.loads(path.read_text())
         assert data["schema_version"] == 1
         assert isinstance(data["queries"], list)
+
+
+class TestRunReportPersistence:
+    def test_saved_run_carries_the_report(self, covid, tmp_path):
+        from repro.runtime import resilient_generate
+
+        resilient = resilient_generate(covid, budget=4)
+        assert resilient.report is not None
+        path = tmp_path / "run.json"
+        save_run(resilient, path)
+        assert "report" in json.loads(path.read_text())
+        loaded = load_run(path)
+        assert loaded.report is not None
+        assert loaded.report.as_dict() == resilient.report.as_dict()
+
+    def test_plain_run_has_no_report(self, run, tmp_path):
+        path = tmp_path / "plain.json"
+        save_run(run, path)
+        assert "report" not in json.loads(path.read_text())
+        assert load_run(path).report is None
