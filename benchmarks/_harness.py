@@ -9,12 +9,23 @@ Every module in this directory reproduces one table or figure of the paper
 * one or more ``test_*`` functions using the pytest-benchmark fixture, so
   ``pytest benchmarks/ --benchmark-only`` times the experiment kernel and
   prints the quick version of the table.
+
+Every benchmark run records into the ambient :mod:`repro.obs` tracer and
+metrics registry; :func:`cli_main` accepts ``--metrics-out PATH`` (or the
+``REPRO_METRICS_OUT`` environment variable) to dump the run's counters,
+gauges, histograms, and per-span-name timing aggregates as JSON — the
+machine-readable side of every experiment.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import sys
+from pathlib import Path
 from typing import Callable
+
+from repro import obs
 
 
 def run_once(benchmark, func: Callable, *args, **kwargs):
@@ -27,7 +38,51 @@ def print_report(title: str, body: str) -> None:
     print(f"\n{bar}\n{title}\n{bar}\n{body}\n", flush=True)
 
 
+def metrics_snapshot() -> dict:
+    """The ambient observability state as one JSON-ready document.
+
+    ``spans`` aggregates the tracer by span name (count + total seconds),
+    so a benchmark's output carries the same stage accounting a trace
+    file would, without the per-event bulk.
+    """
+    tracer = obs.current_tracer()
+    obs.current_metrics().record_peak_rss()
+    by_name: dict[str, dict] = {}
+    for span in tracer.spans():
+        if not span.closed:
+            continue
+        entry = by_name.setdefault(span.name, {"count": 0, "seconds": 0.0})
+        entry["count"] += 1
+        entry["seconds"] += span.duration
+    return {
+        "metrics": obs.current_metrics().snapshot(),
+        "spans": dict(sorted(by_name.items())),
+    }
+
+
+def write_metrics_json(path: str | Path) -> None:
+    Path(path).write_text(
+        json.dumps(metrics_snapshot(), indent=2), encoding="utf-8"
+    )
+
+
 def cli_main(main: Callable[[bool], None]) -> None:
-    """Standard ``__main__`` entry: ``--quick`` shrinks the experiment."""
-    quick = "--quick" in sys.argv[1:]
+    """Standard ``__main__`` entry: ``--quick`` shrinks the experiment.
+
+    ``--metrics-out PATH`` (or ``REPRO_METRICS_OUT=PATH``) writes the
+    run's observability snapshot as JSON after the experiment finishes.
+    """
+    argv = sys.argv[1:]
+    quick = "--quick" in argv
+    metrics_out = os.environ.get("REPRO_METRICS_OUT")
+    if "--metrics-out" in argv:
+        index = argv.index("--metrics-out")
+        if index + 1 >= len(argv):
+            print("error: --metrics-out requires a path", file=sys.stderr)
+            raise SystemExit(2)
+        metrics_out = argv[index + 1]
+    obs.reset()
     main(quick=quick)
+    if metrics_out:
+        write_metrics_json(metrics_out)
+        print(f"wrote {metrics_out}", flush=True)

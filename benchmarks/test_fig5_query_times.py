@@ -22,7 +22,6 @@ from repro.datasets import enedis_table
 from repro.evaluation import render_histogram
 from repro.queries import ComparisonQuery, MeasuredCost
 from repro.stats import derive_rng
-from repro.tap import random_comparison_queries
 
 
 def sample_queries(table, n: int, seed: int) -> list[ComparisonQuery]:

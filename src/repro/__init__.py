@@ -40,7 +40,33 @@ from repro.persistence import load_outcome, load_run, resolve_outcome, save_outc
 from repro.queries import ComparisonQuery
 from repro.relational import Table, read_csv, read_csv_text
 
-__version__ = "1.0.0"
+
+def _read_version() -> str:
+    """Resolve the package version from its single source of truth.
+
+    Installed (even as an editable/egg-info checkout), package metadata
+    answers; from a bare source tree we parse ``pyproject.toml`` instead.
+    Both views read the same ``[project] version`` field, so the string
+    can never drift from what ``pip`` reports.
+    """
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:  # PackageNotFoundError or exotic metadata backends
+        pass
+    try:
+        import tomllib
+        from pathlib import Path
+
+        pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+        with pyproject.open("rb") as fh:
+            return tomllib.load(fh)["project"]["version"]
+    except Exception:
+        return "0.0.0+unknown"
+
+
+__version__ = _read_version()
 
 __all__ = [
     "ComparisonQuery",

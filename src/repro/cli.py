@@ -6,6 +6,7 @@ Usage::
     python -m repro generate data.csv --preset wsc-unb-approx --sample-rate 0.2
     python -m repro generate data.csv --deadline 5 --checkpoint run.ckpt.json
     python -m repro generate data.csv --resume run.ckpt.json --out notebook.ipynb
+    python -m repro profile data.csv --trace trace.json
     python -m repro inspect data.csv
     python -m repro datasets --out-dir ./demo-data
 
@@ -16,6 +17,12 @@ Sub-commands
     Runs under the resilient controller: ``--deadline`` bounds the wall
     clock, ``--checkpoint``/``--resume`` snapshot and restore stage
     boundaries, and the per-stage run report is printed at the end.
+    ``--trace`` additionally writes the run's span tree as Chrome
+    trace-event JSON.
+``profile``
+    Run the pipeline purely for observability: print the span tree and
+    top-k hotspots, optionally exporting the Chrome trace (``--trace``)
+    and a Prometheus-style metrics dump (``--metrics-out``).
 ``recut``
     Re-solve the TAP over a saved run (no statistics re-run).
 ``inspect``
@@ -37,6 +44,7 @@ import os
 import sys
 from pathlib import Path
 
+from repro import __version__, obs
 from repro.datasets import covid_table, enedis_table, flights_table, vaccine_table
 from repro.errors import ReproError
 from repro.generation import GenerationConfig, preset, preset_names
@@ -58,6 +66,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Comparison-notebook generator (EDBT 2022 reproduction)",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", parents=[common],
@@ -92,6 +102,31 @@ def build_parser() -> argparse.ArgumentParser:
                      help="skip executing queries for result previews")
     gen.add_argument("--save-run", type=Path, default=None,
                      help="also save the full run as JSON (re-cut later with 'recut')")
+    gen.add_argument("--trace", type=Path, default=None, metavar="PATH",
+                     help="write the run's Chrome trace-event JSON here")
+
+    prof = sub.add_parser(
+        "profile", parents=[common],
+        help="run the pipeline and print the span tree + top-k hotspots"
+    )
+    prof.add_argument("csv", type=Path, help="input CSV file")
+    prof.add_argument("--budget", type=int, default=10,
+                      help="notebook length eps_t (default 10)")
+    prof.add_argument("--preset", choices=preset_names(), default=None,
+                      help="use a named Table 3/7 configuration")
+    prof.add_argument("--sample-rate", type=float, default=0.1,
+                      help="sampling rate for sampling presets (default 0.1)")
+    prof.add_argument("--permutations", type=int, default=200,
+                      help="permutations per statistical test (default 200)")
+    prof.add_argument("--threads", type=int, default=1, help="workers (default 1)")
+    prof.add_argument("--trace", type=Path, default=None, metavar="PATH",
+                      help="write Chrome trace-event JSON (chrome://tracing, Perfetto)")
+    prof.add_argument("--metrics-out", type=Path, default=None, metavar="PATH",
+                      help="write a Prometheus-style text dump of all metrics")
+    prof.add_argument("--top", type=int, default=10,
+                      help="number of hotspots to print (default 10)")
+    prof.add_argument("--out", type=Path, default=None,
+                      help="also write the generated .ipynb here")
 
     recut = sub.add_parser(
         "recut", parents=[common],
@@ -120,14 +155,22 @@ def _configure_logging(verbose: bool, quiet: bool) -> None:
 
     ``--verbose`` shows everything (DEBUG); the default shows warnings
     (degradations, timeouts); ``--quiet`` shows only errors.
+
+    Idempotent across repeated :func:`main` calls in one process (tests,
+    embedding apps): our handler is tagged, so exactly one is ever
+    attached — even when the application installed stream handlers of its
+    own — and the level always reflects the *latest* invocation's flags.
     """
     level = logging.DEBUG if verbose else logging.ERROR if quiet else logging.WARNING
     root = logging.getLogger("repro")
     root.setLevel(level)
-    if not any(isinstance(h, logging.StreamHandler) for h in root.handlers):
-        handler = logging.StreamHandler(sys.stderr)
-        handler.setFormatter(logging.Formatter("[%(levelname)s] %(name)s: %(message)s"))
-        root.addHandler(handler)
+    for existing in root.handlers:
+        if getattr(existing, "_repro_cli", False):
+            return
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("[%(levelname)s] %(name)s: %(message)s"))
+    handler._repro_cli = True
+    root.addHandler(handler)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -135,6 +178,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     from repro.runtime import parse_fault_plan, resilient_generate, resilient_render
 
     say = (lambda m: None) if args.quiet else (lambda m: print(f"[repro] {m}"))
+    obs.reset()
     faults = parse_fault_plan(os.environ.get("REPRO_FAULTS"))
     if faults.active:
         say("fault injection active (REPRO_FAULTS)")
@@ -208,7 +252,61 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     if args.save_run:
         save_run(run, args.save_run)
         print(f"wrote {args.save_run}")
+    if args.trace:
+        obs.write_chrome_trace(obs.current_tracer(), args.trace, obs.current_metrics())
+        say(f"wrote trace {args.trace}")
+    say(obs.metrics_summary_line(obs.current_metrics()))
     _print_report(run, args.quiet)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run the pipeline purely for its observability output."""
+    from repro.runtime import resilient_generate, resilient_render
+
+    obs.reset()
+    table = read_csv(args.csv, strict=True)
+    if args.preset:
+        generator = preset(args.preset, sample_rate=args.sample_rate)
+        config, solver, exact_timeout = (
+            generator.config, generator.solver, generator.exact_timeout
+        )
+    else:
+        from dataclasses import replace
+
+        config = GenerationConfig(n_threads=args.threads)
+        config = replace(
+            config, significance=replace(config.significance, n_permutations=args.permutations)
+        )
+        solver, exact_timeout = "heuristic", 60.0
+
+    run = resilient_generate(
+        table, config, budget=args.budget,
+        solver=solver, exact_timeout=exact_timeout,
+    )
+    notebook = resilient_render(
+        run, table, table_name=args.csv.stem,
+        title=f"Comparison notebook — {args.csv.stem}",
+    )
+    if args.out:
+        write_ipynb(notebook, args.out)
+
+    tracer, metrics = obs.current_tracer(), obs.current_metrics()
+    metrics.record_peak_rss()
+    if not args.quiet:
+        print(obs.format_span_tree(tracer))
+        print()
+        print(obs.format_hotspots(tracer, top_k=args.top))
+        print()
+        print(obs.metrics_summary_line(metrics))
+    if args.trace:
+        obs.write_chrome_trace(tracer, args.trace, metrics)
+        print(f"wrote {args.trace}")
+    if args.metrics_out:
+        args.metrics_out.write_text(obs.to_prometheus_text(metrics), encoding="utf-8")
+        print(f"wrote {args.metrics_out}")
+    if args.out:
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -285,6 +383,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if args.command == "generate":
             return _cmd_generate(args)
+        if args.command == "profile":
+            return _cmd_profile(args)
         if args.command == "recut":
             return _cmd_recut(args)
         if args.command == "inspect":

@@ -19,8 +19,7 @@ something the paper's real datasets cannot provide.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
 
 import numpy as np
 

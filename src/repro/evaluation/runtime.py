@@ -2,7 +2,9 @@
 
 Small helpers shared by the benchmark scripts: a stopwatch, repeated-run
 aggregation, and a one-call "run preset on dataset, return timings +
-counters" driver.
+counters" driver.  :func:`run_preset` measures through the
+:mod:`repro.obs` span clock, so its wall time lines up with the span
+tree the same run records.
 """
 
 from __future__ import annotations
@@ -12,6 +14,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
+from repro import obs
 from repro.generation.pipeline import NotebookGenerator, NotebookRun
 from repro.relational.table import Table
 
@@ -68,7 +71,8 @@ def run_preset(
     progress: Callable[[str], None] | None = None,
 ) -> PresetRun:
     """Execute one configured generator end-to-end and time it."""
-    start = time.perf_counter()
-    run = generator.generate(table, budget=budget, epsilon_distance=epsilon_distance, progress=progress)
-    wall = time.perf_counter() - start
-    return PresetRun(preset_name, run, wall)
+    with obs.span("bench.preset", preset=preset_name, rows=table.n_rows) as sp:
+        run = generator.generate(
+            table, budget=budget, epsilon_distance=epsilon_distance, progress=progress
+        )
+    return PresetRun(preset_name, run, sp.duration)

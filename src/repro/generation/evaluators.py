@@ -23,7 +23,7 @@ from typing import Protocol, Sequence
 
 from repro.queries.comparison import ComparisonQuery
 from repro.queries.evaluate import ComparisonResult, evaluate_comparison, evaluate_comparison_cached
-from repro.relational.cube import MaterializedAggregate, PairAggregate, PartialAggregateCache, pair_group_by_sets
+from repro.relational.cube import MaterializedAggregate, PartialAggregateCache, pair_group_by_sets
 from repro.relational.statistics import estimate_aggregate_bytes
 from repro.relational.table import Table
 from repro.generation.setcover import apply_memory_fallback, greedy_weighted_set_cover

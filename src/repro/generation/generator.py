@@ -16,11 +16,11 @@ from __future__ import annotations
 
 import logging
 import threading
-import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro import obs
 from repro.generation.config import GenerationConfig
 from repro.generation.evaluators import SupportEvaluator, build_evaluator
 from repro.insights.enumeration import enumerate_candidates
@@ -140,43 +140,58 @@ def run_stats_stage(
     say = progress or (lambda message: None)
 
     # -- preprocessing: functional dependencies ------------------------------
-    start = time.perf_counter()
-    excluded_pairs: set[frozenset[str]] = set()
-    if config.exclude_functional_dependencies:
-        excluded_pairs = related_attributes(detect_functional_dependencies(table))
-    timings.preprocessing = time.perf_counter() - start
+    with obs.span("stats.preprocessing", rows=table.n_rows) as sp:
+        excluded_pairs: set[frozenset[str]] = set()
+        if config.exclude_functional_dependencies:
+            excluded_pairs = related_attributes(detect_functional_dependencies(table))
+        sp.set(excluded_pairs=len(excluded_pairs))
+    timings.preprocessing = sp.duration
     if excluded_pairs:
         say(f"excluding {len(excluded_pairs)} FD-related attribute pairs")
         logger.debug("excluding %d FD-related attribute pairs", len(excluded_pairs))
 
     # -- offline sampling -----------------------------------------------------
-    start = time.perf_counter()
-    test_source: Table | dict[str, Table] = table
-    if config.sampling is not None:
-        rng = derive_rng(config.significance.seed, "offline-sample", config.sampling.strategy)
-        if config.sampling.strategy == "random":
-            test_source = random_sample(table, config.sampling.rate, rng)
-            say(f"testing on a random sample of {test_source.n_rows} rows")
-        else:
-            # Unbalanced: each attribute's tests run on their own sample,
-            # balanced over that attribute's values (Section 5.1.2).
-            test_source = per_attribute_balanced_samples(table, config.sampling.rate, rng)
-            sizes = {t.n_rows for t in test_source.values()}
-            say(f"testing on per-attribute balanced samples of ~{max(sizes)} rows")
-    timings.sampling = time.perf_counter() - start
+    strategy = config.sampling.strategy if config.sampling is not None else "none"
+    with obs.span("stats.sampling", strategy=strategy) as sp:
+        test_source: Table | dict[str, Table] = table
+        if config.sampling is not None:
+            rng = derive_rng(config.significance.seed, "offline-sample", config.sampling.strategy)
+            if config.sampling.strategy == "random":
+                test_source = random_sample(table, config.sampling.rate, rng)
+                say(f"testing on a random sample of {test_source.n_rows} rows")
+            else:
+                # Unbalanced: each attribute's tests run on their own sample,
+                # balanced over that attribute's values (Section 5.1.2).
+                test_source = per_attribute_balanced_samples(table, config.sampling.rate, rng)
+                sizes = {t.n_rows for t in test_source.values()}
+                say(f"testing on per-attribute balanced samples of ~{max(sizes)} rows")
+    timings.sampling = sp.duration
 
     # -- statistical tests ------------------------------------------------------
-    start = time.perf_counter()
     logger.info("statistical tests: %d permutations, engine=%s",
                 config.significance.n_permutations, config.significance.engine)
-    tested = _run_tests(test_source, config, deadline)
-    counters["insights_tested"] = len(tested)
-    significant = [t for t in tested if t.is_significant(config.significance.threshold)]
-    counters["insights_significant"] = len(significant)
-    if config.prune_transitive:
-        significant = prune_transitive(significant)
-    counters["insights_after_pruning"] = len(significant)
-    timings.statistical_tests = time.perf_counter() - start
+    with obs.span(
+        "stats.tests",
+        engine=config.significance.engine,
+        permutations=config.significance.n_permutations,
+        threads=config.n_threads,
+    ) as sp:
+        tested = _run_tests(test_source, config, deadline)
+        counters["insights_tested"] = len(tested)
+        significant = [t for t in tested if t.is_significant(config.significance.threshold)]
+        counters["insights_significant"] = len(significant)
+        if config.prune_transitive:
+            with obs.span("stats.transitivity", before=len(significant)) as prune_span:
+                significant = prune_transitive(significant)
+                prune_span.set(after=len(significant))
+        counters["insights_after_pruning"] = len(significant)
+        sp.set(tested=len(tested), significant=counters["insights_significant"])
+    timings.statistical_tests = sp.duration
+    obs.counter("stats.candidates_tested").inc(counters["insights_tested"])
+    obs.counter("stats.insights_significant").inc(counters["insights_significant"])
+    obs.counter("stats.insights_pruned").inc(
+        counters["insights_significant"] - counters["insights_after_pruning"]
+    )
     say(f"{counters['insights_significant']} significant insights "
         f"({counters['insights_after_pruning']} after transitivity pruning)")
     logger.info("%d/%d insights significant (%d after pruning) in %.3fs",
@@ -203,20 +218,31 @@ def run_support_stage(
     timings = stats.timings
     counters = dict(stats.counters)
 
-    start = time.perf_counter()
-    evaluator = build_evaluator(table, config.evaluator, config.memory_budget_bytes)
-    logger.info("hypothesis evaluation: evaluator=%s over %d insights",
-                config.evaluator, len(stats.significant))
-    queries, evidences, n_hypothesis = _evaluate_support(
-        table, stats.significant, stats.excluded_pairs, evaluator, config, deadline
-    )
-    counters["hypothesis_queries_evaluated"] = n_hypothesis
-    counters["queries_supported"] = len(queries)
-    counters["aggregation_queries_sent"] = evaluator.queries_sent
+    with obs.span(
+        "generation.support",
+        evaluator=config.evaluator,
+        insights=len(stats.significant),
+    ) as sp:
+        evaluator = build_evaluator(table, config.evaluator, config.memory_budget_bytes)
+        logger.info("hypothesis evaluation: evaluator=%s over %d insights",
+                    config.evaluator, len(stats.significant))
+        queries, evidences, n_hypothesis = _evaluate_support(
+            table, stats.significant, stats.excluded_pairs, evaluator, config, deadline
+        )
+        counters["hypothesis_queries_evaluated"] = n_hypothesis
+        counters["queries_supported"] = len(queries)
+        counters["aggregation_queries_sent"] = evaluator.queries_sent
 
-    scored = _score_and_deduplicate(queries, config)
-    counters["queries_final"] = len(scored)
-    timings.hypothesis_evaluation = time.perf_counter() - start
+        with obs.span("generation.scoring", candidates=len(queries)):
+            scored = _score_and_deduplicate(queries, config)
+        counters["queries_final"] = len(scored)
+        sp.set(hypothesis_queries=n_hypothesis, queries_final=len(scored))
+    timings.hypothesis_evaluation = sp.duration
+    obs.counter("generation.hypothesis_queries").inc(n_hypothesis)
+    obs.counter("generation.queries_supported").inc(len(queries))
+    obs.counter("generation.aggregation_queries").inc(evaluator.queries_sent)
+    obs.counter("generation.queries_final").inc(len(scored))
+    obs.current_metrics().record_peak_rss()
     say(f"{len(scored)} comparison queries retained in Q")
     logger.info("%d comparison queries retained in Q (%.3fs)",
                 len(scored), timings.hypothesis_evaluation)
@@ -381,23 +407,28 @@ def _evaluate_support(
         attribute, lo, hi, measure_name = key
         local_queries: list[_SupportedQuery] = []
         local_count = 0
-        for grouping in valid_groupings[attribute]:
-            if deadline is not None:
-                deadline.check("hypothesis evaluation")
-            for agg in config.aggregates:
-                query = ComparisonQuery(grouping, attribute, lo, hi, measure_name, agg)
-                result = evaluator.evaluate(query)
-                local_count += len(members)
-                supported_here: list[InsightEvidence] = []
-                for evidence in members:
-                    if _insight_supported(result, evidence, lo):
-                        supported_here.append(evidence)
-                if supported_here:
-                    local_queries.append(
-                        _SupportedQuery(
-                            query, result.tuples_aggregated, result.n_groups, supported_here
+        with obs.span(
+            "generation.evaluate_group",
+            attribute=attribute, pair=f"{lo}|{hi}", measure=measure_name,
+        ) as sp:
+            for grouping in valid_groupings[attribute]:
+                if deadline is not None:
+                    deadline.check("hypothesis evaluation")
+                for agg in config.aggregates:
+                    query = ComparisonQuery(grouping, attribute, lo, hi, measure_name, agg)
+                    result = evaluator.evaluate(query)
+                    local_count += len(members)
+                    supported_here: list[InsightEvidence] = []
+                    for evidence in members:
+                        if _insight_supported(result, evidence, lo):
+                            supported_here.append(evidence)
+                    if supported_here:
+                        local_queries.append(
+                            _SupportedQuery(
+                                query, result.tuples_aggregated, result.n_groups, supported_here
+                            )
                         )
-                    )
+            sp.set(hypotheses=local_count, supported=len(local_queries))
         return local_queries, local_count
 
     items = list(groups.items())

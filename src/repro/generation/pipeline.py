@@ -22,12 +22,12 @@ from __future__ import annotations
 
 import dataclasses
 import logging
-import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.errors import TAPError
 from repro.generation.config import GenerationConfig, SamplingSpec
 from repro.generation.generator import (
@@ -42,7 +42,7 @@ from repro.relational.table import Table
 from repro.runtime.report import RunReport
 from repro.tap.exact import ExactConfig, solve_exact
 from repro.tap.heuristic import HeuristicConfig, solve_heuristic_lazy
-from repro.tap.instance import TAPInstance, TAPSolution, make_solution
+from repro.tap.instance import TAPInstance, TAPSolution
 
 logger = logging.getLogger(__name__)
 
@@ -144,13 +144,14 @@ class NotebookGenerator:
         """Full pipeline: Q generation, TAP resolution, ordered selection."""
         logger.info("generate: %d rows, budget=%g, solver=%s",
                     table.n_rows, budget, self.solver)
-        outcome = generate_comparison_queries(table, self.config, progress)
-        if epsilon_distance is None:
-            epsilon_distance = DEFAULT_EPSILON_PER_QUERY * max(1.0, budget - 1.0)
-        start = time.perf_counter()
-        solution = self._solve(outcome.queries, budget, epsilon_distance)
-        outcome.timings.tap_solving = time.perf_counter() - start
-        selected = [outcome.queries[i] for i in solution.indices]
+        with obs.span("run", rows=table.n_rows, budget=budget, solver=self.solver):
+            outcome = generate_comparison_queries(table, self.config, progress)
+            if epsilon_distance is None:
+                epsilon_distance = DEFAULT_EPSILON_PER_QUERY * max(1.0, budget - 1.0)
+            with obs.span("tap.solve", queries=len(outcome.queries)) as tap_span:
+                solution = self._solve(outcome.queries, budget, epsilon_distance)
+            outcome.timings.tap_solving = tap_span.duration
+            selected = [outcome.queries[i] for i in solution.indices]
         logger.info("generate done: %d/%d queries selected in %.3fs",
                     len(selected), len(outcome.queries), outcome.timings.total)
         return NotebookRun(outcome, solution, selected, budget, epsilon_distance)
@@ -176,12 +177,13 @@ class NotebookGenerator:
                 f"max_exact_queries={self.max_exact_queries}"
             )
         n = len(queries)
-        matrix = np.zeros((n, n))
-        for i in range(n):
-            for j in range(i + 1, n):
-                d = query_distance(queries[i].query, queries[j].query, weights)
-                matrix[i, j] = d
-                matrix[j, i] = d
+        with obs.span("tap.distance_matrix", n=n):
+            matrix = np.zeros((n, n))
+            for i in range(n):
+                for j in range(i + 1, n):
+                    d = query_distance(queries[i].query, queries[j].query, weights)
+                    matrix[i, j] = d
+                    matrix[j, i] = d
         instance = TAPInstance(list(queries), interests, costs, matrix)
         outcome = solve_exact(
             instance,

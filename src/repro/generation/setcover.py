@@ -11,6 +11,7 @@ from __future__ import annotations
 from itertools import combinations
 from typing import Mapping, Sequence
 
+from repro import obs
 from repro.errors import QueryError
 
 
@@ -31,28 +32,34 @@ def greedy_weighted_set_cover(
     uncovered = set(universe)
     if not uncovered:
         return []
-    coverage = {g: pairs_covered(g) for g in candidates}
-    chosen: list[frozenset[str]] = []
-    while uncovered:
-        best_set: frozenset[str] | None = None
-        best_ratio = float("inf")
-        for candidate, weight in candidates.items():
-            gain = len(coverage[candidate] & uncovered)
-            if gain == 0:
-                continue
-            ratio = weight / gain
-            if ratio < best_ratio - 1e-15 or (
-                abs(ratio - best_ratio) <= 1e-15
-                and best_set is not None
-                and sorted(candidate) < sorted(best_set)
-            ):
-                best_ratio = ratio
-                best_set = candidate
-        if best_set is None:
-            missing = sorted(tuple(sorted(p)) for p in uncovered)
-            raise QueryError(f"set cover infeasible; uncovered pairs: {missing}")
-        chosen.append(best_set)
-        uncovered -= coverage[best_set]
+    with obs.span(
+        "generation.setcover", universe=len(uncovered), candidates=len(candidates)
+    ) as sp:
+        coverage = {g: pairs_covered(g) for g in candidates}
+        chosen: list[frozenset[str]] = []
+        while uncovered:
+            obs.counter("setcover.iterations").inc()
+            best_set: frozenset[str] | None = None
+            best_ratio = float("inf")
+            for candidate, weight in candidates.items():
+                gain = len(coverage[candidate] & uncovered)
+                if gain == 0:
+                    continue
+                ratio = weight / gain
+                if ratio < best_ratio - 1e-15 or (
+                    abs(ratio - best_ratio) <= 1e-15
+                    and best_set is not None
+                    and sorted(candidate) < sorted(best_set)
+                ):
+                    best_ratio = ratio
+                    best_set = candidate
+            if best_set is None:
+                missing = sorted(tuple(sorted(p)) for p in uncovered)
+                raise QueryError(f"set cover infeasible; uncovered pairs: {missing}")
+            chosen.append(best_set)
+            uncovered -= coverage[best_set]
+        sp.set(sets_chosen=len(chosen))
+    obs.counter("setcover.sets_chosen").inc(len(chosen))
     return chosen
 
 

@@ -9,7 +9,7 @@ BH-corrected significance, and (later) the credibility evidence.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.insights.types import InsightType
 

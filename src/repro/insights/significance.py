@@ -19,15 +19,16 @@ looking at the chart would postulate), then tests one-sided.
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.errors import StatisticsError
 from repro.insights.enumeration import enumerate_candidates
 from repro.insights.insight import CandidateInsight, TestedInsight
-from repro.insights.types import InsightType, insight_type, resolve_insight_types
+from repro.insights.types import InsightType, insight_type
 from repro.stats.corrections import benjamini_hochberg
 from repro.stats.permutation import DEFAULT_PERMUTATIONS, SharedPermutations, TestResult
 from repro.stats.rng import DEFAULT_SEED, derive_rng
@@ -102,6 +103,8 @@ class _BatchCache:
         if batch is None:
             batch = self._make(n_x, n_y)
             self._cache[key] = batch
+        else:
+            obs.counter("stats.permutation_batches_reused").inc()
         return batch
 
 
@@ -189,57 +192,61 @@ def run_attribute_chunk(
     :class:`~repro.errors.DeadlineExceeded` past the run deadline).
     """
     config = config or SignificanceConfig()
-    column = table.categorical_column(attribute)
-    row_index = _value_row_index(column.codes)
-    measures = {name: table.measure_values(name) for name in table.schema.measure_names}
-    batches = _BatchCache(
-        config.seed, attribute, config.n_permutations, config.share_across_pairs
-    )
+    with obs.span(
+        "stats.test_attribute", attribute=attribute, candidates=len(group)
+    ) as chunk_span:
+        column = table.categorical_column(attribute)
+        row_index = _value_row_index(column.codes)
+        measures = {name: table.measure_values(name) for name in table.schema.measure_names}
+        batches = _BatchCache(
+            config.seed, attribute, config.n_permutations, config.share_across_pairs
+        )
 
-    oriented: list[CandidateInsight] = []
-    results: list[TestResult] = []
-    for candidate in group:
-        if checkpoint is not None:
-            checkpoint()
-        itype = insight_type(candidate.type_code)
-        code_x = column.code_of(candidate.val)
-        code_y = column.code_of(candidate.val_other)
-        rows_x = row_index.get(code_x)
-        rows_y = row_index.get(code_y)
-        if rows_x is None or rows_y is None:
-            continue
-        values = measures.get(candidate.measure)
-        if values is None:
-            raise StatisticsError(f"unknown measure {candidate.measure!r}")
-        x = values[rows_x]
-        y = values[rows_y]
-        x = x[~np.isnan(x)]
-        y = y[~np.isnan(y)]
-        if x.size == 0 or y.size == 0:
-            continue
-        # Orient toward the observed dominant side.
-        statistic = itype.observed_statistic(x, y)
-        if np.isnan(statistic):
-            continue
-        if statistic >= 0:
-            side_x, side_y = x, y
-            final = candidate
-        else:
-            side_x, side_y = y, x
-            final = CandidateInsight(
-                candidate.measure,
-                candidate.attribute,
-                candidate.val_other,
-                candidate.val,
-                candidate.type_code,
-            )
-        if config.engine == "parametric":
-            result = itype.parametric_test(side_x, side_y)
-        else:
-            batch = batches.get(side_x.size, side_y.size)
-            result = itype.test(batch, side_x, side_y)
-        oriented.append(final)
-        results.append(result)
+        oriented: list[CandidateInsight] = []
+        results: list[TestResult] = []
+        for candidate in group:
+            if checkpoint is not None:
+                checkpoint()
+            itype = insight_type(candidate.type_code)
+            code_x = column.code_of(candidate.val)
+            code_y = column.code_of(candidate.val_other)
+            rows_x = row_index.get(code_x)
+            rows_y = row_index.get(code_y)
+            if rows_x is None or rows_y is None:
+                continue
+            values = measures.get(candidate.measure)
+            if values is None:
+                raise StatisticsError(f"unknown measure {candidate.measure!r}")
+            x = values[rows_x]
+            y = values[rows_y]
+            x = x[~np.isnan(x)]
+            y = y[~np.isnan(y)]
+            if x.size == 0 or y.size == 0:
+                continue
+            # Orient toward the observed dominant side.
+            statistic = itype.observed_statistic(x, y)
+            if np.isnan(statistic):
+                continue
+            if statistic >= 0:
+                side_x, side_y = x, y
+                final = candidate
+            else:
+                side_x, side_y = y, x
+                final = CandidateInsight(
+                    candidate.measure,
+                    candidate.attribute,
+                    candidate.val_other,
+                    candidate.val,
+                    candidate.type_code,
+                )
+            if config.engine == "parametric":
+                result = itype.parametric_test(side_x, side_y)
+            else:
+                batch = batches.get(side_x.size, side_y.size)
+                result = itype.test(batch, side_x, side_y)
+            oriented.append(final)
+            results.append(result)
+        chunk_span.set(tested=len(results))
 
     return oriented, results
 
@@ -254,7 +261,14 @@ def finalize_attribute(
     if not oriented:
         return []
     raw_p = [r.p_value for r in results]
-    adjusted = benjamini_hochberg(raw_p) if config.apply_bh else np.asarray(raw_p)
+    if config.apply_bh:
+        with obs.span(
+            "stats.bh_correction",
+            attribute=oriented[0].attribute, family_size=len(raw_p),
+        ):
+            adjusted = benjamini_hochberg(raw_p)
+    else:
+        adjusted = np.asarray(raw_p)
     return [
         TestedInsight(candidate, result.statistic, result.p_value, float(adj))
         for candidate, result, adj in zip(oriented, results, adjusted)

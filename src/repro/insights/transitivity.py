@@ -15,7 +15,7 @@ family is left unpruned rather than guessing which edge to drop.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 import networkx as nx
 

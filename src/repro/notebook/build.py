@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro import obs
 from repro.errors import NotebookError, ReproError
 from repro.generation.generator import GeneratedQuery
 from repro.notebook.cells import Notebook
@@ -34,26 +35,34 @@ def build_notebook(
     """Build the notebook; previews/explanations/charts require ``table``."""
     if not generated:
         raise NotebookError("cannot build a notebook from zero queries")
-    notebook = Notebook(title)
-    notebook.add_markdown(notebook_header(title, table_name, len(generated)))
-    catalog = Catalog({table_name: table}) if table is not None else None
-    for index, item in enumerate(generated, start=1):
-        comparison = None
-        if table is not None and (include_explanations or include_charts):
-            comparison = evaluate_comparison(table, item.query)
-        explanation = None
-        if include_explanations and comparison is not None:
-            try:
-                explanation = explanation_sentence(comparison)
-            except ReproError:
-                explanation = None  # empty comparison etc. — narrate without it
-        notebook.add_markdown(query_narrative(index, item, explanation))
-        sql = bind_table(comparison_sql(item.query), table_name)
-        preview = None
-        if include_previews and catalog is not None:
-            result = execute_sql(sql + ";", catalog)
-            preview = result.pretty(limit=preview_rows)
-        notebook.add_sql(sql + ";", preview)
-        if include_charts and comparison is not None and comparison.n_groups > 0:
-            notebook.add_markdown(chart_markdown_block(comparison))
+    with obs.span(
+        "render.notebook", queries=len(generated), previews=bool(include_previews)
+    ):
+        notebook = Notebook(title)
+        notebook.add_markdown(notebook_header(title, table_name, len(generated)))
+        catalog = Catalog({table_name: table}) if table is not None else None
+        for index, item in enumerate(generated, start=1):
+            with obs.span("render.query", index=index) as cell_span:
+                comparison = None
+                if table is not None and (include_explanations or include_charts):
+                    comparison = evaluate_comparison(table, item.query)
+                explanation = None
+                if include_explanations and comparison is not None:
+                    try:
+                        explanation = explanation_sentence(comparison)
+                    except ReproError:
+                        explanation = None  # empty comparison etc. — narrate without it
+                notebook.add_markdown(query_narrative(index, item, explanation))
+                sql = bind_table(comparison_sql(item.query), table_name)
+                preview = None
+                if include_previews and catalog is not None:
+                    result = execute_sql(sql + ";", catalog)
+                    preview = result.pretty(limit=preview_rows)
+                    obs.counter("notebook.previews").inc()
+                notebook.add_sql(sql + ";", preview)
+                if include_charts and comparison is not None and comparison.n_groups > 0:
+                    notebook.add_markdown(chart_markdown_block(comparison))
+                obs.histogram("render.query_seconds").observe(cell_span.elapsed)
+        obs.counter("notebook.cells").inc(len(notebook.cells))
+        obs.counter("notebook.notebooks").inc()
     return notebook

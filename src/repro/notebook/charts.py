@@ -10,10 +10,8 @@ notebook front end renders the chart the insight was triggered by.
 from __future__ import annotations
 
 import json
-from typing import Sequence
 
 from repro.errors import NotebookError
-from repro.queries.comparison import ComparisonQuery
 from repro.queries.evaluate import ComparisonResult
 from repro.queries.sqlgen import comparison_aliases
 

@@ -1,0 +1,131 @@
+"""repro.obs — zero-dependency tracing and metrics for the pipeline.
+
+The standing instrumentation surface: hierarchical :class:`Span` trees
+over a monotonic clock, a :class:`MetricsRegistry` of counters / gauges /
+histograms, and exporters for Chrome trace-event JSON, Prometheus text,
+and human-readable summaries.  Everything is stdlib-only and safe to
+leave enabled — recording a span is two clock reads and a list append.
+
+The pipeline instruments itself against the *ambient* tracer and
+registry accessed through the module-level helpers below::
+
+    from repro import obs
+
+    with obs.span("stats.tests", engine="permutation") as sp:
+        ...
+    obs.counter("stats.candidates_tested").inc(n)
+
+Tools that need an isolated capture (the ``repro profile`` command,
+benchmarks, tests) swap in fresh instances for the duration::
+
+    with obs.capture() as (tracer, metrics):
+        run_pipeline()
+    export.write_chrome_trace(tracer, "out.json", metrics)
+
+Span names and the documented metric names are a stable public contract;
+see ``docs/observability.md`` for the taxonomy.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.export import (
+    chrome_trace_events,
+    format_hotspots,
+    format_span_tree,
+    metrics_summary_line,
+    to_chrome_trace,
+    to_prometheus_text,
+    write_chrome_trace,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "capture",
+    "chrome_trace_events",
+    "counter",
+    "current_metrics",
+    "current_tracer",
+    "format_hotspots",
+    "format_span_tree",
+    "gauge",
+    "histogram",
+    "metrics_summary_line",
+    "reset",
+    "span",
+    "to_chrome_trace",
+    "to_prometheus_text",
+    "use",
+    "write_chrome_trace",
+]
+
+_tracer = Tracer()
+_metrics = MetricsRegistry()
+
+
+def current_tracer() -> Tracer:
+    """The ambient tracer the pipeline records spans into."""
+    return _tracer
+
+
+def current_metrics() -> MetricsRegistry:
+    """The ambient metrics registry."""
+    return _metrics
+
+
+def span(name: str, **attrs):
+    """Open a span on the ambient tracer (context manager)."""
+    return _tracer.span(name, **attrs)
+
+
+def counter(name: str) -> Counter:
+    return _metrics.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _metrics.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return _metrics.histogram(name)
+
+
+def reset() -> None:
+    """Clear the ambient tracer and registry (start of an isolated run)."""
+    _tracer.reset()
+    _metrics.reset()
+
+
+@contextmanager
+def use(tracer: Tracer, metrics: MetricsRegistry) -> Iterator[None]:
+    """Temporarily swap the ambient tracer and registry.
+
+    Worker threads spawned inside the block see the swapped instances
+    (the ambient pair is module state, not thread-local); concurrent
+    captures from different threads are not supported.
+    """
+    global _tracer, _metrics
+    previous = (_tracer, _metrics)
+    _tracer, _metrics = tracer, metrics
+    try:
+        yield
+    finally:
+        _tracer, _metrics = previous
+
+
+@contextmanager
+def capture() -> Iterator[tuple[Tracer, MetricsRegistry]]:
+    """Fresh tracer + registry installed for the block, returned for export."""
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    with use(tracer, metrics):
+        yield tracer, metrics

@@ -1,0 +1,171 @@
+"""Counters, gauges, and histograms (the metrics half of ``repro.obs``).
+
+A :class:`MetricsRegistry` is a thread-safe, get-or-create namespace of
+named instruments:
+
+* :class:`Counter` — monotonically increasing count (candidates tested,
+  solver nodes visited, permutation batches reused);
+* :class:`Gauge` — last-written value (peak RSS, queue depths);
+* :class:`Histogram` — streaming summary of observations (count / sum /
+  min / max / mean), enough for the Prometheus summary exposition without
+  holding samples.
+
+Metric names use dotted lowercase (``stats.candidates_tested``); the
+Prometheus exporter mangles them to the legal underscore form.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down; reads report the last write."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def max(self, value: float) -> None:
+        """Keep the high-water mark (peak RSS style updates)."""
+        with self._lock:
+            self._value = max(self._value, float(value))
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Streaming summary of a series of observations."""
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.minimum = min(self.minimum, value)
+            self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": None, "max": None, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe namespace of instruments, created on first use.
+
+    A name is bound to one instrument kind for the registry's lifetime;
+    asking for the same name as a different kind raises.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind: type):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = kind(name)
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, kind):
+                raise TypeError(
+                    f"metric {name!r} is a {type(instrument).__name__}, "
+                    f"not a {kind.__name__}"
+                )
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._instruments.clear()
+
+    def snapshot(self) -> dict:
+        """JSON-ready dump: {counters: {...}, gauges: {...}, histograms: {...}}."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, instrument in sorted(instruments.items()):
+            if isinstance(instrument, Counter):
+                out["counters"][name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                out["gauges"][name] = instrument.value
+            else:
+                out["histograms"][name] = instrument.summary()
+        return out
+
+    def record_peak_rss(self) -> float | None:
+        """Sample the process's peak RSS into ``process.peak_rss_bytes``.
+
+        Uses :mod:`resource` (POSIX); returns None where unavailable.
+        Linux reports ``ru_maxrss`` in KiB, macOS in bytes — normalized
+        here to bytes.
+        """
+        try:
+            import resource
+            import sys
+        except ImportError:  # pragma: no cover - non-POSIX platforms
+            return None
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if sys.platform != "darwin":
+            peak *= 1024
+        self.gauge("process.peak_rss_bytes").max(peak)
+        return float(peak)

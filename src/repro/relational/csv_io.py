@@ -11,7 +11,7 @@ from __future__ import annotations
 import csv
 import io
 from pathlib import Path
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 from repro.errors import SchemaError, TypeInferenceError
 from repro.relational.schema import AttributeKind, Schema, categorical, measure

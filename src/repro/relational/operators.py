@@ -14,9 +14,9 @@ import numpy as np
 
 from repro.errors import ExecutionError, SchemaError
 from repro.relational.aggregates import GroupedSummary, is_aggregate
-from repro.relational.columns import CategoricalColumn, MeasureColumn
+from repro.relational.columns import MeasureColumn
 from repro.relational.expressions import Expression
-from repro.relational.schema import Attribute, AttributeKind, Schema, measure
+from repro.relational.schema import Schema, measure
 from repro.relational.table import Table
 
 

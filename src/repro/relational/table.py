@@ -19,7 +19,7 @@ from repro.relational.columns import (
     MeasureColumn,
     column_from_values,
 )
-from repro.relational.schema import Attribute, AttributeKind, Schema, categorical, measure
+from repro.relational.schema import Attribute, Schema, categorical, measure
 
 
 class GroupingResult:

@@ -29,10 +29,10 @@ checkpoint to resume without re-running completed stages.
 from __future__ import annotations
 
 import logging
-import time
 from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
+from repro import obs
 from repro.errors import DeadlineExceeded, ReproError, SolverTimeout
 from repro.generation.config import GenerationConfig, SamplingSpec
 from repro.generation.generator import (
@@ -146,38 +146,40 @@ def _run_ladder(
     (e.g. "anytime incumbent after solver timeout").
     """
     entry = StageReport(stage)
-    start = time.perf_counter()
     result = None
     succeeded = False
-    for index, rung in enumerate(rungs):
-        is_last = index == len(rungs) - 1
-        rung_deadline = deadline.extended(grace_seconds) if is_last else deadline
-        notes: list[str] = []
-        try:
-            faults.fire(stage, deadline)
-            rung_deadline.check(stage)
-            result = rung.run(rung_deadline, notes)
-        except (DeadlineExceeded, ReproError, MemoryError) as exc:
-            entry.retries += 1
-            entry.warnings.append(f"rung {rung.label!r} failed: {exc}")
-            logger.warning("stage %s rung %s failed (%s); falling back",
-                           stage, rung.label, exc)
-            continue
-        succeeded = True
-        entry.rung = rung.label
-        if index > 0:
-            entry.status = STATUS_DEGRADED
-            if rung.degradation:
-                entry.degradations.append(rung.degradation)
-        if notes:
-            entry.status = STATUS_DEGRADED
-            entry.degradations.extend(notes)
-        break
-    if not succeeded:
-        entry.status = STATUS_FAILED
-        entry.error = entry.warnings[-1] if entry.warnings else "all rungs failed"
-        logger.error("stage %s failed on every rung", stage)
-    entry.seconds = time.perf_counter() - start
+    with obs.span(f"stage.{stage}", rungs=len(rungs)) as stage_span:
+        for index, rung in enumerate(rungs):
+            is_last = index == len(rungs) - 1
+            rung_deadline = deadline.extended(grace_seconds) if is_last else deadline
+            notes: list[str] = []
+            try:
+                faults.fire(stage, deadline)
+                rung_deadline.check(stage)
+                result = rung.run(rung_deadline, notes)
+            except (DeadlineExceeded, ReproError, MemoryError) as exc:
+                entry.retries += 1
+                entry.warnings.append(f"rung {rung.label!r} failed: {exc}")
+                obs.counter(f"runtime.{stage}.rung_failures").inc()
+                logger.warning("stage %s rung %s failed (%s); falling back",
+                               stage, rung.label, exc)
+                continue
+            succeeded = True
+            entry.rung = rung.label
+            if index > 0:
+                entry.status = STATUS_DEGRADED
+                if rung.degradation:
+                    entry.degradations.append(rung.degradation)
+            if notes:
+                entry.status = STATUS_DEGRADED
+                entry.degradations.extend(notes)
+            break
+        if not succeeded:
+            entry.status = STATUS_FAILED
+            entry.error = entry.warnings[-1] if entry.warnings else "all rungs failed"
+            logger.error("stage %s failed on every rung", stage)
+        stage_span.set(rung=entry.rung, status=entry.status, retries=entry.retries)
+    entry.seconds = stage_span.duration
     report.stages.append(entry)
     return result
 
@@ -298,13 +300,14 @@ def _tap_ladder(
             import numpy as np
 
             n = len(queries)
-            matrix = np.zeros((n, n))
-            for i in range(n):
-                deadline.check(STAGE_TAP)
-                for j in range(i + 1, n):
-                    d = distance_of(i, j)
-                    matrix[i, j] = d
-                    matrix[j, i] = d
+            with obs.span("tap.distance_matrix", n=n):
+                matrix = np.zeros((n, n))
+                for i in range(n):
+                    deadline.check(STAGE_TAP)
+                    for j in range(i + 1, n):
+                        d = distance_of(i, j)
+                        matrix[i, j] = d
+                        matrix[j, i] = d
             instance = TAPInstance(list(queries), interests, costs, matrix)
             timeout = exact_timeout
             if deadline.limited:
@@ -389,93 +392,103 @@ def resilient_generate(
     faults = faults or FaultInjector.none()
     deadline = Deadline(policy.deadline_seconds)
     report = RunReport(deadline_seconds=policy.deadline_seconds)
-    run_start = time.perf_counter()
     if epsilon_distance is None:
         epsilon_distance = DEFAULT_EPSILON_PER_QUERY * max(1.0, budget - 1.0)
 
-    stats: StatsStageResult | None = None
-    outcome: GenerationOutcome | None = None
-    if resume is not None:
-        report.resumed_from = str(resume.source) if resume.source else "checkpoint"
-        if resume.outcome is not None:
-            outcome = resume.outcome
-            _resumed_stage(report, STAGE_STATS)
-            _resumed_stage(report, STAGE_GENERATION)
-            logger.info("resumed past the generation stage from checkpoint")
-        elif resume.stats is not None:
-            stats = resume.stats
-            _resumed_stage(report, STAGE_STATS)
-            logger.info("resumed past the stats stage from checkpoint")
+    with obs.span(
+        "run", solver=solver, budget=budget,
+        deadline_seconds=policy.deadline_seconds,
+    ) as run_span:
+        stats: StatsStageResult | None = None
+        outcome: GenerationOutcome | None = None
+        if resume is not None:
+            report.resumed_from = str(resume.source) if resume.source else "checkpoint"
+            if resume.outcome is not None:
+                outcome = resume.outcome
+                _resumed_stage(report, STAGE_STATS)
+                _resumed_stage(report, STAGE_GENERATION)
+                logger.info("resumed past the generation stage from checkpoint")
+            elif resume.stats is not None:
+                stats = resume.stats
+                _resumed_stage(report, STAGE_STATS)
+                logger.info("resumed past the stats stage from checkpoint")
 
-    if outcome is None and table is None:
-        raise ReproError(
-            "a table is required unless the resume checkpoint contains the "
-            "generation stage"
-        )
-
-    # -- stage: statistical tests -------------------------------------------
-    if outcome is None and stats is None:
-        stats = _run_ladder(
-            STAGE_STATS,
-            _stats_ladder(table, config, policy, progress),
-            deadline,
-            faults,
-            report,
-            policy.grace_seconds,
-        )
-        if stats is not None and checkpoint_path is not None:
-            from repro.persistence import save_checkpoint
-
-            save_checkpoint(checkpoint_path, stats=stats, report=report)
-            logger.info("checkpoint written after stats stage: %s", checkpoint_path)
-        if stats is None:
-            # Every rung failed: stand in an empty result so the run can
-            # still complete, but never checkpoint it.
-            stats = StatsStageResult([], set(), PhaseTimings(), {})
-
-    # -- stage: hypothesis evaluation ---------------------------------------
-    if outcome is None:
-        outcome = _run_ladder(
-            STAGE_GENERATION,
-            _generation_ladder(table, stats, config, policy, progress),
-            deadline,
-            faults,
-            report,
-            policy.grace_seconds,
-        )
-        if outcome is not None and checkpoint_path is not None:
-            from repro.persistence import save_checkpoint
-
-            save_checkpoint(checkpoint_path, outcome=outcome, report=report)
-            logger.info("checkpoint written after generation stage: %s",
-                        checkpoint_path)
-        if outcome is None:
-            outcome = GenerationOutcome(
-                [], stats.significant, {}, stats.timings, dict(stats.counters)
+        if outcome is None and table is None:
+            raise ReproError(
+                "a table is required unless the resume checkpoint contains the "
+                "generation stage"
             )
 
-    # -- stage: TAP resolution ----------------------------------------------
-    queries = outcome.queries
-    tap_start = time.perf_counter()
-    if not queries:
-        solution: TAPSolution | None = TAPSolution((), 0.0, 0.0, 0.0, optimal=True)
-        report.stages.append(StageReport(STAGE_TAP, status=STATUS_COMPLETED, rung="empty"))
-    else:
-        solution = _run_ladder(
-            STAGE_TAP,
-            _tap_ladder(queries, config, budget, epsilon_distance, solver,
-                        exact_timeout, max_exact_queries, policy),
-            deadline,
-            faults,
-            report,
-            policy.grace_seconds,
-        )
-        if solution is None:
-            solution = TAPSolution((), 0.0, 0.0, 0.0, optimal=False)
-    outcome.timings.tap_solving = time.perf_counter() - tap_start
+        # -- stage: statistical tests ---------------------------------------
+        if outcome is None and stats is None:
+            stats = _run_ladder(
+                STAGE_STATS,
+                _stats_ladder(table, config, policy, progress),
+                deadline,
+                faults,
+                report,
+                policy.grace_seconds,
+            )
+            if stats is not None and checkpoint_path is not None:
+                from repro.persistence import save_checkpoint
 
-    selected = [queries[i] for i in solution.indices]
-    report.total_seconds = time.perf_counter() - run_start
+                save_checkpoint(checkpoint_path, stats=stats, report=report)
+                logger.info("checkpoint written after stats stage: %s", checkpoint_path)
+            if stats is None:
+                # Every rung failed: stand in an empty result so the run can
+                # still complete, but never checkpoint it.
+                stats = StatsStageResult([], set(), PhaseTimings(), {})
+
+        # -- stage: hypothesis evaluation -----------------------------------
+        if outcome is None:
+            outcome = _run_ladder(
+                STAGE_GENERATION,
+                _generation_ladder(table, stats, config, policy, progress),
+                deadline,
+                faults,
+                report,
+                policy.grace_seconds,
+            )
+            if outcome is not None and checkpoint_path is not None:
+                from repro.persistence import save_checkpoint
+
+                save_checkpoint(checkpoint_path, outcome=outcome, report=report)
+                logger.info("checkpoint written after generation stage: %s",
+                            checkpoint_path)
+            if outcome is None:
+                outcome = GenerationOutcome(
+                    [], stats.significant, {}, stats.timings, dict(stats.counters)
+                )
+
+        # -- stage: TAP resolution ------------------------------------------
+        queries = outcome.queries
+        if not queries:
+            solution: TAPSolution | None = TAPSolution((), 0.0, 0.0, 0.0, optimal=True)
+            with obs.span(f"stage.{STAGE_TAP}", rung="empty") as tap_span:
+                pass
+            report.stages.append(
+                StageReport(STAGE_TAP, status=STATUS_COMPLETED, rung="empty",
+                            seconds=tap_span.duration)
+            )
+        else:
+            solution = _run_ladder(
+                STAGE_TAP,
+                _tap_ladder(queries, config, budget, epsilon_distance, solver,
+                            exact_timeout, max_exact_queries, policy),
+                deadline,
+                faults,
+                report,
+                policy.grace_seconds,
+            )
+            if solution is None:
+                solution = TAPSolution((), 0.0, 0.0, 0.0, optimal=False)
+        # The TAP stage entry was appended last; its span-derived seconds
+        # are the phase timing (span and report stay in exact agreement).
+        outcome.timings.tap_solving = report.stages[-1].seconds
+
+        selected = [queries[i] for i in solution.indices]
+        report.total_seconds = run_span.elapsed
+        obs.current_metrics().record_peak_rss()
     run = NotebookRun(outcome, solution, selected, budget, epsilon_distance,
                       report=report)
     if report.degraded:
@@ -532,10 +545,13 @@ def resilient_render(
     report = run.report if run.report is not None else RunReport()
 
     if not run.selected:
+        with obs.span(f"stage.{STAGE_RENDER}", rung="empty") as render_span:
+            notebook = _empty_notebook(table_name, title)
         report.stages.append(
-            StageReport(STAGE_RENDER, status=STATUS_COMPLETED, rung="empty")
+            StageReport(STAGE_RENDER, status=STATUS_COMPLETED, rung="empty",
+                        seconds=render_span.duration)
         )
-        return _empty_notebook(table_name, title)
+        return notebook
 
     rungs = [
         _Rung(

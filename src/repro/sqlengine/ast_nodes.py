@@ -7,7 +7,7 @@ them onto :mod:`repro.relational.expressions` for vectorized evaluation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Union
 
 

@@ -11,7 +11,6 @@ from repro.sqlengine.ast_nodes import (
     FromItem,
     JoinClause,
     SelectItem,
-    SelectStatement,
     Statement,
     UnionStatement,
     SqlBetween,

@@ -21,10 +21,10 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass
-from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.errors import StatisticsError
 
 logger = logging.getLogger(__name__)
@@ -126,6 +126,7 @@ class SharedPermutations:
         shuffled = np.argsort(uniforms, axis=1)
         self.x_indices = shuffled[:, :n_x]
         self.y_indices = shuffled[:, n_x:]
+        obs.counter("stats.permutation_batches_created").inc()
 
     @property
     def n_permutations(self) -> int:
@@ -133,6 +134,7 @@ class SharedPermutations:
 
     def mean_greater(self, x: np.ndarray, y: np.ndarray) -> TestResult:
         """One-sided mean-greater test of ``x`` over ``y`` reusing the batch."""
+        obs.counter("stats.permutation_tests").inc()
         x, y = self._check(x, y)
         pooled = np.concatenate([x, y])
         observed = mean_difference(x, y)
@@ -142,6 +144,7 @@ class SharedPermutations:
 
     def variance_greater(self, x: np.ndarray, y: np.ndarray) -> TestResult:
         """One-sided variance-greater test of ``x`` over ``y``."""
+        obs.counter("stats.permutation_tests").inc()
         x, y = self._check(x, y)
         observed = variance_difference(x, y)
         if np.isnan(observed):

@@ -12,6 +12,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.errors import TAPError
 from repro.tap.instance import TAPInstance, TAPSolution, make_solution
 
@@ -63,19 +64,21 @@ def solve_baseline_lazy(
         raise TAPError("interests and costs must align")
     if np.any(costs <= 0):
         raise TAPError("costs must be positive")
-    ranked = np.argsort(-interests, kind="stable")
-    order: list[int] = []
-    cost_used = 0.0
-    for raw in ranked:
-        q = int(raw)
-        if cost_used + float(costs[q]) > budget + _EPS:
-            continue
-        order.append(q)
-        cost_used += float(costs[q])
-    distance = float(
-        sum(distance_of(order[i], order[i + 1]) for i in range(len(order) - 1))
-    )
-    interest = float(interests[order].sum()) if order else 0.0
+    with obs.span("tap.baseline", n=int(interests.size)) as sp:
+        ranked = np.argsort(-interests, kind="stable")
+        order: list[int] = []
+        cost_used = 0.0
+        for raw in ranked:
+            q = int(raw)
+            if cost_used + float(costs[q]) > budget + _EPS:
+                continue
+            order.append(q)
+            cost_used += float(costs[q])
+        distance = float(
+            sum(distance_of(order[i], order[i + 1]) for i in range(len(order) - 1))
+        )
+        interest = float(interests[order].sum()) if order else 0.0
+        sp.set(selected=len(order))
     logger.debug("lazy top-k baseline selected %d of %d queries",
                  len(order), interests.size)
     return TAPSolution(tuple(order), interest, cost_used, distance, optimal=False)

@@ -29,9 +29,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SolverTimeout, TAPError
 from repro.tap.instance import TAPInstance, TAPSolution, make_solution
-from repro.tap.path import MAX_EXACT_PATH, best_insertion_order, held_karp_path, mst_lower_bound
+from repro.tap.path import best_insertion_order, held_karp_path, mst_lower_bound
 
 logger = logging.getLogger(__name__)
 
@@ -194,13 +195,18 @@ def solve_exact(instance: TAPInstance, config: ExactConfig) -> ExactOutcome:
     The empty sequence is always feasible, so the outcome always carries a
     valid (possibly empty) solution.
     """
-    start = time.perf_counter()
     logger.debug("exact B&B: n=%d budget=%g eps_d=%g timeout=%s",
                  instance.n, config.budget, config.epsilon_distance,
                  config.timeout_seconds)
-    search = _Search(instance, config)
-    search.run()
-    elapsed = time.perf_counter() - start
+    with obs.span("tap.exact", n=instance.n, budget=config.budget) as sp:
+        search = _Search(instance, config)
+        search.run()
+        sp.set(nodes=search.nodes, timed_out=search.timed_out)
+    elapsed = sp.duration
+    obs.counter("tap.exact.nodes").inc(search.nodes)
+    obs.counter("tap.exact.solves").inc()
+    if search.timed_out:
+        obs.counter("tap.exact.timeouts").inc()
     order = search.best_order if search.best_interest > 0 else []
     solution = make_solution(
         instance,

@@ -14,12 +14,12 @@ O(M) for a solution of length M ≪ N.
 from __future__ import annotations
 
 import logging
-import time
 from dataclasses import dataclass
 from typing import Callable, Sequence, TypeVar
 
 import numpy as np
 
+from repro import obs
 from repro.errors import TAPError
 from repro.runtime.deadline import Deadline
 from repro.tap.instance import TAPInstance, TAPSolution, make_solution
@@ -58,29 +58,31 @@ class HeuristicConfig:
 
 def solve_heuristic(instance: TAPInstance, config: HeuristicConfig) -> TAPSolution:
     """Run Algorithm 3 and score the resulting sequence."""
-    start = time.perf_counter()
-    weights = instance.interests / instance.costs
-    ranked = np.argsort(-weights, kind="stable")
+    with obs.span("tap.heuristic", n=instance.n, lazy=False) as sp:
+        weights = instance.interests / instance.costs
+        ranked = np.argsort(-weights, kind="stable")
 
-    order: list[int] = []
-    total_distance = 0.0
-    cost_used = 0.0
-    for raw in ranked:
-        q = int(raw)
-        if cost_used + float(instance.costs[q]) > config.budget + _EPS:
-            continue
-        if config.best_insertion:
-            position, delta = best_insertion_position(instance.distances, order, q)
-        else:
-            position = len(order)
-            delta = float(instance.distances[order[-1], q]) if order else 0.0
-        if total_distance + delta > config.epsilon_distance + _EPS:
-            continue
-        order.insert(position, q)
-        total_distance += delta
-        cost_used += float(instance.costs[q])
-    elapsed = time.perf_counter() - start
-    return make_solution(instance, order, optimal=False, solve_seconds=elapsed)
+        order: list[int] = []
+        total_distance = 0.0
+        cost_used = 0.0
+        for raw in ranked:
+            q = int(raw)
+            if cost_used + float(instance.costs[q]) > config.budget + _EPS:
+                continue
+            if config.best_insertion:
+                position, delta = best_insertion_position(instance.distances, order, q)
+            else:
+                position = len(order)
+                delta = float(instance.distances[order[-1], q]) if order else 0.0
+            if total_distance + delta > config.epsilon_distance + _EPS:
+                continue
+            order.insert(position, q)
+            total_distance += delta
+            cost_used += float(instance.costs[q])
+        sp.set(selected=len(order))
+    obs.counter("tap.heuristic.insertions").inc(len(order))
+    obs.counter("tap.heuristic.scanned").inc(instance.n)
+    return make_solution(instance, order, optimal=False, solve_seconds=sp.duration)
 
 
 def solve_heuristic_lazy(
@@ -100,37 +102,41 @@ def solve_heuristic_lazy(
     ``deadline`` makes the pass anytime: past the deadline the scan stops
     and the sequence built so far is returned (always budget-feasible).
     """
-    start = time.perf_counter()
     interests = np.asarray(interests, dtype=np.float64)
     costs = np.asarray(costs, dtype=np.float64)
     if interests.shape != costs.shape:
         raise TAPError("interests and costs must align")
     if np.any(costs <= 0):
         raise TAPError("costs must be positive")
-    ranked = np.argsort(-(interests / costs), kind="stable")
+    with obs.span("tap.heuristic", n=int(interests.size), lazy=True) as sp:
+        ranked = np.argsort(-(interests / costs), kind="stable")
 
-    order: list[int] = []
-    total_distance = 0.0
-    cost_used = 0.0
-    truncated = False
-    for scanned, raw in enumerate(ranked):
-        if (
-            deadline is not None
-            and scanned % _DEADLINE_STRIDE == 0
-            and deadline.expired
-        ):
-            truncated = True
-            break
-        q = int(raw)
-        if cost_used + float(costs[q]) > config.budget + _EPS:
-            continue
-        position, delta = _lazy_best_insertion(order, q, distance_of, config.best_insertion)
-        if total_distance + delta > config.epsilon_distance + _EPS:
-            continue
-        order.insert(position, q)
-        total_distance += delta
-        cost_used += float(costs[q])
-    elapsed = time.perf_counter() - start
+        order: list[int] = []
+        total_distance = 0.0
+        cost_used = 0.0
+        truncated = False
+        scanned = 0
+        for scanned, raw in enumerate(ranked):
+            if (
+                deadline is not None
+                and scanned % _DEADLINE_STRIDE == 0
+                and deadline.expired
+            ):
+                truncated = True
+                break
+            q = int(raw)
+            if cost_used + float(costs[q]) > config.budget + _EPS:
+                continue
+            position, delta = _lazy_best_insertion(order, q, distance_of, config.best_insertion)
+            if total_distance + delta > config.epsilon_distance + _EPS:
+                continue
+            order.insert(position, q)
+            total_distance += delta
+            cost_used += float(costs[q])
+        sp.set(selected=len(order), truncated=truncated)
+    elapsed = sp.duration
+    obs.counter("tap.heuristic.insertions").inc(len(order))
+    obs.counter("tap.heuristic.scanned").inc(int(interests.size))
     if truncated:
         logger.warning("heuristic TAP pass stopped at the deadline after %.3fs "
                        "(%d queries selected)", elapsed, len(order))

@@ -9,7 +9,7 @@ budget ε_t and (in the ε-constraint formulation of Section 5.3) a bound
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Generic, Sequence, TypeVar
 
 import numpy as np

@@ -18,7 +18,7 @@ from repro.evaluation import (
     simulate_user_study,
     solution_recall,
 )
-from repro.generation import NotebookGenerator, preset
+from repro.generation import preset
 from repro.tap import TAPSolution
 
 
@@ -97,6 +97,13 @@ class TestStopwatchAndRunner:
         assert watch.laps["phase"] >= 0.0
         assert watch.total() == sum(watch.laps.values())
 
+    def test_stopwatch_restores_timing_on_exception(self):
+        watch = Stopwatch()
+        with pytest.raises(ValueError):
+            with watch.lap("phase"):
+                raise ValueError("interrupted")
+        assert "phase" in watch.laps  # the lap still landed
+
     def test_run_preset(self):
         covid = covid_table(300)
         outcome = run_preset(preset("wsc-approx"), covid, "wsc-approx", budget=3)
@@ -107,6 +114,18 @@ class TestStopwatchAndRunner:
             "preprocessing", "sampling", "statistical_tests",
             "hypothesis_evaluation", "tap_solving",
         }
+
+    def test_run_preset_wall_seconds_matches_span(self):
+        from repro import obs
+
+        covid = covid_table(300)
+        with obs.capture() as (tracer, _):
+            outcome = run_preset(preset("wsc-approx"), covid, "wsc-approx", budget=3)
+        (bench_span,) = tracer.find("bench.preset")
+        assert outcome.wall_seconds == bench_span.duration
+        assert bench_span.attrs["preset"] == "wsc-approx"
+        # the span encloses the pipeline: breakdown phases cannot exceed it
+        assert sum(outcome.breakdown.values()) <= outcome.wall_seconds
 
 
 @pytest.fixture(scope="module")

@@ -1,12 +1,11 @@
 """Unit/integration tests for the Algorithm 1 core (repro.generation.generator)."""
 
-import dataclasses
 
 import numpy as np
 import pytest
 
 from repro.generation import GenerationConfig, SamplingSpec, generate_comparison_queries
-from repro.insights import MEAN_GREATER, insight_type
+from repro.insights import insight_type
 from repro.queries import evaluate_comparison
 from repro.relational import table_from_arrays
 from repro.stats import derive_rng

@@ -9,7 +9,6 @@ from repro.insights import (
     MEAN_GREATER,
     MEDIAN_GREATER,
     VARIANCE_GREATER,
-    InsightType,
     insight_type,
     register_insight_type,
     registered_insight_types,

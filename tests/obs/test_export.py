@@ -1,0 +1,182 @@
+"""Exporter contracts: Chrome trace schema, Prometheus text, summaries."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.export import (
+    chrome_trace_events,
+    format_hotspots,
+    format_span_tree,
+    metrics_summary_line,
+    prometheus_name,
+    to_chrome_trace,
+    to_prometheus_text,
+    write_chrome_trace,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 50.0
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, seconds):
+        self.now += seconds
+
+
+def traced_run() -> Tracer:
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("run", budget=5):
+        clock.tick(0.010)
+        with tracer.span("stage.stats", rows=100):
+            clock.tick(0.200)
+        with tracer.span("stage.tap"):
+            clock.tick(0.050)
+    return tracer
+
+
+class TestChromeTrace:
+    def test_event_schema(self):
+        events = chrome_trace_events(traced_run())
+        assert [e["name"] for e in events] == ["run", "stage.stats", "stage.tap"]
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["cat"] == "repro"
+            assert isinstance(event["ts"], float)
+            assert isinstance(event["dur"], float)
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            assert isinstance(event["args"], dict)
+
+    def test_timestamps_rebased_microseconds(self):
+        events = chrome_trace_events(traced_run())
+        run, stats, tap = events
+        assert run["ts"] == pytest.approx(0.0)
+        assert run["dur"] == pytest.approx(260_000)  # 260ms in µs
+        assert stats["ts"] == pytest.approx(10_000)
+        assert stats["dur"] == pytest.approx(200_000)
+        assert tap["dur"] == pytest.approx(50_000)
+
+    def test_args_carry_attrs_and_parentage(self):
+        events = chrome_trace_events(traced_run())
+        run, stats, _ = events
+        assert run["args"]["budget"] == 5
+        assert "parent_id" not in run["args"]
+        assert stats["args"]["rows"] == 100
+        assert stats["args"]["parent_id"] == run["args"]["span_id"]
+
+    def test_open_spans_excluded(self):
+        tracer = Tracer()
+        tracer.start("never-closed")
+        assert chrome_trace_events(tracer) == []
+
+    def test_error_recorded_in_args(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("fails"):
+                raise ValueError("nope")
+        (event,) = chrome_trace_events(tracer)
+        assert event["args"]["error"] == "ValueError: nope"
+
+    def test_round_trip_through_file(self, tmp_path):
+        metrics = MetricsRegistry()
+        metrics.counter("stats.candidates_tested").inc(42)
+        path = tmp_path / "trace.json"
+        write_chrome_trace(traced_run(), path, metrics)
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        assert doc["displayTimeUnit"] == "ms"
+        assert {e["name"] for e in doc["traceEvents"]} == {"run", "stage.stats", "stage.tap"}
+        assert doc["otherData"]["metrics"]["counters"]["stats.candidates_tested"] == 42
+
+    def test_non_scalar_attrs_serialized_as_repr(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("weird", payload={"a": 1}):
+            pass
+        doc = to_chrome_trace(tracer)
+        json.dumps(doc)  # must be JSON-serializable
+        assert doc["traceEvents"][0]["args"]["payload"] == repr({"a": 1})
+
+
+class TestPrometheus:
+    def test_name_mangling(self):
+        assert prometheus_name("stats.candidates_tested") == "repro_stats_candidates_tested"
+        assert prometheus_name("tap.exact.nodes") == "repro_tap_exact_nodes"
+
+    def test_text_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("stats.tests").inc(10)
+        reg.gauge("process.peak_rss_bytes").set(2048)
+        reg.histogram("render.query_seconds").observe(0.5)
+        text = to_prometheus_text(reg)
+        assert "# TYPE repro_stats_tests counter" in text
+        assert "repro_stats_tests_total 10" in text
+        assert "repro_process_peak_rss_bytes 2048" in text
+        assert "repro_render_query_seconds_count 1" in text
+        assert "repro_render_query_seconds_sum 0.5" in text
+        assert text.endswith("\n")
+
+    def test_empty_registry_yields_empty_text(self):
+        assert to_prometheus_text(MetricsRegistry()) == ""
+
+
+class TestSummaries:
+    def test_span_tree_lists_stages_with_shares(self):
+        text = format_span_tree(traced_run())
+        assert "run" in text
+        assert "stage.stats" in text
+        assert "stage.tap" in text
+        assert "rows=100" in text
+        assert "%" in text
+
+    def test_span_tree_collapses_large_sibling_families(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("run"):
+            for _ in range(20):
+                with tracer.span("unit"):
+                    clock.tick(0.01)
+        text = format_span_tree(tracer)
+        assert "unit ×20" in text
+        assert text.count("unit") == 1  # one aggregate line, not 20
+
+    def test_empty_tracer(self):
+        assert format_span_tree(Tracer()) == "(no spans recorded)"
+        assert format_hotspots(Tracer()) == "(no spans recorded)"
+
+    def test_hotspots_ranked_by_self_time(self):
+        text = format_hotspots(traced_run(), top_k=2)
+        lines = text.splitlines()
+        assert lines[0] == "top 2 hotspots (self time):"
+        # stats (200ms self) outranks tap (50ms) and run (10ms self)
+        assert "stage.stats" in lines[1]
+
+    def test_metrics_summary_line(self):
+        reg = MetricsRegistry()
+        reg.counter("stats.candidates_tested").inc(7)
+        reg.counter("notebook.cells").inc(3)
+        line = metrics_summary_line(reg)
+        assert line == "metrics: 7 candidates tested, 3 cells"
+        assert metrics_summary_line(MetricsRegistry()) == "metrics: (none recorded)"
+
+
+class TestAmbientHelpers:
+    def test_capture_isolates_and_restores(self):
+        before = obs.current_tracer()
+        with obs.capture() as (tracer, metrics):
+            assert obs.current_tracer() is tracer
+            assert obs.current_metrics() is metrics
+            with obs.span("inside"):
+                pass
+            obs.counter("n").inc()
+        assert obs.current_tracer() is before
+        assert tracer.find("inside")
+        assert not before.find("inside")
+        assert metrics.counter("n").value == 1

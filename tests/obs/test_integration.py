@@ -1,0 +1,108 @@
+"""Pipeline instrumentation end-to-end: spans ARE the stage timings.
+
+The acceptance property of the observability issue: every pipeline stage
+is covered by a span, and the RunReport / PipelineTimings numbers the
+pipeline already exposes are *derived from* those spans — so the two
+accountings agree exactly, not approximately.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.generation import GenerationConfig
+from repro.runtime import resilient_generate, resilient_render
+
+STAGE_SPANS = ("stage.stats", "stage.generation", "stage.tap", "stage.render")
+
+
+@pytest.fixture
+def captured_run(two_measure_table):
+    with obs.capture() as (tracer, metrics):
+        run = resilient_generate(two_measure_table, GenerationConfig(), budget=4)
+        notebook = resilient_render(run, two_measure_table, table_name="t")
+    return run, notebook, tracer, metrics
+
+
+class TestStageCoverage:
+    def test_all_four_stages_have_spans(self, captured_run):
+        _, _, tracer, _ = captured_run
+        names = {s.name for s in tracer.spans()}
+        for stage in STAGE_SPANS:
+            assert stage in names, f"missing span {stage}"
+
+    def test_all_spans_closed(self, captured_run):
+        _, _, tracer, _ = captured_run
+        assert all(s.closed for s in tracer.spans())
+
+    def test_stage_spans_nest_under_run(self, captured_run):
+        _, _, tracer, _ = captured_run
+        (run_span,) = tracer.find("run")
+        under_run = {c.name for c in tracer.children_of(run_span)}
+        assert {"stage.stats", "stage.generation", "stage.tap"} <= under_run
+
+    def test_substage_spans_present(self, captured_run):
+        _, _, tracer, _ = captured_run
+        names = {s.name for s in tracer.spans()}
+        assert "stats.tests" in names
+        assert "stats.test_attribute" in names
+        assert "stats.bh_correction" in names
+        assert "generation.support" in names
+        assert "tap.heuristic" in names
+        assert "render.notebook" in names
+
+
+class TestSpanReportAgreement:
+    def test_stage_report_seconds_equal_span_durations(self, captured_run):
+        run, _, tracer, _ = captured_run
+        for stage in ("stats", "generation", "tap"):
+            entry = run.report.stage(stage)
+            span_total = tracer.duration_of(f"stage.{stage}")
+            assert entry.seconds == span_total, stage
+
+    def test_pipeline_timings_derive_from_spans(self, captured_run):
+        run, _, tracer, _ = captured_run
+        timings = run.outcome.timings
+        assert timings.statistical_tests == tracer.duration_of("stats.tests")
+        assert timings.hypothesis_evaluation == tracer.duration_of("generation.support")
+        assert timings.tap_solving == run.report.stage("tap").seconds
+
+    def test_total_covers_stages(self, captured_run):
+        run, _, tracer, _ = captured_run
+        staged = sum(
+            run.report.stage(s).seconds for s in ("stats", "generation", "tap")
+        )
+        assert run.report.total_seconds >= staged
+
+
+class TestMetrics:
+    def test_core_counters_recorded(self, captured_run):
+        run, notebook, _, metrics = captured_run
+        snap = metrics.snapshot()["counters"]
+        assert snap["stats.candidates_tested"] > 0
+        assert snap["stats.permutation_tests"] > 0
+        assert snap["generation.hypothesis_queries"] > 0
+        assert snap["generation.queries_final"] == len(run.outcome.queries)
+        assert snap["notebook.cells"] == len(notebook.cells)
+
+    def test_peak_rss_gauge_recorded(self, captured_run):
+        _, _, _, metrics = captured_run
+        assert metrics.snapshot()["gauges"]["process.peak_rss_bytes"] > 0
+
+    def test_capture_left_ambient_state_clean(self, captured_run):
+        # the fixture's capture() exited: the ambient tracer saw nothing
+        assert not obs.current_tracer().find("stage.stats")
+
+
+class TestExactSolverSpans:
+    def test_exact_path_records_nodes_and_matrix_span(self, two_measure_table):
+        with obs.capture() as (tracer, metrics):
+            run = resilient_generate(
+                two_measure_table, GenerationConfig(), budget=3, solver="exact"
+            )
+        assert run.report.stage("tap").status is not None
+        names = {s.name for s in tracer.spans()}
+        assert "tap.exact" in names
+        assert "tap.distance_matrix" in names
+        assert metrics.snapshot()["counters"]["tap.exact.solves"] >= 1

@@ -1,0 +1,107 @@
+"""Counter / gauge / histogram semantics and the registry namespace."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("hits").inc(-1)
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("contended")
+        per_thread = 5000
+
+        def worker():
+            for _ in range(per_thread):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 4 * per_thread
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(3)
+        g.set(1)
+        assert g.value == 1.0
+
+    def test_max_keeps_high_water_mark(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("peak")
+        g.max(10)
+        g.max(4)
+        assert g.value == 10.0
+
+
+class TestHistogram:
+    def test_streaming_summary(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("latency")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        s = h.summary()
+        assert s == {"count": 3, "sum": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0}
+
+    def test_empty_summary(self):
+        reg = MetricsRegistry()
+        s = reg.histogram("nothing").summary()
+        assert s["count"] == 0
+        assert s["min"] is None
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_snapshot_partitions_by_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(7)
+        reg.histogram("h").observe(1.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 2.0}
+        assert snap["gauges"] == {"g": 7.0}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_reset_clears(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_record_peak_rss_is_positive_on_posix(self):
+        reg = MetricsRegistry()
+        peak = reg.record_peak_rss()
+        if peak is None:  # non-POSIX platform: nothing recorded
+            return
+        assert peak > 0
+        assert reg.gauge("process.peak_rss_bytes").value == peak

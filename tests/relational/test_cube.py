@@ -1,6 +1,5 @@
 """Unit + property tests for repro.relational.cube (Algorithm 2 substrate)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import QueryError

@@ -4,14 +4,7 @@ import pytest
 
 from repro.errors import PlanningError, SQLSyntaxError
 from repro.relational import table_from_arrays
-from repro.sqlengine import (
-    Catalog,
-    SQLEngine,
-    UnionStatement,
-    execute_sql,
-    format_sql,
-    parse_sql,
-)
+from repro.sqlengine import SQLEngine, UnionStatement, format_sql, parse_sql
 
 
 @pytest.fixture

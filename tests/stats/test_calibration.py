@@ -5,7 +5,6 @@ machinery and assert the false-discovery behaviour the paper's design
 (permutation tests + BH) promises.
 """
 
-import numpy as np
 import pytest
 
 from repro.insights import SignificanceConfig, enumerate_candidates, run_significance_tests

@@ -4,14 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import TAPError
-from repro.tap import (
-    HeuristicConfig,
-    pareto_front,
-    random_euclidean_instance,
-    solve_baseline,
-    solve_heuristic,
-    sweep_epsilon,
-)
+from repro.tap import pareto_front, random_euclidean_instance, solve_baseline, sweep_epsilon
 
 
 class TestBaseline:

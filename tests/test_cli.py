@@ -1,9 +1,11 @@
 """Tests for the command-line interface."""
 
 import json
+import logging
 
 import pytest
 
+from repro import __version__
 from repro.cli import main
 from repro.datasets import covid_table
 from repro.relational import write_csv
@@ -60,6 +62,96 @@ class TestGenerate:
         main(["generate", str(covid_csv), "--budget", "3", "--out", str(out)])
         stdout = capsys.readouterr().out
         assert "[repro]" in stdout and "selected" in stdout
+
+
+class TestVersion:
+    def test_version_flag_prints_and_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_version_matches_pyproject(self):
+        import tomllib
+        from pathlib import Path
+
+        pyproject = Path(__file__).resolve().parents[1] / "pyproject.toml"
+        with pyproject.open("rb") as fh:
+            declared = tomllib.load(fh)["project"]["version"]
+        assert __version__ == declared
+
+
+class TestLogging:
+    def test_repeated_main_attaches_one_handler(self, covid_csv, tmp_path):
+        root = logging.getLogger("repro")
+        before = [h for h in root.handlers if getattr(h, "_repro_cli", False)]
+        for _ in range(3):
+            main(["inspect", str(covid_csv), "--quiet"])
+        tagged = [h for h in root.handlers if getattr(h, "_repro_cli", False)]
+        assert len(tagged) == 1
+        assert len(tagged) >= len(before)
+
+    def test_level_reflects_latest_invocation(self, covid_csv):
+        main(["inspect", str(covid_csv), "--quiet"])
+        assert logging.getLogger("repro").level == logging.ERROR
+        main(["inspect", str(covid_csv), "--verbose"])
+        assert logging.getLogger("repro").level == logging.DEBUG
+
+
+class TestObservability:
+    def test_generate_metrics_line(self, covid_csv, tmp_path, capsys):
+        out = tmp_path / "nb.ipynb"
+        main(["generate", str(covid_csv), "--budget", "3", "--out", str(out)])
+        assert "metrics:" in capsys.readouterr().out
+
+    def test_quiet_silences_metrics_line(self, covid_csv, tmp_path, capsys):
+        out = tmp_path / "nb.ipynb"
+        main(["generate", str(covid_csv), "--budget", "3", "--out", str(out), "--quiet"])
+        assert "metrics:" not in capsys.readouterr().out
+
+    def test_generate_trace_export(self, covid_csv, tmp_path):
+        out = tmp_path / "nb.ipynb"
+        trace = tmp_path / "trace.json"
+        code = main(["generate", str(covid_csv), "--budget", "3", "--out", str(out),
+                     "--trace", str(trace), "--quiet"])
+        assert code == 0
+        doc = json.loads(trace.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        for stage in ("stage.stats", "stage.generation", "stage.tap", "stage.render"):
+            assert stage in names
+
+
+class TestProfile:
+    def test_prints_tree_and_hotspots(self, covid_csv, capsys):
+        assert main(["profile", str(covid_csv), "--budget", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "stage.stats" in out
+        assert "hotspots" in out
+        assert "metrics:" in out
+
+    def test_trace_covers_all_stages(self, covid_csv, tmp_path):
+        trace = tmp_path / "trace.json"
+        assert main(["profile", str(covid_csv), "--budget", "3",
+                     "--trace", str(trace), "--quiet"]) == 0
+        doc = json.loads(trace.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        for stage in ("stage.stats", "stage.generation", "stage.tap", "stage.render"):
+            assert stage in names
+        assert doc["otherData"]["metrics"]["counters"]
+
+    def test_metrics_out_is_prometheus_text(self, covid_csv, tmp_path):
+        prom = tmp_path / "metrics.prom"
+        assert main(["profile", str(covid_csv), "--budget", "3",
+                     "--metrics-out", str(prom), "--quiet"]) == 0
+        text = prom.read_text()
+        assert "# TYPE repro_stats_candidates_tested counter" in text
+        assert "repro_process_peak_rss_bytes" in text
+
+    def test_optional_notebook_output(self, covid_csv, tmp_path):
+        out = tmp_path / "nb.ipynb"
+        assert main(["profile", str(covid_csv), "--budget", "3",
+                     "--out", str(out), "--quiet"]) == 0
+        assert json.loads(out.read_text())["nbformat"] == 4
 
 
 class TestInspect:

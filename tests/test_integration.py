@@ -7,14 +7,13 @@ re-executed on the SQL engine, with cross-checks at every hand-off.
 
 import json
 
-import numpy as np
 import pytest
 
 from repro import NotebookGenerator, read_csv
 from repro.datasets import covid_table
 from repro.generation import GenerationConfig
 from repro.insights import insight_type
-from repro.notebook import SQLCell, to_ipynb_dict, write_ipynb
+from repro.notebook import write_ipynb
 from repro.queries import (
     bind_table,
     comparison_aliases,
