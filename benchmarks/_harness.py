@@ -26,6 +26,7 @@ from pathlib import Path
 from typing import Callable
 
 from repro import obs
+from repro.backend import default_backend_name
 
 
 def run_once(benchmark, func: Callable, *args, **kwargs):
@@ -55,6 +56,7 @@ def metrics_snapshot() -> dict:
         entry["count"] += 1
         entry["seconds"] += span.duration
     return {
+        "backend": default_backend_name(),
         "metrics": obs.current_metrics().snapshot(),
         "spans": dict(sorted(by_name.items())),
     }

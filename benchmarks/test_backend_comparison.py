@@ -1,0 +1,107 @@
+"""Backend comparison — columnar vs sqlite on the Fig. 5 workload.
+
+The backend split (see docs/backends.md) promises that the SQLite
+pushdown engine answers the same comparison queries as the in-process
+columnar engine, at the cost of real SQL round trips.  This experiment
+times the Fig. 5 query sample under both backends through the pairwise
+evaluator, checks numerical parity, and prints the per-backend
+``queries_sent`` / ``statements_executed`` digest — the paper's
+"queries sent to the DBMS" accounting.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+
+from _harness import cli_main, print_report, run_once
+from test_fig5_query_times import sample_queries
+
+from repro.backend import BACKEND_NAMES, create_backend
+from repro.datasets import enedis_table
+from repro.generation import PairwiseEvaluator
+
+
+def run_backend(name: str, table, queries) -> dict:
+    backend = create_backend(name, table)
+    try:
+        evaluator = PairwiseEvaluator(backend)
+        start = time.perf_counter()
+        results = [evaluator.evaluate(q) for q in queries]
+        seconds = time.perf_counter() - start
+        return {
+            "backend": name,
+            "seconds": seconds,
+            "queries_sent": evaluator.queries_sent,
+            "statements_executed": backend.statements_executed,
+            "results": results,
+        }
+    finally:
+        backend.close()
+
+
+def run_experiment(scale: float, n_queries: int) -> dict[str, dict]:
+    table = enedis_table(scale)
+    queries = sample_queries(table, n_queries, seed=17)
+    return {name: run_backend(name, table, queries) for name in BACKEND_NAMES}
+
+
+def assert_parity(runs: dict[str, dict]) -> None:
+    reference = runs[BACKEND_NAMES[0]]["results"]
+    for name in BACKEND_NAMES[1:]:
+        for got, ref in zip(runs[name]["results"], reference):
+            assert got.groups == ref.groups, name
+            np.testing.assert_allclose(got.x, ref.x, rtol=0, atol=1e-9)
+            np.testing.assert_allclose(got.y, ref.y, rtol=0, atol=1e-9)
+
+
+def build_report(runs: dict[str, dict], n_queries: int) -> str:
+    lines = [f"n_queries={n_queries}"]
+    for name, run in runs.items():
+        lines.append(
+            f"{name:<10} {run['seconds']*1000:8.1f}ms  "
+            f"queries_sent={run['queries_sent']:<4d} "
+            f"statements_executed={run['statements_executed']}"
+        )
+    base = runs["columnar"]["seconds"]
+    if base > 0:
+        lines.append(
+            f"sqlite/columnar wall-clock ratio: "
+            f"{runs['sqlite']['seconds'] / base:.2f}x"
+        )
+    lines.append("parity: identical groups, series equal within 1e-9")
+    return "\n".join(lines)
+
+
+def main(quick: bool = False) -> None:
+    scale, n_queries = (0.1, 25) if quick else (0.5, 100)
+    runs = run_experiment(scale, n_queries)
+    assert_parity(runs)
+    print_report(
+        "Backend comparison — columnar vs sqlite (Fig. 5 workload)",
+        build_report(runs, n_queries),
+    )
+
+
+def test_backend_comparison(benchmark, capsys):
+    runs = run_once(benchmark, run_experiment, 0.1, 20)
+    with capsys.disabled():
+        print_report(
+            "Backend comparison (quick)", build_report(runs, 20)
+        )
+    assert_parity(runs)
+    assert runs["columnar"]["statements_executed"] == 0
+    assert runs["sqlite"]["statements_executed"] > 0
+    # The pairwise cache makes both engines send far fewer group-bys
+    # than there are queries.
+    for run in runs.values():
+        assert run["queries_sent"] <= 20
+
+
+if __name__ == "__main__":
+    cli_main(main)

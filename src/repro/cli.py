@@ -4,6 +4,7 @@ Usage::
 
     python -m repro generate data.csv --budget 10 --out notebook.ipynb
     python -m repro generate data.csv --preset wsc-unb-approx --sample-rate 0.2
+    python -m repro generate data.csv --backend sqlite
     python -m repro generate data.csv --deadline 5 --checkpoint run.ckpt.json
     python -m repro generate data.csv --resume run.ckpt.json --out notebook.ipynb
     python -m repro profile data.csv --trace trace.json
@@ -45,6 +46,7 @@ import sys
 from pathlib import Path
 
 from repro import __version__, obs
+from repro.backend import BACKEND_NAMES
 from repro.datasets import covid_table, enedis_table, flights_table, vaccine_table
 from repro.errors import ReproError
 from repro.generation import GenerationConfig, preset, preset_names
@@ -85,7 +87,12 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--permutations", type=int, default=200,
                      help="permutations per statistical test (default 200)")
     gen.add_argument("--threads", type=int, default=1, help="workers (default 1)")
-    gen.add_argument("--backend", choices=("threads", "processes"), default="threads",
+    gen.add_argument("--backend", choices=BACKEND_NAMES, default=None,
+                     help="execution backend for scans and group-bys: columnar "
+                          "(in-process NumPy, default) or sqlite (SQL pushdown); "
+                          "default honours $REPRO_BACKEND")
+    gen.add_argument("--parallel-backend", choices=("threads", "processes"),
+                     default="threads",
                      help="parallel backend for the test phase (processes beats the GIL)")
     gen.add_argument("--solver", choices=("heuristic", "exact"), default=None,
                      help="TAP solver (default from preset, else heuristic)")
@@ -119,6 +126,8 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--permutations", type=int, default=200,
                       help="permutations per statistical test (default 200)")
     prof.add_argument("--threads", type=int, default=1, help="workers (default 1)")
+    prof.add_argument("--backend", choices=BACKEND_NAMES, default=None,
+                      help="execution backend (columnar or sqlite)")
     prof.add_argument("--trace", type=Path, default=None, metavar="PATH",
                       help="write Chrome trace-event JSON (chrome://tracing, Perfetto)")
     prof.add_argument("--metrics-out", type=Path, default=None, metavar="PATH",
@@ -195,19 +204,23 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         )
     table_name = args.table_name or (args.csv.stem if args.csv else "dataset")
 
+    from dataclasses import replace
+
     if args.preset:
         generator = preset(args.preset, sample_rate=args.sample_rate)
         config, solver, exact_timeout = (
             generator.config, generator.solver, generator.exact_timeout
         )
     else:
-        from dataclasses import replace
-
-        config = GenerationConfig(n_threads=args.threads, parallel_backend=args.backend)
+        config = GenerationConfig(
+            n_threads=args.threads, parallel_backend=args.parallel_backend
+        )
         config = replace(
             config, significance=replace(config.significance, n_permutations=args.permutations)
         )
         solver, exact_timeout = "heuristic", 60.0
+    if args.backend:
+        config = replace(config, backend=args.backend)
     if args.solver:
         solver = args.solver
 
@@ -264,6 +277,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     """Run the pipeline purely for its observability output."""
     from repro.runtime import resilient_generate, resilient_render
 
+    from dataclasses import replace
+
     obs.reset()
     table = read_csv(args.csv, strict=True)
     if args.preset:
@@ -272,13 +287,13 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             generator.config, generator.solver, generator.exact_timeout
         )
     else:
-        from dataclasses import replace
-
         config = GenerationConfig(n_threads=args.threads)
         config = replace(
             config, significance=replace(config.significance, n_permutations=args.permutations)
         )
         solver, exact_timeout = "heuristic", 60.0
+    if args.backend:
+        config = replace(config, backend=args.backend)
 
     run = resilient_generate(
         table, config, budget=args.budget,

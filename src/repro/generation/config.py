@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.backend.base import BACKEND_NAMES, default_backend_name
 from repro.errors import QueryError
 from repro.insights.significance import SignificanceConfig
 from repro.queries.distance import DEFAULT_WEIGHTS, DistanceWeights
@@ -59,6 +60,11 @@ class GenerationConfig:
         ``"pairwise"`` — the §5.2.1 bounding (one 2-group-by per attribute
         pair); ``"setcover"`` — Algorithm 2; ``"naive"`` — re-aggregate
         per hypothesis query (the unbounded Algorithm 1, ablation only).
+    backend:
+        Execution engine for scans and group-by aggregation:
+        ``"columnar"`` (in-process NumPy, default) or ``"sqlite"``
+        (pushdown to stdlib :mod:`sqlite3`).  The default honours the
+        ``REPRO_BACKEND`` environment variable (CI matrix hook).
     memory_budget_bytes:
         Byte budget for Algorithm 2's cache (None = unlimited).
     n_threads:
@@ -84,6 +90,7 @@ class GenerationConfig:
     exclude_functional_dependencies: bool = True
     prune_transitive: bool = True
     evaluator: str = "pairwise"
+    backend: str = field(default_factory=default_backend_name)
     memory_budget_bytes: int | None = None
     n_threads: int = 1
     parallel_backend: str = "threads"
@@ -97,6 +104,10 @@ class GenerationConfig:
                 raise QueryError(f"unknown aggregate {agg!r}")
         if self.evaluator not in ("pairwise", "setcover", "naive"):
             raise QueryError(f"unknown evaluator {self.evaluator!r}")
+        if self.backend not in BACKEND_NAMES:
+            raise QueryError(
+                f"unknown execution backend {self.backend!r}; known: {BACKEND_NAMES}"
+            )
         if self.n_threads < 1:
             raise QueryError("n_threads must be at least 1")
         if self.parallel_backend not in ("threads", "processes"):

@@ -11,9 +11,14 @@ Three strategies, matching Table 3's implementation column:
   larger group-by sets materialized up front; every pair is answered by
   rolling a covering aggregate up.
 
-All three expose ``evaluate(query) -> ComparisonResult`` and a
-``queries_sent`` counter (the paper's "number of queries sent to the
-DBMS" metric).
+All three run their aggregation passes through an
+:class:`~repro.backend.base.ExecutionBackend` (a bare :class:`Table` is
+accepted and wrapped in the columnar adapter), expose
+``evaluate(query) -> ComparisonResult``, and count ``queries_sent`` —
+the paper's "number of queries sent to the DBMS" metric, i.e. the number
+of aggregation passes the strategy issued.  With a pushdown backend those
+passes are real SQL statements; the backend's ``statements_executed``
+counts them from the engine side.
 """
 
 from __future__ import annotations
@@ -21,9 +26,11 @@ from __future__ import annotations
 import threading
 from typing import Protocol, Sequence
 
+from repro.backend import as_backend
+from repro.backend.base import ExecutionBackend
 from repro.queries.comparison import ComparisonQuery
-from repro.queries.evaluate import ComparisonResult, evaluate_comparison, evaluate_comparison_cached
-from repro.relational.cube import MaterializedAggregate, PartialAggregateCache, pair_group_by_sets
+from repro.queries.evaluate import ComparisonResult, evaluate_comparison_cached
+from repro.relational.cube import PartialAggregateCache, pair_group_by_sets
 from repro.relational.statistics import estimate_aggregate_bytes
 from repro.relational.table import Table
 from repro.generation.setcover import apply_memory_fallback, greedy_weighted_set_cover
@@ -41,13 +48,13 @@ class SupportEvaluator(Protocol):
 class NaiveEvaluator:
     """One full aggregation pass per hypothesis query (no reuse)."""
 
-    def __init__(self, table: Table):
-        self._table = table
+    def __init__(self, source: "Table | ExecutionBackend"):
+        self._backend = as_backend(source)
         self.queries_sent = 0
 
     def evaluate(self, query: ComparisonQuery) -> ComparisonResult:
         self.queries_sent += 1
-        return evaluate_comparison(self._table, query)
+        return self._backend.evaluate_comparison(query)
 
 
 class PairwiseEvaluator:
@@ -57,22 +64,44 @@ class PairwiseEvaluator:
     hypothesis queries are evaluated.
     """
 
-    def __init__(self, table: Table):
-        self._table = table
+    def __init__(self, source: "Table | ExecutionBackend"):
+        self._backend = as_backend(source)
         self._cache = PartialAggregateCache()
-        self._built: set[frozenset[str]] = set()
+        self._building: dict[frozenset[str], threading.Event] = {}
         self._lock = threading.Lock()  # the support phase may be threaded
         self.queries_sent = 0
 
     def evaluate(self, query: ComparisonQuery) -> ComparisonResult:
         key = frozenset((query.group_by, query.selection_attribute))
-        if key not in self._built:
-            aggregate = MaterializedAggregate.build(self._table, key)
-            with self._lock:
-                if key not in self._built:
+        # Reserve the key under the lock so exactly one thread builds each
+        # pair aggregate; the others wait on its event instead of issuing a
+        # redundant (and double-counted) aggregation pass.
+        with self._lock:
+            done = self._building.get(key)
+            if done is None:
+                done = threading.Event()
+                self._building[key] = done
+                builder = True
+            else:
+                builder = False
+        if builder:
+            try:
+                aggregate = self._backend.materialize_aggregate(sorted(key))
+                with self._lock:
                     self._cache.add(aggregate)
-                    self._built.add(key)
                     self.queries_sent += 1
+            except BaseException:
+                with self._lock:
+                    self._building.pop(key, None)
+                raise
+            finally:
+                done.set()
+        else:
+            done.wait()
+            if not self._cache.covers(query.group_by, query.selection_attribute):
+                # The builder failed and un-reserved the key; retry (we may
+                # become the builder this time).
+                return self.evaluate(query)
         return evaluate_comparison_cached(self._cache, query)
 
 
@@ -86,11 +115,12 @@ class SetCoverEvaluator:
 
     def __init__(
         self,
-        table: Table,
+        source: "Table | ExecutionBackend",
         attributes: Sequence[str] | None = None,
         memory_budget_bytes: int | None = None,
     ):
-        self._table = table
+        self._backend = as_backend(source)
+        table = self._backend.table
         names = list(attributes or table.schema.categorical_names)
         universe = pair_group_by_sets(names)
         from repro.relational.cube import powerset_group_by_sets
@@ -105,7 +135,7 @@ class SetCoverEvaluator:
         self._cache = PartialAggregateCache()
         self.queries_sent = 0
         for group_by_set in chosen:
-            self._cache.add(MaterializedAggregate.build(table, sorted(group_by_set)))
+            self._cache.add(self._backend.materialize_aggregate(sorted(group_by_set)))
             self.queries_sent += 1
 
     @property
@@ -117,13 +147,13 @@ class SetCoverEvaluator:
 
 
 def build_evaluator(
-    table: Table, kind: str, memory_budget_bytes: int | None = None
+    source: "Table | ExecutionBackend", kind: str, memory_budget_bytes: int | None = None
 ) -> SupportEvaluator:
     """Factory keyed by :class:`GenerationConfig.evaluator`."""
     if kind == "naive":
-        return NaiveEvaluator(table)
+        return NaiveEvaluator(source)
     if kind == "pairwise":
-        return PairwiseEvaluator(table)
+        return PairwiseEvaluator(source)
     if kind == "setcover":
-        return SetCoverEvaluator(table, memory_budget_bytes=memory_budget_bytes)
+        return SetCoverEvaluator(source, memory_budget_bytes=memory_budget_bytes)
     raise ValueError(f"unknown evaluator kind {kind!r}")

@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro import obs
+from repro.backend import create_backend
+from repro.backend.base import ExecutionBackend
 from repro.generation.config import GenerationConfig
 from repro.generation.evaluators import SupportEvaluator, build_evaluator
 from repro.insights.enumeration import enumerate_candidates
@@ -38,8 +40,7 @@ from repro.queries.interestingness import conciseness, insight_term
 from repro.relational.functional_deps import detect_functional_dependencies, related_attributes
 from repro.relational.table import Table
 from repro.runtime.deadline import Deadline
-from repro.stats.rng import derive_rng
-from repro.stats.sampling import per_attribute_balanced_samples, random_sample
+from repro.stats.sampling import offline_test_sources
 
 logger = logging.getLogger(__name__)
 
@@ -127,12 +128,15 @@ def run_stats_stage(
     config: GenerationConfig | None = None,
     progress: Callable[[str], None] | None = None,
     deadline: Deadline | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> StatsStageResult:
     """FD preprocessing, offline sampling, and the statistical tests.
 
     The expensive half of Algorithm 1 (lines 1-3).  ``deadline`` threads a
     cooperative cancellation checkpoint into the test loops; on expiry a
     :class:`~repro.errors.DeadlineExceeded` escapes with no partial state.
+    ``backend`` supplies the rows the offline samples draw from; the tests
+    themselves are row-level statistics and always run in-process.
     """
     config = config or GenerationConfig()
     timings = PhaseTimings()
@@ -153,16 +157,15 @@ def run_stats_stage(
     # -- offline sampling -----------------------------------------------------
     strategy = config.sampling.strategy if config.sampling is not None else "none"
     with obs.span("stats.sampling", strategy=strategy) as sp:
-        test_source: Table | dict[str, Table] = table
+        test_source = offline_test_sources(
+            backend if backend is not None else table,
+            config.sampling,
+            config.significance.seed,
+        )
         if config.sampling is not None:
-            rng = derive_rng(config.significance.seed, "offline-sample", config.sampling.strategy)
-            if config.sampling.strategy == "random":
-                test_source = random_sample(table, config.sampling.rate, rng)
+            if isinstance(test_source, Table):
                 say(f"testing on a random sample of {test_source.n_rows} rows")
             else:
-                # Unbalanced: each attribute's tests run on their own sample,
-                # balanced over that attribute's values (Section 5.1.2).
-                test_source = per_attribute_balanced_samples(table, config.sampling.rate, rng)
                 sizes = {t.n_rows for t in test_source.values()}
                 say(f"testing on per-attribute balanced samples of ~{max(sizes)} rows")
     timings.sampling = sp.duration
@@ -206,37 +209,54 @@ def run_support_stage(
     config: GenerationConfig | None = None,
     progress: Callable[[str], None] | None = None,
     deadline: Deadline | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> GenerationOutcome:
     """Hypothesis-query evaluation and scoring over a stats-stage result.
 
     The second half of Algorithm 1 (lines 4-17); runs against the *full*
     relation regardless of any test-phase sampling.  Merges the stats
     stage's timings and counters into the returned outcome.
+
+    All aggregation passes go through ``backend`` (built from
+    ``config.backend`` — and closed on the way out — when not supplied by
+    the caller).
     """
     config = config or GenerationConfig()
     say = progress or (lambda message: None)
     timings = stats.timings
     counters = dict(stats.counters)
 
-    with obs.span(
-        "generation.support",
-        evaluator=config.evaluator,
-        insights=len(stats.significant),
-    ) as sp:
-        evaluator = build_evaluator(table, config.evaluator, config.memory_budget_bytes)
-        logger.info("hypothesis evaluation: evaluator=%s over %d insights",
-                    config.evaluator, len(stats.significant))
-        queries, evidences, n_hypothesis = _evaluate_support(
-            table, stats.significant, stats.excluded_pairs, evaluator, config, deadline
-        )
-        counters["hypothesis_queries_evaluated"] = n_hypothesis
-        counters["queries_supported"] = len(queries)
-        counters["aggregation_queries_sent"] = evaluator.queries_sent
+    owns_backend = backend is None
+    if backend is None:
+        backend = create_backend(config.backend, table)
+    statements_before = backend.statements_executed
+    try:
+        with obs.span(
+            "generation.support",
+            evaluator=config.evaluator,
+            backend=backend.name,
+            insights=len(stats.significant),
+        ) as sp:
+            evaluator = build_evaluator(backend, config.evaluator, config.memory_budget_bytes)
+            logger.info("hypothesis evaluation: evaluator=%s backend=%s over %d insights",
+                        config.evaluator, backend.name, len(stats.significant))
+            queries, evidences, n_hypothesis = _evaluate_support(
+                table, stats.significant, stats.excluded_pairs, evaluator, config, deadline
+            )
+            counters["hypothesis_queries_evaluated"] = n_hypothesis
+            counters["queries_supported"] = len(queries)
+            counters["aggregation_queries_sent"] = evaluator.queries_sent
+            counters["backend_statements_executed"] = (
+                backend.statements_executed - statements_before
+            )
 
-        with obs.span("generation.scoring", candidates=len(queries)):
-            scored = _score_and_deduplicate(queries, config)
-        counters["queries_final"] = len(scored)
-        sp.set(hypothesis_queries=n_hypothesis, queries_final=len(scored))
+            with obs.span("generation.scoring", candidates=len(queries)):
+                scored = _score_and_deduplicate(queries, config)
+            counters["queries_final"] = len(scored)
+            sp.set(hypothesis_queries=n_hypothesis, queries_final=len(scored))
+    finally:
+        if owns_backend:
+            backend.close()
     timings.hypothesis_evaluation = sp.duration
     obs.counter("generation.hypothesis_queries").inc(n_hypothesis)
     obs.counter("generation.queries_supported").inc(len(queries))
@@ -254,11 +274,12 @@ def generate_comparison_queries(
     config: GenerationConfig | None = None,
     progress: Callable[[str], None] | None = None,
     deadline: Deadline | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> GenerationOutcome:
     """Run insight testing + hypothesis evaluation and build the set Q."""
     config = config or GenerationConfig()
-    stats = run_stats_stage(table, config, progress, deadline)
-    return run_support_stage(table, stats, config, progress, deadline)
+    stats = run_stats_stage(table, config, progress, deadline, backend=backend)
+    return run_support_stage(table, stats, config, progress, deadline, backend=backend)
 
 
 # ---------------------------------------------------------------------------

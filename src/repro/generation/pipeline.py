@@ -28,6 +28,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro import obs
+from repro.backend import create_backend
 from repro.errors import TAPError
 from repro.generation.config import GenerationConfig, SamplingSpec
 from repro.generation.generator import (
@@ -142,10 +143,19 @@ class NotebookGenerator:
         progress: Callable[[str], None] | None = None,
     ) -> NotebookRun:
         """Full pipeline: Q generation, TAP resolution, ordered selection."""
-        logger.info("generate: %d rows, budget=%g, solver=%s",
-                    table.n_rows, budget, self.solver)
-        with obs.span("run", rows=table.n_rows, budget=budget, solver=self.solver):
-            outcome = generate_comparison_queries(table, self.config, progress)
+        logger.info("generate: %d rows, budget=%g, solver=%s, backend=%s",
+                    table.n_rows, budget, self.solver, self.config.backend)
+        with obs.span(
+            "run", rows=table.n_rows, budget=budget, solver=self.solver,
+            backend=self.config.backend,
+        ):
+            backend = create_backend(self.config.backend, table)
+            try:
+                outcome = generate_comparison_queries(
+                    table, self.config, progress, backend=backend
+                )
+            finally:
+                backend.close()
             if epsilon_distance is None:
                 epsilon_distance = DEFAULT_EPSILON_PER_QUERY * max(1.0, budget - 1.0)
             with obs.span("tap.solve", queries=len(outcome.queries)) as tap_span:

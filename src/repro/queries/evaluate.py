@@ -72,6 +72,19 @@ def evaluate_comparison(table: Table, query: ComparisonQuery) -> ComparisonResul
     aggregate = MaterializedAggregate.build(
         table, (query.group_by, query.selection_attribute), [query.measure]
     )
+    return comparison_from_aggregate(aggregate, query)
+
+
+def comparison_from_aggregate(
+    aggregate: MaterializedAggregate, query: ComparisonQuery
+) -> ComparisonResult:
+    """Evaluation from a pre-built pair aggregate over (A, B).
+
+    The aggregate must cover exactly the query's grouping and selection
+    attributes with its measure materialized; any engine that can produce
+    the additive per-group summaries (see :mod:`repro.backend`) funnels
+    through here, so alignment and θ/γ accounting are engine-independent.
+    """
     pair = PairAggregate(aggregate, query.group_by, query.selection_attribute)
     return _from_pair(pair, query)
 

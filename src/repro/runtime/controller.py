@@ -33,6 +33,8 @@ from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
 from repro import obs
+from repro.backend import create_backend
+from repro.backend.base import ExecutionBackend
 from repro.errors import DeadlineExceeded, ReproError, SolverTimeout
 from repro.generation.config import GenerationConfig, SamplingSpec
 from repro.generation.generator import (
@@ -198,6 +200,7 @@ def _stats_ladder(
     config: GenerationConfig,
     policy: RuntimePolicy,
     progress: Callable[[str], None] | None,
+    backend: ExecutionBackend | None = None,
 ) -> list[_Rung]:
     base_permutations = config.significance.n_permutations
     cut = reduced_permutations(base_permutations, policy.permutation_cut_factor)
@@ -222,15 +225,20 @@ def _stats_ladder(
         max_pairs_per_attribute=pair_cap,
     )
     return [
-        _Rung("full", lambda d, n: run_stats_stage(table, config, progress, d)),
+        _Rung(
+            "full",
+            lambda d, n: run_stats_stage(table, config, progress, d, backend=backend),
+        ),
         _Rung(
             "reduced",
-            lambda d, n: run_stats_stage(table, reduced_config, progress, d),
+            lambda d, n: run_stats_stage(table, reduced_config, progress, d, backend=backend),
             degradation=reduced_note,
         ),
         _Rung(
             "parametric",
-            lambda d, n: run_stats_stage(table, parametric_config, progress, d),
+            lambda d, n: run_stats_stage(
+                table, parametric_config, progress, d, backend=backend
+            ),
             degradation=(
                 f"parametric tests, at most {pair_cap} value pairs per attribute"
             ),
@@ -244,11 +252,12 @@ def _generation_ladder(
     config: GenerationConfig,
     policy: RuntimePolicy,
     progress: Callable[[str], None] | None,
+    backend: ExecutionBackend | None = None,
 ) -> list[_Rung]:
     rungs: list[_Rung] = [
         _Rung(
             config.evaluator,
-            lambda d, n: run_support_stage(table, stats, config, progress, d),
+            lambda d, n: run_support_stage(table, stats, config, progress, d, backend=backend),
         )
     ]
     if config.evaluator != "pairwise":
@@ -256,7 +265,9 @@ def _generation_ladder(
         rungs.append(
             _Rung(
                 "pairwise",
-                lambda d, n: run_support_stage(table, stats, pairwise_config, progress, d),
+                lambda d, n: run_support_stage(
+                    table, stats, pairwise_config, progress, d, backend=backend
+                ),
                 degradation="fell back to Algorithm 1 + pairwise bounding",
             )
         )
@@ -269,7 +280,9 @@ def _generation_ladder(
     rungs.append(
         _Rung(
             "top-k",
-            lambda d, n: run_support_stage(table, top_k_stats, top_k_config, progress, d),
+            lambda d, n: run_support_stage(
+                table, top_k_stats, top_k_config, progress, d, backend=backend
+            ),
             degradation=f"evaluated only the top {len(truncated)} insights",
         )
     )
@@ -391,18 +404,34 @@ def resilient_generate(
     config = config or GenerationConfig()
     faults = faults or FaultInjector.none()
     deadline = Deadline(policy.deadline_seconds)
-    report = RunReport(deadline_seconds=policy.deadline_seconds)
+    report = RunReport(deadline_seconds=policy.deadline_seconds,
+                       backend=config.backend)
     if epsilon_distance is None:
         epsilon_distance = DEFAULT_EPSILON_PER_QUERY * max(1.0, budget - 1.0)
 
+    if (
+        resume is not None
+        and resume.report is not None
+        and resume.report.backend
+        and resume.report.backend != config.backend
+    ):
+        raise ReproError(
+            f"checkpoint was produced by the {resume.report.backend!r} backend "
+            f"but this run is configured for {config.backend!r}; resuming "
+            "across backends would mix engines mid-run (re-run without "
+            "--resume, or match the backend)"
+        )
+
     with obs.span(
-        "run", solver=solver, budget=budget,
+        "run", solver=solver, budget=budget, backend=config.backend,
         deadline_seconds=policy.deadline_seconds,
     ) as run_span:
         stats: StatsStageResult | None = None
         outcome: GenerationOutcome | None = None
         if resume is not None:
             report.resumed_from = str(resume.source) if resume.source else "checkpoint"
+            if resume.report is not None:
+                report.backend_statements = resume.report.backend_statements
             if resume.outcome is not None:
                 outcome = resume.outcome
                 _resumed_stage(report, STAGE_STATS)
@@ -419,46 +448,62 @@ def resilient_generate(
                 "generation stage"
             )
 
-        # -- stage: statistical tests ---------------------------------------
-        if outcome is None and stats is None:
-            stats = _run_ladder(
-                STAGE_STATS,
-                _stats_ladder(table, config, policy, progress),
-                deadline,
-                faults,
-                report,
-                policy.grace_seconds,
-            )
-            if stats is not None and checkpoint_path is not None:
-                from repro.persistence import save_checkpoint
-
-                save_checkpoint(checkpoint_path, stats=stats, report=report)
-                logger.info("checkpoint written after stats stage: %s", checkpoint_path)
-            if stats is None:
-                # Every rung failed: stand in an empty result so the run can
-                # still complete, but never checkpoint it.
-                stats = StatsStageResult([], set(), PhaseTimings(), {})
-
-        # -- stage: hypothesis evaluation -----------------------------------
+        # One backend instance serves both data stages (the sqlite backend
+        # loads the dataset once); resumed-past-generation runs never touch
+        # the engine, so none is created for them.
+        backend: ExecutionBackend | None = None
         if outcome is None:
-            outcome = _run_ladder(
-                STAGE_GENERATION,
-                _generation_ladder(table, stats, config, policy, progress),
-                deadline,
-                faults,
-                report,
-                policy.grace_seconds,
-            )
-            if outcome is not None and checkpoint_path is not None:
-                from repro.persistence import save_checkpoint
-
-                save_checkpoint(checkpoint_path, outcome=outcome, report=report)
-                logger.info("checkpoint written after generation stage: %s",
-                            checkpoint_path)
-            if outcome is None:
-                outcome = GenerationOutcome(
-                    [], stats.significant, {}, stats.timings, dict(stats.counters)
+            backend = create_backend(config.backend, table)
+        try:
+            # -- stage: statistical tests -----------------------------------
+            if outcome is None and stats is None:
+                stats = _run_ladder(
+                    STAGE_STATS,
+                    _stats_ladder(table, config, policy, progress, backend=backend),
+                    deadline,
+                    faults,
+                    report,
+                    policy.grace_seconds,
                 )
+                if stats is not None and checkpoint_path is not None:
+                    from repro.persistence import save_checkpoint
+
+                    report.backend_statements += backend.statements_executed
+                    save_checkpoint(checkpoint_path, stats=stats, report=report)
+                    report.backend_statements -= backend.statements_executed
+                    logger.info("checkpoint written after stats stage: %s", checkpoint_path)
+                if stats is None:
+                    # Every rung failed: stand in an empty result so the run can
+                    # still complete, but never checkpoint it.
+                    stats = StatsStageResult([], set(), PhaseTimings(), {})
+
+            # -- stage: hypothesis evaluation -------------------------------
+            if outcome is None:
+                outcome = _run_ladder(
+                    STAGE_GENERATION,
+                    _generation_ladder(table, stats, config, policy, progress,
+                                       backend=backend),
+                    deadline,
+                    faults,
+                    report,
+                    policy.grace_seconds,
+                )
+                if outcome is not None and checkpoint_path is not None:
+                    from repro.persistence import save_checkpoint
+
+                    report.backend_statements += backend.statements_executed
+                    save_checkpoint(checkpoint_path, outcome=outcome, report=report)
+                    report.backend_statements -= backend.statements_executed
+                    logger.info("checkpoint written after generation stage: %s",
+                                checkpoint_path)
+                if outcome is None:
+                    outcome = GenerationOutcome(
+                        [], stats.significant, {}, stats.timings, dict(stats.counters)
+                    )
+        finally:
+            if backend is not None:
+                report.backend_statements += backend.statements_executed
+                backend.close()
 
         # -- stage: TAP resolution ------------------------------------------
         queries = outcome.queries

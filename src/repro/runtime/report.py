@@ -70,6 +70,11 @@ class RunReport:
     deadline_seconds: float | None = None
     total_seconds: float = 0.0
     resumed_from: str | None = None
+    #: Execution backend the run used ("columnar"/"sqlite"); checkpoints
+    #: persist it so a resume refuses to silently switch engines.
+    backend: str | None = None
+    #: SQL statements the backend actually sent to an external engine.
+    backend_statements: int = 0
 
     def stage(self, name: str) -> StageReport | None:
         for entry in self.stages:
@@ -99,6 +104,8 @@ class RunReport:
             "deadline_seconds": self.deadline_seconds,
             "total_seconds": self.total_seconds,
             "resumed_from": self.resumed_from,
+            "backend": self.backend,
+            "backend_statements": self.backend_statements,
         }
 
     @classmethod
@@ -108,6 +115,8 @@ class RunReport:
             deadline_seconds=data.get("deadline_seconds"),
             total_seconds=float(data.get("total_seconds", 0.0)),
             resumed_from=data.get("resumed_from"),
+            backend=data.get("backend"),
+            backend_statements=int(data.get("backend_statements", 0)),
         )
 
     def summary_lines(self) -> list[str]:
@@ -118,6 +127,10 @@ class RunReport:
         if self.resumed_from:
             head += f", resumed from {self.resumed_from}"
         lines = [head]
+        if self.backend:
+            lines.append(
+                f"  backend      {self.backend:<10} statements={self.backend_statements}"
+            )
         for entry in self.stages:
             line = (
                 f"  {entry.name:<12} {entry.status:<10} {entry.seconds:6.2f}s"

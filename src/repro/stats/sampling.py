@@ -152,6 +152,31 @@ def per_attribute_balanced_samples(
     }
 
 
+def offline_test_sources(
+    source, spec, seed: int
+) -> "Table | dict[str, Table]":
+    """Resolve an offline-sampling spec to the statistical tests' input.
+
+    ``source`` is a :class:`Table` or an execution backend (anything with a
+    ``.scan()`` returning the base rows); ``spec`` a
+    :class:`~repro.generation.config.SamplingSpec` or None (no sampling —
+    the tests run on the full relation).  Returns one shared table
+    (``None`` spec or the *random* strategy) or a mapping attribute →
+    balanced sample (the *unbalanced* strategy).  The RNG is derived from
+    ``seed`` exactly as the generator always did, so sampled rows are
+    backend-independent.
+    """
+    from repro.stats.rng import derive_rng
+
+    table = source if isinstance(source, Table) else source.scan()
+    if spec is None:
+        return table
+    rng = derive_rng(seed, "offline-sample", spec.strategy)
+    if spec.strategy == "random":
+        return random_sample(table, spec.rate, rng)
+    return per_attribute_balanced_samples(table, spec.rate, rng)
+
+
 def minority_preservation(table: Table, sample: Table, attribute: str) -> float:
     """Fraction of ``attribute``'s values that survive into ``sample``.
 
