@@ -71,7 +71,16 @@ class ColumnarBackend:
     def materialize_aggregate(
         self, attributes: Iterable[str], measures: Sequence[str] | None = None
     ) -> MaterializedAggregate:
-        return MaterializedAggregate.build(self._table, attributes, measures)
+        # Served from the table's cross-stage cache: a group-by materialized
+        # during hypothesis evaluation is reused by credibility computation
+        # and notebook rendering instead of being recomputed per stage.
+        attrs = tuple(sorted(attributes))
+        return self._table.aggregate_cache().get_or_build(
+            self.name,
+            attrs,
+            measures,
+            lambda: MaterializedAggregate.build(self._table, attrs, measures),
+        )
 
     def evaluate_comparison(self, query: ComparisonQuery) -> ComparisonResult:
         query.validate_against(self._table)

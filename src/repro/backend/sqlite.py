@@ -243,7 +243,20 @@ class SqliteBackend:
     def materialize_aggregate(
         self, attributes: Iterable[str], measures: Sequence[str] | None = None
     ) -> MaterializedAggregate:
+        # Cache hits save real pushed-down statements: the cache key carries
+        # the backend name, so sqlite-built aggregates (whose group order is
+        # the engine's) never serve columnar requests or vice versa.
         attrs = tuple(sorted(attributes))
+        return self._table.aggregate_cache().get_or_build(
+            self.name,
+            attrs,
+            measures,
+            lambda: self._materialize_uncached(attrs, measures),
+        )
+
+    def _materialize_uncached(
+        self, attrs: tuple[str, ...], measures: Sequence[str] | None
+    ) -> MaterializedAggregate:
         for attr_name in attrs:
             self._table.schema.require_categorical(attr_name)
         if measures is None:

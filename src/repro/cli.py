@@ -5,6 +5,7 @@ Usage::
     python -m repro generate data.csv --budget 10 --out notebook.ipynb
     python -m repro generate data.csv --preset wsc-unb-approx --sample-rate 0.2
     python -m repro generate data.csv --backend sqlite
+    python -m repro generate data.csv --stats-kernel legacy
     python -m repro generate data.csv --deadline 5 --checkpoint run.ckpt.json
     python -m repro generate data.csv --resume run.ckpt.json --out notebook.ipynb
     python -m repro profile data.csv --trace trace.json
@@ -47,6 +48,7 @@ from pathlib import Path
 
 from repro import __version__, obs
 from repro.backend import BACKEND_NAMES
+from repro.stats import KERNEL_NAMES
 from repro.datasets import covid_table, enedis_table, flights_table, vaccine_table
 from repro.errors import ReproError
 from repro.generation import GenerationConfig, preset, preset_names
@@ -91,6 +93,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="execution backend for scans and group-bys: columnar "
                           "(in-process NumPy, default) or sqlite (SQL pushdown); "
                           "default honours $REPRO_BACKEND")
+    gen.add_argument("--stats-kernel", choices=KERNEL_NAMES, default=None,
+                     help="permutation-test kernel: batched (one BLAS product "
+                          "per shared batch, default) or legacy (per-test "
+                          "gather); default honours $REPRO_STATS_KERNEL")
     gen.add_argument("--parallel-backend", choices=("threads", "processes"),
                      default="threads",
                      help="parallel backend for the test phase (processes beats the GIL)")
@@ -128,6 +134,8 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--threads", type=int, default=1, help="workers (default 1)")
     prof.add_argument("--backend", choices=BACKEND_NAMES, default=None,
                       help="execution backend (columnar or sqlite)")
+    prof.add_argument("--stats-kernel", choices=KERNEL_NAMES, default=None,
+                      help="permutation-test kernel (batched or legacy)")
     prof.add_argument("--trace", type=Path, default=None, metavar="PATH",
                       help="write Chrome trace-event JSON (chrome://tracing, Perfetto)")
     prof.add_argument("--metrics-out", type=Path, default=None, metavar="PATH",
@@ -221,6 +229,10 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         solver, exact_timeout = "heuristic", 60.0
     if args.backend:
         config = replace(config, backend=args.backend)
+    if args.stats_kernel:
+        config = replace(
+            config, significance=replace(config.significance, kernel=args.stats_kernel)
+        )
     if args.solver:
         solver = args.solver
 
@@ -294,6 +306,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         solver, exact_timeout = "heuristic", 60.0
     if args.backend:
         config = replace(config, backend=args.backend)
+    if args.stats_kernel:
+        config = replace(
+            config, significance=replace(config.significance, kernel=args.stats_kernel)
+        )
 
     run = resilient_generate(
         table, config, budget=args.budget,

@@ -28,6 +28,7 @@ from repro.generation.evaluators import SupportEvaluator, build_evaluator
 from repro.insights.enumeration import enumerate_candidates
 from repro.insights.insight import CandidateInsight, InsightEvidence, TestedInsight
 from repro.insights.significance import (
+    family_chunks,
     finalize_attribute,
     run_attribute_chunk,
     run_attribute_significance,
@@ -336,14 +337,17 @@ def _run_tests(
         return tested
 
     # Chunk within attributes so one large-domain attribute cannot serialize
-    # the whole phase (its pair count dominates the total work).  The BH
-    # correction is applied per attribute family after merging the chunks;
-    # key-derived permutation batches make the outcome chunking-invariant.
+    # the whole phase (its pair count dominates the total work).  Chunks are
+    # cut only at pair-family boundaries: the batched kernel then sees whole
+    # families per worker (maximal GEMM batches) and candidate order is
+    # preserved.  The BH correction is applied per attribute family after
+    # merging the chunks; key-derived permutation batches make the outcome
+    # chunking-invariant.
     chunk_size = 250
     jobs: list[tuple[str, Table, list[CandidateInsight]]] = []
     for attribute, sample, candidates in work:
-        for start_index in range(0, len(candidates), chunk_size):
-            jobs.append((attribute, sample, candidates[start_index : start_index + chunk_size]))
+        for chunk in family_chunks(candidates, chunk_size):
+            jobs.append((attribute, sample, chunk))
 
     use_processes = config.parallel_backend == "processes"
     pool_type = ProcessPoolExecutor if use_processes else ThreadPoolExecutor

@@ -10,6 +10,7 @@ from repro.insights.enumeration import (
 from repro.insights.insight import CandidateInsight, InsightEvidence, TestedInsight
 from repro.insights.significance import (
     SignificanceConfig,
+    family_chunks,
     finalize_attribute,
     run_attribute_chunk,
     run_attribute_significance,
@@ -57,6 +58,7 @@ __all__ = [
     "resolve_insight_types",
     "significant_insights",
     "table_adom_sizes",
+    "family_chunks",
     "finalize_attribute",
     "run_attribute_chunk",
     "run_attribute_significance",

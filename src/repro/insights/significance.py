@@ -19,7 +19,7 @@ looking at the chart would postulate), then tests one-sided.
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -30,6 +30,12 @@ from repro.insights.enumeration import enumerate_candidates
 from repro.insights.insight import CandidateInsight, TestedInsight
 from repro.insights.types import InsightType, insight_type
 from repro.stats.corrections import benjamini_hochberg
+from repro.stats.kernel import (
+    KERNEL_NAMES,
+    KernelTest,
+    default_stats_kernel,
+    run_batched_tests,
+)
 from repro.stats.permutation import DEFAULT_PERMUTATIONS, SharedPermutations, TestResult
 from repro.stats.rng import DEFAULT_SEED, derive_rng
 from repro.relational.table import Table
@@ -58,6 +64,11 @@ class SignificanceConfig:
         to measure the sharing speedup.
     seed:
         Root seed for permutation generation.
+    kernel:
+        ``"batched"`` (mask-GEMM moment sums, the default) or ``"legacy"``
+        (per-test gathers).  Both produce identical results — the batched
+        kernel is a pure execution-strategy change; parity is enforced in
+        tests and the ``REPRO_STATS_KERNEL`` CI matrix.
     """
 
     n_permutations: int = DEFAULT_PERMUTATIONS
@@ -66,12 +77,17 @@ class SignificanceConfig:
     apply_bh: bool = True
     share_across_pairs: bool = True
     seed: int = DEFAULT_SEED
+    kernel: str = field(default_factory=default_stats_kernel)
 
     def __post_init__(self) -> None:
         if self.engine not in ("permutation", "parametric"):
             raise StatisticsError(f"unknown test engine {self.engine!r}")
         if not 0 < self.threshold < 1:
             raise StatisticsError(f"threshold must be in (0, 1), got {self.threshold}")
+        if self.kernel not in KERNEL_NAMES:
+            raise StatisticsError(
+                f"unknown stats kernel {self.kernel!r}; known: {KERNEL_NAMES}"
+            )
 
 
 class _BatchCache:
@@ -140,13 +156,23 @@ def run_significance_tests(
         by_attribute.setdefault(candidate.attribute, []).append(candidate)
         total += 1
 
-    tested: list[TestedInsight] = []
+    # Per-candidate progress: one large attribute family no longer holds the
+    # callback hostage until its whole group is tested.
     done = 0
-    for attribute, group in by_attribute.items():
-        tested.extend(_test_attribute_group(table, attribute, group, config))
-        done += len(group)
-        if progress is not None:
+    advance: Callable[[int], None] | None = None
+    if progress is not None:
+        def advance(n: int) -> None:
+            nonlocal done
+            done += n
             progress(done, total)
+
+    tested: list[TestedInsight] = []
+    for attribute, group in by_attribute.items():
+        tested.extend(
+            _test_attribute_group(table, attribute, group, config, progress=advance)
+        )
+    if progress is not None and done != total:  # pragma: no cover - safety net
+        progress(total, total)
     return tested
 
 
@@ -168,9 +194,40 @@ def _test_attribute_group(
     group: list[CandidateInsight],
     config: SignificanceConfig,
     checkpoint: Callable[[], None] | None = None,
+    progress: Callable[[int], None] | None = None,
 ) -> list[TestedInsight]:
-    oriented, results = run_attribute_chunk(table, attribute, group, config, checkpoint)
+    oriented, results = run_attribute_chunk(
+        table, attribute, group, config, checkpoint, progress
+    )
     return finalize_attribute(oriented, results, config)
+
+
+def family_chunks(
+    candidates: Sequence[CandidateInsight], chunk_size: int
+) -> list[list[CandidateInsight]]:
+    """Contiguous chunks of ~``chunk_size``, cut only at pair-family borders.
+
+    Enumeration yields all candidates of a ``(val, val')`` selection pair
+    contiguously; cutting only where the pair changes feeds the batched
+    kernel whole pair-families per worker while preserving candidate order,
+    so chunked (threaded or process-pool) runs remain result-identical to
+    unchunked runs.
+    """
+    if chunk_size < 1:
+        raise StatisticsError("chunk_size must be at least 1")
+    chunks: list[list[CandidateInsight]] = []
+    current: list[CandidateInsight] = []
+    for candidate in candidates:
+        if (
+            len(current) >= chunk_size
+            and candidate.pair_key != current[-1].pair_key
+        ):
+            chunks.append(current)
+            current = []
+        current.append(candidate)
+    if current:
+        chunks.append(current)
+    return chunks
 
 
 def run_attribute_chunk(
@@ -179,6 +236,7 @@ def run_attribute_chunk(
     group: Sequence[CandidateInsight],
     config: SignificanceConfig | None = None,
     checkpoint: Callable[[], None] | None = None,
+    progress: Callable[[int], None] | None = None,
 ) -> tuple[list[CandidateInsight], list[TestResult]]:
     """Raw (uncorrected) tests for a chunk of one attribute's candidates.
 
@@ -187,13 +245,27 @@ def run_attribute_chunk(
     BH correction over the whole family.  Results are independent of the
     chunking (permutation batches are key-derived, not stream-drawn).
 
-    ``checkpoint`` is called once per candidate — the cooperative
-    cancellation hook of the resilient runtime (it raises
-    :class:`~repro.errors.DeadlineExceeded` past the run deadline).
+    With the batched kernel the loop only *plans* tests — orientation, NaN
+    cleaning, and batch lookup exactly as the legacy path — and the pending
+    tests of each shared batch are then executed together through the
+    mask-GEMM kernel (:func:`repro.stats.kernel.run_batched_tests`).
+    Planning performs the same :class:`_BatchCache` lookups in the same
+    order as the legacy path, so both kernels consume identical
+    permutations and return identical results in identical order.
+
+    ``checkpoint`` is called once per candidate (and between kernel
+    slices) — the cooperative cancellation hook of the resilient runtime
+    (it raises :class:`~repro.errors.DeadlineExceeded` past the run
+    deadline).  ``progress`` is called with the number of candidates
+    retired as they are (per candidate, or per batch group at the end of a
+    batched chunk).
     """
     config = config or SignificanceConfig()
+    batched = config.engine == "permutation" and config.kernel == "batched"
+    advance = progress or (lambda n: None)
     with obs.span(
-        "stats.test_attribute", attribute=attribute, candidates=len(group)
+        "stats.test_attribute",
+        attribute=attribute, candidates=len(group), kernel=config.kernel,
     ) as chunk_span:
         column = table.categorical_column(attribute)
         row_index = _value_row_index(column.codes)
@@ -203,7 +275,9 @@ def run_attribute_chunk(
         )
 
         oriented: list[CandidateInsight] = []
-        results: list[TestResult] = []
+        results: list[TestResult | None] = []
+        # Batched mode: planned tests per shared batch, in planning order.
+        pending: dict[int, tuple[SharedPermutations, list[KernelTest]]] = {}
         for candidate in group:
             if checkpoint is not None:
                 checkpoint()
@@ -213,6 +287,7 @@ def run_attribute_chunk(
             rows_x = row_index.get(code_x)
             rows_y = row_index.get(code_y)
             if rows_x is None or rows_y is None:
+                advance(1)
                 continue
             values = measures.get(candidate.measure)
             if values is None:
@@ -222,10 +297,12 @@ def run_attribute_chunk(
             x = x[~np.isnan(x)]
             y = y[~np.isnan(y)]
             if x.size == 0 or y.size == 0:
+                advance(1)
                 continue
             # Orient toward the observed dominant side.
             statistic = itype.observed_statistic(x, y)
             if np.isnan(statistic):
+                advance(1)
                 continue
             if statistic >= 0:
                 side_x, side_y = x, y
@@ -240,12 +317,30 @@ def run_attribute_chunk(
                     candidate.type_code,
                 )
             if config.engine == "parametric":
-                result = itype.parametric_test(side_x, side_y)
-            else:
-                batch = batches.get(side_x.size, side_y.size)
-                result = itype.test(batch, side_x, side_y)
+                oriented.append(final)
+                results.append(itype.parametric_test(side_x, side_y))
+                advance(1)
+                continue
+            batch = batches.get(side_x.size, side_y.size)
+            if not batched:
+                oriented.append(final)
+                results.append(itype.test(batch, side_x, side_y))
+                advance(1)
+                continue
+            slot = len(results)
             oriented.append(final)
-            results.append(result)
+            results.append(None)
+            observed = itype.observed_statistic(side_x, side_y)
+            entry = pending.get(id(batch))
+            if entry is None:
+                entry = (batch, [])
+                pending[id(batch)] = entry
+            entry[1].append(
+                KernelTest(slot, itype, np.concatenate([side_x, side_y]), observed)
+            )
+        for batch, planned in pending.values():
+            for slot, result in run_batched_tests(batch, planned, checkpoint, progress):
+                results[slot] = result
         chunk_span.set(tested=len(results))
 
     return oriented, results

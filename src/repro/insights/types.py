@@ -28,7 +28,12 @@ import numpy as np
 
 from repro.errors import InsightError
 from repro.stats.parametric import f_variance_greater, welch_mean_greater
-from repro.stats.permutation import SharedPermutations, TestResult
+from repro.stats.permutation import (
+    SharedPermutations,
+    TestResult,
+    mean_stat_from_moments,
+    variance_stat_from_moments,
+)
 
 
 class InsightType(abc.ABC):
@@ -42,6 +47,30 @@ class InsightType(abc.ABC):
     null_hypothesis: str
     #: Test statistic description, for documentation / Table 1 rendering.
     statistic_name: str
+    #: Highest pooled-moment order the batched kernel must supply for this
+    #: type (1 = first moment, 2 = first + second).  0 opts the type out of
+    #: mask-GEMM batching; the kernel then falls back to :meth:`test`.
+    moment_order: int = 0
+
+    def statistic_from_moments(
+        self,
+        x_sums: tuple[np.ndarray, ...],
+        totals: tuple[float, ...],
+        n_x: int,
+        n_y: int,
+    ) -> np.ndarray:
+        """Per-permutation statistics from X-side pooled-moment sums.
+
+        ``x_sums[k]`` holds, for every permutation, the X-side sum of the
+        pooled values raised to the power ``k + 1``; ``totals[k]`` the
+        matching pooled total.  Only called when ``moment_order > 0``; must
+        evaluate the same floating-point expression as :meth:`test` so the
+        batched and legacy kernels agree exactly.
+        """
+        raise NotImplementedError(
+            f"insight type {self.code!r} declares moment_order="
+            f"{self.moment_order} but no statistic_from_moments"
+        )
 
     @abc.abstractmethod
     def test(self, batch: SharedPermutations, x: np.ndarray, y: np.ndarray) -> TestResult:
@@ -79,9 +108,13 @@ class MeanGreater(InsightType):
     label = "mean greater"
     null_hypothesis = "E[X] = E[Y]"
     statistic_name = "|mu_X - mu_Y|"
+    moment_order = 1
 
     def test(self, batch: SharedPermutations, x: np.ndarray, y: np.ndarray) -> TestResult:
         return batch.mean_greater(x, y)
+
+    def statistic_from_moments(self, x_sums, totals, n_x, n_y):
+        return mean_stat_from_moments(x_sums[0], totals[0], n_x, n_y)
 
     def parametric_test(self, x: np.ndarray, y: np.ndarray) -> TestResult:
         return welch_mean_greater(x, y)
@@ -109,9 +142,15 @@ class VarianceGreater(InsightType):
     label = "variance greater"
     null_hypothesis = "var(X) = var(Y)"
     statistic_name = "|sigma2_X - sigma2_Y|"
+    moment_order = 2
 
     def test(self, batch: SharedPermutations, x: np.ndarray, y: np.ndarray) -> TestResult:
         return batch.variance_greater(x, y)
+
+    def statistic_from_moments(self, x_sums, totals, n_x, n_y):
+        return variance_stat_from_moments(
+            x_sums[0], x_sums[1], totals[0], totals[1], n_x, n_y
+        )
 
     def parametric_test(self, x: np.ndarray, y: np.ndarray) -> TestResult:
         return f_variance_greater(x, y)
@@ -150,8 +189,10 @@ class MedianGreater(InsightType):
         x, y = _finite(x), _finite(y)
         observed = self.observed_statistic(x, y)
         pooled = np.concatenate([x, y])
+        # The median is order-insensitive, so the (sorted) complement of the
+        # X side stands in for the dropped y_indices array.
         perm_x = np.median(pooled[batch.x_indices], axis=1)
-        perm_y = np.median(pooled[batch.y_indices], axis=1)
+        perm_y = np.median(pooled[batch.complement_indices()], axis=1)
         diffs = perm_x - perm_y
         extreme = int(np.count_nonzero(diffs >= observed - 1e-12))
         p = (1.0 + extreme) / (1.0 + diffs.size)

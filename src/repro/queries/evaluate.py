@@ -67,10 +67,20 @@ class ComparisonResult:
 
 
 def evaluate_comparison(table: Table, query: ComparisonQuery) -> ComparisonResult:
-    """Direct evaluation against base data (one grouped pass per side)."""
+    """Direct evaluation against base data (one grouped pass per side).
+
+    Routed through the table's cross-stage aggregate cache under the
+    in-process ("columnar") key: notebook rendering re-evaluates the very
+    pairs hypothesis evaluation already materialized, and two aggs over the
+    same (pair, measure) share one group-by pass.
+    """
     query.validate_against(table)
-    aggregate = MaterializedAggregate.build(
-        table, (query.group_by, query.selection_attribute), [query.measure]
+    pair = (query.group_by, query.selection_attribute)
+    aggregate = table.aggregate_cache().get_or_build(
+        "columnar",
+        pair,
+        [query.measure],
+        lambda: MaterializedAggregate.build(table, pair, [query.measure]),
     )
     return comparison_from_aggregate(aggregate, query)
 
@@ -85,7 +95,7 @@ def comparison_from_aggregate(
     the additive per-group summaries (see :mod:`repro.backend`) funnels
     through here, so alignment and θ/γ accounting are engine-independent.
     """
-    pair = PairAggregate(aggregate, query.group_by, query.selection_attribute)
+    pair = aggregate.pair_view(query.group_by, query.selection_attribute)
     return _from_pair(pair, query)
 
 

@@ -1,0 +1,113 @@
+"""Cross-stage aggregate cache: one group-by pass serves every consumer.
+
+Hypothesis-query evaluation (``generation/evaluators.py``), credibility
+computation, and notebook rendering all materialize group-by aggregates
+over the same ``(grouping attribute, selection attribute)`` pairs — often
+the *identical* aggregate, rebuilt per stage because each stage only sees
+its own slice of the pipeline.  :class:`AggregateCache` memoizes
+:class:`~repro.relational.cube.MaterializedAggregate` builds across stages:
+
+* **keying** — ``(backend name, sorted grouping attributes)`` plus the
+  materialized measure set.  Backend names partition the cache because
+  different engines may order groups differently (floating-point parity is
+  per-engine, never across engines).
+* **measure-superset serving** — a request for a subset of measures is a
+  hit on an aggregate materialized with a superset (the additive summaries
+  carry every measure independently); ``measures=None`` (all measures)
+  serves every request.
+* **single-flight building** — concurrent requests for the same key build
+  once; latecomers wait on a reservation event (the same check-then-build
+  discipline as ``PairwiseEvaluator``).
+
+Counters ``cache.aggregate_hits`` / ``cache.aggregate_misses`` and the
+``cache.aggregate_build`` span make reuse visible in every trace and
+benchmark snapshot (see ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable, Sequence
+
+from repro import obs
+from repro.relational.cube import MaterializedAggregate
+
+__all__ = ["AggregateCache"]
+
+
+class AggregateCache:
+    """Memoized, single-flight store of materialized group-by aggregates."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # (backend, attrs) -> list of (measure set or None for all, aggregate)
+        self._entries: dict[tuple, list] = {}
+        # (backend, attrs, requested measures) -> in-progress build event
+        self._building: dict[tuple, threading.Event] = {}
+
+    def get_or_build(
+        self,
+        backend: str,
+        attributes: Iterable[str],
+        measures: Sequence[str] | None,
+        build: Callable[[], MaterializedAggregate],
+    ) -> MaterializedAggregate:
+        """The cached aggregate for the key, building (once) on a miss.
+
+        ``build`` runs outside the cache lock; a failed build releases the
+        reservation so the next caller can retry.
+        """
+        attrs = tuple(sorted(attributes))
+        want = None if measures is None else frozenset(measures)
+        key = (backend, attrs)
+        reservation_key = (backend, attrs, want)
+        while True:
+            with self._lock:
+                hit = self._find(key, want)
+                if hit is not None:
+                    obs.counter("cache.aggregate_hits").inc()
+                    return hit
+                reservation = self._building.get(reservation_key)
+                if reservation is None:
+                    self._building[reservation_key] = threading.Event()
+                    break
+            reservation.wait()
+        obs.counter("cache.aggregate_misses").inc()
+        try:
+            with obs.span(
+                "cache.aggregate_build",
+                backend=backend,
+                attributes="|".join(attrs),
+                measures="*" if want is None else len(want),
+            ):
+                built = build()
+            with self._lock:
+                self._entries.setdefault(key, []).append((want, built))
+            return built
+        finally:
+            with self._lock:
+                event = self._building.pop(reservation_key)
+            event.set()
+
+    def _find(self, key: tuple, want: frozenset | None) -> MaterializedAggregate | None:
+        for have, aggregate in self._entries.get(key, []):
+            if have is None or (want is not None and want <= have):
+                return aggregate
+        return None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(entries) for entries in self._entries.values())
+
+    def total_bytes(self) -> int:
+        """Measured footprint of every cached aggregate."""
+        with self._lock:
+            return sum(
+                aggregate.actual_bytes()
+                for entries in self._entries.values()
+                for _, aggregate in entries
+            )
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

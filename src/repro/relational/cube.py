@@ -59,7 +59,7 @@ class MaterializedAggregate:
         Mapping measure name -> :class:`GroupedSummary` over the groups.
     """
 
-    __slots__ = ("attributes", "keys", "categories", "summaries")
+    __slots__ = ("attributes", "keys", "categories", "summaries", "_pair_views")
 
     def __init__(
         self,
@@ -72,6 +72,7 @@ class MaterializedAggregate:
         self.keys = keys
         self.categories = dict(categories)
         self.summaries = dict(summaries)
+        self._pair_views: dict[tuple[str, str], "PairAggregate"] = {}
 
     @property
     def n_groups(self) -> int:
@@ -104,6 +105,22 @@ class MaterializedAggregate:
             for m in measures
         }
         return cls(attrs, grouping.key_codes, categories, summaries)
+
+    def pair_view(self, first: str, second: str) -> "PairAggregate":
+        """Memoized 2-attribute view over this (pair-granularity) aggregate.
+
+        Aggregates served repeatedly from the cross-stage cache keep one
+        :class:`PairAggregate` per orientation, so its per-series memo
+        accumulates across evaluation and rendering instead of being thrown
+        away with each throwaway view.  Benign under concurrency: a lost
+        race costs one duplicate view, never a wrong result.
+        """
+        key = (first, second)
+        view = self._pair_views.get(key)
+        if view is None:
+            view = PairAggregate(self, first, second)
+            self._pair_views[key] = view
+        return view
 
     def rollup_to(self, attributes: Iterable[str]) -> "MaterializedAggregate":
         """Re-aggregate to a coarser granularity (subset of our attributes)."""
@@ -153,7 +170,7 @@ class PairAggregate:
     query's join does.
     """
 
-    __slots__ = ("aggregate", "first", "second")
+    __slots__ = ("aggregate", "first", "second", "_series_cache")
 
     def __init__(self, aggregate: MaterializedAggregate, first: str, second: str):
         if set(aggregate.attributes) != {first, second}:
@@ -163,6 +180,7 @@ class PairAggregate:
         self.aggregate = aggregate
         self.first = first
         self.second = second
+        self._series_cache: dict[tuple, dict[str, float]] = {}
 
     def _axis(self, attribute: str) -> int:
         return self.aggregate.attributes.index(attribute)
@@ -172,7 +190,14 @@ class PairAggregate:
 
         Returns a mapping group label -> aggregate value; groups with no
         matching rows are absent (they would not appear in the SQL result).
+        Memoized per view: hypothesis evaluation and rendering repeatedly
+        finalize the same (label, measure, agg) series.  Callers must treat
+        the returned mapping as read-only.
         """
+        memo_key = (group_attr, select_attr, label, measure, agg)
+        cached = self._series_cache.get(memo_key)
+        if cached is not None:
+            return cached
         select_axis = self._axis(select_attr)
         group_axis = self._axis(group_attr)
         categories = self.aggregate.categories[select_attr]
@@ -198,6 +223,7 @@ class PairAggregate:
         for gcode, value in zip(group_codes, values):
             label_g = group_categories[gcode] if gcode >= 0 else ""
             out[label_g] = float(value)
+        self._series_cache[memo_key] = out
         return out
 
     def aligned_series(

@@ -8,6 +8,7 @@ dense group ids that the aggregate layer consumes.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
@@ -20,6 +21,9 @@ from repro.relational.columns import (
     column_from_values,
 )
 from repro.relational.schema import Attribute, Schema, categorical, measure
+
+#: Guards lazy attachment of per-table aggregate caches (double-checked).
+_CACHE_ATTACH_LOCK = threading.Lock()
 
 
 class GroupingResult:
@@ -52,7 +56,7 @@ class Table:
     Mutating the underlying arrays after construction is unsupported.
     """
 
-    __slots__ = ("schema", "_columns")
+    __slots__ = ("schema", "_columns", "_aggregate_cache")
 
     def __init__(self, schema: Schema, columns: Mapping[str, Column]):
         lengths = {name: len(col) for name, col in columns.items()}
@@ -70,6 +74,7 @@ class Table:
                 )
         self.schema = schema
         self._columns = dict(columns)
+        self._aggregate_cache = None
 
     # -- constructors ---------------------------------------------------------
 
@@ -122,6 +127,37 @@ class Table:
 
     def __repr__(self) -> str:
         return f"Table({self.schema!r}, n_rows={self.n_rows})"
+
+    # -- pickling -------------------------------------------------------------
+    # The aggregate cache holds threading primitives and is a pure memo;
+    # process-pool workers (the parallel test phase) rebuild it lazily.
+
+    def __getstate__(self) -> tuple:
+        return (self.schema, self._columns)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.schema, self._columns = state
+        self._aggregate_cache = None
+
+    # -- aggregate cache ------------------------------------------------------
+
+    def aggregate_cache(self):
+        """This table's cross-stage aggregate cache (created lazily).
+
+        Shared by every consumer that aggregates this table — execution
+        backends, hypothesis evaluation, notebook rendering — so identical
+        group-bys are computed once per run instead of once per stage.  See
+        :class:`repro.relational.aggcache.AggregateCache`.
+        """
+        cache = self._aggregate_cache
+        if cache is None:
+            from repro.relational.aggcache import AggregateCache
+
+            with _CACHE_ATTACH_LOCK:
+                cache = self._aggregate_cache
+                if cache is None:
+                    cache = self._aggregate_cache = AggregateCache()
+        return cache
 
     # -- column access --------------------------------------------------------
 

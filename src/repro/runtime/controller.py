@@ -405,7 +405,8 @@ def resilient_generate(
     faults = faults or FaultInjector.none()
     deadline = Deadline(policy.deadline_seconds)
     report = RunReport(deadline_seconds=policy.deadline_seconds,
-                       backend=config.backend)
+                       backend=config.backend,
+                       stats_kernel=config.significance.kernel)
     if epsilon_distance is None:
         epsilon_distance = DEFAULT_EPSILON_PER_QUERY * max(1.0, budget - 1.0)
 

@@ -75,6 +75,8 @@ class RunReport:
     backend: str | None = None
     #: SQL statements the backend actually sent to an external engine.
     backend_statements: int = 0
+    #: Permutation-test kernel the statistics stage used ("batched"/"legacy").
+    stats_kernel: str | None = None
 
     def stage(self, name: str) -> StageReport | None:
         for entry in self.stages:
@@ -106,6 +108,7 @@ class RunReport:
             "resumed_from": self.resumed_from,
             "backend": self.backend,
             "backend_statements": self.backend_statements,
+            "stats_kernel": self.stats_kernel,
         }
 
     @classmethod
@@ -117,6 +120,7 @@ class RunReport:
             resumed_from=data.get("resumed_from"),
             backend=data.get("backend"),
             backend_statements=int(data.get("backend_statements", 0)),
+            stats_kernel=data.get("stats_kernel"),
         )
 
     def summary_lines(self) -> list[str]:
@@ -128,9 +132,10 @@ class RunReport:
             head += f", resumed from {self.resumed_from}"
         lines = [head]
         if self.backend:
-            lines.append(
-                f"  backend      {self.backend:<10} statements={self.backend_statements}"
-            )
+            line = f"  backend      {self.backend:<10} statements={self.backend_statements}"
+            if self.stats_kernel:
+                line += f"  kernel={self.stats_kernel}"
+            lines.append(line)
         for entry in self.stages:
             line = (
                 f"  {entry.name:<12} {entry.status:<10} {entry.seconds:6.2f}s"

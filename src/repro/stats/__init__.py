@@ -1,15 +1,25 @@
 """Statistics substrate: permutation tests, FDR correction, sampling."""
 
 from repro.stats.corrections import benjamini_hochberg, bh_reject, bonferroni
+from repro.stats.kernel import (
+    KERNEL_NAMES,
+    STATS_KERNEL_ENV_VAR,
+    KernelTest,
+    default_stats_kernel,
+    run_batched_tests,
+)
 from repro.stats.parametric import f_variance_greater, levene_variance_greater, welch_mean_greater
 from repro.stats.permutation import (
     DEFAULT_PERMUTATIONS,
     SharedPermutations,
     TestResult,
     mean_difference,
+    mean_stat_from_moments,
     permutation_mean_greater,
     permutation_variance_greater,
+    reduced_permutations,
     variance_difference,
+    variance_stat_from_moments,
 )
 from repro.stats.rng import DEFAULT_SEED, derive_rng, derive_seed
 from repro.stats.sampling import (
@@ -25,16 +35,22 @@ from repro.stats.sampling import (
 __all__ = [
     "DEFAULT_PERMUTATIONS",
     "DEFAULT_SEED",
+    "KERNEL_NAMES",
+    "KernelTest",
+    "STATS_KERNEL_ENV_VAR",
     "SharedPermutations",
     "TestResult",
     "benjamini_hochberg",
     "bh_reject",
     "bonferroni",
+    "default_stats_kernel",
     "derive_rng",
     "derive_seed",
     "f_variance_greater",
     "levene_variance_greater",
     "mean_difference",
+    "mean_stat_from_moments",
+    "run_batched_tests",
     "balanced_sample_for_attribute",
     "minority_preservation",
     "per_attribute_balanced_samples",
@@ -42,8 +58,10 @@ __all__ = [
     "permutation_variance_greater",
     "random_sample",
     "random_sample_indices",
+    "reduced_permutations",
     "unbalanced_sample",
     "unbalanced_sample_indices",
     "variance_difference",
+    "variance_stat_from_moments",
     "welch_mean_greater",
 ]

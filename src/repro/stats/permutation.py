@@ -100,6 +100,42 @@ def variance_difference(x: np.ndarray, y: np.ndarray) -> float:
     return vx - vy
 
 
+def mean_stat_from_moments(
+    x_sum: np.ndarray, total_sum: float, n_x: int, n_y: int
+) -> np.ndarray:
+    """Per-permutation mean-greater statistics from X-side first-moment sums.
+
+    The Y side is never gathered: ``sum(Y) = total - sum(X)`` for every
+    permutation of the pooled sample.  Shared by the legacy (gather-sum)
+    and batched (mask-GEMM) kernels so both evaluate the exact same
+    floating-point expression.
+    """
+    return x_sum / n_x - (total_sum - x_sum) / n_y
+
+
+def variance_stat_from_moments(
+    x_sum: np.ndarray,
+    x_sq_sum: np.ndarray,
+    total_sum: float,
+    total_sq_sum: float,
+    n_x: int,
+    n_y: int,
+) -> np.ndarray:
+    """Per-permutation variance-greater statistics from X-side moment sums.
+
+    Sample variance via the moment identity
+    ``var = (sum(v^2) - sum(v)^2 / n) / (n - 1)`` (ddof=1), with the Y-side
+    moments derived from the pooled totals.  Callers guarantee
+    ``n_x, n_y >= 2`` (a smaller side makes the observed statistic NaN and
+    short-circuits before any permutation is evaluated).
+    """
+    y_sum = total_sum - x_sum
+    y_sq_sum = total_sq_sum - x_sq_sum
+    var_x = (x_sq_sum - x_sum * x_sum / n_x) / (n_x - 1)
+    var_y = (y_sq_sum - y_sum * y_sum / n_y) / (n_y - 1)
+    return var_x - var_y
+
+
 class SharedPermutations:
     """A reusable batch of two-sample label permutations.
 
@@ -110,7 +146,7 @@ class SharedPermutations:
     and makes the per-measure p-values comparable.
     """
 
-    __slots__ = ("n_x", "n_y", "x_indices", "y_indices")
+    __slots__ = ("n_x", "n_y", "x_indices")
 
     def __init__(self, n_x: int, n_y: int, n_permutations: int, rng: np.random.Generator):
         if n_x <= 0 or n_y <= 0:
@@ -122,15 +158,42 @@ class SharedPermutations:
         total = n_x + n_y
         # One shuffled index row per permutation; argsort of uniforms is the
         # standard vectorized way to draw many independent permutations.
+        # Only the X side is stored: the Y side is its complement, and the
+        # moment-sum kernels derive every Y-side quantity from pooled totals,
+        # so the batch costs half the memory it used to.
         uniforms = rng.random((n_permutations, total))
         shuffled = np.argsort(uniforms, axis=1)
-        self.x_indices = shuffled[:, :n_x]
-        self.y_indices = shuffled[:, n_x:]
+        self.x_indices = shuffled[:, :n_x].copy()
         obs.counter("stats.permutation_batches_created").inc()
 
     @property
     def n_permutations(self) -> int:
         return int(self.x_indices.shape[0])
+
+    def membership_mask(self) -> np.ndarray:
+        """The ``(P, n_x + n_y)`` float64 X-membership mask of the batch.
+
+        Row ``p`` holds 1.0 at the pooled positions permutation ``p`` assigns
+        to the X side and 0.0 elsewhere.  ``mask @ moments.T`` then computes
+        every permutation's X-side moment sums in one BLAS call — the
+        batched kernel's core product (see :mod:`repro.stats.kernel`).
+        """
+        mask = np.zeros((self.n_permutations, self.n_x + self.n_y), dtype=np.float64)
+        np.put_along_axis(mask, self.x_indices, 1.0, axis=1)
+        return mask
+
+    def complement_indices(self) -> np.ndarray:
+        """Y-side pooled indices, derived per row as the complement of X.
+
+        Returned sorted within each row; order-insensitive consumers only
+        (sums, medians, quantiles — any statistic of the Y *set*).
+        """
+        total = self.n_x + self.n_y
+        member = np.zeros((self.n_permutations, total), dtype=bool)
+        np.put_along_axis(member, self.x_indices, True, axis=1)
+        rows, cols = np.nonzero(~member)
+        del rows  # row-major np.nonzero already yields per-row sorted columns
+        return cols.reshape(self.n_permutations, self.n_y)
 
     def mean_greater(self, x: np.ndarray, y: np.ndarray) -> TestResult:
         """One-sided mean-greater test of ``x`` over ``y`` reusing the batch."""
@@ -138,9 +201,9 @@ class SharedPermutations:
         x, y = self._check(x, y)
         pooled = np.concatenate([x, y])
         observed = mean_difference(x, y)
-        perm_x_mean = pooled[self.x_indices].mean(axis=1)
-        perm_y_mean = pooled[self.y_indices].mean(axis=1)
-        return _one_sided(observed, perm_x_mean - perm_y_mean)
+        x_sum = pooled[self.x_indices].sum(axis=1)
+        stats = mean_stat_from_moments(x_sum, float(pooled.sum()), self.n_x, self.n_y)
+        return _one_sided(observed, stats)
 
     def variance_greater(self, x: np.ndarray, y: np.ndarray) -> TestResult:
         """One-sided variance-greater test of ``x`` over ``y``."""
@@ -150,10 +213,13 @@ class SharedPermutations:
         if np.isnan(observed):
             return TestResult(observed, 1.0)
         pooled = np.concatenate([x, y])
-        perm_x = pooled[self.x_indices]
-        perm_y = pooled[self.y_indices]
-        diffs = perm_x.var(axis=1, ddof=1) - perm_y.var(axis=1, ddof=1)
-        return _one_sided(observed, diffs)
+        squared = pooled * pooled
+        x_sum = pooled[self.x_indices].sum(axis=1)
+        x_sq_sum = squared[self.x_indices].sum(axis=1)
+        stats = variance_stat_from_moments(
+            x_sum, x_sq_sum, float(pooled.sum()), float(squared.sum()), self.n_x, self.n_y
+        )
+        return _one_sided(observed, stats)
 
     def _check(self, x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         x, y = _clean_pair(x, y)
@@ -168,7 +234,12 @@ class SharedPermutations:
 def _one_sided(observed: float, permuted: np.ndarray) -> TestResult:
     if np.isnan(observed):
         return TestResult(observed, 1.0)
-    extreme = int(np.count_nonzero(permuted >= observed - 1e-12))
+    # The slack absorbs summation-order noise in exact ties (a permutation
+    # that reproduces the observed split must count as extreme no matter
+    # which kernel summed it).  It must scale with the statistic: measures
+    # of magnitude 1e6 carry ulp noise far above any absolute epsilon.
+    slack = 1e-12 * max(1.0, abs(observed))
+    extreme = int(np.count_nonzero(permuted >= observed - slack))
     p = (1.0 + extreme) / (1.0 + permuted.size)
     return TestResult(observed, min(1.0, p))
 

@@ -139,10 +139,21 @@ class TestStatementAccounting:
             assert backend.statements_executed == 0  # the load is not a query
             backend.distinct_values("region")
             backend.materialize_aggregate(("region", "kind"))
+            # The comparison needs the same (region, kind) group-by; the
+            # cross-stage aggregate cache serves it from the all-measure
+            # materialization above, so no further statement is pushed down.
             backend.evaluate_comparison(
                 ComparisonQuery("region", "kind", "x", "y", "amount", "avg")
             )
-            assert backend.statements_executed == 3
+            assert backend.statements_executed == 2
+
+    def test_sqlite_cache_saves_repeat_statements(self, table):
+        with SqliteBackend(table) as backend:
+            backend.materialize_aggregate(("region", "kind"), ["amount"])
+            before = backend.statements_executed
+            again = backend.materialize_aggregate(("kind", "region"), ["amount"])
+            assert backend.statements_executed == before
+            assert again is backend.materialize_aggregate(("region", "kind"), ["amount"])
 
     def test_sqlite_statement_counter_metric(self, table):
         with obs.capture() as (_, metrics):

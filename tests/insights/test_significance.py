@@ -119,6 +119,28 @@ class TestTestCandidates:
         )
         assert calls and calls[-1][0] == calls[-1][1]
 
+    def test_progress_is_per_candidate_with_legacy_kernel(self, planted):
+        candidates = list(enumerate_candidates(planted, measures=["m1"], insight_types=["M"]))
+        calls = []
+        run_candidate_tests(
+            planted, candidates, SignificanceConfig(kernel="legacy"),
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        assert [c[0] for c in calls] == list(range(1, len(candidates) + 1))
+        assert all(total == len(candidates) for _, total in calls)
+
+    def test_progress_monotone_with_batched_kernel(self, planted):
+        candidates = list(enumerate_candidates(planted, measures=["m1", "m2"]))
+        calls = []
+        run_candidate_tests(
+            planted, candidates, SignificanceConfig(kernel="batched"),
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        dones = [c[0] for c in calls]
+        assert len(calls) >= 2                     # finer than one terminal tick
+        assert dones == sorted(dones)
+        assert calls[-1] == (len(candidates), len(candidates))
+
     def test_test_attribute_matches_full_run(self, planted):
         candidates = [
             c for c in enumerate_candidates(planted, measures=["m1"], insight_types=["M"])
@@ -129,6 +151,36 @@ class TestTestCandidates:
             t for t in run_candidate_tests(planted, candidates) if t.candidate.attribute == "g"
         ]
         assert {t.candidate.key for t in via_attr} == {t.candidate.key for t in via_full}
+
+
+class TestFamilyChunks:
+    def test_partition_preserves_order(self, planted):
+        from repro.insights import family_chunks
+
+        candidates = list(enumerate_candidates(planted, measures=["m1"]))
+        chunks = family_chunks(candidates, 4)
+        flattened = [c for chunk in chunks for c in chunk]
+        assert flattened == candidates
+
+    def test_pair_families_never_split(self, planted):
+        from repro.insights import family_chunks
+
+        candidates = list(enumerate_candidates(planted))
+        for size in (1, 2, 5, 50):
+            seen_pairs = set()
+            for chunk in family_chunks(candidates, size):
+                pairs_here = {
+                    (c.attribute, c.pair_key) for c in chunk
+                }
+                # A pair family appearing in two chunks would split a batch.
+                assert not (pairs_here & seen_pairs)
+                seen_pairs |= pairs_here
+
+    def test_chunk_size_validated(self, planted):
+        from repro.insights import family_chunks
+
+        with pytest.raises(StatisticsError):
+            family_chunks([], 0)
 
 
 class TestChunkInvariance:

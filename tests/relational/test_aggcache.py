@@ -1,0 +1,168 @@
+"""Unit tests for the cross-stage aggregate cache."""
+
+import pickle
+import threading
+
+import pytest
+
+from repro import obs
+from repro.relational import table_from_arrays
+from repro.relational.aggcache import AggregateCache
+from repro.relational.cube import MaterializedAggregate
+from repro.stats import derive_rng
+
+
+@pytest.fixture
+def table():
+    rng = derive_rng(7, "aggcache")
+    n = 120
+    return table_from_arrays(
+        {
+            "a": rng.choice(["a0", "a1", "a2"], n),
+            "b": rng.choice(["b0", "b1"], n),
+        },
+        {"m1": rng.normal(0, 1, n), "m2": rng.normal(5, 2, n)},
+    )
+
+
+def builder(table, calls, attrs, measures):
+    def build():
+        calls.append((attrs, measures))
+        return MaterializedAggregate.build(table, attrs, measures)
+
+    return build
+
+
+class TestGetOrBuild:
+    def test_build_once_then_hit(self, table):
+        cache = AggregateCache()
+        calls = []
+        with obs.capture() as (_, metrics):
+            first = cache.get_or_build(
+                "columnar", ("a", "b"), ["m1"], builder(table, calls, ("a", "b"), ["m1"])
+            )
+            second = cache.get_or_build(
+                "columnar", ("a", "b"), ["m1"], builder(table, calls, ("a", "b"), ["m1"])
+            )
+            snap = metrics.snapshot()
+        assert first is second
+        assert len(calls) == 1
+        assert snap["counters"]["cache.aggregate_misses"] == 1
+        assert snap["counters"]["cache.aggregate_hits"] == 1
+
+    def test_attribute_order_is_canonical(self, table):
+        cache = AggregateCache()
+        calls = []
+        one = cache.get_or_build(
+            "columnar", ("b", "a"), ["m1"], builder(table, calls, ("a", "b"), ["m1"])
+        )
+        two = cache.get_or_build(
+            "columnar", ("a", "b"), ["m1"], builder(table, calls, ("a", "b"), ["m1"])
+        )
+        assert one is two and len(calls) == 1
+
+    def test_superset_measures_serve_subset(self, table):
+        cache = AggregateCache()
+        calls = []
+        full = cache.get_or_build(
+            "columnar", ("a", "b"), None, builder(table, calls, ("a", "b"), None)
+        )
+        sub = cache.get_or_build(
+            "columnar", ("a", "b"), ["m1"], builder(table, calls, ("a", "b"), ["m1"])
+        )
+        assert sub is full and len(calls) == 1
+
+    def test_subset_does_not_serve_superset(self, table):
+        cache = AggregateCache()
+        calls = []
+        cache.get_or_build(
+            "columnar", ("a", "b"), ["m1"], builder(table, calls, ("a", "b"), ["m1"])
+        )
+        cache.get_or_build(
+            "columnar", ("a", "b"), ["m1", "m2"],
+            builder(table, calls, ("a", "b"), ["m1", "m2"]),
+        )
+        assert len(calls) == 2
+        assert len(cache) == 2
+
+    def test_backends_partition_the_cache(self, table):
+        """FP parity is per-engine: sqlite entries never serve columnar."""
+        cache = AggregateCache()
+        calls = []
+        one = cache.get_or_build(
+            "columnar", ("a",), ["m1"], builder(table, calls, ("a",), ["m1"])
+        )
+        two = cache.get_or_build(
+            "sqlite", ("a",), ["m1"], builder(table, calls, ("a",), ["m1"])
+        )
+        assert one is not two and len(calls) == 2
+
+    def test_failed_build_releases_reservation(self, table):
+        cache = AggregateCache()
+
+        def boom():
+            raise RuntimeError("synthetic build failure")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_build("columnar", ("a",), ["m1"], boom)
+        calls = []
+        rebuilt = cache.get_or_build(
+            "columnar", ("a",), ["m1"], builder(table, calls, ("a",), ["m1"])
+        )
+        assert rebuilt.n_groups > 0 and len(calls) == 1
+
+    def test_single_flight_under_concurrency(self, table):
+        """Many threads, same key: exactly one build; all share the result."""
+        cache = AggregateCache()
+        build_count = []
+        build_gate = threading.Event()
+
+        def slow_build():
+            build_gate.wait(timeout=5)
+            build_count.append(1)
+            return MaterializedAggregate.build(table, ("a", "b"), ["m1"])
+
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda: results.append(
+                    cache.get_or_build("columnar", ("a", "b"), ["m1"], slow_build)
+                )
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        build_gate.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert len(build_count) == 1
+        assert len(results) == 8
+        assert all(r is results[0] for r in results)
+
+    def test_accounting_helpers(self, table):
+        cache = AggregateCache()
+        assert len(cache) == 0 and cache.total_bytes() == 0
+        cache.get_or_build("columnar", ("a",), ["m1"],
+                           lambda: MaterializedAggregate.build(table, ("a",), ["m1"]))
+        assert len(cache) == 1
+        assert cache.total_bytes() > 0
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestTableAttachment:
+    def test_lazy_singleton_per_table(self, table):
+        cache = table.aggregate_cache()
+        assert table.aggregate_cache() is cache
+
+    def test_pickle_round_trip_drops_cache(self, table):
+        table.aggregate_cache().get_or_build(
+            "columnar", ("a",), ["m1"],
+            lambda: MaterializedAggregate.build(table, ("a",), ["m1"]),
+        )
+        clone = pickle.loads(pickle.dumps(table))
+        assert clone._aggregate_cache is None
+        assert clone.n_rows == table.n_rows
+        # The clone grows a fresh, empty cache on demand.
+        assert len(clone.aggregate_cache()) == 0

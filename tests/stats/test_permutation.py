@@ -37,14 +37,24 @@ class TestSharedPermutations:
     def test_shapes(self, prng):
         batch = SharedPermutations(10, 15, 50, prng)
         assert batch.x_indices.shape == (50, 10)
-        assert batch.y_indices.shape == (50, 15)
+        assert batch.complement_indices().shape == (50, 15)
         assert batch.n_permutations == 50
 
     def test_each_row_is_a_permutation(self, prng):
         batch = SharedPermutations(4, 3, 20, prng)
+        complements = batch.complement_indices()
         for i in range(20):
-            combined = np.concatenate([batch.x_indices[i], batch.y_indices[i]])
+            combined = np.concatenate([batch.x_indices[i], complements[i]])
             assert sorted(combined.tolist()) == list(range(7))
+
+    def test_membership_mask_matches_x_indices(self, prng):
+        batch = SharedPermutations(6, 9, 25, prng)
+        mask = batch.membership_mask()
+        assert mask.shape == (25, 15)
+        assert mask.dtype == np.float64
+        assert np.all(mask.sum(axis=1) == 6.0)
+        for i in range(25):
+            assert set(np.nonzero(mask[i])[0].tolist()) == set(batch.x_indices[i].tolist())
 
     def test_invalid_sizes(self, prng):
         with pytest.raises(StatisticsError):
