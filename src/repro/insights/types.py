@@ -31,6 +31,7 @@ from repro.stats.parametric import f_variance_greater, welch_mean_greater
 from repro.stats.permutation import (
     SharedPermutations,
     TestResult,
+    _one_sided,
     mean_stat_from_moments,
     variance_stat_from_moments,
 )
@@ -193,10 +194,9 @@ class MedianGreater(InsightType):
         # X side stands in for the dropped y_indices array.
         perm_x = np.median(pooled[batch.x_indices], axis=1)
         perm_y = np.median(pooled[batch.complement_indices()], axis=1)
-        diffs = perm_x - perm_y
-        extreme = int(np.count_nonzero(diffs >= observed - 1e-12))
-        p = (1.0 + extreme) / (1.0 + diffs.size)
-        return TestResult(observed, min(1.0, p))
+        # Shared extreme-counting helper: its tie slack scales with the
+        # statistic, so large-magnitude measures tie-count correctly too.
+        return _one_sided(observed, perm_x - perm_y)
 
     def parametric_test(self, x: np.ndarray, y: np.ndarray) -> TestResult:
         # Mood's median test has no directional scipy form; use Welch as a

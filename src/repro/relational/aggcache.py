@@ -18,32 +18,58 @@ its own slice of the pipeline.  :class:`AggregateCache` memoizes
 * **single-flight building** — concurrent requests for the same key build
   once; latecomers wait on a reservation event (the same check-then-build
   discipline as ``PairwiseEvaluator``).
+* **byte-budget LRU eviction** — unlike the transient per-stage aggregates
+  it replaces, the cache lives for the owning ``Table``'s lifetime, so on
+  wide tables it could otherwise pin every pair aggregate at once.  A
+  ``max_bytes`` budget (default :data:`DEFAULT_MAX_BYTES`) bounds the
+  retained footprint with least-recently-used eviction — the same
+  accuracy-for-memory discipline as the Section 5.2.2 byte-budget fallback
+  of ``PartialAggregateCache``.  ``max_bytes=None`` removes the bound;
+  :meth:`clear` drops everything at a stage boundary.
 
-Counters ``cache.aggregate_hits`` / ``cache.aggregate_misses`` and the
-``cache.aggregate_build`` span make reuse visible in every trace and
-benchmark snapshot (see ``docs/observability.md``).
+Counters ``cache.aggregate_hits`` / ``cache.aggregate_misses`` /
+``cache.aggregate_evictions`` and the ``cache.aggregate_build`` span make
+reuse (and memory pressure) visible in every trace and benchmark snapshot
+(see ``docs/observability.md``).
 """
 
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from typing import Callable, Iterable, Sequence
 
 from repro import obs
 from repro.relational.cube import MaterializedAggregate
 
-__all__ = ["AggregateCache"]
+__all__ = ["DEFAULT_MAX_BYTES", "AggregateCache"]
+
+#: Default retained-aggregate budget (256 MiB).  Generous next to any of the
+#: paper's workloads, yet it keeps wide tables from pinning every pair
+#: aggregate of the evaluation phase simultaneously.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 
 
 class AggregateCache:
-    """Memoized, single-flight store of materialized group-by aggregates."""
+    """Memoized, single-flight, byte-bounded store of group-by aggregates."""
 
-    def __init__(self) -> None:
+    def __init__(self, max_bytes: int | None = DEFAULT_MAX_BYTES) -> None:
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be None or non-negative")
         self._lock = threading.Lock()
-        # (backend, attrs) -> list of (measure set or None for all, aggregate)
-        self._entries: dict[tuple, list] = {}
+        self._max_bytes = max_bytes
+        # (backend, attrs, measure set or None for all) -> (aggregate, bytes),
+        # in least-recently-used-first order (hits refresh recency).
+        self._entries: OrderedDict[tuple, tuple[MaterializedAggregate, int]] = (
+            OrderedDict()
+        )
+        self._retained_bytes = 0
         # (backend, attrs, requested measures) -> in-progress build event
         self._building: dict[tuple, threading.Event] = {}
+
+    @property
+    def max_bytes(self) -> int | None:
+        return self._max_bytes
 
     def get_or_build(
         self,
@@ -59,11 +85,10 @@ class AggregateCache:
         """
         attrs = tuple(sorted(attributes))
         want = None if measures is None else frozenset(measures)
-        key = (backend, attrs)
         reservation_key = (backend, attrs, want)
         while True:
             with self._lock:
-                hit = self._find(key, want)
+                hit = self._find(backend, attrs, want)
                 if hit is not None:
                     obs.counter("cache.aggregate_hits").inc()
                     return hit
@@ -81,33 +106,54 @@ class AggregateCache:
                 measures="*" if want is None else len(want),
             ):
                 built = build()
+            nbytes = built.actual_bytes()
             with self._lock:
-                self._entries.setdefault(key, []).append((want, built))
+                self._entries[(backend, attrs, want)] = (built, nbytes)
+                self._retained_bytes += nbytes
+                self._evict_over_budget()
             return built
         finally:
             with self._lock:
                 event = self._building.pop(reservation_key)
             event.set()
 
-    def _find(self, key: tuple, want: frozenset | None) -> MaterializedAggregate | None:
-        for have, aggregate in self._entries.get(key, []):
+    def _find(
+        self, backend: str, attrs: tuple, want: frozenset | None
+    ) -> MaterializedAggregate | None:
+        """Lock held.  A hit refreshes the entry's LRU recency."""
+        for key, (aggregate, _) in self._entries.items():
+            have_backend, have_attrs, have = key
+            if have_backend != backend or have_attrs != attrs:
+                continue
             if have is None or (want is not None and want <= have):
+                self._entries.move_to_end(key)
                 return aggregate
         return None
 
+    def _evict_over_budget(self) -> None:
+        """Lock held.  Drop least-recently-used entries past the budget.
+
+        A single aggregate larger than the whole budget is evicted too: the
+        caller already holds the built object, so correctness is unaffected —
+        the cache simply declines to retain it.
+        """
+        if self._max_bytes is None:
+            return
+        while self._entries and self._retained_bytes > self._max_bytes:
+            _, (_, nbytes) = self._entries.popitem(last=False)
+            self._retained_bytes -= nbytes
+            obs.counter("cache.aggregate_evictions").inc()
+
     def __len__(self) -> int:
         with self._lock:
-            return sum(len(entries) for entries in self._entries.values())
+            return len(self._entries)
 
     def total_bytes(self) -> int:
-        """Measured footprint of every cached aggregate."""
+        """Retained footprint of every cached aggregate (always <= budget)."""
         with self._lock:
-            return sum(
-                aggregate.actual_bytes()
-                for entries in self._entries.values()
-                for _, aggregate in entries
-            )
+            return self._retained_bytes
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._retained_bytes = 0

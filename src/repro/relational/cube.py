@@ -17,6 +17,7 @@ rolling the materialized aggregates up.  This module provides:
 from __future__ import annotations
 
 from itertools import combinations
+from types import MappingProxyType
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
@@ -159,6 +160,10 @@ class MaterializedAggregate:
         return MaterializedAggregate(target, tuple(new_keys), categories, summaries)
 
 
+#: Shared read-only result for series of an absent selection label.
+_EMPTY_SERIES: Mapping[str, float] = MappingProxyType({})
+
+
 class PairAggregate:
     """2-attribute aggregate view used to evaluate comparison queries.
 
@@ -180,19 +185,22 @@ class PairAggregate:
         self.aggregate = aggregate
         self.first = first
         self.second = second
-        self._series_cache: dict[tuple, dict[str, float]] = {}
+        self._series_cache: dict[tuple, Mapping[str, float]] = {}
 
     def _axis(self, attribute: str) -> int:
         return self.aggregate.attributes.index(attribute)
 
-    def series(self, group_attr: str, select_attr: str, label: str, measure: str, agg: str) -> dict[str, float]:
+    def series(self, group_attr: str, select_attr: str, label: str, measure: str, agg: str) -> Mapping[str, float]:
         """Per-``group_attr``-value aggregate of ``measure`` where ``select_attr = label``.
 
         Returns a mapping group label -> aggregate value; groups with no
         matching rows are absent (they would not appear in the SQL result).
         Memoized per view: hypothesis evaluation and rendering repeatedly
-        finalize the same (label, measure, agg) series.  Callers must treat
-        the returned mapping as read-only.
+        finalize the same (label, measure, agg) series.  The mapping is a
+        read-only :class:`types.MappingProxyType` — the view (and thus the
+        memo) is shared across pipeline stages through the cross-stage
+        aggregate cache, so a mutation would corrupt every later consumer;
+        the proxy makes the attempt raise instead.
         """
         memo_key = (group_attr, select_attr, label, measure, agg)
         cached = self._series_cache.get(memo_key)
@@ -204,7 +212,7 @@ class PairAggregate:
         try:
             code = categories.index(str(label))
         except ValueError:
-            return {}
+            return _EMPTY_SERIES
         mask = self.aggregate.keys[select_axis] == code
         group_codes = self.aggregate.keys[group_axis][mask]
         summary = self.aggregate.summaries.get(measure)
@@ -223,8 +231,9 @@ class PairAggregate:
         for gcode, value in zip(group_codes, values):
             label_g = group_categories[gcode] if gcode >= 0 else ""
             out[label_g] = float(value)
-        self._series_cache[memo_key] = out
-        return out
+        frozen = MappingProxyType(out)
+        self._series_cache[memo_key] = frozen
+        return frozen
 
     def aligned_series(
         self, group_attr: str, select_attr: str, label_a: str, label_b: str, measure: str, agg: str

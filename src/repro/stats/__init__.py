@@ -13,6 +13,7 @@ from repro.stats.permutation import (
     DEFAULT_PERMUTATIONS,
     SharedPermutations,
     TestResult,
+    center_pooled,
     mean_difference,
     mean_stat_from_moments,
     permutation_mean_greater,
@@ -43,6 +44,7 @@ __all__ = [
     "benjamini_hochberg",
     "bh_reject",
     "bonferroni",
+    "center_pooled",
     "default_stats_kernel",
     "derive_rng",
     "derive_seed",

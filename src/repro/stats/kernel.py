@@ -8,9 +8,11 @@ the computation so one pass serves every test of a shared batch:
 1. A :class:`~repro.stats.permutation.SharedPermutations` batch is turned
    into its ``(P, n)`` float64 X-membership mask **once**
    (:meth:`~repro.stats.permutation.SharedPermutations.membership_mask`).
-2. The pooled value vectors of all pending tests — and, for variance-type
-   tests, their element-wise squares — are stacked into one ``(R, n)``
-   moment matrix.
+2. The pooled value vectors of all pending tests — centered to zero mean
+   (:func:`~repro.stats.permutation.center_pooled`, which keeps the
+   shift-invariant statistics unchanged while making the one-pass variance
+   identity numerically stable) — and, for variance-type tests, their
+   element-wise squares, are stacked into one ``(R, n)`` moment matrix.
 3. A single BLAS-backed product ``moments @ mask.T`` yields the X-side
    moment sums of every test under every permutation at once; Y-side sums
    come from the pooled totals (``sum(Y) = total − sum(X)``) and are never
@@ -42,7 +44,12 @@ import numpy as np
 
 from repro import obs
 from repro.errors import StatisticsError
-from repro.stats.permutation import SharedPermutations, TestResult, _one_sided
+from repro.stats.permutation import (
+    SharedPermutations,
+    TestResult,
+    _one_sided,
+    center_pooled,
+)
 
 __all__ = [
     "KERNEL_NAMES",
@@ -169,9 +176,11 @@ def _execute_chunk(
     cursor = 0
     for planned in chunk:
         offsets.append(cursor)
-        rows[cursor] = planned.pooled
+        # Same centering expression as the legacy kernel, so both sum the
+        # bitwise-identical moment rows (see center_pooled).
+        rows[cursor] = center_pooled(planned.pooled)
         if planned.itype.moment_order >= 2:
-            np.multiply(planned.pooled, planned.pooled, out=rows[cursor + 1])
+            np.multiply(rows[cursor], rows[cursor], out=rows[cursor + 1])
         cursor += planned.itype.moment_order
     with obs.span(
         "stats.kernel",

@@ -100,6 +100,22 @@ def variance_difference(x: np.ndarray, y: np.ndarray) -> float:
     return vx - vy
 
 
+def center_pooled(pooled: np.ndarray) -> np.ndarray:
+    """The pooled sample shifted to zero mean, as both kernels require.
+
+    Every moment-sum statistic in this module (mean difference, variance
+    difference) is shift-invariant, so centering changes no result — but it
+    is load-bearing for the variance path: the one-pass moment identity
+    ``(sum(v^2) - sum(v)^2/n) / (n-1)`` cancels catastrophically when the
+    mean magnitude dwarfs the variance (values ~1e8 with unit variance lose
+    all significant digits).  On centered data ``sum(v) ~ 0`` and the
+    identity is as stable as the two-pass formula.  Both kernels center the
+    same array with the same expression, so parity is preserved bitwise at
+    the input to the moment sums.
+    """
+    return pooled - pooled.mean()
+
+
 def mean_stat_from_moments(
     x_sum: np.ndarray, total_sum: float, n_x: int, n_y: int
 ) -> np.ndarray:
@@ -108,7 +124,9 @@ def mean_stat_from_moments(
     The Y side is never gathered: ``sum(Y) = total - sum(X)`` for every
     permutation of the pooled sample.  Shared by the legacy (gather-sum)
     and batched (mask-GEMM) kernels so both evaluate the exact same
-    floating-point expression.
+    floating-point expression.  Sums must be taken over the *centered*
+    pooled sample (:func:`center_pooled`); the statistic is shift-invariant
+    so its value is unchanged.
     """
     return x_sum / n_x - (total_sum - x_sum) / n_y
 
@@ -125,9 +143,12 @@ def variance_stat_from_moments(
 
     Sample variance via the moment identity
     ``var = (sum(v^2) - sum(v)^2 / n) / (n - 1)`` (ddof=1), with the Y-side
-    moments derived from the pooled totals.  Callers guarantee
-    ``n_x, n_y >= 2`` (a smaller side makes the observed statistic NaN and
-    short-circuits before any permutation is evaluated).
+    moments derived from the pooled totals.  The identity is numerically
+    safe **only on centered input**: callers must sum moments of
+    :func:`center_pooled` output, or large-mean measures cancel the second
+    moment away.  Callers also guarantee ``n_x, n_y >= 2`` (a smaller side
+    makes the observed statistic NaN and short-circuits before any
+    permutation is evaluated).
     """
     y_sum = total_sum - x_sum
     y_sq_sum = total_sq_sum - x_sq_sum
@@ -199,8 +220,8 @@ class SharedPermutations:
         """One-sided mean-greater test of ``x`` over ``y`` reusing the batch."""
         obs.counter("stats.permutation_tests").inc()
         x, y = self._check(x, y)
-        pooled = np.concatenate([x, y])
         observed = mean_difference(x, y)
+        pooled = center_pooled(np.concatenate([x, y]))
         x_sum = pooled[self.x_indices].sum(axis=1)
         stats = mean_stat_from_moments(x_sum, float(pooled.sum()), self.n_x, self.n_y)
         return _one_sided(observed, stats)
@@ -212,7 +233,7 @@ class SharedPermutations:
         observed = variance_difference(x, y)
         if np.isnan(observed):
             return TestResult(observed, 1.0)
-        pooled = np.concatenate([x, y])
+        pooled = center_pooled(np.concatenate([x, y]))
         squared = pooled * pooled
         x_sum = pooled[self.x_indices].sum(axis=1)
         x_sq_sum = squared[self.x_indices].sum(axis=1)

@@ -109,3 +109,23 @@ class TestMedianGreaterExtension:
 
     def test_not_in_defaults(self):
         assert MEDIAN_GREATER not in DEFAULT_INSIGHT_TYPES
+
+    def test_tie_slack_scales_with_magnitude(self):
+        """The median test shares ``_one_sided``'s relative tie slack: at
+        1e6-scale measures an absolute 1e-12 epsilon underflows the
+        statistic's ulp and would stop absorbing tie noise."""
+        rng = derive_rng(11, "median-ties")
+        x = rng.normal(2.0e6, 1.0e5, 30)
+        y = np.array([1.0e6])
+        batch = SharedPermutations(30, 1, 150, rng)
+        result = MEDIAN_GREATER.test(batch, x, y)
+        pooled = np.concatenate([x, y])
+        diffs = np.median(pooled[batch.x_indices], axis=1) - np.median(
+            pooled[batch.complement_indices()], axis=1
+        )
+        slack = 1e-12 * max(1.0, abs(result.statistic))
+        extreme = int(np.count_nonzero(diffs >= result.statistic - slack))
+        assert result.p_value == (1.0 + extreme) / (1.0 + diffs.size)
+        # n_y == 1 keeps many permutations identical to the observed split;
+        # every one of those exact ties must count as extreme.
+        assert extreme > 0

@@ -148,7 +148,67 @@ class TestGetOrBuild:
         assert len(cache) == 1
         assert cache.total_bytes() > 0
         cache.clear()
-        assert len(cache) == 0
+        assert len(cache) == 0 and cache.total_bytes() == 0
+
+
+def _fill(cache, table, attrs_list):
+    for attrs in attrs_list:
+        cache.get_or_build(
+            "columnar", attrs, ["m1"],
+            lambda attrs=attrs: MaterializedAggregate.build(table, attrs, ["m1"]),
+        )
+
+
+class TestByteBudgetEviction:
+    def test_default_budget_is_bounded(self):
+        from repro.relational.aggcache import DEFAULT_MAX_BYTES
+
+        assert AggregateCache().max_bytes == DEFAULT_MAX_BYTES
+
+    def test_unbounded_cache_retains_everything(self, table):
+        cache = AggregateCache(max_bytes=None)
+        _fill(cache, table, [("a",), ("b",), ("a", "b")])
+        assert len(cache) == 3
+
+    def test_over_budget_evicts_least_recently_used(self, table):
+        a_bytes = MaterializedAggregate.build(table, ("a",), ["m1"]).actual_bytes()
+        ab_bytes = MaterializedAggregate.build(table, ("a", "b"), ["m1"]).actual_bytes()
+        # Exactly enough for the ("a",) and ("a", "b") aggregates together:
+        # adding ("a", "b") must push one single-attribute entry out.
+        cache = AggregateCache(max_bytes=a_bytes + ab_bytes)
+        with obs.capture() as (_, metrics):
+            _fill(cache, table, [("a",), ("b",)])
+            assert len(cache) == 2
+            # Touch ("a",) so ("b",) becomes the LRU victim.
+            cache.get_or_build("columnar", ("a",), ["m1"], lambda: 1 / 0)
+            _fill(cache, table, [("a", "b")])
+            snap = metrics.snapshot()
+        assert snap["counters"]["cache.aggregate_evictions"] >= 1
+        assert cache.total_bytes() <= cache.max_bytes
+        # The refreshed entry survived; the stale one was evicted.
+        calls = []
+        cache.get_or_build(
+            "columnar", ("a",), ["m1"], builder(table, calls, ("a",), ["m1"])
+        )
+        assert calls == []
+        cache.get_or_build(
+            "columnar", ("b",), ["m1"], builder(table, calls, ("b",), ["m1"])
+        )
+        assert len(calls) == 1
+
+    def test_entry_larger_than_budget_is_not_retained(self, table):
+        cache = AggregateCache(max_bytes=1)
+        built = cache.get_or_build(
+            "columnar", ("a", "b"), ["m1"],
+            lambda: MaterializedAggregate.build(table, ("a", "b"), ["m1"]),
+        )
+        # The caller still gets the aggregate; the cache declines to keep it.
+        assert built.n_groups > 0
+        assert len(cache) == 0 and cache.total_bytes() == 0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="max_bytes"):
+            AggregateCache(max_bytes=-1)
 
 
 class TestTableAttachment:

@@ -90,6 +90,20 @@ class TestPairAggregate:
         view = PairAggregate(agg, "a", "b")
         assert view.series("a", "b", "nothere", "m1", "sum") == {}
 
+    def test_series_is_read_only(self, table):
+        """The memoized series is shared across pipeline stages through the
+        cross-stage aggregate cache; mutating it must raise, not silently
+        corrupt every later consumer."""
+        agg = MaterializedAggregate.build(table, ["a", "b"])
+        view = agg.pair_view("a", "b")
+        series = view.series("a", "b", "b0", "m1", "avg")
+        with pytest.raises(TypeError):
+            series["a0"] = -1.0  # type: ignore[index]
+        with pytest.raises(TypeError):
+            view.series("a", "b", "nothere", "m1", "sum")["x"] = 0.0  # type: ignore[index]
+        # The shared view still serves the untouched memo.
+        assert agg.pair_view("a", "b").series("a", "b", "b0", "m1", "avg") == dict(series)
+
     def test_unknown_measure_raises(self, table):
         agg = MaterializedAggregate.build(table, ["a", "b"], measures=["m1"])
         view = PairAggregate(agg, "a", "b")
