@@ -28,6 +28,7 @@ from _harness import cli_main, print_report, run_once
 from repro.datasets import enedis_table
 from repro.evaluation import render_table
 from repro.generation import GenerationConfig, generate_comparison_queries
+from repro.parallel import ParallelConfig
 
 PAPER_NOTE = """paper (24-core Xeon, Java threads): big speedup 1->8, gains to 16,
 diminishing beyond; here the 'processes' backend shows the shape on 2
@@ -39,7 +40,8 @@ def run_experiment(scale: float, sweep) -> list[tuple[str, int, float, float, fl
     rows = []
     for backend, n in sweep:
         config = GenerationConfig(
-            n_threads=n, parallel_backend=backend, evaluator="setcover"
+            parallel=ParallelConfig(workers=n, backend=backend),
+            evaluator="setcover",
         )
         start = time.perf_counter()
         outcome = generate_comparison_queries(table, config)

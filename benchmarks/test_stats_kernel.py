@@ -18,14 +18,23 @@ kernels on two workloads and records the results as gauges, so
   hypothesis evaluation already materialized) and that both kernels agree
   test-for-test.
 
+A third workload sweeps the sharded process pool over the statistics
+stage at ``workers`` in {1, 2, 4} (the PR 5 execution layer), asserting
+bit-identical test results at every worker count and recording honest
+wall-clock numbers next to ``cpu_count`` — on a single-core container the
+pool cannot beat the serial run and the row says so rather than hiding it.
+
 Gauges written (all under ``bench.stats.*``):
 ``wide_legacy_seconds`` / ``wide_batched_seconds`` / ``wide_speedup``,
 ``enedis_legacy_seconds`` / ``enedis_batched_seconds`` /
-``enedis_speedup``, ``enedis_aggregate_hits``, ``parity_mismatches``.
+``enedis_speedup``, ``enedis_aggregate_hits``, ``parity_mismatches``,
+``workers_{1,2,4}_seconds``, ``workers_speedup``,
+``workers_parity_mismatches``, ``cpu_count``.
 """
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 from pathlib import Path
@@ -39,7 +48,9 @@ from _harness import cli_main, print_report, run_once
 from repro import obs
 from repro.datasets import enedis_table
 from repro.generation import GenerationConfig
+from repro.generation.generator import run_stats_stage
 from repro.insights import SignificanceConfig, enumerate_candidates, run_significance_tests
+from repro.parallel import ParallelConfig
 from repro.relational import table_from_arrays
 from repro.runtime import resilient_generate, resilient_render
 from repro.stats import derive_rng
@@ -126,6 +137,50 @@ def run_enedis(quick: bool) -> dict:
     return result
 
 
+def run_worker_scaling(quick: bool) -> dict:
+    """The sharded pool over the statistics stage at 1/2/4 workers.
+
+    Results must be bit-identical at every worker count (the PR 5
+    determinism contract); wall-clock is recorded next to ``cpu_count``
+    so the speedup — or its physical impossibility on one core — is
+    reported honestly.
+    """
+    table = enedis_table(0.05 if quick else 0.15)
+    seconds: dict[int, float] = {}
+    reference: list | None = None
+    mismatches = 0
+    for workers in (1, 2, 4):
+        config = GenerationConfig(
+            significance=SignificanceConfig(n_permutations=100 if quick else 300),
+            parallel=ParallelConfig(workers=workers, chunk_size=50),
+        )
+        start = time.perf_counter()
+        stats = run_stats_stage(table, config)
+        seconds[workers] = time.perf_counter() - start
+        output = [
+            (t.candidate.key, t.statistic, t.p_value, t.p_adjusted)
+            for t in stats.significant
+        ]
+        if reference is None:
+            reference = output
+        else:
+            mismatches += sum(1 for a, b in zip(reference, output) if a != b)
+            mismatches += abs(len(reference) - len(output))
+        obs.gauge(f"bench.stats.workers_{workers}_seconds").set(seconds[workers])
+    cpus = os.cpu_count() or 1
+    speedup = seconds[1] / seconds[4]
+    obs.gauge("bench.stats.workers_speedup").set(speedup)
+    obs.gauge("bench.stats.workers_parity_mismatches").set(mismatches)
+    obs.gauge("bench.stats.cpu_count").set(cpus)
+    return {
+        "seconds": seconds,
+        "speedup": speedup,
+        "mismatches": mismatches,
+        "cpu_count": cpus,
+        "n_significant": len(reference or []),
+    }
+
+
 def build_report(wide: dict, enedis: dict) -> str:
     lines = [
         f"{'workload':<16}{'candidates':>11}{'legacy':>9}{'batched':>9}{'speedup':>9}",
@@ -144,6 +199,24 @@ def build_report(wide: dict, enedis: dict) -> str:
     return "\n".join(lines)
 
 
+def build_workers_report(scaling: dict) -> str:
+    lines = [
+        f"{'workers':<10}{'stats stage (s)':>16}",
+    ]
+    for workers, seconds in sorted(scaling["seconds"].items()):
+        lines.append(f"{workers:<10}{seconds:>15.2f}s")
+    lines.append("")
+    lines.append(
+        f"speedup 1->4: {scaling['speedup']:.2f}x on {scaling['cpu_count']} "
+        f"core(s); parity mismatches: {scaling['mismatches']} over "
+        f"{scaling['n_significant']} significant insights"
+    )
+    if scaling["cpu_count"] < 2:
+        lines.append("(single-core host: a >1x speedup is physically impossible; "
+                     "the determinism check is the meaningful signal here)")
+    return "\n".join(lines)
+
+
 def main(quick: bool = False) -> None:
     wide = run_wide(quick)
     enedis = run_enedis(quick)
@@ -151,6 +224,9 @@ def main(quick: bool = False) -> None:
         wide["mismatches"] + enedis["mismatches"]
     )
     print_report("Stats kernel — batched mask-GEMM vs legacy gather", build_report(wide, enedis))
+    scaling = run_worker_scaling(quick)
+    print_report("Sharded pool — worker scaling over the stats stage",
+                 build_workers_report(scaling))
 
 
 def test_stats_kernel_wide(benchmark, capsys):
@@ -169,6 +245,16 @@ def test_stats_kernel_enedis_cache(benchmark, capsys):
         print_report("Stats kernel (quick) — enedis end to end", str(result))
     assert result["mismatches"] == 0
     assert result["aggregate_hits"] > 0
+
+
+def test_stats_kernel_worker_scaling(benchmark, capsys):
+    result = run_once(benchmark, run_worker_scaling, True)
+    with capsys.disabled():
+        print_report("Worker scaling (quick)", build_workers_report(result))
+    # Determinism is unconditional; speedup depends on physics.
+    assert result["mismatches"] == 0
+    if result["cpu_count"] >= 4:
+        assert result["speedup"] > 1.2, result
 
 
 if __name__ == "__main__":

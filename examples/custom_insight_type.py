@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import GenerationConfig, NotebookGenerator
+import repro
 from repro.datasets import covid_table
 from repro.insights import InsightType, register_insight_type
 from repro.stats import SharedPermutations, TestResult, welch_mean_greater
@@ -41,8 +41,10 @@ class RangeGreater(InsightType):
         x, y = x[~np.isnan(x)], y[~np.isnan(y)]
         observed = self.observed_statistic(x, y)
         pooled = np.concatenate([x, y])
+        # Only the X side is stored on the batch; the (order-insensitive)
+        # range statistic can take the Y side from its sorted complement.
         perm_x = pooled[batch.x_indices]
-        perm_y = pooled[batch.y_indices]
+        perm_y = pooled[batch.complement_indices()]
         diffs = (perm_x.max(axis=1) - perm_x.min(axis=1)) - (
             perm_y.max(axis=1) - perm_y.min(axis=1)
         )
@@ -69,8 +71,11 @@ def main() -> None:
     register_insight_type(RangeGreater(), replace=True)
 
     covid = covid_table(800)
-    config = GenerationConfig(insight_types=("M", "V", "D", "R"))
-    run = NotebookGenerator(config).generate(covid, budget=6, progress=print)
+    config = repro.ReproConfig(budget=6).with_generation(
+        insight_types=("M", "V", "D", "R")
+    )
+    with repro.Session(covid, config=config) as session:
+        run = session.generate(progress=print)
 
     print(f"\nnotebook with {len(run.selected)} queries; insight types present:")
     codes = sorted(

@@ -17,9 +17,9 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-from repro import NotebookGenerator, read_csv
+import repro
 from repro.datasets import covid_table
-from repro.notebook import to_sql_script, write_ipynb
+from repro.notebook import to_sql_script
 from repro.relational import write_csv
 
 
@@ -31,27 +31,28 @@ def main() -> None:
     write_csv(covid_table(800), csv_path)
     print(f"demo dataset written to {csv_path}")
 
-    # 2. Load with type inference: low-cardinality/textual columns become
-    #    categorical attributes, numeric columns become measures.
-    table = read_csv(csv_path)
-    print(f"loaded {table.n_rows} rows, schema: {table.schema}")
+    # 2-3. One Session owns the loaded table, its aggregate cache, the
+    #    execution backend, and the trace; generate() runs the pipeline
+    #    (statistical tests -> hypothesis queries -> TAP) under the
+    #    resilient controller.  Set workers=N for the sharded process
+    #    pool — results are identical at any worker count.
+    config = repro.ReproConfig(budget=6)
+    with repro.Session(csv_path, config=config) as session:
+        print(f"loaded {session.table.n_rows} rows, schema: {session.table.schema}")
+        run = session.generate(progress=print)
+        print(f"\nnotebook of {len(run.selected)} comparison queries "
+              f"(total interest {run.solution.interest:.3f}, "
+              f"path distance {run.solution.distance:.2f} <= eps_d {run.epsilon_distance:.2f})")
+        for rank, generated in enumerate(run.selected, start=1):
+            print(f"  {rank}. {generated.query.describe()}  "
+                  f"[interest {generated.interest:.3f}, {len(generated.supported)} insight(s)]")
 
-    # 3. Generate: statistical tests -> hypothesis queries -> TAP.
-    generator = NotebookGenerator()
-    run = generator.generate(table, budget=6, progress=print)
-    print(f"\nnotebook of {len(run.selected)} comparison queries "
-          f"(total interest {run.solution.interest:.3f}, "
-          f"path distance {run.solution.distance:.2f} <= eps_d {run.epsilon_distance:.2f})")
-    for rank, generated in enumerate(run.selected, start=1):
-        print(f"  {rank}. {generated.query.describe()}  "
-              f"[interest {generated.interest:.3f}, {len(generated.supported)} insight(s)]")
-
-    # 4. Render.
-    notebook = run.to_notebook(table, table_name="covid", title="COVID-19 comparisons")
-    ipynb_path = workdir / "covid_comparisons.ipynb"
-    sql_path = workdir / "covid_comparisons.sql"
-    write_ipynb(notebook, ipynb_path)
-    sql_path.write_text(to_sql_script(notebook), encoding="utf-8")
+        # 4. Render.
+        ipynb_path = workdir / "covid_comparisons.ipynb"
+        sql_path = workdir / "covid_comparisons.sql"
+        notebook = session.render(run, title="COVID-19 comparisons")
+        session.write_notebook(run, ipynb_path, title="COVID-19 comparisons")
+        sql_path.write_text(to_sql_script(notebook), encoding="utf-8")
     print(f"\nwrote {ipynb_path}")
     print(f"wrote {sql_path}")
     print("\nfirst SQL cell:\n")

@@ -19,7 +19,7 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro import NotebookGenerator
+import repro
 from repro.datasets import enedis_table
 from repro.persistence import load_outcome, resolve_outcome, save_run
 
@@ -28,7 +28,8 @@ def main() -> None:
     table = enedis_table(0.2)
 
     start = time.perf_counter()
-    run = NotebookGenerator().generate(table, budget=10)
+    with repro.Session(table, config=repro.ReproConfig(budget=10)) as session:
+        run = session.generate()
     generation_seconds = time.perf_counter() - start
     path = workdir / "enedis_run.json"
     save_run(run, path)

@@ -3,12 +3,21 @@ for interactive data exploration" (Chanson et al., EDBT 2022).
 
 Quickstart::
 
-    from repro import NotebookGenerator, read_csv
-    from repro.notebook import write_ipynb
+    import repro
 
-    table = read_csv("mydata.csv")
-    run = NotebookGenerator().generate(table, budget=10)
-    write_ipynb(run.to_notebook(table, table_name="mydata"), "out.ipynb")
+    run = repro.generate_notebook("mydata.csv", out="mydata.ipynb")
+
+or, keeping resources (table, aggregate cache, backend, tracer) across
+several runs::
+
+    config = repro.ReproConfig(budget=8).with_parallel(workers=4)
+    with repro.Session("mydata.csv", config=config) as session:
+        run = session.generate()
+        session.write_notebook(run, "mydata.ipynb")
+
+The stable integration surface is :mod:`repro.api` plus
+:class:`repro.ReproConfig`; the older :class:`NotebookGenerator` facade
+still works but is a deprecation shim.
 
 Subpackages
 -----------
@@ -36,6 +45,9 @@ Subpackages
 
 from repro.errors import ReproError
 from repro.generation import GenerationConfig, NotebookGenerator, NotebookRun, preset
+from repro.api import Session, generate_notebook
+from repro.config import ReproConfig
+from repro.parallel import ParallelConfig
 from repro.persistence import load_outcome, load_run, resolve_outcome, save_outcome, save_run
 from repro.queries import ComparisonQuery
 from repro.relational import Table, read_csv, read_csv_text
@@ -73,8 +85,12 @@ __all__ = [
     "GenerationConfig",
     "NotebookGenerator",
     "NotebookRun",
+    "ParallelConfig",
+    "ReproConfig",
     "ReproError",
+    "Session",
     "Table",
+    "generate_notebook",
     "load_outcome",
     "load_run",
     "preset",

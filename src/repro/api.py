@@ -1,0 +1,234 @@
+"""The stable high-level API: ``repro.Session`` and ``repro.generate_notebook``.
+
+This module is the supported integration surface.  Everything else in the
+package is importable, but only this facade (plus the config objects it
+consumes) carries a compatibility promise across versions.
+
+One call::
+
+    import repro
+
+    run = repro.generate_notebook("mydata.csv", out="mydata.ipynb")
+
+Several runs over one dataset — the :class:`Session` owns the loaded
+:class:`~repro.relational.table.Table`, its cross-stage aggregate cache,
+one execution backend, and the observability stack, so repeated runs reuse
+all of them::
+
+    config = repro.ReproConfig(budget=8).with_parallel(workers=4)
+    with repro.Session("mydata.csv", config=config) as session:
+        run = session.generate()
+        session.write_notebook(run, "mydata.ipynb")
+        print(run.report.summary_lines())
+
+Every run goes through the resilient controller
+(:func:`repro.runtime.resilient_generate`): deadlines degrade stages
+instead of failing, checkpoints make runs resumable, and the attached
+:class:`~repro.runtime.report.RunReport` records what happened.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable
+
+from repro import obs
+from repro.config import ReproConfig
+from repro.errors import ReproError
+from repro.generation.pipeline import NotebookRun
+from repro.notebook.cells import Notebook
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Tracer
+from repro.relational import Table, read_csv
+
+__all__ = ["Session", "generate_notebook"]
+
+
+class Session:
+    """One dataset, many runs: the owner of every long-lived resource.
+
+    Parameters
+    ----------
+    source:
+        A :class:`~repro.relational.table.Table`, or a CSV path
+        (``str`` / :class:`~pathlib.Path`) loaded strictly.  May be
+        ``None`` only to resume a checkpoint that already contains the
+        generation stage (pass ``resume=`` to :meth:`generate`).
+    config:
+        A :class:`~repro.config.ReproConfig`; defaults honour the
+        ``REPRO_*`` environment the way the CLI does.
+    table_name:
+        Name used in generated SQL and notebook titles; defaults to the
+        CSV stem (or ``"dataset"`` for in-memory tables).
+
+    The session owns the table (and therefore its
+    :class:`~repro.relational.aggcache.AggregateCache`), one lazily
+    created execution backend reused across runs, and a private
+    tracer/metrics pair — concurrent runs in one process don't trample
+    each other's traces.  Use it as a context manager, or call
+    :meth:`close` to release the backend.
+    """
+
+    def __init__(
+        self,
+        source: Table | str | Path | None,
+        *,
+        config: ReproConfig | None = None,
+        table_name: str | None = None,
+    ):
+        self.config = config or ReproConfig()
+        if source is None:
+            self.table = None
+            self.table_name = table_name or "dataset"
+        elif isinstance(source, Table):
+            self.table = source
+            self.table_name = table_name or "dataset"
+        elif isinstance(source, (str, Path)):
+            path = Path(source)
+            self.table = read_csv(path, strict=True)
+            self.table_name = table_name or path.stem
+        else:
+            raise ReproError(
+                f"source must be a Table or a CSV path, got {type(source).__name__}"
+            )
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+        self._backend = None
+        self._closed = False
+
+    # -- owned resources -----------------------------------------------------
+
+    @property
+    def backend(self):
+        """The session's execution backend (created on first use)."""
+        if self._closed:
+            raise ReproError("session is closed")
+        if self.table is None:
+            raise ReproError("a table-less session has no execution backend")
+        if self._backend is None:
+            from repro.backend import create_backend
+
+            self._backend = create_backend(self.config.backend, self.table)
+        return self._backend
+
+    @property
+    def aggregate_cache(self):
+        """The table's cross-stage aggregate cache."""
+        return self.table.aggregate_cache()
+
+    def close(self) -> None:
+        """Release the backend.  Idempotent."""
+        if self._backend is not None:
+            self._backend.close()
+            self._backend = None
+        self._closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- runs ----------------------------------------------------------------
+
+    def generate(
+        self,
+        *,
+        budget: float | None = None,
+        epsilon_distance: float | None = None,
+        deadline_seconds: float | None = None,
+        checkpoint_path: Path | None = None,
+        resume=None,
+        faults=None,
+        policy=None,
+        progress: Callable[[str], None] | None = None,
+    ) -> NotebookRun:
+        """Run the full pipeline under the resilient controller.
+
+        Keyword arguments override the corresponding
+        :class:`~repro.config.ReproConfig` fields for this run only.
+        """
+        from repro.runtime import resilient_generate
+
+        cfg = self.config
+        with obs.use(self.tracer, self.metrics):
+            return resilient_generate(
+                self.table,
+                cfg.generation,
+                budget=cfg.budget if budget is None else budget,
+                epsilon_distance=(
+                    cfg.epsilon_distance if epsilon_distance is None
+                    else epsilon_distance
+                ),
+                solver=cfg.solver,
+                exact_timeout=cfg.exact_timeout,
+                max_exact_queries=cfg.max_exact_queries,
+                deadline_seconds=(
+                    cfg.deadline_seconds if deadline_seconds is None
+                    else deadline_seconds
+                ),
+                policy=policy,
+                faults=faults,
+                checkpoint_path=checkpoint_path,
+                resume=resume,
+                progress=progress,
+                backend=self.backend if self.table is not None else None,
+            )
+
+    def render(
+        self,
+        run: NotebookRun,
+        *,
+        title: str | None = None,
+        include_previews: bool = True,
+        faults=None,
+    ) -> Notebook:
+        """Render a run as a notebook (with the render degradation ladder)."""
+        from repro.runtime import resilient_render
+
+        with obs.use(self.tracer, self.metrics):
+            return resilient_render(
+                run,
+                self.table,
+                table_name=self.table_name,
+                title=title or f"Comparison notebook — {self.table_name}",
+                include_previews=include_previews,
+                faults=faults,
+            )
+
+    def write_notebook(
+        self,
+        run: NotebookRun,
+        path: str | Path,
+        *,
+        title: str | None = None,
+        include_previews: bool = True,
+    ) -> Path:
+        """Render ``run`` and write it as ``.ipynb``; returns the path."""
+        from repro.notebook import write_ipynb
+
+        path = Path(path)
+        notebook = self.render(run, title=title, include_previews=include_previews)
+        write_ipynb(notebook, path)
+        return path
+
+
+def generate_notebook(
+    source: Table | str | Path,
+    *,
+    config: ReproConfig | None = None,
+    out: str | Path | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> NotebookRun:
+    """One-call pipeline: load, generate, optionally write the notebook.
+
+    Equivalent to a single-run :class:`Session`; pass ``out`` to also
+    write the rendered ``.ipynb``.  Returns the
+    :class:`~repro.generation.pipeline.NotebookRun` (inspect
+    ``run.selected``, ``run.report``, ``run.to_notebook()``).
+    """
+    with Session(source, config=config) as session:
+        run = session.generate(progress=progress)
+        if out is not None:
+            session.write_notebook(run, out)
+        return run

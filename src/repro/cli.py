@@ -47,11 +47,14 @@ import sys
 from pathlib import Path
 
 from repro import __version__, obs
+from repro.api import Session
 from repro.backend import BACKEND_NAMES
+from repro.config import ReproConfig
+from repro.parallel import PARALLEL_BACKEND_NAMES
 from repro.stats import KERNEL_NAMES
 from repro.datasets import covid_table, enedis_table, flights_table, vaccine_table
 from repro.errors import ReproError
-from repro.generation import GenerationConfig, preset, preset_names
+from repro.generation import preset, preset_names
 from repro.insights import count_comparison_queries, table_adom_sizes
 from repro.notebook import to_sql_script, write_ipynb
 from repro.relational import collect_statistics, detect_functional_dependencies, read_csv, write_csv
@@ -88,20 +91,36 @@ def build_parser() -> argparse.ArgumentParser:
                      help="sampling rate for sampling presets (default 0.1)")
     gen.add_argument("--permutations", type=int, default=200,
                      help="permutations per statistical test (default 200)")
-    gen.add_argument("--threads", type=int, default=1, help="workers (default 1)")
-    gen.add_argument("--backend", choices=BACKEND_NAMES, default=None,
-                     help="execution backend for scans and group-bys: columnar "
-                          "(in-process NumPy, default) or sqlite (SQL pushdown); "
-                          "default honours $REPRO_BACKEND")
-    gen.add_argument("--stats-kernel", choices=KERNEL_NAMES, default=None,
-                     help="permutation-test kernel: batched (one BLAS product "
-                          "per shared batch, default) or legacy (per-test "
-                          "gather); default honours $REPRO_STATS_KERNEL")
-    gen.add_argument("--parallel-backend", choices=("threads", "processes"),
-                     default="threads",
-                     help="parallel backend for the test phase (processes beats the GIL)")
     gen.add_argument("--solver", choices=("heuristic", "exact"), default=None,
                      help="TAP solver (default from preset, else heuristic)")
+
+    # One home for every execution knob; the CI matrix drives the same
+    # four dimensions through $REPRO_BACKEND / $REPRO_STATS_KERNEL /
+    # $REPRO_WORKERS.  None of them ever changes results — only speed.
+    execution = gen.add_argument_group(
+        "execution",
+        "how the pipeline runs (results are identical for every choice)")
+    execution.add_argument("--backend", choices=BACKEND_NAMES, default=None,
+                           help="execution backend for scans and group-bys: "
+                                "columnar (in-process NumPy, default) or sqlite "
+                                "(SQL pushdown); default honours $REPRO_BACKEND")
+    execution.add_argument("--stats-kernel", choices=KERNEL_NAMES, default=None,
+                           help="permutation-test kernel: batched (one BLAS "
+                                "product per shared batch, default) or legacy "
+                                "(per-test gather); default honours "
+                                "$REPRO_STATS_KERNEL")
+    execution.add_argument("--workers", type=int, default=None,
+                           help="worker count for the statistics and "
+                                "hypothesis-evaluation stages (default "
+                                "honours $REPRO_WORKERS, else 1 = in-process)")
+    execution.add_argument("--parallel-backend", choices=PARALLEL_BACKEND_NAMES,
+                           default=None,
+                           help="pool flavour when --workers > 1: processes "
+                                "(sharded subprocess pool, default) or threads "
+                                "(shared-memory, GIL-bound)")
+    # Hidden alias: the pre-5.x spelling of --workers keeps working.
+    execution.add_argument("--threads", type=int, default=None, dest="workers",
+                           help=argparse.SUPPRESS)
     gen.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
                      help="wall-clock budget; stages degrade instead of overrunning")
     gen.add_argument("--checkpoint", type=Path, default=None, metavar="PATH",
@@ -131,7 +150,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="sampling rate for sampling presets (default 0.1)")
     prof.add_argument("--permutations", type=int, default=200,
                       help="permutations per statistical test (default 200)")
-    prof.add_argument("--threads", type=int, default=1, help="workers (default 1)")
+    prof.add_argument("--workers", type=int, default=None,
+                      help="worker count (default honours $REPRO_WORKERS)")
+    prof.add_argument("--threads", type=int, default=None, dest="workers",
+                      help=argparse.SUPPRESS)
     prof.add_argument("--backend", choices=BACKEND_NAMES, default=None,
                       help="execution backend (columnar or sqlite)")
     prof.add_argument("--stats-kernel", choices=KERNEL_NAMES, default=None,
@@ -190,12 +212,39 @@ def _configure_logging(verbose: bool, quiet: bool) -> None:
     root.addHandler(handler)
 
 
+def _config_from_args(args: argparse.Namespace) -> ReproConfig:
+    """One :class:`ReproConfig` from the shared generate/profile flags."""
+    if getattr(args, "preset", None):
+        generator = preset(args.preset, sample_rate=args.sample_rate)
+        config = ReproConfig(
+            generation=generator.config,
+            solver=generator.solver,
+            exact_timeout=generator.exact_timeout,
+        )
+    else:
+        config = ReproConfig().with_significance(n_permutations=args.permutations)
+    if getattr(args, "backend", None):
+        config = config.with_generation(backend=args.backend)
+    if getattr(args, "stats_kernel", None):
+        config = config.with_significance(kernel=args.stats_kernel)
+    parallel_changes = {}
+    if getattr(args, "workers", None):
+        parallel_changes["workers"] = args.workers
+    if getattr(args, "parallel_backend", None):
+        parallel_changes["backend"] = args.parallel_backend
+    if parallel_changes:
+        config = config.with_parallel(**parallel_changes)
+    if getattr(args, "solver", None):
+        config = config.replace(solver=args.solver)
+    return config
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     from repro.persistence import load_checkpoint, save_run
-    from repro.runtime import parse_fault_plan, resilient_generate, resilient_render
 
     say = (lambda m: None) if args.quiet else (lambda m: print(f"[repro] {m}"))
-    obs.reset()
+    from repro.runtime import parse_fault_plan
+
     faults = parse_fault_plan(os.environ.get("REPRO_FAULTS"))
     if faults.active:
         say("fault injection active (REPRO_FAULTS)")
@@ -212,117 +261,69 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         )
     table_name = args.table_name or (args.csv.stem if args.csv else "dataset")
 
-    from dataclasses import replace
-
-    if args.preset:
-        generator = preset(args.preset, sample_rate=args.sample_rate)
-        config, solver, exact_timeout = (
-            generator.config, generator.solver, generator.exact_timeout
-        )
-    else:
-        config = GenerationConfig(
-            n_threads=args.threads, parallel_backend=args.parallel_backend
-        )
-        config = replace(
-            config, significance=replace(config.significance, n_permutations=args.permutations)
-        )
-        solver, exact_timeout = "heuristic", 60.0
-    if args.backend:
-        config = replace(config, backend=args.backend)
-    if args.stats_kernel:
-        config = replace(
-            config, significance=replace(config.significance, kernel=args.stats_kernel)
-        )
-    if args.solver:
-        solver = args.solver
-
-    run = resilient_generate(
-        table,
-        config,
+    config = _config_from_args(args).replace(
         budget=args.budget,
         epsilon_distance=args.epsilon_distance,
-        solver=solver,
-        exact_timeout=exact_timeout,
         deadline_seconds=args.deadline,
-        faults=faults,
-        checkpoint_path=args.checkpoint,
-        resume=resume,
-        progress=say,
     )
 
-    if not run.selected:
-        _print_report(run, args.quiet)
-        print("no significant comparison insights found; nothing to write", file=sys.stderr)
-        return 1
+    with Session(table, config=config, table_name=table_name) as session:
+        run = session.generate(
+            checkpoint_path=args.checkpoint,
+            resume=resume,
+            faults=faults,
+            progress=say,
+        )
 
-    say(f"selected {len(run.selected)} queries "
-        f"(interest {run.solution.interest:.3f}, distance {run.solution.distance:.2f})")
-    for rank, g in enumerate(run.selected, start=1):
-        say(f"  {rank}. {g.query.describe()}")
+        if not run.selected:
+            _print_report(run, args.quiet)
+            print("no significant comparison insights found; nothing to write",
+                  file=sys.stderr)
+            return 1
 
-    out = args.out or (
-        args.csv.with_suffix(".comparisons.ipynb") if args.csv else Path("comparisons.ipynb")
-    )
-    notebook = resilient_render(
-        run, table, table_name=table_name,
-        title=f"Comparison notebook — {table_name}",
-        include_previews=not args.no_previews,
-        faults=faults,
-    )
-    write_ipynb(notebook, out)
-    print(f"wrote {out}")
-    if args.sql_out:
-        args.sql_out.write_text(to_sql_script(notebook), encoding="utf-8")
-        print(f"wrote {args.sql_out}")
-    if args.save_run:
-        save_run(run, args.save_run)
-        print(f"wrote {args.save_run}")
-    if args.trace:
-        obs.write_chrome_trace(obs.current_tracer(), args.trace, obs.current_metrics())
-        say(f"wrote trace {args.trace}")
-    say(obs.metrics_summary_line(obs.current_metrics()))
+        say(f"selected {len(run.selected)} queries "
+            f"(interest {run.solution.interest:.3f}, distance {run.solution.distance:.2f})")
+        for rank, g in enumerate(run.selected, start=1):
+            say(f"  {rank}. {g.query.describe()}")
+
+        out = args.out or (
+            args.csv.with_suffix(".comparisons.ipynb") if args.csv else Path("comparisons.ipynb")
+        )
+        notebook = session.render(
+            run,
+            title=f"Comparison notebook — {table_name}",
+            include_previews=not args.no_previews,
+            faults=faults,
+        )
+        write_ipynb(notebook, out)
+        print(f"wrote {out}")
+        if args.sql_out:
+            args.sql_out.write_text(to_sql_script(notebook), encoding="utf-8")
+            print(f"wrote {args.sql_out}")
+        if args.save_run:
+            save_run(run, args.save_run)
+            print(f"wrote {args.save_run}")
+        if args.trace:
+            obs.write_chrome_trace(session.tracer, args.trace, session.metrics)
+            say(f"wrote trace {args.trace}")
+        say(obs.metrics_summary_line(session.metrics))
     _print_report(run, args.quiet)
     return 0
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
     """Run the pipeline purely for its observability output."""
-    from repro.runtime import resilient_generate, resilient_render
-
-    from dataclasses import replace
-
-    obs.reset()
     table = read_csv(args.csv, strict=True)
-    if args.preset:
-        generator = preset(args.preset, sample_rate=args.sample_rate)
-        config, solver, exact_timeout = (
-            generator.config, generator.solver, generator.exact_timeout
-        )
-    else:
-        config = GenerationConfig(n_threads=args.threads)
-        config = replace(
-            config, significance=replace(config.significance, n_permutations=args.permutations)
-        )
-        solver, exact_timeout = "heuristic", 60.0
-    if args.backend:
-        config = replace(config, backend=args.backend)
-    if args.stats_kernel:
-        config = replace(
-            config, significance=replace(config.significance, kernel=args.stats_kernel)
-        )
+    config = _config_from_args(args).replace(budget=args.budget)
 
-    run = resilient_generate(
-        table, config, budget=args.budget,
-        solver=solver, exact_timeout=exact_timeout,
-    )
-    notebook = resilient_render(
-        run, table, table_name=args.csv.stem,
-        title=f"Comparison notebook — {args.csv.stem}",
-    )
-    if args.out:
-        write_ipynb(notebook, args.out)
+    session = Session(table, config=config, table_name=args.csv.stem)
+    with session:
+        run = session.generate()
+        notebook = session.render(run)
+        if args.out:
+            write_ipynb(notebook, args.out)
 
-    tracer, metrics = obs.current_tracer(), obs.current_metrics()
+    tracer, metrics = session.tracer, session.metrics
     metrics.record_peak_rss()
     if not args.quiet:
         print(obs.format_span_tree(tracer))

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from repro.backend.base import BACKEND_NAMES, default_backend_name
 from repro.errors import QueryError
 from repro.insights.significance import SignificanceConfig
+from repro.parallel.config import ParallelConfig, default_workers
 from repro.queries.distance import DEFAULT_WEIGHTS, DistanceWeights
 from repro.queries.interestingness import InterestingnessConfig
 from repro.relational.aggregates import DEFAULT_COMPARISON_AGGREGATES, is_aggregate
@@ -67,15 +68,22 @@ class GenerationConfig:
         ``REPRO_BACKEND`` environment variable (CI matrix hook).
     memory_budget_bytes:
         Byte budget for Algorithm 2's cache (None = unlimited).
+    parallel:
+        The sharded execution layer's settings
+        (:class:`~repro.parallel.config.ParallelConfig`): worker count,
+        pool flavour, restart budget, shard size.  ``None`` (default)
+        derives one from the legacy ``n_threads`` / ``parallel_backend``
+        fields below — see :meth:`effective_parallel`.
     n_threads:
-        Workers for testing and support checking (Section 6.3.3).
+        Legacy worker count for testing and support checking (Section
+        6.3.3).  Superseded by ``parallel`` (``ParallelConfig.workers``);
+        still honoured when ``parallel`` is unset.
     parallel_backend:
-        ``"threads"`` (default) or ``"processes"`` for the statistical-test
-        phase.  The paper's Java prototype scales with threads; in Python
-        the per-pair permutation loop is GIL-bound, so process workers are
-        what actually buy wall-clock on multi-core machines (the support
-        phase stays threaded either way — its evaluator shares an
-        in-memory cache).
+        Legacy pool flavour, ``"threads"`` (default) or ``"processes"``.
+        Superseded by ``parallel`` (``ParallelConfig.backend``).  With
+        ``"processes"`` the sharded pool of :mod:`repro.parallel` runs
+        both the test and support phases; ``"threads"`` keeps the
+        GIL-bound shared-memory pools.
     max_pairs_per_attribute:
         Optional cap on enumerated value pairs per attribute (explicitly
         reported when it truncates).
@@ -92,6 +100,7 @@ class GenerationConfig:
     evaluator: str = "pairwise"
     backend: str = field(default_factory=default_backend_name)
     memory_budget_bytes: int | None = None
+    parallel: ParallelConfig | None = None
     n_threads: int = 1
     parallel_backend: str = "threads"
     max_pairs_per_attribute: int | None = None
@@ -112,3 +121,27 @@ class GenerationConfig:
             raise QueryError("n_threads must be at least 1")
         if self.parallel_backend not in ("threads", "processes"):
             raise QueryError(f"unknown parallel backend {self.parallel_backend!r}")
+        if self.n_threads != 1 or self.parallel_backend != "threads":
+            from repro.deprecation import warn_once
+
+            warn_once(
+                "GenerationConfig.legacy-parallel",
+                "GenerationConfig(n_threads=..., parallel_backend=...) is "
+                "deprecated; pass parallel=ParallelConfig(workers=..., "
+                "backend=...) or use ReproConfig.with_parallel(...)",
+            )
+
+    def effective_parallel(self) -> ParallelConfig:
+        """The :class:`ParallelConfig` actually in force.
+
+        ``parallel`` wins when set.  Otherwise one is derived from the
+        legacy knobs: an explicit ``n_threads > 1`` keeps its value and
+        pool flavour; the 1-thread default defers to ``REPRO_WORKERS``
+        (matching :func:`~repro.parallel.config.default_workers`) so the
+        CI matrix can turn workers on without touching code.
+        """
+        if self.parallel is not None:
+            return self.parallel
+        if self.n_threads > 1:
+            return ParallelConfig(workers=self.n_threads, backend=self.parallel_backend)
+        return ParallelConfig(workers=default_workers())

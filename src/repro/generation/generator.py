@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import logging
 import threading
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -33,10 +33,14 @@ from repro.insights.significance import (
     run_attribute_chunk,
     run_attribute_significance,
 )
+from repro.parallel.shards import (
+    ShardStore,
+    evidence_supported,
+    run_stats_shards,
+    run_support_shards,
+)
 from repro.insights.transitivity import prune_transitive
-from repro.insights.types import insight_type
 from repro.queries.comparison import ComparisonQuery
-from repro.queries.evaluate import ComparisonResult
 from repro.queries.interestingness import conciseness, insight_term
 from repro.relational.functional_deps import detect_functional_dependencies, related_attributes
 from repro.relational.table import Table
@@ -130,14 +134,18 @@ def run_stats_stage(
     progress: Callable[[str], None] | None = None,
     deadline: Deadline | None = None,
     backend: ExecutionBackend | None = None,
+    shard_store: ShardStore | None = None,
 ) -> StatsStageResult:
     """FD preprocessing, offline sampling, and the statistical tests.
 
     The expensive half of Algorithm 1 (lines 1-3).  ``deadline`` threads a
     cooperative cancellation checkpoint into the test loops; on expiry a
-    :class:`~repro.errors.DeadlineExceeded` escapes with no partial state.
-    ``backend`` supplies the rows the offline samples draw from; the tests
-    themselves are row-level statistics and always run in-process.
+    :class:`~repro.errors.DeadlineExceeded` escapes with no partial state
+    — unless ``shard_store`` is given, in which case the sharded process
+    pool records each completed shard there (the mid-shard checkpoint) and
+    a resumed run skips them.  ``backend`` supplies the rows the offline
+    samples draw from; the tests themselves are row-level statistics and
+    run in-process or on the worker pool per ``config.effective_parallel()``.
     """
     config = config or GenerationConfig()
     timings = PhaseTimings()
@@ -178,9 +186,9 @@ def run_stats_stage(
         "stats.tests",
         engine=config.significance.engine,
         permutations=config.significance.n_permutations,
-        threads=config.n_threads,
+        workers=config.effective_parallel().workers,
     ) as sp:
-        tested = _run_tests(test_source, config, deadline)
+        tested = _run_tests(test_source, config, deadline, shard_store)
         counters["insights_tested"] = len(tested)
         significant = [t for t in tested if t.is_significant(config.significance.threshold)]
         counters["insights_significant"] = len(significant)
@@ -241,15 +249,24 @@ def run_support_stage(
             evaluator = build_evaluator(backend, config.evaluator, config.memory_budget_bytes)
             logger.info("hypothesis evaluation: evaluator=%s backend=%s over %d insights",
                         config.evaluator, backend.name, len(stats.significant))
-            queries, evidences, n_hypothesis = _evaluate_support(
+            queries, evidences, n_hypothesis, worker_counts = _evaluate_support(
                 table, stats.significant, stats.excluded_pairs, evaluator, config, deadline
             )
+            if worker_counts is None:
+                aggregation_queries = evaluator.queries_sent
+                statements = backend.statements_executed - statements_before
+            else:
+                # Sharded path: the traffic happened on the workers'
+                # evaluators and backends; their counts shipped back.
+                # Credit them to the caller's backend so run-level
+                # statement accounting is worker-count invariant.
+                aggregation_queries = worker_counts["queries_sent"]
+                statements = worker_counts["statements"]
+                backend.statements_executed += statements
             counters["hypothesis_queries_evaluated"] = n_hypothesis
             counters["queries_supported"] = len(queries)
-            counters["aggregation_queries_sent"] = evaluator.queries_sent
-            counters["backend_statements_executed"] = (
-                backend.statements_executed - statements_before
-            )
+            counters["aggregation_queries_sent"] = aggregation_queries
+            counters["backend_statements_executed"] = statements
 
             with obs.span("generation.scoring", candidates=len(queries)):
                 scored = _score_and_deduplicate(queries, config)
@@ -261,7 +278,7 @@ def run_support_stage(
     timings.hypothesis_evaluation = sp.duration
     obs.counter("generation.hypothesis_queries").inc(n_hypothesis)
     obs.counter("generation.queries_supported").inc(len(queries))
-    obs.counter("generation.aggregation_queries").inc(evaluator.queries_sent)
+    obs.counter("generation.aggregation_queries").inc(aggregation_queries)
     obs.counter("generation.queries_final").inc(len(scored))
     obs.current_metrics().record_peak_rss()
     say(f"{len(scored)} comparison queries retained in Q")
@@ -292,16 +309,22 @@ def _run_tests(
     test_source: Table | dict[str, Table],
     config: GenerationConfig,
     deadline: Deadline | None = None,
+    shard_store: ShardStore | None = None,
 ) -> list[TestedInsight]:
-    """Run the per-attribute significance tests, possibly threaded.
+    """Run the per-attribute significance tests, possibly in parallel.
 
     ``test_source`` is either one table shared by every attribute (full
     data or a uniform random sample) or a mapping attribute -> table
     (per-attribute balanced samples of the unbalanced strategy).
 
-    ``deadline`` adds cooperative cancellation: per candidate on the
-    sequential and threaded paths, per chunk result on the process path
-    (a deadline cannot cross a process boundary).
+    ``config.effective_parallel()`` picks the execution strategy: the
+    sharded subprocess pool of :mod:`repro.parallel` (``processes``, with
+    worker-side deadline checkpoints, crash isolation, and optional
+    mid-shard checkpointing through ``shard_store``), a thread pool
+    (``threads``, the legacy GIL-bound path), or plain sequential when one
+    worker is configured.  All three produce identical results — shards
+    are cut at pair-family boundaries and permutation batches derive their
+    RNG from chunk-independent keys.
     """
     if isinstance(test_source, Table):
         tables = {name: test_source for name in test_source.schema.categorical_names}
@@ -326,7 +349,13 @@ def _run_tests(
         if candidates:
             work.append((attribute, sample, candidates))
 
-    if config.n_threads <= 1 or len(work) <= 1:
+    parallel = config.effective_parallel()
+    if parallel.active and parallel.backend == "processes" and work:
+        return run_stats_shards(
+            work, config.significance, parallel, deadline, store=shard_store
+        )
+
+    if not parallel.active or len(work) <= 1:
         tested: list[TestedInsight] = []
         for attribute, sample, candidates in work:
             tested.extend(
@@ -336,30 +365,23 @@ def _run_tests(
             )
         return tested
 
-    # Chunk within attributes so one large-domain attribute cannot serialize
-    # the whole phase (its pair count dominates the total work).  Chunks are
-    # cut only at pair-family boundaries: the batched kernel then sees whole
-    # families per worker (maximal GEMM batches) and candidate order is
-    # preserved.  The BH correction is applied per attribute family after
-    # merging the chunks; key-derived permutation batches make the outcome
-    # chunking-invariant.
-    chunk_size = 250
+    # Thread pool: chunk within attributes so one large-domain attribute
+    # cannot serialize the whole phase.  Chunks are cut only at pair-family
+    # boundaries: the batched kernel then sees whole families per worker
+    # and candidate order is preserved.  The BH correction is applied per
+    # attribute family after merging the chunks; key-derived permutation
+    # batches make the outcome chunking-invariant.
     jobs: list[tuple[str, Table, list[CandidateInsight]]] = []
     for attribute, sample, candidates in work:
-        for chunk in family_chunks(candidates, chunk_size):
+        for chunk in family_chunks(candidates, parallel.chunk_size):
             jobs.append((attribute, sample, chunk))
 
-    use_processes = config.parallel_backend == "processes"
-    pool_type = ProcessPoolExecutor if use_processes else ThreadPoolExecutor
-    # Worker-side checkpoints only work in-process; a process pool falls
-    # back to checking between chunk results on the consumer side.
-    worker_checkpoint = None if use_processes else checkpoint
     merged: dict[str, tuple[list, list]] = {attribute: ([], []) for attribute, _, _ in work}
-    with pool_type(max_workers=config.n_threads) as pool:
+    with ThreadPoolExecutor(max_workers=parallel.workers) as pool:
         try:
             futures = [
                 (attribute, pool.submit(run_attribute_chunk, sample, attribute, chunk,
-                                        config.significance, worker_checkpoint))
+                                        config.significance, checkpoint))
                 for attribute, sample, chunk in jobs
             ]
             for attribute, future in futures:
@@ -401,7 +423,14 @@ def _evaluate_support(
     evaluator: SupportEvaluator,
     config: GenerationConfig,
     deadline: Deadline | None = None,
-) -> tuple[list[_SupportedQuery], dict[tuple, InsightEvidence], int]:
+) -> tuple[list[_SupportedQuery], dict[tuple, InsightEvidence], int, dict | None]:
+    """Evaluate every hypothesis query; returns the supported set.
+
+    The fourth element is ``None`` on the in-process paths; on the sharded
+    process path it carries the workers' aggregation-query and
+    backend-statement counts (the parent's evaluator and backend never see
+    that traffic).
+    """
     categorical = table.schema.categorical_names
     evidences: dict[tuple, InsightEvidence] = {}
 
@@ -427,6 +456,51 @@ def _evaluate_support(
     lock = threading.Lock()
     supported_queries: list[_SupportedQuery] = []
     hypothesis_count = 0
+    items = list(groups.items())
+    parallel = config.effective_parallel()
+
+    # Sharded process pool, one shard per grouping attribute.  Workers
+    # build their own backend + evaluator; the parent replays the
+    # sequential iteration order over their compact records, so the query
+    # list, evidence counts, and counters match workers=1 exactly.  The
+    # set-cover evaluator is excluded: its up-front materialization is
+    # shared *across* groupings, so per-grouping workers would repeat it
+    # (breaking statement-count parity and wasting the cover).
+    if (
+        parallel.active
+        and parallel.backend == "processes"
+        and config.evaluator != "setcover"
+        and items
+    ):
+        records, queries_sent, statements = run_support_shards(
+            table, items, valid_groupings, config.aggregates,
+            backend_name=config.backend,
+            evaluator_name=config.evaluator,
+            memory_budget=config.memory_budget_bytes,
+            parallel=parallel,
+            deadline=deadline,
+        )
+        for group_index, (key, members) in enumerate(items):
+            attribute, lo, hi, measure_name = key
+            for grouping in valid_groupings[attribute]:
+                for agg in config.aggregates:
+                    hypothesis_count += len(members)
+                    record = records.get((group_index, grouping, agg))
+                    if record is None:
+                        continue
+                    tuples_aggregated, n_groups, indices = record
+                    supported_here = [members[i] for i in indices]
+                    for evidence in supported_here:
+                        evidence.n_supporting += 1
+                    supported_queries.append(
+                        _SupportedQuery(
+                            ComparisonQuery(grouping, attribute, lo, hi,
+                                            measure_name, agg),
+                            tuples_aggregated, n_groups, supported_here,
+                        )
+                    )
+        extra = {"queries_sent": queries_sent, "statements": statements}
+        return supported_queries, evidences, hypothesis_count, extra
 
     def process_group(key: tuple, members: list[InsightEvidence]) -> tuple[list[_SupportedQuery], int]:
         attribute, lo, hi, measure_name = key
@@ -445,7 +519,7 @@ def _evaluate_support(
                     local_count += len(members)
                     supported_here: list[InsightEvidence] = []
                     for evidence in members:
-                        if _insight_supported(result, evidence, lo):
+                        if evidence_supported(result, evidence, lo):
                             supported_here.append(evidence)
                     if supported_here:
                         local_queries.append(
@@ -456,11 +530,10 @@ def _evaluate_support(
             sp.set(hypotheses=local_count, supported=len(local_queries))
         return local_queries, local_count
 
-    items = list(groups.items())
-    if config.n_threads <= 1 or len(items) <= 1:
+    if not parallel.active or len(items) <= 1:
         outputs = [process_group(key, members) for key, members in items]
     else:
-        with ThreadPoolExecutor(max_workers=config.n_threads) as pool:
+        with ThreadPoolExecutor(max_workers=parallel.workers) as pool:
             futures = [pool.submit(process_group, key, members) for key, members in items]
             outputs = [f.result() for f in futures]
 
@@ -472,17 +545,7 @@ def _evaluate_support(
                     evidence.n_supporting += 1
             supported_queries.append(record)
 
-    return supported_queries, evidences, hypothesis_count
-
-
-def _insight_supported(result: ComparisonResult, evidence: InsightEvidence, lo: str) -> bool:
-    """Support check with orientation: ``x`` is the lo-side series."""
-    itype = insight_type(evidence.insight.candidate.type_code)
-    if result.n_groups == 0:
-        return False
-    if evidence.insight.candidate.val == lo:
-        return itype.supports(result.x, result.y)
-    return itype.supports(result.y, result.x)
+    return supported_queries, evidences, hypothesis_count, None
 
 
 # ---------------------------------------------------------------------------

@@ -106,7 +106,14 @@ class NotebookRun:
 
 
 class NotebookGenerator:
-    """Facade: configure once, generate notebooks from tables.
+    """Legacy facade: configure once, generate notebooks from tables.
+
+    Deprecated in favour of :class:`repro.Session` /
+    :func:`repro.generate_notebook` (which add resilience, checkpoints,
+    and resource reuse); direct construction emits one
+    ``DeprecationWarning`` per process.  :func:`preset` still returns
+    instances without warning — its named configurations remain the
+    canonical Table 3/7 reproduction entry point.
 
     Parameters
     ----------
@@ -128,6 +135,36 @@ class NotebookGenerator:
         exact_timeout: float | None = 60.0,
         max_exact_queries: int = 2000,
     ):
+        from repro.deprecation import warn_once
+
+        warn_once(
+            "NotebookGenerator",
+            "NotebookGenerator is deprecated; use repro.Session / "
+            "repro.generate_notebook with repro.ReproConfig instead "
+            "(see the README quickstart)",
+        )
+        self._init(config, solver, exact_timeout, max_exact_queries)
+
+    @classmethod
+    def _create(
+        cls,
+        config: GenerationConfig | None = None,
+        solver: str = "heuristic",
+        exact_timeout: float | None = 60.0,
+        max_exact_queries: int = 2000,
+    ) -> "NotebookGenerator":
+        """Internal non-warning constructor (used by :func:`preset`)."""
+        self = cls.__new__(cls)
+        self._init(config, solver, exact_timeout, max_exact_queries)
+        return self
+
+    def _init(
+        self,
+        config: GenerationConfig | None,
+        solver: str,
+        exact_timeout: float | None,
+        max_exact_queries: int,
+    ) -> None:
         if solver not in ("heuristic", "exact"):
             raise TAPError(f"unknown solver {solver!r}")
         self.config = config or GenerationConfig()
@@ -244,7 +281,7 @@ def preset(
                 conciseness_on=False, credibility_on=True
             ),
         )
-    return NotebookGenerator(config, solver=solver, exact_timeout=exact_timeout)
+    return NotebookGenerator._create(config, solver=solver, exact_timeout=exact_timeout)
 
 
 def preset_names() -> tuple[str, ...]:

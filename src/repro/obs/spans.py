@@ -221,6 +221,93 @@ class Tracer:
         for root in by_parent.get(None, []):
             yield from visit(root, 0)
 
+    # -- cross-process adoption ----------------------------------------------
+
+    def export(self) -> list[dict]:
+        """Serialize every span for adoption by another tracer.
+
+        Times are rebased so the earliest start is 0.0 — monotonic-clock
+        readings are process-local, so only the *shape* of the subtree and
+        the relative offsets travel across the boundary.  Open spans
+        export with ``end: None``.
+        """
+        spans = self.spans()
+        if not spans:
+            return []
+        base = min(span.start for span in spans)
+        return [
+            {
+                "name": span.name,
+                "attrs": dict(span.attrs),
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "start": span.start - base,
+                "end": None if span.end is None else span.end - base,
+                "error": span.error,
+            }
+            for span in spans
+        ]
+
+    def adopt(
+        self,
+        exported: list[dict],
+        *,
+        parent: Span | None = None,
+        anchor: float | None = None,
+        wrapper_name: str = "adopted",
+        wrapper_attrs: dict | None = None,
+    ) -> Span:
+        """Graft an :meth:`export`-ed subtree into this tracer.
+
+        A wrapper span named ``wrapper_name`` is created under ``parent``
+        (or as a root) spanning the subtree's extent; exported spans keep
+        their relative layout beneath it, re-identified with this tracer's
+        ids.  ``anchor`` places the wrapper's start on this tracer's clock
+        (default: now minus the subtree's extent, i.e. "it just finished").
+        Used to fold worker-process traces into the main trace.
+        """
+        extent = 0.0
+        for record in exported:
+            end = record["end"]
+            if end is not None:
+                extent = max(extent, end)
+        if anchor is None:
+            anchor = self._clock() - extent
+        with self._lock:
+            wrapper = Span(
+                wrapper_name,
+                dict(wrapper_attrs or {}),
+                next(self._ids),
+                parent.span_id if parent is not None else None,
+                threading.get_ident(),
+                self._clock,
+            )
+            wrapper.start = anchor
+            wrapper.end = anchor + extent
+            self._spans.append(wrapper)
+            id_map: dict[int, int] = {}
+            for record in exported:
+                span = Span(
+                    record["name"],
+                    dict(record["attrs"]),
+                    next(self._ids),
+                    None,
+                    wrapper.thread_id,
+                    self._clock,
+                )
+                id_map[record["span_id"]] = span.span_id
+                old_parent = record["parent_id"]
+                span.parent_id = id_map.get(
+                    old_parent if old_parent is not None else -1,
+                    wrapper.span_id,
+                )
+                span.start = anchor + record["start"]
+                end = record["end"]
+                span.end = anchor + (extent if end is None else end)
+                span.error = record["error"]
+                self._spans.append(span)
+        return wrapper
+
     def reset(self) -> None:
         """Drop every recorded span (the per-thread stacks clear lazily)."""
         with self._lock:

@@ -1,0 +1,35 @@
+"""repro.parallel — sharded multiprocess execution of the pipeline.
+
+The two expensive stages (permutation testing, hypothesis-query
+evaluation) shard across a crash-isolated, work-stealing subprocess pool
+while staying bit-identical to sequential execution at any worker count.
+Configure through :class:`ParallelConfig` (``GenerationConfig(parallel=...)``,
+``ReproConfig.parallel``, or ``repro generate --workers N``); the sharding
+model and failure semantics are documented in ``docs/parallelism.md``.
+"""
+
+from repro.parallel.config import (
+    PARALLEL_BACKEND_NAMES,
+    WORKERS_ENV_VAR,
+    ParallelConfig,
+    default_workers,
+)
+from repro.parallel.pool import ShardPool, WorkerContext, WorkerCrashed
+from repro.parallel.shards import (
+    ShardStore,
+    run_stats_shards,
+    run_support_shards,
+)
+
+__all__ = [
+    "PARALLEL_BACKEND_NAMES",
+    "WORKERS_ENV_VAR",
+    "ParallelConfig",
+    "ShardPool",
+    "ShardStore",
+    "WorkerContext",
+    "WorkerCrashed",
+    "default_workers",
+    "run_stats_shards",
+    "run_support_shards",
+]

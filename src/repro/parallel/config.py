@@ -1,0 +1,136 @@
+"""Configuration of the sharded multiprocess execution layer.
+
+:class:`ParallelConfig` is the single knob surface for the process-pool
+layer (:mod:`repro.parallel.pool`): how many workers, which pool flavour,
+how failures are absorbed, and how shards are cut.  It is embedded in
+:class:`~repro.generation.config.GenerationConfig` (``parallel=``) and in
+the top-level :class:`~repro.config.ReproConfig`, and surfaces on the CLI
+as ``repro generate --workers N``.
+
+Determinism contract: worker count and scheduling **never** change
+results.  Shards are cut at pair-family boundaries
+(:func:`~repro.insights.significance.family_chunks`) and every permutation
+batch derives its RNG from the root seed and the shard-independent batch
+key (:mod:`repro.stats.rng`), so a 4-worker run is bit-identical to a
+sequential one; the pool merely reassembles shard results in canonical
+order.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+__all__ = [
+    "PARALLEL_BACKEND_NAMES",
+    "WORKERS_ENV_VAR",
+    "ParallelConfig",
+    "default_workers",
+]
+
+#: Pool flavours: ``processes`` (the sharded pool; beats the GIL) and
+#: ``threads`` (shared-memory pool; useful when the workload releases the
+#: GIL or the data is too large to ship to subprocesses).
+PARALLEL_BACKEND_NAMES: tuple[str, ...] = ("processes", "threads")
+
+#: Environment variable holding the default worker count (CI matrix hook,
+#: mirroring ``REPRO_BACKEND`` and ``REPRO_STATS_KERNEL``).
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+
+def default_workers() -> int:
+    """The process-wide default worker count: ``$REPRO_WORKERS`` or 1.
+
+    An invalid environment value raises immediately rather than silently
+    running sequentially (the CI matrix relies on this).
+    """
+    raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
+    if not raw:
+        return 1
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ReproError(
+            f"{WORKERS_ENV_VAR}={raw!r} is not an integer worker count"
+        ) from None
+    if workers < 1:
+        raise ReproError(f"{WORKERS_ENV_VAR} must be at least 1, got {workers}")
+    return workers
+
+
+@dataclass(frozen=True, slots=True)
+class ParallelConfig:
+    """Settings of the sharded execution layer.
+
+    Attributes
+    ----------
+    workers:
+        Worker count for the stats and hypothesis-evaluation stages.  The
+        default honours the ``REPRO_WORKERS`` environment variable; 1 runs
+        everything in-process (no pool is ever created).
+    backend:
+        ``"processes"`` (default) — the work-stealing subprocess pool of
+        :mod:`repro.parallel.pool`; ``"threads"`` — a shared-memory thread
+        pool (the pre-existing GIL-bound path, kept for workloads where
+        shipping data to subprocesses costs more than it saves).
+    max_worker_restarts:
+        Crashed workers are replaced up to this many times per pool before
+        the pool stops replacing them and the remaining shards run
+        in-process (the crash-isolation ladder; see docs/parallelism.md).
+    chunk_size:
+        Target candidates per stats shard.  Shards are cut only at
+        pair-family boundaries so the batched kernel sees whole families
+        per worker; the exact value never affects results, only balance.
+    deadline_margin:
+        Seconds of remaining deadline below which the pool stops
+        dispatching to workers and finishes in-process, where the
+        cooperative :class:`~repro.runtime.deadline.Deadline` checkpoints
+        can fire and the runtime ladder can degrade the stage.
+    """
+
+    workers: int = field(default_factory=default_workers)
+    backend: str = "processes"
+    max_worker_restarts: int = 1
+    chunk_size: int = 250
+    deadline_margin: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ReproError(f"workers must be at least 1, got {self.workers}")
+        if self.backend not in PARALLEL_BACKEND_NAMES:
+            raise ReproError(
+                f"unknown parallel backend {self.backend!r}; "
+                f"known: {PARALLEL_BACKEND_NAMES}"
+            )
+        if self.max_worker_restarts < 0:
+            raise ReproError("max_worker_restarts cannot be negative")
+        if self.chunk_size < 1:
+            raise ReproError("chunk_size must be at least 1")
+        if self.deadline_margin < 0:
+            raise ReproError("deadline_margin cannot be negative")
+
+    @property
+    def active(self) -> bool:
+        """True when a pool would actually be used (more than one worker)."""
+        return self.workers > 1
+
+    def as_dict(self) -> dict:
+        return {
+            "workers": self.workers,
+            "backend": self.backend,
+            "max_worker_restarts": self.max_worker_restarts,
+            "chunk_size": self.chunk_size,
+            "deadline_margin": self.deadline_margin,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ParallelConfig":
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416 - explicit
+        unknown = set(data) - known
+        if unknown:
+            raise ReproError(
+                f"unknown ParallelConfig keys {sorted(unknown)}; known: {sorted(known)}"
+            )
+        return cls(**data)

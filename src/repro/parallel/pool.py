@@ -1,0 +1,447 @@
+"""A crash-isolated, work-stealing subprocess pool for pipeline shards.
+
+The pipeline is embarrassingly parallel at two choke points — permutation
+testing per pair-family shard and hypothesis-query evaluation per grouping
+attribute — but both need more than ``ProcessPoolExecutor.map`` offers:
+
+* **work stealing** — shard costs are wildly uneven (one large-domain
+  attribute can hold 10x the candidates of the rest), so each worker owns
+  a deque of shards and an idle worker steals from the back of the longest
+  remaining deque (``parallel.tasks_stolen`` counts the steals);
+* **crash isolation** — a worker that dies (OOM killer, native crash) is
+  replaced up to ``max_worker_restarts`` times and its in-flight shard is
+  re-queued; past the restart budget the pool stops replacing workers and
+  the remaining shards run *in-process*, where the cooperative
+  :class:`~repro.runtime.deadline.Deadline` checkpoints can fire and the
+  PR 1 runtime ladder can degrade the stage
+  (``parallel.worker_restarts`` / ``parallel.tasks_inprocess``);
+* **deadline awareness** — when the remaining deadline falls under
+  ``deadline_margin`` the pool stops dispatching, signals in-flight
+  workers through a shared cancel event (checked between permutation-kernel
+  slices), and finishes in-process so expiry surfaces as a normal
+  :class:`~repro.errors.DeadlineExceeded` for the ladder to catch;
+* **observability** — each task runs under an isolated tracer/registry in
+  the worker; its span subtree is shipped back and re-parented into the
+  main trace under a ``parallel.task`` span, and its counters merge into
+  the ambient registry, so ``repro profile --workers 4`` shows one
+  coherent tree.
+
+Determinism: the pool only schedules.  Results are reassembled positionally
+(``run`` returns them in payload order), so any worker count and any steal
+pattern produce identical output; the bit-identical-results guarantee comes
+from the shards themselves (key-derived RNG substreams, family-boundary
+chunking).
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing as mp
+import queue as queue_mod
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro import obs
+from repro.errors import DeadlineExceeded, ReproError
+from repro.parallel.config import ParallelConfig
+from repro.runtime.deadline import Deadline
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["ShardPool", "WorkerContext", "WorkerCrashed"]
+
+#: Seconds the scheduler waits on the result queue before checking worker
+#: liveness and the deadline.
+_POLL_SECONDS = 0.1
+
+
+class WorkerCrashed(ReproError):
+    """A pool worker died; carries the exit code for diagnostics."""
+
+
+@dataclass(slots=True)
+class WorkerContext:
+    """What a shard function sees as its first argument.
+
+    ``state`` is whatever ``worker_init`` built once for this worker (for
+    the evaluation stage: its own backend — SQLite connections never cross
+    process boundaries).  ``checkpoint`` is the cooperative cancellation
+    hook: it raises :class:`DeadlineExceeded` past the worker's deadline
+    or when the parent signalled cancellation, and is cheap enough to call
+    as often as the permutation kernel calls its slice checkpoint.  In the
+    in-process fallback path, ``state`` comes from the same ``worker_init``
+    and ``checkpoint`` wraps the *real* run deadline.
+    """
+
+    state: Any
+    checkpoint: Callable[[], None] | None
+
+
+def _pool_context() -> mp.context.BaseContext:
+    """Fork where available (cheap, shares the dataset pages); else spawn."""
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _make_worker_checkpoint(cancel, deadline: Deadline | None, label: str):
+    def checkpoint() -> None:
+        if cancel.is_set():
+            raise DeadlineExceeded(
+                f"{label}: cancelled by the pool scheduler", stage=label
+            )
+        if deadline is not None:
+            deadline.check(label)
+
+    return checkpoint
+
+
+def _worker_main(
+    worker_id: int,
+    task_queue,
+    result_queue,
+    cancel,
+    worker_init: Callable[[Any], Any] | None,
+    init_payload: Any,
+    task_fn: Callable[[WorkerContext, Any], Any],
+    deadline_remaining: float | None,
+    label: str,
+) -> None:
+    """Worker loop: init once, then run tasks until the ``None`` sentinel.
+
+    Every task executes under a fresh tracer/metrics pair; the exported
+    span subtree and counter deltas travel back with the result so the
+    parent can reassemble one coherent trace.  Exceptions are shipped as
+    ``(type name, message)`` — instances with custom ``__init__``
+    signatures (e.g. ``DeadlineExceeded(stage=...)``) do not unpickle
+    reliably, so the parent re-raises from the name.
+    """
+    deadline = None
+    if deadline_remaining is not None:
+        deadline = Deadline(max(1e-3, deadline_remaining))
+    context = WorkerContext(
+        state=None,
+        checkpoint=_make_worker_checkpoint(cancel, deadline, label),
+    )
+    try:
+        context.state = (
+            worker_init(init_payload) if worker_init is not None else init_payload
+        )
+    except BaseException as exc:  # noqa: BLE001 - must cross the process boundary
+        result_queue.put(
+            (None, worker_id, False, (type(exc).__name__, str(exc)), [], {})
+        )
+        return
+    while True:
+        message = task_queue.get()
+        if message is None:
+            break
+        task_id, payload = message
+        with obs.capture() as (tracer, metrics):
+            try:
+                value = task_fn(context, payload)
+                ok = True
+            except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+                value = (type(exc).__name__, str(exc))
+                ok = False
+        result_queue.put(
+            (task_id, worker_id, ok, value, tracer.export(),
+             metrics.snapshot().get("counters", {}))
+        )
+
+
+def _shipped_error(kind: str, detail: str, label: str) -> BaseException:
+    """Rebuild a worker-side exception in the parent, type-mapped.
+
+    Deadline expiry and memory pressure keep their types so the runtime
+    ladder applies the right degradation; everything else surfaces as a
+    :class:`ReproError` carrying the original type name.
+    """
+    if kind == "DeadlineExceeded":
+        return DeadlineExceeded(f"{label}: {detail}", stage=label)
+    if kind == "MemoryError":
+        return MemoryError(f"{label}: {detail}")
+    return ReproError(f"{label}: worker task failed ({kind}: {detail})")
+
+
+class ShardPool:
+    """Run shard payloads across crash-isolated workers, results in order.
+
+    Parameters
+    ----------
+    parallel:
+        The :class:`~repro.parallel.config.ParallelConfig` in force.
+    task_fn:
+        ``task_fn(ctx, payload) -> result``; must be a module-level
+        function (it crosses the process boundary under spawn).
+    worker_init:
+        Optional per-worker constructor ``worker_init(init_payload) ->
+        state``, run once per worker (and again in each replacement
+        worker).  Build per-worker resources here — e.g. a backend with
+        its own SQLite connection.
+    init_payload:
+        Shipped once per worker; becomes ``ctx.state`` directly when no
+        ``worker_init`` is given.
+    label:
+        Span/log prefix (the pool span is ``parallel.<label>``).
+    deadline:
+        The run deadline.  The pool stops dispatching when
+        ``deadline.remaining()`` falls under ``parallel.deadline_margin``
+        and finishes in-process, where expiry raises normally.
+    """
+
+    def __init__(
+        self,
+        parallel: ParallelConfig,
+        *,
+        task_fn: Callable[[WorkerContext, Any], Any],
+        worker_init: Callable[[Any], Any] | None = None,
+        init_payload: Any = None,
+        label: str = "shards",
+        deadline: Deadline | None = None,
+    ):
+        self._parallel = parallel
+        self._task_fn = task_fn
+        self._worker_init = worker_init
+        self._init_payload = init_payload
+        self._label = label
+        self._deadline = deadline
+        self._ctx = _pool_context()
+
+    # -- in-process execution (fallback and degradation path) ---------------
+
+    def run_local(
+        self,
+        tasks: Sequence[tuple[int, Any]],
+        results: list[Any],
+        on_result: Callable[[int, Any], None] | None = None,
+        *,
+        count: bool = True,
+    ) -> None:
+        """Run ``(task_id, payload)`` pairs in the parent process.
+
+        This is the degradation path: the checkpoint wraps the *real*
+        deadline, so a :class:`DeadlineExceeded` raised here escapes to
+        the runtime ladder exactly as sequential execution would — the
+        pool never absorbs deadline expiry.
+        """
+        checkpoint = None
+        if self._deadline is not None and self._deadline.limited:
+            checkpoint = lambda: self._deadline.check(self._label)  # noqa: E731
+        state = (
+            self._worker_init(self._init_payload)
+            if self._worker_init is not None
+            else self._init_payload
+        )
+        context = WorkerContext(state=state, checkpoint=checkpoint)
+        try:
+            for task_id, payload in tasks:
+                if checkpoint is not None:
+                    checkpoint()
+                results[task_id] = self._task_fn(context, payload)
+                if count:
+                    obs.counter("parallel.tasks_inprocess").inc()
+                if on_result is not None:
+                    on_result(task_id, results[task_id])
+        finally:
+            if self._worker_init is not None:
+                close = getattr(state, "close", None)
+                if callable(close):
+                    close()
+
+    # -- the scheduler -------------------------------------------------------
+
+    def run(
+        self,
+        payloads: Sequence[Any],
+        on_result: Callable[[int, Any], None] | None = None,
+        skip: set[int] | frozenset[int] = frozenset(),
+    ) -> list[Any]:
+        """Execute every payload; return results in payload order.
+
+        ``on_result(task_id, result)`` fires as each shard completes (in
+        completion order — the mid-shard checkpoint hook).  ``skip`` holds
+        task ids already satisfied by a resumed checkpoint; their result
+        slots stay ``None`` for the caller to fill.  Worker-side Python
+        exceptions re-raise in the parent type-mapped; worker *deaths* are
+        absorbed up to the restart budget, then the pool degrades to
+        in-process execution.
+        """
+        results: list[Any] = [None] * len(payloads)
+        todo = [i for i in range(len(payloads)) if i not in skip]
+        if not todo:
+            return results
+        n_workers = min(self._parallel.workers, len(todo))
+        if n_workers <= 1 or self._deadline_near():
+            self.run_local(
+                [(i, payloads[i]) for i in todo], results, on_result,
+                count=self._parallel.active,
+            )
+            return results
+
+        with obs.span(
+            f"parallel.{self._label}", workers=n_workers, tasks=len(todo)
+        ) as pool_span:
+            leftovers = _Scheduler(self, payloads, todo, results,
+                                   on_result, n_workers).run()
+            pool_span.set(pool_completed=len(todo) - len(leftovers))
+        if leftovers:
+            logger.warning(
+                "%s: running %d remaining shard(s) in-process "
+                "(deadline near or restart budget exhausted)",
+                self._label, len(leftovers),
+            )
+            self.run_local(
+                [(i, payloads[i]) for i in leftovers], results, on_result
+            )
+        return results
+
+    def _deadline_near(self) -> bool:
+        return (
+            self._deadline is not None
+            and self._deadline.limited
+            and self._deadline.remaining() < self._parallel.deadline_margin
+        )
+
+
+class _Scheduler:
+    """One ``ShardPool.run`` invocation's worker fleet and task ledger."""
+
+    def __init__(self, pool: ShardPool, payloads, todo, results,
+                 on_result, n_workers: int):
+        self._pool = pool
+        self._payloads = payloads
+        self._results = results
+        self._on_result = on_result
+        self._n_workers = n_workers
+        ctx = pool._ctx
+        self._cancel = ctx.Event()
+        self._result_queue = ctx.Queue()
+        # Contiguous block partition: a steal moves one shard from the
+        # tail of the fullest deque, preserving range locality.
+        self._deques: list[deque] = [deque() for _ in range(n_workers)]
+        for position, task_id in enumerate(todo):
+            self._deques[position * n_workers // len(todo)].append(task_id)
+        self._workers: dict[int, tuple] = {}  # id -> (process, task_queue)
+        self._in_flight: dict[int, tuple[int, float]] = {}  # id -> (task, t)
+        self._pending: set[int] = set(todo)
+        self._restarts_left = pool._parallel.max_worker_restarts
+        self._failure: BaseException | None = None
+
+    # -- worker lifecycle ---------------------------------------------------
+
+    def _spawn(self, worker_id: int) -> None:
+        pool = self._pool
+        task_queue = pool._ctx.SimpleQueue()
+        remaining = None
+        if pool._deadline is not None and pool._deadline.limited:
+            remaining = pool._deadline.remaining()
+        process = pool._ctx.Process(
+            target=_worker_main,
+            args=(worker_id, task_queue, self._result_queue, self._cancel,
+                  pool._worker_init, pool._init_payload, pool._task_fn,
+                  remaining, pool._label),
+            daemon=True,
+            name=f"repro-{pool._label}-{worker_id}",
+        )
+        process.start()
+        self._workers[worker_id] = (process, task_queue)
+
+    def _dispatch(self, worker_id: int) -> None:
+        """Send the next task to ``worker_id``, stealing if its deque is dry."""
+        own = self._deques[worker_id % self._n_workers]
+        if not own:
+            victim = max(self._deques, key=len)
+            if victim:
+                own.append(victim.pop())
+                obs.counter("parallel.tasks_stolen").inc()
+        if not own:
+            return
+        task_id = own.popleft()
+        self._in_flight[worker_id] = (task_id, time.perf_counter())
+        self._workers[worker_id][1].put((task_id, self._payloads[task_id]))
+
+    def _reap_dead(self) -> None:
+        """Requeue dead workers' shards; replace workers within budget."""
+        dead = [wid for wid, (process, _) in self._workers.items()
+                if not process.is_alive()]
+        for worker_id in dead:
+            process, _ = self._workers.pop(worker_id)
+            flight = self._in_flight.pop(worker_id, None)
+            if flight is not None:
+                self._deques[worker_id % self._n_workers].appendleft(flight[0])
+            logger.warning("%s: worker %d died (exitcode %s)",
+                           self._pool._label, worker_id, process.exitcode)
+            if self._restarts_left > 0:
+                self._restarts_left -= 1
+                obs.counter("parallel.worker_restarts").inc()
+                self._spawn(worker_id)  # keeps the deque affinity
+                self._dispatch(worker_id)
+
+    def _shutdown(self) -> None:
+        self._cancel.set()
+        for _, task_queue in self._workers.values():
+            task_queue.put(None)
+        for process, _ in self._workers.values():
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=1.0)
+
+    # -- observability ------------------------------------------------------
+
+    def _absorb(self, worker_id: int, spans: list, counters: dict) -> None:
+        """Re-parent the worker's span subtree; merge its counter deltas."""
+        flight = self._in_flight.get(worker_id)
+        tracer = obs.current_tracer()
+        tracer.adopt(
+            spans,
+            parent=tracer.current(),
+            anchor=flight[1] if flight is not None else None,
+            wrapper_name="parallel.task",
+            wrapper_attrs={
+                "task": flight[0] if flight is not None else None,
+                "worker": worker_id,
+            },
+        )
+        registry = obs.current_metrics()
+        for name, value in counters.items():
+            registry.counter(name).inc(value)
+
+    # -- main loop ----------------------------------------------------------
+
+    def run(self) -> list[int]:
+        """Drive the fleet; return the sorted task ids left unexecuted."""
+        try:
+            for worker_id in range(self._n_workers):
+                self._spawn(worker_id)
+                self._dispatch(worker_id)
+            while self._pending and self._failure is None and self._workers:
+                if self._pool._deadline_near():
+                    break
+                try:
+                    message = self._result_queue.get(timeout=_POLL_SECONDS)
+                except queue_mod.Empty:
+                    self._reap_dead()
+                    continue
+                self._handle(message)
+        finally:
+            self._shutdown()
+        if self._failure is not None:
+            raise self._failure
+        return sorted(self._pending)
+
+    def _handle(self, message) -> None:
+        task_id, worker_id, ok, value, spans, counters = message
+        self._absorb(worker_id, spans, counters)
+        self._in_flight.pop(worker_id, None)
+        if not ok:
+            self._failure = _shipped_error(*value, self._pool._label)
+            return
+        self._results[task_id] = value
+        self._pending.discard(task_id)
+        if self._on_result is not None:
+            self._on_result(task_id, value)
+        if worker_id in self._workers:
+            self._dispatch(worker_id)

@@ -17,11 +17,13 @@ The format is versioned, plain JSON, and contains only derived artifacts
 
 from __future__ import annotations
 
+import hashlib
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import ReproError
+from repro.generation.config import GenerationConfig
 from repro.generation.generator import (
     GeneratedQuery,
     GenerationOutcome,
@@ -30,9 +32,11 @@ from repro.generation.generator import (
 )
 from repro.generation.pipeline import DEFAULT_EPSILON_PER_QUERY, NotebookRun
 from repro.insights.insight import CandidateInsight, InsightEvidence, TestedInsight
+from repro.parallel.shards import ShardStore
 from repro.queries.comparison import ComparisonQuery
 from repro.queries.distance import DEFAULT_WEIGHTS, DistanceWeights, query_distance
 from repro.runtime.report import RunReport
+from repro.stats.permutation import TestResult
 from repro.tap.heuristic import HeuristicConfig, solve_heuristic_lazy
 
 SCHEMA_VERSION = 1
@@ -254,9 +258,10 @@ def stats_stage_from_dict(data: dict) -> StatsStageResult:
 class RunCheckpoint:
     """A loaded stage checkpoint: what completed, ready to resume from.
 
-    ``stage`` names the last completed stage (``"stats"`` or
-    ``"generation"``); the matching payload field is populated.  The TAP
-    and render stages are cheap and always re-run on resume.
+    ``stage`` names the last completed stage (``"stats"``,
+    ``"generation"``, or ``"stats-partial"`` — a mid-stage snapshot of
+    completed stats shards); the matching payload field is populated.
+    The TAP and render stages are cheap and always re-run on resume.
     """
 
     stage: str
@@ -264,6 +269,135 @@ class RunCheckpoint:
     outcome: GenerationOutcome | None = None
     report: RunReport | None = None
     source: Path | None = None
+    #: ``stats-partial`` only: completed shards keyed by shard id, and the
+    #: config token they were produced under (mismatched tokens are
+    #: ignored on resume rather than mixing incompatible test results).
+    partial_shards: dict[str, tuple[list, list]] = field(default_factory=dict)
+    partial_token: str | None = None
+
+
+def _candidate_to_dict(candidate: CandidateInsight) -> dict:
+    return {
+        "measure": candidate.measure,
+        "attribute": candidate.attribute,
+        "val": candidate.val,
+        "val_other": candidate.val_other,
+        "type": candidate.type_code,
+    }
+
+
+def _candidate_from_dict(data: dict) -> CandidateInsight:
+    return CandidateInsight(
+        data["measure"], data["attribute"], data["val"], data["val_other"], data["type"]
+    )
+
+
+def stats_config_token(config: GenerationConfig, n_rows: int) -> str:
+    """Fingerprint of everything that shapes stats-shard ids and contents.
+
+    A ``stats-partial`` checkpoint is only reusable when the resumed run
+    would cut identical shards and test them identically; any drift in
+    these fields silently invalidates the partial state (the shards are
+    re-run, never mixed).
+    """
+    significance = config.significance
+    payload = {
+        "n_rows": n_rows,
+        "backend": config.backend,
+        "insight_types": list(config.insight_types),
+        "max_pairs_per_attribute": config.max_pairs_per_attribute,
+        "sampling": (
+            [config.sampling.strategy, config.sampling.rate]
+            if config.sampling is not None else None
+        ),
+        "significance": {
+            "n_permutations": significance.n_permutations,
+            "threshold": significance.threshold,
+            "engine": significance.engine,
+            "apply_bh": significance.apply_bh,
+            "share_across_pairs": significance.share_across_pairs,
+            "seed": significance.seed,
+            "kernel": significance.kernel,
+        },
+        "chunk_size": config.effective_parallel().chunk_size,
+    }
+    digest = hashlib.blake2s(
+        json.dumps(payload, sort_keys=True).encode("utf-8"), digest_size=8
+    )
+    return digest.hexdigest()
+
+
+class PersistentShardStore(ShardStore):
+    """A :class:`~repro.parallel.shards.ShardStore` backed by a checkpoint file.
+
+    Every completed stats shard rewrites the ``stats-partial`` checkpoint
+    (atomically), so a run killed mid-stage resumes from its last finished
+    shard.  The file is superseded by the regular ``stats`` checkpoint the
+    controller writes once the stage completes.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        token: str,
+        completed: dict[str, tuple[list, list]] | None = None,
+    ):
+        super().__init__(completed)
+        self._path = Path(path)
+        self._token = token
+
+    @classmethod
+    def open(cls, path: str | Path, token: str,
+             resume: RunCheckpoint | None = None) -> "PersistentShardStore":
+        """A store at ``path``, preloaded from a matching partial resume."""
+        completed = None
+        if resume is not None and resume.stage == "stats-partial":
+            if resume.partial_token == token:
+                completed = resume.partial_shards
+            else:
+                import logging
+
+                logging.getLogger(__name__).warning(
+                    "ignoring stats-partial checkpoint: config token %s does "
+                    "not match this run's %s", resume.partial_token, token,
+                )
+        return cls(path, token, completed)
+
+    def put(self, shard_id, oriented, results) -> None:
+        super().put(shard_id, oriented, results)
+        self._write()
+
+    def _write(self) -> None:
+        shards = {}
+        for shard_id, (oriented, results) in sorted(self._completed.items()):
+            shards[shard_id] = {
+                "candidates": [_candidate_to_dict(c) for c in oriented],
+                "results": [[r.statistic, r.p_value] for r in results],
+            }
+        data = {
+            "schema_version": CHECKPOINT_VERSION,
+            "kind": "checkpoint",
+            "stage": "stats-partial",
+            "token": self._token,
+            "shards": shards,
+        }
+        scratch = self._path.with_name(self._path.name + ".tmp")
+        scratch.write_text(json.dumps(data, indent=1), encoding="utf-8")
+        scratch.replace(self._path)
+
+
+def _partial_shards_from_dict(data: dict) -> dict[str, tuple[list, list]]:
+    shards: dict[str, tuple[list, list]] = {}
+    for shard_id, payload in data.items():
+        oriented = [_candidate_from_dict(c) for c in payload["candidates"]]
+        results = [TestResult(float(s), float(p)) for s, p in payload["results"]]
+        if len(oriented) != len(results):
+            raise PersistenceError(
+                f"shard {shard_id!r} has {len(oriented)} candidates but "
+                f"{len(results)} results"
+            )
+        shards[shard_id] = (oriented, results)
+    return shards
 
 
 def save_checkpoint(
@@ -311,16 +445,25 @@ def load_checkpoint(path: str | Path) -> RunCheckpoint:
             f"unsupported checkpoint version {version!r} (expected {CHECKPOINT_VERSION})"
         )
     stage = data.get("stage")
-    if stage not in ("stats", "generation"):
+    if stage not in ("stats", "generation", "stats-partial"):
         raise PersistenceError(f"checkpoint names unknown stage {stage!r}")
     stats = None
     outcome = None
+    partial: dict[str, tuple[list, list]] = {}
+    token = None
     if stage == "generation":
         outcome = outcome_from_dict(data["outcome"])
-    else:
+    elif stage == "stats":
         stats = stats_stage_from_dict(data["stats"])
+    else:
+        try:
+            partial = _partial_shards_from_dict(data.get("shards", {}))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PersistenceError(f"malformed stats-partial checkpoint: {exc}") from exc
+        token = data.get("token")
     report = RunReport.from_dict(data["report"]) if data.get("report") else None
-    return RunCheckpoint(stage, stats=stats, outcome=outcome, report=report, source=path)
+    return RunCheckpoint(stage, stats=stats, outcome=outcome, report=report,
+                         source=path, partial_shards=partial, partial_token=token)
 
 
 def resolve_outcome(

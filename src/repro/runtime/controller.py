@@ -201,6 +201,7 @@ def _stats_ladder(
     policy: RuntimePolicy,
     progress: Callable[[str], None] | None,
     backend: ExecutionBackend | None = None,
+    shard_store=None,
 ) -> list[_Rung]:
     base_permutations = config.significance.n_permutations
     cut = reduced_permutations(base_permutations, policy.permutation_cut_factor)
@@ -224,10 +225,14 @@ def _stats_ladder(
         sampling=config.sampling,
         max_pairs_per_attribute=pair_cap,
     )
+    # Only the configured rung records mid-shard checkpoints: the degraded
+    # rungs change the test configuration, which would invalidate the
+    # shards' config token anyway.
     return [
         _Rung(
             "full",
-            lambda d, n: run_stats_stage(table, config, progress, d, backend=backend),
+            lambda d, n: run_stats_stage(table, config, progress, d, backend=backend,
+                                         shard_store=shard_store),
         ),
         _Rung(
             "reduced",
@@ -385,6 +390,7 @@ def resilient_generate(
     checkpoint_path=None,
     resume=None,
     progress: Callable[[str], None] | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> NotebookRun:
     """End-to-end generation that *always* returns a valid NotebookRun.
 
@@ -394,7 +400,9 @@ def resilient_generate(
     stage snapshots there after the stats and generation stages), and
     ``resume`` (a :class:`~repro.persistence.RunCheckpoint` to restart
     from).  ``table`` may be None only when resuming past the generation
-    stage.
+    stage.  ``backend`` lets a caller (the :class:`repro.api.Session`
+    facade) lend a long-lived engine; the controller then reports only the
+    statements this run executed and leaves closing to the owner.
     """
     if solver not in ("heuristic", "exact"):
         raise ReproError(f"unknown solver {solver!r}")
@@ -404,9 +412,11 @@ def resilient_generate(
     config = config or GenerationConfig()
     faults = faults or FaultInjector.none()
     deadline = Deadline(policy.deadline_seconds)
+    parallel = config.effective_parallel()
     report = RunReport(deadline_seconds=policy.deadline_seconds,
                        backend=config.backend,
-                       stats_kernel=config.significance.kernel)
+                       stats_kernel=config.significance.kernel,
+                       workers=parallel.workers)
     if epsilon_distance is None:
         epsilon_distance = DEFAULT_EPSILON_PER_QUERY * max(1.0, budget - 1.0)
 
@@ -442,6 +452,11 @@ def resilient_generate(
                 stats = resume.stats
                 _resumed_stage(report, STAGE_STATS)
                 logger.info("resumed past the stats stage from checkpoint")
+            elif resume.stage == "stats-partial":
+                logger.info(
+                    "resuming mid-stats: %d completed shard(s) in checkpoint",
+                    len(resume.partial_shards),
+                )
 
         if outcome is None and table is None:
             raise ReproError(
@@ -452,15 +467,33 @@ def resilient_generate(
         # One backend instance serves both data stages (the sqlite backend
         # loads the dataset once); resumed-past-generation runs never touch
         # the engine, so none is created for them.
-        backend: ExecutionBackend | None = None
-        if outcome is None:
+        owns_backend = backend is None
+        if outcome is None and backend is None:
             backend = create_backend(config.backend, table)
+        statements_before = backend.statements_executed if backend is not None else 0
         try:
             # -- stage: statistical tests -----------------------------------
             if outcome is None and stats is None:
+                # Sharded runs checkpoint mid-stage: completed shards are
+                # written as a "stats-partial" checkpoint so a resumed run
+                # skips them.  A config token guards against resuming shards
+                # produced under different test settings.
+                shard_store = None
+                if (checkpoint_path is not None and parallel.active
+                        and parallel.backend == "processes"):
+                    from repro.persistence import (
+                        PersistentShardStore,
+                        stats_config_token,
+                    )
+
+                    token = stats_config_token(config, table.n_rows)
+                    shard_store = PersistentShardStore.open(
+                        checkpoint_path, token, resume
+                    )
                 stats = _run_ladder(
                     STAGE_STATS,
-                    _stats_ladder(table, config, policy, progress, backend=backend),
+                    _stats_ladder(table, config, policy, progress, backend=backend,
+                                  shard_store=shard_store),
                     deadline,
                     faults,
                     report,
@@ -469,9 +502,10 @@ def resilient_generate(
                 if stats is not None and checkpoint_path is not None:
                     from repro.persistence import save_checkpoint
 
-                    report.backend_statements += backend.statements_executed
+                    executed = backend.statements_executed - statements_before
+                    report.backend_statements += executed
                     save_checkpoint(checkpoint_path, stats=stats, report=report)
-                    report.backend_statements -= backend.statements_executed
+                    report.backend_statements -= executed
                     logger.info("checkpoint written after stats stage: %s", checkpoint_path)
                 if stats is None:
                     # Every rung failed: stand in an empty result so the run can
@@ -492,9 +526,10 @@ def resilient_generate(
                 if outcome is not None and checkpoint_path is not None:
                     from repro.persistence import save_checkpoint
 
-                    report.backend_statements += backend.statements_executed
+                    executed = backend.statements_executed - statements_before
+                    report.backend_statements += executed
                     save_checkpoint(checkpoint_path, outcome=outcome, report=report)
-                    report.backend_statements -= backend.statements_executed
+                    report.backend_statements -= executed
                     logger.info("checkpoint written after generation stage: %s",
                                 checkpoint_path)
                 if outcome is None:
@@ -503,8 +538,11 @@ def resilient_generate(
                     )
         finally:
             if backend is not None:
-                report.backend_statements += backend.statements_executed
-                backend.close()
+                report.backend_statements += (
+                    backend.statements_executed - statements_before
+                )
+                if owns_backend:
+                    backend.close()
 
         # -- stage: TAP resolution ------------------------------------------
         queries = outcome.queries

@@ -77,6 +77,9 @@ class RunReport:
     backend_statements: int = 0
     #: Permutation-test kernel the statistics stage used ("batched"/"legacy").
     stats_kernel: str | None = None
+    #: Worker count of the sharded execution layer (1 = in-process).  A
+    #: "worker field" in the invariance sense: results never depend on it.
+    workers: int = 1
 
     def stage(self, name: str) -> StageReport | None:
         for entry in self.stages:
@@ -109,6 +112,7 @@ class RunReport:
             "backend": self.backend,
             "backend_statements": self.backend_statements,
             "stats_kernel": self.stats_kernel,
+            "workers": self.workers,
         }
 
     @classmethod
@@ -121,6 +125,7 @@ class RunReport:
             backend=data.get("backend"),
             backend_statements=int(data.get("backend_statements", 0)),
             stats_kernel=data.get("stats_kernel"),
+            workers=int(data.get("workers", 1)),
         )
 
     def summary_lines(self) -> list[str]:
@@ -135,6 +140,8 @@ class RunReport:
             line = f"  backend      {self.backend:<10} statements={self.backend_statements}"
             if self.stats_kernel:
                 line += f"  kernel={self.stats_kernel}"
+            if self.workers > 1:
+                line += f"  workers={self.workers}"
             lines.append(line)
         for entry in self.stages:
             line = (

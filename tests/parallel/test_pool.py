@@ -1,0 +1,182 @@
+"""Mechanics of the work-stealing, crash-isolated shard pool."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro import obs
+from repro.errors import DeadlineExceeded, ReproError
+from repro.parallel import ParallelConfig, ShardPool
+from repro.runtime.deadline import Deadline
+
+
+@pytest.fixture(autouse=True)
+def isolated_obs():
+    with obs.capture() as (tracer, metrics):
+        yield tracer, metrics
+
+
+def _counters():
+    return obs.current_metrics().snapshot()["counters"]
+
+
+# Task functions must live at module level (they cross the process
+# boundary under spawn).
+
+def _double(ctx, payload):
+    return payload * 2
+
+
+def _sleepy(ctx, payload):
+    value, seconds = payload
+    time.sleep(seconds)
+    return value
+
+
+def _crash_once(ctx, payload):
+    value, marker = payload
+    if marker and not os.path.exists(marker):
+        open(marker, "w").close()
+        os._exit(13)
+    return value * 3
+
+
+def _crash_in_subprocess(ctx, payload):
+    value, parent_pid = payload
+    if os.getpid() != parent_pid:
+        os._exit(7)
+    return value + 100
+
+
+def _raise_value_error(ctx, payload):
+    raise ValueError("boom")
+
+
+def _raise_deadline(ctx, payload):
+    raise DeadlineExceeded("synthetic expiry", stage="shards")
+
+
+def _raise_memory(ctx, payload):
+    raise MemoryError("pretend OOM")
+
+
+def _state_plus(ctx, payload):
+    return ctx.state + payload
+
+
+def _bad_init(payload):
+    raise RuntimeError("init exploded")
+
+
+def test_results_come_back_in_payload_order():
+    pool = ShardPool(ParallelConfig(workers=4), task_fn=_double)
+    assert pool.run(list(range(10))) == [i * 2 for i in range(10)]
+
+
+def test_single_worker_runs_in_process_without_pool_counters():
+    pool = ShardPool(ParallelConfig(workers=1), task_fn=_double)
+    assert pool.run([1, 2, 3]) == [2, 4, 6]
+    counters = _counters()
+    assert "parallel.tasks_stolen" not in counters
+    assert "parallel.tasks_inprocess" not in counters
+
+
+def test_init_payload_becomes_state():
+    pool = ShardPool(ParallelConfig(workers=2), task_fn=_state_plus, init_payload=10)
+    assert pool.run([1, 2, 3, 4]) == [11, 12, 13, 14]
+
+
+def test_idle_worker_steals_from_the_busy_one():
+    # Worker 0's first shard sleeps; worker 1 drains its own deque and
+    # must steal the rest of worker 0's block to finish the run.
+    payloads = [(0, 0.5)] + [(i, 0.0) for i in range(1, 8)]
+    pool = ShardPool(ParallelConfig(workers=2), task_fn=_sleepy)
+    assert pool.run(payloads) == list(range(8))
+    assert _counters().get("parallel.tasks_stolen", 0) >= 1
+
+
+def test_crashed_worker_is_replaced_and_its_shard_requeued(tmp_path):
+    marker = str(tmp_path / "crashed-once")
+    payloads = [(i, marker if i == 1 else "") for i in range(6)]
+    pool = ShardPool(
+        ParallelConfig(workers=2, max_worker_restarts=2), task_fn=_crash_once
+    )
+    assert pool.run(payloads) == [i * 3 for i in range(6)]
+    assert _counters().get("parallel.worker_restarts", 0) >= 1
+
+
+def test_restart_budget_exhausted_degrades_to_in_process():
+    # Every subprocess attempt dies; once the restart budget is spent the
+    # remaining shards must complete in the parent process.
+    payloads = [(i, os.getpid()) for i in range(5)]
+    pool = ShardPool(
+        ParallelConfig(workers=2, max_worker_restarts=1),
+        task_fn=_crash_in_subprocess,
+    )
+    assert pool.run(payloads) == [i + 100 for i in range(5)]
+    assert _counters().get("parallel.tasks_inprocess", 0) >= 1
+
+
+def test_worker_exception_reraises_as_repro_error():
+    pool = ShardPool(ParallelConfig(workers=2), task_fn=_raise_value_error)
+    with pytest.raises(ReproError, match="ValueError.*boom"):
+        pool.run([1, 2, 3, 4])
+
+
+def test_worker_deadline_keeps_its_type():
+    pool = ShardPool(ParallelConfig(workers=2), task_fn=_raise_deadline)
+    with pytest.raises(DeadlineExceeded):
+        pool.run([1, 2, 3, 4])
+
+
+def test_worker_memory_error_keeps_its_type():
+    pool = ShardPool(ParallelConfig(workers=2), task_fn=_raise_memory)
+    with pytest.raises(MemoryError):
+        pool.run([1, 2, 3, 4])
+
+
+def test_worker_init_failure_surfaces():
+    pool = ShardPool(
+        ParallelConfig(workers=2), task_fn=_double, worker_init=_bad_init
+    )
+    with pytest.raises(ReproError, match="RuntimeError.*init exploded"):
+        pool.run([1, 2, 3, 4])
+
+
+def test_near_deadline_skips_the_pool_entirely():
+    # Remaining deadline is below the margin from the start: the pool must
+    # finish in-process (where real expiry raises for the runtime ladder).
+    pool = ShardPool(
+        ParallelConfig(workers=2, deadline_margin=3600.0),
+        task_fn=_double,
+        deadline=Deadline(30.0),
+    )
+    assert pool.run([1, 2, 3]) == [2, 4, 6]
+    assert _counters().get("parallel.tasks_inprocess", 0) == 3
+    assert "parallel.tasks_stolen" not in _counters()
+
+
+def test_skip_leaves_resumed_slots_for_the_caller():
+    pool = ShardPool(ParallelConfig(workers=2), task_fn=_double)
+    results = pool.run([1, 2, 3, 4], skip={0, 2})
+    assert results[0] is None and results[2] is None
+    assert results[1] == 4 and results[3] == 8
+
+
+def test_on_result_fires_per_completed_shard():
+    seen: dict[int, int] = {}
+    pool = ShardPool(ParallelConfig(workers=2), task_fn=_double)
+    pool.run([5, 6, 7], on_result=lambda i, v: seen.__setitem__(i, v))
+    assert seen == {0: 10, 1: 12, 2: 14}
+
+
+def test_worker_spans_are_adopted_into_the_main_trace(isolated_obs):
+    tracer, _ = isolated_obs
+    pool = ShardPool(ParallelConfig(workers=2), task_fn=_double, label="adopt")
+    pool.run([1, 2, 3, 4])
+    names = [span.name for span in tracer.spans()]
+    assert "parallel.adopt" in names
+    assert "parallel.task" in names
