@@ -1,0 +1,209 @@
+"""Serving-layer load generator — latency, shed rate, cache amortization.
+
+Drives a real :class:`repro.serve.ReproServer` over HTTP sockets through
+two phases and reports what the robustness machinery delivered:
+
+* **steady** — a small client pool against a roomy queue: every request
+  should complete (or degrade, never hang), repeat requests against the
+  warm dataset should hit the cross-stage aggregate cache, and the
+  client-observed latency distribution is the headline number;
+* **burst** — every request at once against a deliberately tiny queue:
+  admission control must shed the overflow with 429s while everything
+  admitted still terminates.
+
+``--metrics-out BENCH_serve.json`` emits the machine-readable document
+(p50/p99 latency, shed rate, cache hits as ``bench.serve.*`` gauges);
+the CI serve-smoke job uploads it as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _harness import cli_main, print_report, run_once
+
+from repro import obs
+from repro.config import ReproConfig
+from repro.datasets import covid_table
+from repro.evaluation import render_table
+from repro.relational import write_csv
+from repro.serve import ReproServer, ServeConfig
+from repro.serve.jobs import TERMINAL_STATES
+
+#: Client-side bound on any single request (submit + poll), seconds.
+CLIENT_TIMEOUT = 60.0
+
+
+def _http(url: str, method: str = "GET", body: dict | None = None):
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=CLIENT_TIMEOUT) as resp:
+            return resp.status, json.loads(resp.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode())
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run_phase(
+    server: ReproServer,
+    n_requests: int,
+    clients: int,
+) -> dict:
+    """Fire ``n_requests`` from ``clients`` threads; gather the outcomes."""
+    latencies: list[float] = []
+    statuses: list[str] = []
+    lock = threading.Lock()
+    counter = iter(range(n_requests))
+
+    def client() -> None:
+        while True:
+            with lock:
+                try:
+                    next(counter)
+                except StopIteration:
+                    return
+            start = time.perf_counter()
+            code, body = _http(f"{server.url}/generate", "POST",
+                               {"dataset": "covid"})
+            if code == 202:
+                code, body = _http(
+                    f"{server.url}/jobs/{body['job']}?wait={CLIENT_TIMEOUT}"
+                )
+                status = body["status"]
+            else:  # 429 shed / 503 circuit: already terminal
+                status = "shed"
+            elapsed = time.perf_counter() - start
+            with lock:
+                latencies.append(elapsed)
+                statuses.append(status)
+
+    threads = [threading.Thread(target=client) for _ in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=CLIENT_TIMEOUT * n_requests)
+
+    shed = sum(1 for s in statuses if s == "shed")
+    terminal = sum(1 for s in statuses if s in TERMINAL_STATES)
+    (dataset,) = server.registry.snapshot()
+    return {
+        "requests": len(statuses),
+        "terminal": terminal,
+        "completed": sum(1 for s in statuses if s == "completed"),
+        "degraded": sum(1 for s in statuses if s == "degraded"),
+        "failed": sum(1 for s in statuses if s == "failed"),
+        "shed": shed,
+        "shed_rate": shed / max(1, len(statuses)),
+        "p50_seconds": percentile(latencies, 0.50),
+        "p99_seconds": percentile(latencies, 0.99),
+        "cache_hits": dataset["cache"]["aggregate_hits"],
+        "cache_misses": dataset["cache"]["aggregate_misses"],
+    }
+
+
+def run_experiment(quick: bool) -> dict[str, dict]:
+    rows = 200 if quick else 400
+    steady_n = 8 if quick else 24
+    burst_n = 8 if quick else 16
+    repro_config = ReproConfig(budget=3.0).with_significance(
+        n_permutations=30 if quick else 80
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
+        csv = Path(tmp) / "covid.csv"
+        write_csv(covid_table(rows), csv)
+
+        steady_server = ReproServer(
+            ServeConfig(port=0, max_queue_depth=64, max_inflight_cost=256.0,
+                        default_deadline_seconds=CLIENT_TIMEOUT,
+                        job_attempts=2),
+            repro_config=repro_config,
+        )
+        with steady_server:
+            steady_server.registry.register("covid", csv)
+            steady = run_phase(steady_server, steady_n, clients=2)
+
+        burst_server = ReproServer(
+            ServeConfig(port=0, max_queue_depth=2, max_inflight_cost=256.0,
+                        default_deadline_seconds=CLIENT_TIMEOUT,
+                        job_attempts=2),
+            repro_config=repro_config,
+        )
+        with burst_server:
+            burst_server.registry.register("covid", csv)
+            burst = run_phase(burst_server, burst_n, clients=burst_n)
+
+    for phase, result in (("steady", steady), ("burst", burst)):
+        for key in ("p50_seconds", "p99_seconds", "shed_rate",
+                    "cache_hits", "cache_misses", "requests", "terminal"):
+            obs.gauge(f"bench.serve.{phase}_{key}").set(float(result[key]))
+    return {"steady": steady, "burst": burst}
+
+
+def build_table(results: dict[str, dict]) -> str:
+    body = render_table(
+        ["phase", "requests", "terminal", "completed", "shed",
+         "shed rate", "p50 (s)", "p99 (s)", "cache hits"],
+        [
+            (phase, r["requests"], r["terminal"], r["completed"], r["shed"],
+             f"{r['shed_rate']:.2f}", f"{r['p50_seconds']:.2f}",
+             f"{r['p99_seconds']:.2f}", int(r["cache_hits"]))
+            for phase, r in results.items()
+        ],
+    )
+    return body + (
+        "\n\nsteady: roomy queue, 2 clients — everything terminates, warm-\n"
+        "session cache hits amortize repeat requests; burst: all requests\n"
+        "at once into a 2-deep queue — admission sheds the overflow with\n"
+        "429s, admitted work still terminates."
+    )
+
+
+def main(quick: bool = False) -> None:
+    results = run_experiment(quick)
+    print_report("Serving layer — load, shedding, and latency", build_table(results))
+    for phase, r in results.items():
+        if r["terminal"] != r["requests"]:
+            raise SystemExit(
+                f"{phase}: {r['requests'] - r['terminal']} request(s) never "
+                "reached a terminal state"
+            )
+
+
+def test_serve_load(benchmark, capsys):
+    results = run_once(benchmark, run_experiment, True)
+    with capsys.disabled():
+        print_report("Serving layer (quick) — load + shedding",
+                     build_table(results))
+    steady, burst = results["steady"], results["burst"]
+    # Every request, both phases, reached a terminal state.
+    assert steady["terminal"] == steady["requests"]
+    assert burst["terminal"] == burst["requests"]
+    # The steady phase sheds nothing and hits the warm aggregate cache.
+    assert steady["shed_rate"] == 0.0
+    assert steady["cache_hits"] > 0
+    # The burst into a 2-deep queue must shed some of the overflow.
+    assert burst["shed_rate"] > 0.0
+    assert steady["p50_seconds"] <= steady["p99_seconds"]
+
+
+if __name__ == "__main__":
+    cli_main(main)

@@ -29,6 +29,7 @@ instead of failing, checkpoints make runs resumable, and the attached
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 from typing import Callable
 
@@ -42,6 +43,17 @@ from repro.obs.spans import Tracer
 from repro.relational import Table, read_csv
 
 __all__ = ["Session", "generate_notebook"]
+
+#: Process-wide run lock.  :meth:`Session.generate` and
+#: :meth:`Session.render` swap the *ambient* tracer/metrics pair
+#: (:func:`repro.obs.use` — module state, not thread-local), so two runs
+#: from different threads would trample each other's traces even on
+#: different sessions.  Every run therefore serializes on this lock; it is
+#: reentrant so a render nested inside the owning thread never deadlocks.
+#: The serving layer (:mod:`repro.serve`) relies on this: its executor
+#: threads submit runs freely and correctness never depends on executor
+#: count.
+_RUN_LOCK = threading.RLock()
 
 
 class Session:
@@ -67,6 +79,18 @@ class Session:
     tracer/metrics pair — concurrent runs in one process don't trample
     each other's traces.  Use it as a context manager, or call
     :meth:`close` to release the backend.
+
+    Thread safety
+    -------------
+    A session may be *shared* across threads (the serving layer keeps one
+    warm session per registered dataset), but runs are serialized:
+    :meth:`generate` and :meth:`render` hold the session's lock plus a
+    process-wide run lock for their full duration, so concurrent calls
+    block until the running one finishes rather than corrupting the shared
+    backend, aggregate cache, or ambient observability state.  Callers
+    that would rather shed than wait can test :attr:`busy` first (advisory
+    — admission control belongs in front of the session, as
+    :mod:`repro.serve` does with its bounded queue).
     """
 
     def __init__(
@@ -95,6 +119,7 @@ class Session:
         self.metrics = MetricsRegistry()
         self._backend = None
         self._closed = False
+        self._lock = threading.RLock()
 
     # -- owned resources -----------------------------------------------------
 
@@ -116,12 +141,30 @@ class Session:
         """The table's cross-stage aggregate cache."""
         return self.table.aggregate_cache()
 
+    @property
+    def busy(self) -> bool:
+        """True while another thread is inside :meth:`generate`/:meth:`render`.
+
+        Advisory only: by the time the caller acts the state may have
+        changed.  Use it to *shed* work early; correctness never depends
+        on it (the locks do the enforcement).
+        """
+        if self._lock.acquire(blocking=False):
+            self._lock.release()
+            return False
+        return True
+
     def close(self) -> None:
-        """Release the backend.  Idempotent."""
-        if self._backend is not None:
-            self._backend.close()
-            self._backend = None
-        self._closed = True
+        """Release the backend.  Idempotent.
+
+        Waits for a run in flight on another thread: the lock guarantees
+        the backend is never closed under an active run.
+        """
+        with self._lock:
+            if self._backend is not None:
+                self._backend.close()
+                self._backend = None
+            self._closed = True
 
     def __enter__(self) -> "Session":
         return self
@@ -151,7 +194,9 @@ class Session:
         from repro.runtime import resilient_generate
 
         cfg = self.config
-        with obs.use(self.tracer, self.metrics):
+        with self._lock, _RUN_LOCK, obs.use(self.tracer, self.metrics):
+            if self._closed:
+                raise ReproError("session is closed")
             return resilient_generate(
                 self.table,
                 cfg.generation,
@@ -186,7 +231,7 @@ class Session:
         """Render a run as a notebook (with the render degradation ladder)."""
         from repro.runtime import resilient_render
 
-        with obs.use(self.tracer, self.metrics):
+        with self._lock, _RUN_LOCK, obs.use(self.tracer, self.metrics):
             return resilient_render(
                 run,
                 self.table,

@@ -32,6 +32,13 @@ Sub-commands
     dependencies, and the comparison-query count of Lemma 3.2.
 ``datasets``
     Materialize the synthetic evaluation datasets as CSV files.
+``serve``
+    Run the multi-tenant notebook-generation service: a dataset registry
+    of warm sessions, async job submission with per-request deadline
+    budgets, admission control, and per-dataset circuit breakers (see
+    ``docs/serving.md``).  ``REPRO_FAULTS`` reaches the server's chaos
+    fault points (``serve.admission``, ``serve.handler``, ``serve.job``,
+    ``serve.evict``).
 
 The ``REPRO_FAULTS`` environment variable (e.g. ``stats:kill`` or
 ``tap:stall:10``) activates deterministic fault injection — a test hook,
@@ -44,6 +51,7 @@ import argparse
 import logging
 import os
 import sys
+import time
 from pathlib import Path
 
 from repro import __version__, obs
@@ -186,6 +194,35 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the synthetic evaluation datasets")
     data.add_argument("--out-dir", type=Path, default=Path("."))
     data.add_argument("--scale", type=float, default=0.25)
+
+    serve = sub.add_parser(
+        "serve", parents=[common],
+        help="run the multi-tenant notebook-generation service",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="listen address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="listen port; 0 binds an ephemeral port (default 8765)")
+    serve.add_argument("--dataset", action="append", default=[],
+                       metavar="NAME=CSV",
+                       help="preload a dataset into the registry (repeatable)")
+    serve.add_argument("--max-queue", type=int, default=16,
+                       help="admission queue depth before requests shed (default 16)")
+    serve.add_argument("--max-cost", type=float, default=64.0,
+                       help="in-flight estimated-cost budget in units (default 64)")
+    serve.add_argument("--default-deadline", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="per-request deadline budget when the request "
+                            "names none (default 30)")
+    serve.add_argument("--executors", type=int, default=1,
+                       help="job executor threads (default 1; runs serialize "
+                            "on the process-wide run lock regardless)")
+    serve.add_argument("--breaker-failures", type=int, default=3,
+                       help="consecutive job failures before a dataset's "
+                            "circuit opens (default 3)")
+    serve.add_argument("--breaker-reset", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="circuit cool-down before a half-open probe (default 30)")
     return parser
 
 
@@ -408,6 +445,53 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.runtime import parse_fault_plan
+    from repro.serve import ReproServer, ServeConfig
+
+    say = (lambda m: None) if args.quiet else (lambda m: print(f"[repro] {m}"))
+    faults = parse_fault_plan(os.environ.get("REPRO_FAULTS"))
+    if faults.active:
+        say("fault injection active (REPRO_FAULTS)")
+
+    preload: list[tuple[str, Path]] = []
+    for spec in args.dataset:
+        name, _, path = spec.partition("=")
+        if not name or not path:
+            raise ReproError(
+                f"malformed --dataset {spec!r} (want NAME=PATH.csv)"
+            )
+        preload.append((name, Path(path)))
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_queue_depth=args.max_queue,
+        max_inflight_cost=args.max_cost,
+        default_deadline_seconds=args.default_deadline,
+        executors=args.executors,
+        breaker_failures=args.breaker_failures,
+        breaker_reset_seconds=args.breaker_reset,
+    )
+    server = ReproServer(config, faults=faults)
+    server.start()
+    try:
+        for name, path in preload:
+            entry = server.registry.register(name, path)
+            say(f"registered dataset {name} "
+                f"({entry.session.table.n_rows} rows, "
+                f"cost {entry.cost_units:.1f} units)")
+        print(f"serving on {server.url} (Ctrl-C to stop)")
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            say("shutting down")
+    finally:
+        server.shutdown()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -423,6 +507,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_inspect(args)
         if args.command == "datasets":
             return _cmd_datasets(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -94,5 +94,32 @@ class NotebookError(ReproError):
     """Notebook rendering failed (e.g. empty sequence of queries)."""
 
 
+class ServeError(ReproError):
+    """A serving-layer (``repro.serve``) request cannot be satisfied."""
+
+
+class UnknownDatasetError(ServeError):
+    """The request names a dataset that is not (or no longer) registered."""
+
+
+class AdmissionRejected(ServeError):
+    """Admission control shed the request (queue depth or cost budget).
+
+    Attributes
+    ----------
+    reason:
+        Machine-readable shed reason (``queue-full``, ``cost-budget``,
+        ``injected``, ``circuit-open``).
+    """
+
+    def __init__(self, message: str, reason: str = "queue-full"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class CircuitOpen(ServeError):
+    """The dataset's circuit breaker is open; the request was not run."""
+
+
 class DatasetError(ReproError):
     """A synthetic dataset specification is invalid."""

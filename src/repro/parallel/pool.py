@@ -47,6 +47,7 @@ from repro import obs
 from repro.errors import DeadlineExceeded, ReproError
 from repro.parallel.config import ParallelConfig
 from repro.runtime.deadline import Deadline
+from repro.runtime.retry import RetryPolicy, RetryState
 
 logger = logging.getLogger(__name__)
 
@@ -55,6 +56,14 @@ __all__ = ["ShardPool", "WorkerContext", "WorkerCrashed"]
 #: Seconds the scheduler waits on the result queue before checking worker
 #: liveness and the deadline.
 _POLL_SECONDS = 0.1
+
+#: Backoff curve for replacing crashed workers.  A worker that dies the
+#: instant it starts (bad node, OOM storm) would otherwise be respawned in
+#: a tight fork loop; the shared retry primitive paces replacements with
+#: deterministic jitter.  ``max_attempts`` is irrelevant here — the budget
+#: comes from :attr:`ParallelConfig.max_worker_restarts`.
+_RESTART_BACKOFF = RetryPolicy(base_delay=0.02, multiplier=2.0,
+                               max_delay=0.25, jitter=0.5)
 
 
 class WorkerCrashed(ReproError):
@@ -326,7 +335,9 @@ class _Scheduler:
         self._workers: dict[int, tuple] = {}  # id -> (process, task_queue)
         self._in_flight: dict[int, tuple[int, float]] = {}  # id -> (task, t)
         self._pending: set[int] = set(todo)
-        self._restarts_left = pool._parallel.max_worker_restarts
+        self._restarts = RetryState(
+            _RESTART_BACKOFF, retries=pool._parallel.max_worker_restarts
+        )
         self._failure: BaseException | None = None
 
     # -- worker lifecycle ---------------------------------------------------
@@ -373,9 +384,11 @@ class _Scheduler:
                 self._deques[worker_id % self._n_workers].appendleft(flight[0])
             logger.warning("%s: worker %d died (exitcode %s)",
                            self._pool._label, worker_id, process.exitcode)
-            if self._restarts_left > 0:
-                self._restarts_left -= 1
+            delay = self._restarts.next_delay()
+            if delay is not None:
                 obs.counter("parallel.worker_restarts").inc()
+                if not self._pool._deadline_near():
+                    time.sleep(delay)
                 self._spawn(worker_id)  # keeps the deque affinity
                 self._dispatch(worker_id)
 

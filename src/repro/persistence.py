@@ -431,13 +431,31 @@ def save_checkpoint(
 
 
 def load_checkpoint(path: str | Path) -> RunCheckpoint:
-    """Load a stage checkpoint written by :func:`save_checkpoint`."""
+    """Load a stage checkpoint written by :func:`save_checkpoint`.
+
+    Every way the file can be unusable — deleted, unreadable, truncated,
+    binary-corrupt, or structurally wrong — raises
+    :class:`PersistenceError` with the path and the reason, so callers
+    (the CLI's ``--resume``, the serving layer) turn it into a clean
+    error instead of an unhandled traceback.
+    """
     path = Path(path)
     try:
         data = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise PersistenceError(
+            f"checkpoint {path} does not exist (deleted, or never written); "
+            "re-run without --resume"
+        ) from None
+    except OSError as exc:
+        raise PersistenceError(f"checkpoint {path} is not readable: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise PersistenceError(
+            f"checkpoint {path} is corrupt (not UTF-8 text): {exc}"
+        ) from exc
     except json.JSONDecodeError as exc:
         raise PersistenceError(f"checkpoint {path} is not valid JSON: {exc}") from exc
-    if data.get("kind") != "checkpoint":
+    if not isinstance(data, dict) or data.get("kind") != "checkpoint":
         raise PersistenceError(f"{path} is not a stage checkpoint")
     version = data.get("schema_version")
     if version != CHECKPOINT_VERSION:
@@ -452,8 +470,16 @@ def load_checkpoint(path: str | Path) -> RunCheckpoint:
     partial: dict[str, tuple[list, list]] = {}
     token = None
     if stage == "generation":
+        if not isinstance(data.get("outcome"), dict):
+            raise PersistenceError(
+                f"checkpoint {path} names stage 'generation' but carries no outcome"
+            )
         outcome = outcome_from_dict(data["outcome"])
     elif stage == "stats":
+        if not isinstance(data.get("stats"), dict):
+            raise PersistenceError(
+                f"checkpoint {path} names stage 'stats' but carries no stats payload"
+            )
         stats = stats_stage_from_dict(data["stats"])
     else:
         try:
@@ -461,7 +487,12 @@ def load_checkpoint(path: str | Path) -> RunCheckpoint:
         except (KeyError, TypeError, ValueError) as exc:
             raise PersistenceError(f"malformed stats-partial checkpoint: {exc}") from exc
         token = data.get("token")
-    report = RunReport.from_dict(data["report"]) if data.get("report") else None
+    try:
+        report = RunReport.from_dict(data["report"]) if data.get("report") else None
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise PersistenceError(
+            f"checkpoint {path} carries a malformed run report: {exc}"
+        ) from exc
     return RunCheckpoint(stage, stats=stats, outcome=outcome, report=report,
                          source=path, partial_shards=partial, partial_token=token)
 

@@ -26,18 +26,22 @@ which itself imports :mod:`repro.runtime.deadline`.
 from repro.runtime.deadline import Deadline
 from repro.runtime.faults import FaultInjector, FaultSpec, InjectedFault, parse_fault_plan
 from repro.runtime.report import RunReport, StageReport
+from repro.runtime.retry import RetryPolicy, RetryState, retry_call
 
 __all__ = [
     "Deadline",
     "FaultInjector",
     "FaultSpec",
     "InjectedFault",
+    "RetryPolicy",
+    "RetryState",
     "RunReport",
     "RuntimePolicy",
     "StageReport",
     "parse_fault_plan",
     "resilient_generate",
     "resilient_render",
+    "retry_call",
 ]
 
 _CONTROLLER_EXPORTS = ("RuntimePolicy", "resilient_generate", "resilient_render")

@@ -14,11 +14,32 @@ The CLI activates injection from the ``REPRO_FAULTS`` environment variable
 
     REPRO_FAULTS="stats:kill" repro generate data.csv ...
     REPRO_FAULTS="tap:stall:10,render:kill" ...
+
+Stage names are free-form, so the serving layer (:mod:`repro.serve`)
+registers its own fault points against the same plan syntax — see
+``docs/serving.md`` for the chaos knobs:
+
+``serve.admission``
+    ``kill`` forces the admission controller to shed the request as if
+    the queue were full (an HTTP 429, never an exception to the client).
+``serve.handler``
+    ``stall`` delays the HTTP handler (a slow-handler fault; real sleeps
+    are capped by :data:`MAX_REAL_STALL_SECONDS`).
+``serve.job``
+    ``kill`` crashes a job attempt mid-execution; the executor's retry
+    policy absorbs it or the job terminates ``failed`` with a report.
+``serve.evict``
+    ``kill`` evicts the job's dataset entry while the job is running
+    (the cache-eviction race; leases keep the session alive).
+
+:meth:`FaultInjector.fire` is thread-safe: the serving layer fires faults
+from many handler threads against one shared plan.
 """
 
 from __future__ import annotations
 
 import logging
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -84,6 +105,7 @@ class FaultInjector:
 
     def __init__(self, specs: list[FaultSpec] | None = None):
         self.specs = list(specs or [])
+        self._lock = threading.Lock()
 
     @classmethod
     def none(cls) -> "FaultInjector":
@@ -95,22 +117,42 @@ class FaultInjector:
 
     def fire(self, stage: str, deadline: Deadline | None = None) -> None:
         """Apply every still-armed fault targeting ``stage``."""
-        for spec in self.specs:
-            if spec.stage != stage:
-                continue
-            if spec.times is not None and spec.fired >= spec.times:
-                continue
-            spec.fired += 1
-            if spec.action == "stall":
-                logger.warning("fault injection: stalling stage %r for %.3gs",
-                               stage, spec.seconds)
-                if deadline is not None and deadline.limited:
-                    deadline.consume(spec.seconds)
+        stalls: list[float] = []
+        with self._lock:
+            for spec in self.specs:
+                if spec.stage != stage:
+                    continue
+                if spec.times is not None and spec.fired >= spec.times:
+                    continue
+                spec.fired += 1
+                if spec.action == "stall":
+                    stalls.append(spec.seconds)
                 else:
-                    time.sleep(min(spec.seconds, MAX_REAL_STALL_SECONDS))
+                    logger.warning("fault injection: killing stage %r", stage)
+                    raise InjectedFault(stage)
+        # Stalls happen outside the lock so a long injected sleep in one
+        # server thread never blocks fault checks in the others.
+        for seconds in stalls:
+            logger.warning("fault injection: stalling stage %r for %.3gs",
+                           stage, seconds)
+            if deadline is not None and deadline.limited:
+                deadline.consume(seconds)
             else:
-                logger.warning("fault injection: killing stage %r", stage)
-                raise InjectedFault(stage)
+                time.sleep(min(seconds, MAX_REAL_STALL_SECONDS))
+
+    def poll(self, stage: str, deadline: Deadline | None = None) -> bool:
+        """Non-raising fire: True when a kill fault hit ``stage``.
+
+        Fault points that model a *condition* rather than an exception —
+        the admission controller's queue-full shed, the registry's racing
+        eviction — consume their faults through this wrapper.  Stalls
+        still stall.
+        """
+        try:
+            self.fire(stage, deadline)
+        except InjectedFault:
+            return True
+        return False
 
 
 def parse_fault_plan(text: str | None) -> FaultInjector:

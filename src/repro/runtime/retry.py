@@ -1,0 +1,195 @@
+"""Shared retry/backoff-with-jitter primitive.
+
+One retry policy serves every layer that replaces a failed attempt with a
+fresh one: the serving layer's job execution retries transient failures
+(injected crashes, worker deaths) and the :class:`~repro.parallel.pool.
+ShardPool` paces crashed-worker restarts through the same backoff curve,
+so "how aggressively do we retry" is tuned in exactly one place.
+
+Design points
+-------------
+* **Deterministic jitter** — backoff delays are randomized (equal-jitter:
+  the top ``jitter`` fraction of each delay is uniform random) from a
+  *seeded* :class:`random.Random`, so tests and reproductions see the same
+  delays every run while concurrent retriers still decorrelate (each call
+  site seeds differently).
+* **Deadline aware** — :func:`retry_call` checks the run
+  :class:`~repro.runtime.deadline.Deadline` before every attempt and caps
+  each backoff sleep to the remaining budget; a retry loop can never
+  outlive the request it serves.
+* **Injectable sleep** — chaos tests pass ``sleep=lambda s: None`` and run
+  in microseconds.
+
+Two consumption shapes::
+
+    # Wrap a whole callable (the serving layer's job attempts):
+    run = retry_call(attempt, policy=RetryPolicy(max_attempts=2),
+                     retry_on=(InjectedFault, WorkerCrashed))
+
+    # Incremental budget across discrete events (pool worker restarts):
+    restarts = RetryState(RetryPolicy(base_delay=0.01), retries=2)
+    delay = restarts.next_delay()   # None once the budget is spent
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.errors import ReproError
+from repro.runtime.deadline import Deadline
+
+__all__ = ["RetryPolicy", "RetryState", "retry_call"]
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """How many attempts, and how long to wait between them.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts :func:`retry_call` makes (1 = no retries).
+    base_delay:
+        Backoff before the first retry, in seconds.
+    multiplier:
+        Exponential growth factor between consecutive retries.
+    max_delay:
+        Ceiling on any single backoff delay.
+    jitter:
+        Fraction of each delay that is uniform random (0 disables jitter,
+        1 makes the whole delay random).  Jitter decorrelates concurrent
+        retriers hammering a shared resource.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ReproError(f"max_attempts must be at least 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ReproError("retry delays cannot be negative")
+        if self.multiplier < 1.0:
+            raise ReproError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ReproError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay_for(self, retry_index: int, rng: random.Random | None = None) -> float:
+        """Backoff before retry number ``retry_index`` (0-based), jittered."""
+        raw = min(self.max_delay, self.base_delay * self.multiplier ** retry_index)
+        if self.jitter <= 0.0 or rng is None:
+            return raw
+        return raw * (1.0 - self.jitter) + rng.random() * raw * self.jitter
+
+
+class RetryState:
+    """An incremental retry budget for discrete failure events.
+
+    The :class:`~repro.parallel.pool.ShardPool` consumes one of these: each
+    worker death asks :meth:`next_delay` whether a replacement is still
+    within budget (and how long to back off before spawning it).
+
+    Parameters
+    ----------
+    policy:
+        Delay curve; ``policy.max_attempts`` is ignored when ``retries``
+        is given explicitly.
+    retries:
+        Total retries allowed (defaults to ``policy.max_attempts - 1``).
+    seed:
+        Seed of the jitter stream (deterministic by default).
+    """
+
+    __slots__ = ("_policy", "_retries", "_rng", "_used")
+
+    def __init__(
+        self,
+        policy: RetryPolicy | None = None,
+        *,
+        retries: int | None = None,
+        seed: int | None = 0,
+    ):
+        self._policy = policy or RetryPolicy()
+        self._retries = (
+            self._policy.max_attempts - 1 if retries is None else retries
+        )
+        if self._retries < 0:
+            raise ReproError(f"retries cannot be negative, got {self._retries}")
+        self._rng = random.Random(seed)
+        self._used = 0
+
+    @property
+    def used(self) -> int:
+        """Retries consumed so far."""
+        return self._used
+
+    @property
+    def exhausted(self) -> bool:
+        return self._used >= self._retries
+
+    def next_delay(self) -> float | None:
+        """Consume one retry; return its backoff delay, or None when spent."""
+        if self.exhausted:
+            return None
+        delay = self._policy.delay_for(self._used, self._rng)
+        self._used += 1
+        return delay
+
+
+def retry_call(
+    fn: Callable[[], object],
+    *,
+    policy: RetryPolicy | None = None,
+    retry_on: tuple[type[BaseException], ...] | Iterable[type[BaseException]] = (
+        ReproError,
+    ),
+    deadline: Deadline | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+    seed: int | None = 0,
+    on_retry: Callable[[int, float, BaseException], None] | None = None,
+):
+    """Call ``fn`` until it succeeds, the attempts run out, or the deadline does.
+
+    Parameters
+    ----------
+    fn:
+        Zero-argument callable; its return value is passed through.
+    policy:
+        The :class:`RetryPolicy` in force (default: three attempts).
+    retry_on:
+        Exception types that trigger a retry; anything else propagates
+        immediately.  The *last* attempt's exception always propagates.
+    deadline:
+        Optional run deadline: checked before every attempt (so a retry
+        loop surfaces :class:`~repro.errors.DeadlineExceeded` for the
+        degradation ladder instead of burning budget on doomed attempts),
+        and every backoff sleep is capped to the remaining budget.
+    sleep / seed / on_retry:
+        Injectable sleep, jitter seed, and an observer called as
+        ``on_retry(retry_index, delay, exc)`` before each backoff.
+    """
+    policy = policy or RetryPolicy()
+    retry_on = tuple(retry_on)
+    rng = random.Random(seed)
+    for attempt in range(policy.max_attempts):
+        if deadline is not None:
+            deadline.check("retry")
+        try:
+            return fn()
+        except retry_on as exc:
+            if attempt + 1 >= policy.max_attempts:
+                raise
+            delay = policy.delay_for(attempt, rng)
+            if deadline is not None and deadline.limited:
+                delay = min(delay, max(0.0, deadline.remaining()))
+            if on_retry is not None:
+                on_retry(attempt, delay, exc)
+            if delay > 0:
+                sleep(delay)
+    raise AssertionError("unreachable")  # pragma: no cover

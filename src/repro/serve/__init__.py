@@ -1,0 +1,57 @@
+"""repro.serve — the fault-tolerant multi-tenant serving layer.
+
+A zero-dependency (stdlib ``http.server`` + ``threading``) service over
+the :class:`repro.api.Session` facade.  Datasets register once and stay
+warm — loaded table, execution backend, cross-stage aggregate cache —
+while requests come and go; the robustness machinery keeps a misbehaving
+request or an overloaded box from taking the process down:
+
+* **admission control** — a bounded queue with depth *and* estimated-cost
+  budgets; overload sheds requests with HTTP 429 instead of queueing
+  unboundedly (:mod:`repro.serve.admission`);
+* **deadline budgets** — each request's wall-clock budget starts at
+  submission and flows into the runtime degradation ladders, so pressure
+  produces degraded notebooks, never hung requests
+  (:mod:`repro.serve.executor`);
+* **retries** — transient job failures retry through the shared
+  :mod:`repro.runtime.retry` primitive, deadline-capped;
+* **circuit breakers** — per-dataset; repeated failures trip to 503 until
+  a half-open probe succeeds (:mod:`repro.serve.breaker`);
+* **chaos hooks** — the deterministic ``REPRO_FAULTS`` injector reaches
+  the server's own fault points (``serve.admission``, ``serve.handler``,
+  ``serve.job``, ``serve.evict``) so every failure mode is testable.
+
+Start one programmatically::
+
+    from repro.serve import ReproServer, ServeConfig
+
+    with ReproServer(ServeConfig(port=0)) as server:
+        server.registry.register("covid", "covid.csv")
+        code, body = server.submit("covid", {"budget": 5})
+        job = server.jobs.get(body["job"])
+        job.wait(timeout=60)
+
+or from the CLI: ``repro serve --dataset covid=covid.csv``.  Full
+endpoint and semantics reference: ``docs/serving.md``.
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.app import ReproServer
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.config import ServeConfig
+from repro.serve.executor import JobExecutor
+from repro.serve.jobs import TERMINAL_STATES, Job, JobStore
+from repro.serve.registry import DatasetEntry, DatasetRegistry
+
+__all__ = [
+    "AdmissionController",
+    "CircuitBreaker",
+    "DatasetEntry",
+    "DatasetRegistry",
+    "Job",
+    "JobExecutor",
+    "JobStore",
+    "ReproServer",
+    "ServeConfig",
+    "TERMINAL_STATES",
+]

@@ -1,0 +1,136 @@
+"""Admission control: a bounded queue that sheds instead of collapsing.
+
+Overload handling is the first robustness line of the server: an
+unbounded queue converts overload into unbounded latency for *everyone*,
+so admission is decided at submit time against two budgets —
+
+* **depth** — at most ``max_queue_depth`` jobs may be queued;
+* **cost** — the summed cost estimate of queued *plus running* jobs may
+  not exceed ``max_inflight_cost``.  A dataset's cost unit scales with
+  its row count (set by the registry at registration), so one tenant
+  registering a huge table cannot monopolize the executors by volume of
+  cheap-looking requests.
+
+A rejected request is *shed*: HTTP 429 with a machine-readable reason and
+``Retry-After`` — never an error page, never a hang.  The deterministic
+fault point ``serve.admission`` (``REPRO_FAULTS=serve.admission:kill``)
+forces a shed so chaos tests exercise the path without real overload.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from collections import deque
+
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.faults import FaultInjector
+from repro.serve.jobs import Job
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["AdmissionController"]
+
+#: Machine-readable shed reasons (mirrored in the job's ``shed_reason``).
+REASON_QUEUE_FULL = "queue-full"
+REASON_COST = "cost-budget"
+REASON_INJECTED = "injected-queue-full"
+
+
+class AdmissionController:
+    """Bounded admission queue with depth and cost budgets."""
+
+    def __init__(
+        self,
+        max_queue_depth: int,
+        max_inflight_cost: float,
+        *,
+        metrics: MetricsRegistry | None = None,
+        faults: FaultInjector | None = None,
+    ):
+        self._max_depth = max_queue_depth
+        self._max_cost = max_inflight_cost
+        self._metrics = metrics or MetricsRegistry()
+        self._faults = faults or FaultInjector.none()
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._queue: deque[Job] = deque()
+        self._inflight_cost = 0.0
+        self._closed = False
+
+    # -- submission ----------------------------------------------------------
+
+    def try_admit(self, job: Job) -> tuple[bool, str | None]:
+        """Admit ``job`` into the queue, or shed it.
+
+        Returns ``(True, None)`` on admission; ``(False, reason)`` on a
+        shed.  Shedding never raises — the HTTP layer turns the reason
+        into a 429 and the job into its ``shed`` terminal state.
+        """
+        self._metrics.counter("serve.requests").inc()
+        reason = None
+        if self._faults.poll("serve.admission"):
+            reason = REASON_INJECTED
+        with self._lock:
+            if reason is None and len(self._queue) >= self._max_depth:
+                reason = REASON_QUEUE_FULL
+            if reason is None and (
+                self._inflight_cost + job.cost > self._max_cost
+                # A single job costlier than the whole budget must still be
+                # admittable on an idle server, or it could never run.
+                and self._inflight_cost > 0
+            ):
+                reason = REASON_COST
+            if reason is None:
+                self._queue.append(job)
+                self._inflight_cost += job.cost
+                self._metrics.counter("serve.admitted").inc()
+                self._update_gauges_locked()
+                self._ready.notify()
+                return True, None
+        self._metrics.counter("serve.shed").inc()
+        self._metrics.counter(f"serve.shed_{reason.replace('-', '_')}").inc()
+        logger.warning("shed job %s for dataset %s: %s", job.id, job.dataset, reason)
+        return False, reason
+
+    # -- the executor side ---------------------------------------------------
+
+    def take(self, timeout: float | None = None) -> Job | None:
+        """Pop the oldest queued job; None on timeout or after close."""
+        with self._ready:
+            while not self._queue and not self._closed:
+                if not self._ready.wait(timeout):
+                    return None
+            if self._queue:
+                job = self._queue.popleft()
+                self._update_gauges_locked()
+                return job
+            return None
+
+    def release(self, job: Job) -> None:
+        """Return a job's cost to the budget once it is terminal."""
+        with self._lock:
+            self._inflight_cost = max(0.0, self._inflight_cost - job.cost)
+            self._update_gauges_locked()
+
+    def close(self) -> None:
+        """Wake every waiting executor so shutdown never hangs."""
+        with self._ready:
+            self._closed = True
+            self._ready.notify_all()
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    @property
+    def inflight_cost(self) -> float:
+        with self._lock:
+            return self._inflight_cost
+
+    def _update_gauges_locked(self) -> None:
+        self._metrics.gauge("serve.queue_depth").set(len(self._queue))
+        self._metrics.gauge("serve.inflight_cost").set(self._inflight_cost)

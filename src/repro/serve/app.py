@@ -1,0 +1,356 @@
+"""The HTTP surface of the serving layer (stdlib ``http.server`` only).
+
+Endpoints (full semantics in ``docs/serving.md``):
+
+===========================  ==============================================
+``GET  /healthz``            liveness probe
+``GET  /metrics``            Prometheus text exposition of server metrics
+``GET  /datasets``           registry listing (rows, cost, breaker, cache)
+``POST /datasets``           register ``{"name": ..., "path": ...}``
+``DELETE /datasets/<name>``  evict (lease-safe; running jobs finish)
+``POST /generate``           submit a job; 202 + job id, 429 shed,
+                             503 circuit open, 404 unknown dataset
+``GET  /jobs/<id>``          poll status/progress (``?wait=SECONDS`` long-
+                             polls until terminal or the wait elapses)
+``GET  /jobs/<id>/result``   the generated notebook (ipynb JSON)
+===========================  ==============================================
+
+Every handler thread fires the ``serve.handler`` fault point first, so a
+``REPRO_FAULTS=serve.handler:stall:2:xall`` plan makes *every* response
+slow and ``serve.handler:kill`` turns one into a clean 500 — the
+slow-handler chaos knob.
+
+:class:`ReproServer` composes the subsystem: registry + admission +
+job store + executors + one metrics registry, over
+:class:`http.server.ThreadingHTTPServer` (one thread per connection;
+job *execution* stays on the executor threads, so slow clients never
+hold the pipeline).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro import obs
+from repro.config import ReproConfig
+from repro.errors import ReproError, ServeError, UnknownDatasetError
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.faults import FaultInjector, InjectedFault
+from repro.serve.admission import AdmissionController
+from repro.serve.breaker import STATE_OPEN
+from repro.serve.config import ServeConfig
+from repro.serve.executor import JobExecutor
+from repro.serve.jobs import STATUS_SHED, JobStore
+from repro.serve.registry import DatasetRegistry
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["ReproServer"]
+
+#: Longest a ``?wait=`` long-poll may block one handler thread.
+MAX_WAIT_SECONDS = 30.0
+
+
+class ReproServer:
+    """The composed serving subsystem plus its HTTP listener."""
+
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        *,
+        repro_config: ReproConfig | None = None,
+        faults: FaultInjector | None = None,
+    ):
+        self.config = config or ServeConfig()
+        self.faults = faults or FaultInjector.none()
+        self.metrics = MetricsRegistry()
+        self.registry = DatasetRegistry(
+            config=repro_config,
+            metrics=self.metrics,
+            breaker_failures=self.config.breaker_failures,
+            breaker_reset_seconds=self.config.breaker_reset_seconds,
+        )
+        self.admission = AdmissionController(
+            self.config.max_queue_depth,
+            self.config.max_inflight_cost,
+            metrics=self.metrics,
+            faults=self.faults,
+        )
+        self.jobs = JobStore(self.config.max_finished_jobs)
+        self.executor = JobExecutor(
+            self.config, self.registry, self.admission,
+            metrics=self.metrics, faults=self.faults,
+        )
+        self._httpd: ThreadingHTTPServer | None = None
+        self._listener: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind, start executors, and serve on a background thread."""
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port), handler
+        )
+        self._httpd.daemon_threads = True
+        self.executor.start()
+        self._listener = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-serve-http", daemon=True
+        )
+        self._listener.start()
+        logger.info("serving on http://%s:%d/", *self.address)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — resolves port 0 to the real port."""
+        if self._httpd is None:
+            return (self.config.host, self.config.port)
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def shutdown(self) -> None:
+        """Stop accepting, drain executors, shed leftovers, evict datasets."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._listener is not None:
+            self._listener.join(timeout=5.0)
+            self._listener = None
+        self.executor.stop()
+        self.registry.close()
+
+    def __enter__(self) -> "ReproServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- request-level operations (HTTP-independent, reused by tests) --------
+
+    def submit(self, dataset: str, params: dict | None = None) -> tuple[int, dict]:
+        """Submit a generate job; returns ``(http_status, body)``."""
+        params = dict(params or {})
+        try:
+            entry = self.registry.get(dataset)
+        except UnknownDatasetError as exc:
+            return 404, {"error": str(exc)}
+
+        if entry.breaker.state == STATE_OPEN:
+            self.metrics.counter("serve.rejected_circuit_open").inc()
+            return 503, {
+                "error": f"dataset {dataset!r} is failing; circuit open",
+                "breaker": entry.breaker.snapshot(),
+                "retry_after": self.config.breaker_reset_seconds,
+            }
+
+        deadline = params.pop("deadline_seconds", None)
+        if deadline is None:
+            deadline = self.config.default_deadline_seconds
+        try:
+            deadline = float(deadline)
+        except (TypeError, ValueError):
+            return 400, {"error": f"deadline_seconds must be a number, got {deadline!r}"}
+        if deadline <= 0:
+            return 400, {"error": "deadline_seconds must be positive"}
+        deadline = min(deadline, self.config.max_deadline_seconds)
+
+        job = self.jobs.create(
+            dataset, deadline_seconds=deadline, params=params,
+            cost=entry.cost_units,
+        )
+        admitted, reason = self.admission.try_admit(job)
+        if not admitted:
+            job.finish(STATUS_SHED, shed_reason=reason)
+            self.metrics.counter("serve.jobs_shed").inc()
+            self.metrics.histogram("serve.job_latency_seconds").observe(
+                job.total_seconds
+            )
+            return 429, {
+                "job": job.id, "status": job.status, "reason": reason,
+                "retry_after": 1,
+            }
+        return 202, {
+            "job": job.id,
+            "status": job.status,
+            "deadline_seconds": deadline,
+            "queue_depth": self.admission.depth,
+        }
+
+
+def _make_handler(server: ReproServer):
+    """A request-handler class closed over the composed server."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-serve"
+
+        # -- plumbing -------------------------------------------------------
+
+        def log_message(self, fmt, *args):  # noqa: A003 - stdlib signature
+            logger.debug("%s - %s", self.address_string(), fmt % args)
+
+        def _json(self, code: int, body: dict, headers: dict | None = None) -> None:
+            payload = json.dumps(body).encode("utf-8")
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def _text(self, code: int, body: str, content_type: str) -> None:
+            payload = body.encode("utf-8")
+            self.send_response(code)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def _body(self) -> dict | None:
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b""
+            if not raw:
+                return {}
+            try:
+                data = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                return None
+            return data if isinstance(data, dict) else None
+
+        def _dispatch(self, method: str) -> None:
+            try:
+                # The slow-handler chaos knob: stalls really sleep (capped),
+                # kills become a clean 500 on this one response.
+                server.faults.fire("serve.handler")
+                getattr(self, f"_{method}")()
+            except InjectedFault:
+                self._json(500, {"error": "injected handler fault"})
+            except BrokenPipeError:  # client went away mid-response
+                pass
+            except Exception as exc:  # noqa: BLE001 - must answer something
+                logger.exception("unhandled error serving %s %s",
+                                 method.upper(), self.path)
+                self._json(500, {"error": f"internal error: {exc}"})
+
+        def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+            self._dispatch("get")
+
+        def do_POST(self) -> None:  # noqa: N802
+            self._dispatch("post")
+
+        def do_DELETE(self) -> None:  # noqa: N802
+            self._dispatch("delete")
+
+        # -- GET ------------------------------------------------------------
+
+        def _get(self) -> None:
+            parsed = urlparse(self.path)
+            parts = [p for p in parsed.path.split("/") if p]
+            if parts == ["healthz"]:
+                self._json(200, {"ok": True, "queue_depth": server.admission.depth})
+                return
+            if parts == ["metrics"]:
+                self._text(200, obs.to_prometheus_text(server.metrics),
+                           "text/plain; version=0.0.4")
+                return
+            if parts == ["datasets"]:
+                self._json(200, {"datasets": server.registry.snapshot()})
+                return
+            if len(parts) >= 2 and parts[0] == "jobs":
+                self._get_job(parts, parse_qs(parsed.query))
+                return
+            self._json(404, {"error": f"no route for GET {parsed.path}"})
+
+        def _get_job(self, parts: list[str], query: dict) -> None:
+            job = server.jobs.get(parts[1])
+            if job is None:
+                self._json(404, {"error": f"unknown job {parts[1]!r}"})
+                return
+            wait = query.get("wait")
+            if wait:
+                try:
+                    seconds = min(float(wait[0]), MAX_WAIT_SECONDS)
+                except ValueError:
+                    self._json(400, {"error": "wait must be a number of seconds"})
+                    return
+                job.wait(max(0.0, seconds))
+            if len(parts) == 2:
+                self._json(200, job.to_dict())
+                return
+            if parts[2] == "result":
+                if job.notebook is not None:
+                    self._json(200, job.notebook)
+                elif not job.terminal:
+                    self._json(409, job.to_dict())
+                else:  # terminal without a notebook: shed or failed
+                    self._json(410, job.to_dict())
+                return
+            self._json(404, {"error": f"no route for GET /{'/'.join(parts)}"})
+
+        # -- POST -----------------------------------------------------------
+
+        def _post(self) -> None:
+            parts = [p for p in urlparse(self.path).path.split("/") if p]
+            body = self._body()
+            if body is None:
+                self._json(400, {"error": "request body must be a JSON object"})
+                return
+            if parts == ["datasets"]:
+                self._post_dataset(body)
+                return
+            if parts == ["generate"]:
+                dataset = body.pop("dataset", None)
+                if not dataset:
+                    self._json(400, {"error": "a 'dataset' name is required"})
+                    return
+                code, payload = server.submit(dataset, body)
+                headers = {}
+                if code == 429:
+                    headers["Retry-After"] = str(payload.get("retry_after", 1))
+                elif code == 503:
+                    headers["Retry-After"] = str(
+                        int(server.config.breaker_reset_seconds) or 1
+                    )
+                self._json(code, payload, headers)
+                return
+            self._json(404, {"error": f"no route for POST /{'/'.join(parts)}"})
+
+        def _post_dataset(self, body: dict) -> None:
+            name, path = body.get("name"), body.get("path")
+            if not name or not path:
+                self._json(400, {"error": "'name' and 'path' are required"})
+                return
+            try:
+                entry = server.registry.register(name, path)
+            except ServeError as exc:
+                self._json(409, {"error": str(exc)})
+                return
+            except (ReproError, OSError) as exc:
+                self._json(400, {"error": f"cannot load {path!r}: {exc}"})
+                return
+            self._json(201, entry.snapshot())
+
+        # -- DELETE ---------------------------------------------------------
+
+        def _delete(self) -> None:
+            parts = [p for p in urlparse(self.path).path.split("/") if p]
+            if len(parts) == 2 and parts[0] == "datasets":
+                if server.registry.evict(parts[1]):
+                    self._json(200, {"evicted": parts[1]})
+                else:
+                    self._json(404, {"error": f"no dataset registered as {parts[1]!r}"})
+                return
+            self._json(404, {"error": f"no route for DELETE /{'/'.join(parts)}"})
+
+    return Handler

@@ -1,0 +1,118 @@
+"""A per-dataset circuit breaker.
+
+Repeated backend or worker failures against one dataset usually mean the
+dataset itself is poisoned (corrupt mirror, pathological schema, OOM-sized
+cardinalities) — hammering it again burns executor time every other tenant
+is queueing for.  The breaker cuts that off:
+
+* **closed** — requests flow; consecutive failures are counted (any
+  success resets the count).
+* **open** — after ``failure_threshold`` consecutive failures the breaker
+  opens: requests are answered without running (the HTTP layer serves a
+  cached degraded answer or a 503) for ``reset_seconds``.
+* **half-open** — after the cool-down, exactly *one* probe request is let
+  through.  Success closes the breaker; failure reopens it for another
+  full cool-down.
+
+The clock is injectable so tests drive the state machine deterministically,
+and every transition is counted on the owning registry
+(``serve.breaker_opened`` / ``serve.breaker_closed``).
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from typing import Callable
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["CircuitBreaker"]
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Thread-safe closed → open → half-open failure gate."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_seconds: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        name: str = "",
+    ):
+        self._threshold = max(1, failure_threshold)
+        self._reset_seconds = reset_seconds
+        self._clock = clock
+        self.name = name
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._state = STATE_CLOSED
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+
+    @property
+    def state(self) -> str:
+        """Current state (open flips to half-open once the cool-down ends)."""
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if (
+            self._state == STATE_OPEN
+            and self._clock() - self._opened_at >= self._reset_seconds
+        ):
+            self._state = STATE_HALF_OPEN
+            self._probe_in_flight = False
+        return self._state
+
+    def allow(self) -> bool:
+        """May a request run now?  Half-open admits exactly one probe."""
+        with self._lock:
+            state = self._state_locked()
+            if state == STATE_CLOSED:
+                return True
+            if state == STATE_HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            was = self._state_locked()
+            self._failures = 0
+            self._probe_in_flight = False
+            self._state = STATE_CLOSED
+            if was != STATE_CLOSED:
+                logger.info("circuit %s closed after successful probe", self.name)
+
+    def record_failure(self) -> bool:
+        """Count a failure; returns True when this one opened the breaker."""
+        with self._lock:
+            state = self._state_locked()
+            self._failures += 1
+            self._probe_in_flight = False
+            if state == STATE_HALF_OPEN or self._failures >= self._threshold:
+                newly_open = self._state != STATE_OPEN or state == STATE_HALF_OPEN
+                self._state = STATE_OPEN
+                self._opened_at = self._clock()
+                if newly_open:
+                    logger.warning(
+                        "circuit %s opened after %d consecutive failure(s)",
+                        self.name, self._failures,
+                    )
+                return newly_open
+            return False
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state_locked(),
+                "consecutive_failures": self._failures,
+                "failure_threshold": self._threshold,
+                "reset_seconds": self._reset_seconds,
+            }

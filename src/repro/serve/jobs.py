@@ -1,0 +1,213 @@
+"""Jobs and the job store: every request ends in a terminal state.
+
+A ``POST /generate`` becomes a :class:`Job`.  The invariant the chaos
+suite holds the server to: **every job reaches exactly one terminal
+state** —
+
+* ``completed`` — the run finished on its configured rungs;
+* ``degraded``  — the run finished but a degradation ladder fired
+  (deadline pressure, injected faults, solver fallbacks) or a shed-level
+  fallback produced a partial answer;
+* ``shed``      — never ran: admission rejected it, its deadline budget
+  drained while queued, or the dataset's circuit was open;
+* ``failed``    — ran and could not produce a notebook even after
+  retries; carries an error message and the run report when one exists
+  (failed-*with-report*, never a bare traceback).
+
+``queued`` and ``running`` are the only transient states, and a
+:class:`threading.Event` flips exactly when a job turns terminal, so
+waiters never poll a hung request.
+
+Progress comes from two feeds: the pipeline's ``progress`` callback
+strings, and the per-stage entries of the
+:class:`~repro.runtime.report.RunReport` (themselves distilled from the
+obs spans of the run) once the run finishes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict, deque
+from typing import Callable
+
+from repro.errors import ServeError
+
+__all__ = ["Job", "JobStore", "TERMINAL_STATES"]
+
+STATUS_QUEUED = "queued"
+STATUS_RUNNING = "running"
+STATUS_COMPLETED = "completed"
+STATUS_DEGRADED = "degraded"
+STATUS_SHED = "shed"
+STATUS_FAILED = "failed"
+
+TERMINAL_STATES = frozenset(
+    {STATUS_COMPLETED, STATUS_DEGRADED, STATUS_SHED, STATUS_FAILED}
+)
+
+#: Progress lines retained per job (a ring buffer; early lines drop first).
+_MAX_PROGRESS = 64
+
+
+class Job:
+    """One generation request's full lifecycle, thread-safe."""
+
+    def __init__(
+        self,
+        job_id: str,
+        dataset: str,
+        *,
+        deadline_seconds: float,
+        params: dict | None = None,
+        cost: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.id = job_id
+        self.dataset = dataset
+        self.deadline_seconds = deadline_seconds
+        self.params = dict(params or {})
+        self.cost = cost
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._done = threading.Event()
+        self.status = STATUS_QUEUED
+        self.submitted_at = clock()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.attempts = 0
+        self.error: str | None = None
+        self.shed_reason: str | None = None
+        self.report: dict | None = None
+        self.notebook: dict | None = None
+        self.degradations: list[str] = []
+        self._progress: deque[str] = deque(maxlen=_MAX_PROGRESS)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def terminal(self) -> bool:
+        return self._done.is_set()
+
+    def remaining_budget(self) -> float:
+        """Seconds left of the request's deadline budget (may be negative)."""
+        return self.deadline_seconds - (self._clock() - self.submitted_at)
+
+    def mark_running(self) -> None:
+        with self._lock:
+            self.status = STATUS_RUNNING
+            self.started_at = self._clock()
+
+    def add_progress(self, message: str) -> None:
+        self._progress.append(str(message))
+
+    def finish(
+        self,
+        status: str,
+        *,
+        error: str | None = None,
+        shed_reason: str | None = None,
+        report: dict | None = None,
+        notebook: dict | None = None,
+        degradations: list[str] | None = None,
+    ) -> None:
+        """Transition to a terminal state exactly once (later calls no-op)."""
+        if status not in TERMINAL_STATES:
+            raise ServeError(f"{status!r} is not a terminal job state")
+        with self._lock:
+            if self._done.is_set():
+                return
+            self.status = status
+            self.error = error
+            self.shed_reason = shed_reason
+            if report is not None:
+                self.report = report
+            if notebook is not None:
+                self.notebook = notebook
+            if degradations:
+                self.degradations = list(degradations)
+            self.finished_at = self._clock()
+            self._done.set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until terminal; True when the job finished within timeout."""
+        return self._done.wait(timeout)
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def queue_seconds(self) -> float:
+        end = self.started_at if self.started_at is not None else (
+            self.finished_at if self.finished_at is not None else self._clock()
+        )
+        return max(0.0, end - self.submitted_at)
+
+    @property
+    def total_seconds(self) -> float:
+        end = self.finished_at if self.finished_at is not None else self._clock()
+        return max(0.0, end - self.submitted_at)
+
+    def to_dict(self) -> dict:
+        """The polling view (``GET /jobs/<id>``); never the notebook body."""
+        with self._lock:
+            return {
+                "id": self.id,
+                "dataset": self.dataset,
+                "status": self.status,
+                "terminal": self._done.is_set(),
+                "deadline_seconds": self.deadline_seconds,
+                "queue_seconds": round(self.queue_seconds, 6),
+                "total_seconds": round(self.total_seconds, 6),
+                "attempts": self.attempts,
+                "error": self.error,
+                "shed_reason": self.shed_reason,
+                "degradations": list(self.degradations),
+                "progress": list(self._progress),
+                "report": self.report,
+                "has_notebook": self.notebook is not None,
+            }
+
+
+class JobStore:
+    """Thread-safe job registry with bounded terminal-job retention."""
+
+    def __init__(self, max_finished: int = 256,
+                 clock: Callable[[], float] = time.monotonic):
+        self._max_finished = max_finished
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._jobs: OrderedDict[str, Job] = OrderedDict()
+        self._ids = itertools.count(1)
+
+    def create(
+        self,
+        dataset: str,
+        *,
+        deadline_seconds: float,
+        params: dict | None = None,
+        cost: float = 1.0,
+    ) -> Job:
+        with self._lock:
+            job_id = f"job-{next(self._ids):06d}"
+            job = Job(
+                job_id, dataset, deadline_seconds=deadline_seconds,
+                params=params, cost=cost, clock=self._clock,
+            )
+            self._jobs[job_id] = job
+            self._prune_locked()
+            return job
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def _prune_locked(self) -> None:
+        finished = [j for j in self._jobs.values() if j.terminal]
+        overflow = len(finished) - self._max_finished
+        for job in finished[:max(0, overflow)]:
+            self._jobs.pop(job.id, None)
+
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return list(self._jobs.values())

@@ -121,6 +121,59 @@ def test_facade_is_exported_at_package_top():
 
 
 # ---------------------------------------------------------------------------
+# Thread safety
+# ---------------------------------------------------------------------------
+
+
+def test_concurrent_generate_on_one_session_serializes(covid, quick_config):
+    """Two threads racing one Session both succeed: runs serialize on the
+    session/run locks instead of corrupting the ambient obs state."""
+    import threading
+
+    results: list = [None, None]
+    errors: list = []
+
+    with Session(covid, config=quick_config) as session:
+
+        def worker(index: int) -> None:
+            try:
+                results[index] = session.generate()
+            except BaseException as exc:  # noqa: BLE001 - recorded for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not any(t.is_alive() for t in threads)
+
+    assert errors == []
+    first, second = results
+    assert [str(q.query) for q in first.selected] == [
+        str(q.query) for q in second.selected
+    ]
+    # Both runs' spans landed in the session's private trace, untangled.
+    stage_spans = [s for s in session.tracer.spans()
+                   if s.name == "stage.stats"]
+    assert len(stage_spans) == 2
+
+
+def test_generate_on_a_closed_session_raises(covid, quick_config):
+    session = Session(covid, config=quick_config)
+    session.close()
+    with pytest.raises(ReproError, match="closed"):
+        session.generate()
+
+
+def test_busy_probe_reflects_an_in_flight_run(covid, quick_config):
+    with Session(covid, config=quick_config) as session:
+        assert session.busy is False
+        session.generate()
+        assert session.busy is False  # released once the run returns
+
+
+# ---------------------------------------------------------------------------
 # ReproConfig
 # ---------------------------------------------------------------------------
 

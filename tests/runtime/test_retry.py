@@ -1,0 +1,189 @@
+"""The shared retry/backoff primitive: policy, state budget, retry_call."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import DeadlineExceeded, ReproError
+from repro.runtime.deadline import Deadline
+from repro.runtime.retry import RetryPolicy, RetryState, retry_call
+
+
+class Boom(ReproError):
+    pass
+
+
+class Unrelated(RuntimeError):
+    pass
+
+
+# -- RetryPolicy ---------------------------------------------------------------
+
+
+def test_policy_validates_its_fields():
+    with pytest.raises(ReproError, match="max_attempts"):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ReproError, match="negative"):
+        RetryPolicy(base_delay=-1.0)
+    with pytest.raises(ReproError, match="multiplier"):
+        RetryPolicy(multiplier=0.5)
+    with pytest.raises(ReproError, match="jitter"):
+        RetryPolicy(jitter=1.5)
+
+
+def test_delay_curve_is_exponential_and_capped_without_jitter():
+    policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.5,
+                         jitter=0.0)
+    delays = [policy.delay_for(i) for i in range(5)]
+    assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+
+def test_jitter_stays_within_the_equal_jitter_band():
+    policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=10.0,
+                         jitter=0.5)
+    rng = random.Random(7)
+    for index in range(6):
+        raw = min(10.0, 0.1 * 2.0 ** index)
+        delay = policy.delay_for(index, rng)
+        assert raw * 0.5 <= delay <= raw
+
+
+def test_jitter_is_deterministic_under_a_seed():
+    policy = RetryPolicy()
+    a = [policy.delay_for(i, random.Random(3)) for i in range(4)]
+    b = [policy.delay_for(i, random.Random(3)) for i in range(4)]
+    assert a == b
+
+
+# -- RetryState ----------------------------------------------------------------
+
+
+def test_state_budget_is_consumed_then_none():
+    state = RetryState(RetryPolicy(base_delay=0.01, jitter=0.0), retries=2)
+    assert state.next_delay() == pytest.approx(0.01)
+    assert state.next_delay() == pytest.approx(0.02)
+    assert state.used == 2
+    assert state.exhausted
+    assert state.next_delay() is None
+
+
+def test_state_defaults_to_policy_attempts_minus_one():
+    state = RetryState(RetryPolicy(max_attempts=3))
+    assert not state.exhausted
+    state.next_delay()
+    state.next_delay()
+    assert state.exhausted
+
+
+def test_state_rejects_negative_budgets():
+    with pytest.raises(ReproError, match="negative"):
+        RetryState(retries=-1)
+
+
+# -- retry_call ----------------------------------------------------------------
+
+
+def test_success_on_first_attempt_never_sleeps():
+    sleeps = []
+    assert retry_call(lambda: 42, sleep=sleeps.append) == 42
+    assert sleeps == []
+
+
+def test_retries_then_succeeds_with_observer():
+    calls, sleeps, seen = [], [], []
+
+    def flaky():
+        calls.append(1)
+        if len(calls) < 3:
+            raise Boom(f"attempt {len(calls)}")
+        return "ok"
+
+    result = retry_call(
+        flaky,
+        policy=RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0.0),
+        retry_on=(Boom,),
+        sleep=sleeps.append,
+        on_retry=lambda i, d, e: seen.append((i, round(d, 3), str(e))),
+    )
+    assert result == "ok"
+    assert len(calls) == 3
+    assert sleeps == [0.01, 0.02]
+    assert seen == [(0, 0.01, "attempt 1"), (1, 0.02, "attempt 2")]
+
+
+def test_last_attempt_exception_propagates():
+    calls = []
+
+    def doomed():
+        calls.append(1)
+        raise Boom("always")
+
+    with pytest.raises(Boom, match="always"):
+        retry_call(doomed, policy=RetryPolicy(max_attempts=3, base_delay=0),
+                   retry_on=(Boom,), sleep=lambda s: None)
+    assert len(calls) == 3
+
+
+def test_non_retryable_errors_propagate_immediately():
+    calls = []
+
+    def wrong():
+        calls.append(1)
+        raise Unrelated("nope")
+
+    with pytest.raises(Unrelated):
+        retry_call(wrong, retry_on=(Boom,), sleep=lambda s: None)
+    assert len(calls) == 1
+
+
+def test_expired_deadline_stops_before_the_attempt():
+    clock = [0.0]
+    deadline = Deadline(1.0, clock=lambda: clock[0])
+    calls = []
+
+    def flaky():
+        calls.append(1)
+        clock[0] += 2.0  # the attempt burns past the deadline
+        raise Boom("slow")
+
+    with pytest.raises(DeadlineExceeded):
+        retry_call(flaky, policy=RetryPolicy(max_attempts=5, base_delay=0),
+                   retry_on=(Boom,), deadline=deadline, sleep=lambda s: None)
+    assert len(calls) == 1  # no doomed second attempt
+
+
+def test_backoff_sleep_is_capped_to_remaining_budget():
+    clock = [0.0]
+    deadline = Deadline(10.0, clock=lambda: clock[0])
+    sleeps = []
+
+    def flaky():
+        if not sleeps:
+            clock[0] = 9.95  # 0.05 s of budget left when the retry backs off
+            raise Boom("first")
+        return "ok"
+
+    result = retry_call(
+        flaky,
+        policy=RetryPolicy(max_attempts=2, base_delay=5.0, jitter=0.0),
+        retry_on=(Boom,), deadline=deadline, sleep=sleeps.append,
+    )
+    assert result == "ok"
+    assert sleeps == [pytest.approx(0.05)]
+
+
+def test_unlimited_deadline_does_not_cap_sleeps():
+    sleeps = []
+
+    def flaky():
+        if not sleeps:
+            raise Boom("first")
+        return "ok"
+
+    retry_call(flaky, policy=RetryPolicy(max_attempts=2, base_delay=3.0,
+                                         max_delay=5.0, jitter=0.0),
+               retry_on=(Boom,), deadline=Deadline.unlimited(),
+               sleep=sleeps.append)
+    assert sleeps == [3.0]

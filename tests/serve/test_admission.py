@@ -1,0 +1,100 @@
+"""Admission control: depth and cost budgets shed, the queue hands off."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.faults import parse_fault_plan
+from repro.serve.admission import (
+    REASON_COST,
+    REASON_INJECTED,
+    REASON_QUEUE_FULL,
+    AdmissionController,
+)
+from repro.serve.jobs import JobStore
+
+
+def make_jobs(n: int, cost: float = 1.0) -> list:
+    store = JobStore()
+    return [store.create("covid", deadline_seconds=10.0, cost=cost)
+            for _ in range(n)]
+
+
+def test_admits_until_depth_then_sheds_queue_full():
+    admission = AdmissionController(2, 100.0)
+    a, b, c = make_jobs(3)
+    assert admission.try_admit(a) == (True, None)
+    assert admission.try_admit(b) == (True, None)
+    assert admission.try_admit(c) == (False, REASON_QUEUE_FULL)
+    assert admission.depth == 2
+
+
+def test_cost_budget_sheds_but_never_starves_an_idle_server():
+    admission = AdmissionController(10, 5.0)
+    big, second = make_jobs(2, cost=8.0)
+    # A job costlier than the whole budget still admits when idle...
+    assert admission.try_admit(big) == (True, None)
+    # ...but a second one is shed while the first is in flight.
+    assert admission.try_admit(second) == (False, REASON_COST)
+    assert admission.inflight_cost == 8.0
+
+
+def test_release_returns_cost_only_after_terminal():
+    admission = AdmissionController(10, 10.0)
+    a, b = make_jobs(2, cost=6.0)
+    assert admission.try_admit(a)[0]
+    taken = admission.take(timeout=0)
+    assert taken is a
+    # Cost stays charged while the job runs (taken but not released).
+    assert admission.try_admit(b) == (False, REASON_COST)
+    admission.release(a)
+    assert admission.try_admit(b) == (True, None)
+
+
+def test_take_is_fifo_and_times_out_empty():
+    admission = AdmissionController(10, 100.0)
+    a, b = make_jobs(2)
+    admission.try_admit(a)
+    admission.try_admit(b)
+    assert admission.take(timeout=0) is a
+    assert admission.take(timeout=0) is b
+    assert admission.take(timeout=0.01) is None
+
+
+def test_close_wakes_blocked_takers():
+    admission = AdmissionController(10, 100.0)
+    results = []
+
+    def taker():
+        results.append(admission.take(timeout=10.0))
+
+    thread = threading.Thread(target=taker)
+    thread.start()
+    admission.close()
+    thread.join(timeout=5.0)
+    assert not thread.is_alive()
+    assert results == [None]
+
+
+def test_injected_fault_forces_a_shed():
+    faults = parse_fault_plan("serve.admission:kill")
+    admission = AdmissionController(10, 100.0, faults=faults)
+    a, b = make_jobs(2)
+    assert admission.try_admit(a) == (False, REASON_INJECTED)
+    # One-shot by default: the next request admits normally.
+    assert admission.try_admit(b) == (True, None)
+
+
+def test_metrics_account_requests_admissions_and_sheds():
+    metrics = MetricsRegistry()
+    admission = AdmissionController(1, 100.0, metrics=metrics)
+    a, b = make_jobs(2)
+    admission.try_admit(a)
+    admission.try_admit(b)
+    counters = metrics.snapshot()["counters"]
+    assert counters["serve.requests"] == 2.0
+    assert counters["serve.admitted"] == 1.0
+    assert counters["serve.shed"] == 1.0
+    assert counters["serve.shed_queue_full"] == 1.0
+    assert metrics.snapshot()["gauges"]["serve.queue_depth"] == 1.0

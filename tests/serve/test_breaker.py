@@ -1,0 +1,111 @@
+"""The per-dataset circuit breaker state machine, on a fake clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def breaker(clock):
+    return CircuitBreaker(failure_threshold=3, reset_seconds=30.0,
+                          clock=clock, name="t")
+
+
+def test_closed_allows_everything(breaker):
+    assert breaker.state == STATE_CLOSED
+    for _ in range(10):
+        assert breaker.allow()
+
+
+def test_failures_below_threshold_stay_closed(breaker):
+    assert not breaker.record_failure()
+    assert not breaker.record_failure()
+    assert breaker.state == STATE_CLOSED
+    assert breaker.allow()
+
+
+def test_success_resets_the_failure_count(breaker):
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()
+    # Two more failures would have opened it without the reset.
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == STATE_CLOSED
+
+
+def test_threshold_opens_and_blocks(breaker):
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.record_failure()  # this one opened it
+    assert breaker.state == STATE_OPEN
+    assert not breaker.allow()
+    # Further failures while open do not "re-open" it.
+    assert not breaker.record_failure()
+
+
+def test_cooldown_admits_exactly_one_probe(breaker, clock):
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(30.0)
+    assert breaker.state == STATE_HALF_OPEN
+    assert breaker.allow()       # the probe
+    assert not breaker.allow()   # everyone else still waits
+    assert not breaker.allow()
+
+
+def test_probe_success_closes(breaker, clock):
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(31.0)
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == STATE_CLOSED
+    assert breaker.allow()
+
+
+def test_probe_failure_reopens_for_a_full_cooldown(breaker, clock):
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(31.0)
+    assert breaker.allow()
+    assert breaker.record_failure()  # probe failed: newly open again
+    assert breaker.state == STATE_OPEN
+    clock.advance(29.0)  # not a full cool-down yet
+    assert breaker.state == STATE_OPEN
+    clock.advance(2.0)
+    assert breaker.state == STATE_HALF_OPEN
+
+
+def test_snapshot_shape(breaker):
+    breaker.record_failure()
+    snap = breaker.snapshot()
+    assert snap == {
+        "state": STATE_CLOSED,
+        "consecutive_failures": 1,
+        "failure_threshold": 3,
+        "reset_seconds": 30.0,
+    }

@@ -1,0 +1,217 @@
+"""The chaos suite: injected faults at every server fault point.
+
+The invariant under test, from the serving layer's contract: **every
+request reaches exactly one terminal state** — completed, degraded, shed
+(with a reason), or failed (with an error report) — *never hung*, no
+matter which fault fires.  Each test injects a deterministic
+``REPRO_FAULTS`` plan at one fault point; the final test fires several at
+once under concurrent load.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.runtime.faults import parse_fault_plan
+from repro.serve import ServeConfig
+from repro.serve.breaker import STATE_OPEN
+from repro.serve.jobs import (
+    STATUS_COMPLETED,
+    STATUS_DEGRADED,
+    STATUS_FAILED,
+    STATUS_SHED,
+    TERMINAL_STATES,
+)
+
+from tests.serve.conftest import http_request
+
+#: Generous wall-clock bound on "terminal within the deadline budget".
+WAIT = 30.0
+
+
+def run_one(server, dataset="covid", params=None):
+    """Submit through the component API and wait for the terminal state."""
+    code, body = server.submit(dataset, params or {})
+    job = server.jobs.get(body["job"])
+    assert job.wait(timeout=WAIT), f"job hung (HTTP {code}): {job.to_dict()}"
+    return code, job
+
+
+# -- one fault point at a time -------------------------------------------------
+
+
+def test_admission_fault_sheds_cleanly(make_server):
+    server = make_server(faults=parse_fault_plan("serve.admission:kill"))
+    code, job = run_one(server)
+    assert code == 429
+    assert job.status == STATUS_SHED
+    assert job.shed_reason == "injected-queue-full"
+    # The fault was one-shot; service recovers on the next request.
+    code, job = run_one(server)
+    assert code == 202
+    assert job.status == STATUS_COMPLETED
+
+
+def test_handler_kill_is_a_clean_500_not_a_dead_server(make_server):
+    server = make_server(faults=parse_fault_plan("serve.handler:kill"))
+    code, body = http_request(f"{server.url}/healthz")
+    assert code == 500
+    assert body["error"] == "injected handler fault"
+    # The process survived; the next request is served normally.
+    code, body = http_request(f"{server.url}/healthz")
+    assert code == 200
+
+
+def test_slow_handler_delays_but_answers(make_server):
+    server = make_server(faults=parse_fault_plan("serve.handler:stall:0.3"))
+    start = time.monotonic()
+    code, _ = http_request(f"{server.url}/healthz")
+    assert code == 200
+    assert time.monotonic() - start >= 0.25
+
+
+def test_mid_job_crash_is_retried_to_success(make_server):
+    server = make_server(ServeConfig(port=0, job_attempts=2),
+                         faults=parse_fault_plan("serve.job:kill"))
+    code, job = run_one(server)
+    assert job.status == STATUS_COMPLETED
+    assert job.attempts == 2  # first attempt died, the retry landed
+    assert any("retrying" in line for line in job.to_dict()["progress"])
+
+
+def test_persistent_crash_fails_with_a_report_after_retries(make_server):
+    server = make_server(ServeConfig(port=0, job_attempts=2,
+                                     breaker_failures=5),
+                         faults=parse_fault_plan("serve.job:kill:xall"))
+    code, job = run_one(server)
+    assert job.status == STATUS_FAILED
+    assert job.attempts == 2
+    assert "InjectedFault" in job.error
+    assert "2 attempt(s)" in job.error
+
+
+def test_repeated_failures_trip_the_breaker_and_a_probe_recovers(make_server):
+    server = make_server(
+        ServeConfig(port=0, job_attempts=1, breaker_failures=2,
+                    breaker_reset_seconds=0.3),
+        faults=parse_fault_plan("serve.job:kill:x2"),
+    )
+    for _ in range(2):
+        code, job = run_one(server)
+        assert job.status == STATUS_FAILED
+
+    entry = server.registry.get("covid")
+    assert entry.breaker.state == STATE_OPEN
+    # While open, submission is answered 503 without creating a job.
+    code, body = server.submit("covid", {})
+    assert code == 503
+    assert body["breaker"]["state"] == STATE_OPEN
+
+    time.sleep(0.4)  # cool-down elapses; next job is the half-open probe
+    code, job = run_one(server)
+    assert job.status == STATUS_COMPLETED
+    assert entry.breaker.state == "closed"
+
+
+def test_mid_job_eviction_race_is_harmless(make_server):
+    server = make_server(faults=parse_fault_plan("serve.evict:kill"))
+    code, job = run_one(server)
+    # The racing job finished on its leased session...
+    assert job.status == STATUS_COMPLETED
+    assert job.notebook is not None
+    # ...and the *next* request sees a clean 404.
+    code, body = server.submit("covid", {})
+    assert code == 404
+    assert server.registry.names() == []
+
+
+def test_stage_fault_degrades_through_the_ladder(make_server):
+    # A stage-level fault plan passes through the server into the run's
+    # degradation ladders: the notebook still arrives, marked degraded.
+    server = make_server(faults=parse_fault_plan("tap:kill"))
+    code, job = run_one(server)
+    assert job.status == STATUS_DEGRADED
+    assert job.notebook is not None
+    assert job.degradations
+    assert any("tap" in d for d in job.degradations)
+
+
+def test_queue_full_sheds_when_executors_never_drain(make_server, serve_csv,
+                                                     fast_config):
+    from repro.serve import ReproServer
+
+    # No started executor: the queue only fills.
+    server = ReproServer(ServeConfig(port=0, max_queue_depth=1),
+                         repro_config=fast_config)
+    server.registry.register("covid", serve_csv)
+    try:
+        code_a, body_a = server.submit("covid", {})
+        code_b, body_b = server.submit("covid", {})
+        assert (code_a, code_b) == (202, 429)
+        shed = server.jobs.get(body_b["job"])
+        assert shed.terminal and shed.status == STATUS_SHED
+        assert shed.shed_reason == "queue-full"
+    finally:
+        server.shutdown()  # sheds the still-queued job too
+    queued = server.jobs.get(body_a["job"])
+    assert queued.terminal
+    assert queued.shed_reason == "server-shutdown"
+
+
+def test_budget_drained_in_queue_sheds_before_running(make_server):
+    server = make_server()
+    # A deadline so small it is spent before the executor picks it up.
+    code, job = run_one(server, params={"deadline_seconds": 0.051})
+    assert job.status in (STATUS_SHED, STATUS_DEGRADED, STATUS_COMPLETED,
+                          STATUS_FAILED)
+    if job.status == STATUS_SHED:
+        assert job.shed_reason == "deadline-exhausted-in-queue"
+
+
+# -- everything at once --------------------------------------------------------
+
+
+def test_concurrent_load_under_combined_faults_all_terminal(make_server):
+    """Satellite invariant: worker crashes + slow handlers + a forced
+    queue-full shed, eight concurrent HTTP clients — every request ends
+    in a terminal state within its budget; none hang; the server lives."""
+    server = make_server(
+        ServeConfig(port=0, job_attempts=2, max_queue_depth=4,
+                    breaker_failures=50, default_deadline_seconds=25.0),
+        faults=parse_fault_plan(
+            "serve.job:kill:x2,serve.handler:stall:0.1:x3,serve.admission:kill"
+        ),
+    )
+    results: list[tuple[int, dict]] = [None] * 8
+
+    def client(index: int) -> None:
+        code, body = http_request(f"{server.url}/generate", "POST",
+                                  {"dataset": "covid"}, timeout=WAIT)
+        results[index] = (code, body)
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=WAIT)
+    assert not any(t.is_alive() for t in threads), "an HTTP client hung"
+
+    statuses = []
+    for code, body in results:
+        assert code in (202, 429), body
+        job = server.jobs.get(body["job"])
+        assert job.wait(timeout=WAIT), f"job never terminal: {job.to_dict()}"
+        view = job.to_dict()
+        assert view["status"] in TERMINAL_STATES
+        if view["status"] == STATUS_SHED:
+            assert view["shed_reason"]
+        if view["status"] == STATUS_FAILED:
+            assert view["error"]
+        statuses.append(view["status"])
+
+    # The injected admission kill shed at least one request; the rest ran.
+    assert STATUS_SHED in statuses
+    assert STATUS_COMPLETED in statuses or STATUS_DEGRADED in statuses
+    # And the server is still healthy afterwards.
+    assert http_request(f"{server.url}/healthz")[0] == 200

@@ -236,6 +236,40 @@ class TestErrorExits:
         assert "malformed fault spec" in capsys.readouterr().err
 
 
+class TestServe:
+    """The blocking serve loop itself is exercised by the serve test suite
+    and the CI smoke job; here we cover the CLI validation surface."""
+
+    def test_malformed_dataset_spec_exits_2(self, capsys):
+        code = main(["serve", "--port", "0", "--dataset", "no-equals-sign",
+                     "--quiet"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "malformed --dataset" in err
+        assert "NAME=PATH" in err
+
+    def test_malformed_fault_plan_exits_2(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_FAULTS", "serve.handler")
+        code = main(["serve", "--port", "0", "--quiet"])
+        assert code == 2
+        assert "malformed fault spec" in capsys.readouterr().err
+
+    def test_parser_accepts_the_knob_surface(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--host", "0.0.0.0", "--port", "0",
+             "--dataset", "a=a.csv", "--dataset", "b=b.csv",
+             "--max-queue", "4", "--max-cost", "8",
+             "--default-deadline", "10", "--executors", "2",
+             "--breaker-failures", "5", "--breaker-reset", "60"]
+        )
+        assert args.command == "serve"
+        assert args.dataset == ["a=a.csv", "b=b.csv"]
+        assert args.max_queue == 4
+        assert args.breaker_failures == 5
+
+
 class TestResilience:
     def test_deadline_run_completes(self, covid_csv, tmp_path, capsys):
         out = tmp_path / "nb.ipynb"
@@ -285,6 +319,39 @@ class TestResilience:
         assert out.exists()
         stdout = capsys.readouterr().out
         assert "resumed" in stdout
+
+    def test_resume_with_deleted_checkpoint_exits_2(self, covid_csv, tmp_path,
+                                                    capsys):
+        ghost = tmp_path / "gone.ckpt.json"
+        code = main(["generate", str(covid_csv), "--resume", str(ghost),
+                     "--quiet"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "does not exist" in err
+        assert "re-run without --resume" in err
+        assert "Traceback" not in err
+
+    def test_resume_with_corrupt_checkpoint_exits_2(self, covid_csv, tmp_path,
+                                                    capsys):
+        ck = tmp_path / "corrupt.ckpt.json"
+        ck.write_bytes(b"\x80\x81\x82 not json at all \xff")
+        code = main(["generate", str(covid_csv), "--resume", str(ck),
+                     "--quiet"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "corrupt" in err
+        assert "Traceback" not in err
+
+    def test_resume_with_truncated_json_exits_2(self, covid_csv, tmp_path,
+                                                capsys):
+        ck = tmp_path / "half.ckpt.json"
+        ck.write_text('{"stage": "stats", "payload": {')
+        code = main(["generate", str(covid_csv), "--resume", str(ck),
+                     "--quiet"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
 
     def test_resume_generation_checkpoint_without_csv(self, covid_csv, tmp_path):
         ck = tmp_path / "run.ckpt.json"
