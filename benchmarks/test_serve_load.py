@@ -140,6 +140,10 @@ def run_experiment(quick: bool) -> dict[str, dict]:
         with steady_server:
             steady_server.registry.register("covid", csv)
             steady = run_phase(steady_server, steady_n, clients=2)
+            # Fold the server's registry (labeled job counters, latency and
+            # queue-wait histograms) into the ambient one, so the
+            # --metrics-out document carries the real bucket counts.
+            obs.current_metrics().merge(steady_server.metrics.export())
 
         burst_server = ReproServer(
             ServeConfig(port=0, max_queue_depth=2, max_inflight_cost=256.0,
@@ -150,6 +154,7 @@ def run_experiment(quick: bool) -> dict[str, dict]:
         with burst_server:
             burst_server.registry.register("covid", csv)
             burst = run_phase(burst_server, burst_n, clients=burst_n)
+            obs.current_metrics().merge(burst_server.metrics.export())
 
     for phase, result in (("steady", steady), ("burst", burst)):
         for key in ("p50_seconds", "p99_seconds", "shed_rate",

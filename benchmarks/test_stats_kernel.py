@@ -128,6 +128,9 @@ def run_enedis(quick: bool) -> dict:
         run = resilient_generate(fresh, config, budget=6, solver="heuristic")
         resilient_render(run, fresh, table_name="enedis")
         snapshot = metrics.snapshot()["counters"]
+    # Fold the captured run back into the ambient registry: the outcome-
+    # labeled stage-duration histograms belong in the --metrics-out dump.
+    obs.current_metrics().merge(metrics.export())
     hits = int(snapshot.get("cache.aggregate_hits", 0))
     misses = int(snapshot.get("cache.aggregate_misses", 0))
     obs.gauge("bench.stats.enedis_aggregate_hits").set(hits)

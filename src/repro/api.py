@@ -185,16 +185,24 @@ class Session:
         faults=None,
         policy=None,
         progress: Callable[[str], None] | None = None,
+        tracer=None,
+        metrics=None,
     ) -> NotebookRun:
         """Run the full pipeline under the resilient controller.
 
         Keyword arguments override the corresponding
         :class:`~repro.config.ReproConfig` fields for this run only.
+        ``tracer``/``metrics`` redirect this run's observability into
+        caller-owned instances (the serving layer passes a job's pair so
+        every request owns its spans); the session's own pair is used
+        otherwise.
         """
         from repro.runtime import resilient_generate
 
         cfg = self.config
-        with self._lock, _RUN_LOCK, obs.use(self.tracer, self.metrics):
+        with self._lock, _RUN_LOCK, obs.use(
+            tracer or self.tracer, metrics or self.metrics
+        ):
             if self._closed:
                 raise ReproError("session is closed")
             return resilient_generate(
@@ -227,11 +235,15 @@ class Session:
         title: str | None = None,
         include_previews: bool = True,
         faults=None,
+        tracer=None,
+        metrics=None,
     ) -> Notebook:
         """Render a run as a notebook (with the render degradation ladder)."""
         from repro.runtime import resilient_render
 
-        with self._lock, _RUN_LOCK, obs.use(self.tracer, self.metrics):
+        with self._lock, _RUN_LOCK, obs.use(
+            tracer or self.tracer, metrics or self.metrics
+        ):
             return resilient_render(
                 run,
                 self.table,

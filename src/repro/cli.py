@@ -11,6 +11,7 @@ Usage::
     python -m repro profile data.csv --trace trace.json
     python -m repro inspect data.csv
     python -m repro datasets --out-dir ./demo-data
+    python -m repro flight repro-flight.json
 
 Sub-commands
 ------------
@@ -38,7 +39,11 @@ Sub-commands
     budgets, admission control, and per-dataset circuit breakers (see
     ``docs/serving.md``).  ``REPRO_FAULTS`` reaches the server's chaos
     fault points (``serve.admission``, ``serve.handler``, ``serve.job``,
-    ``serve.evict``).
+    ``serve.evict``).  ``--flight-dump`` names where the flight
+    recorder's ring of job post-mortems lands on crash or SIGTERM.
+``flight``
+    Pretty-print a flight-recorder dump file for post-mortem analysis
+    (see ``docs/observability.md``).
 
 The ``REPRO_FAULTS`` environment variable (e.g. ``stats:kill`` or
 ``tap:stall:10``) activates deterministic fault injection — a test hook,
@@ -223,6 +228,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--breaker-reset", type=float, default=30.0,
                        metavar="SECONDS",
                        help="circuit cool-down before a half-open probe (default 30)")
+    serve.add_argument("--flight-dump", type=Path, default=Path("repro-flight.json"),
+                       metavar="PATH",
+                       help="where the flight recorder dumps its ring of job "
+                            "post-mortems on crash or SIGTERM (default "
+                            "repro-flight.json; read back with 'repro flight')")
+
+    flight = sub.add_parser(
+        "flight", parents=[common],
+        help="pretty-print a flight-recorder dump for post-mortems",
+    )
+    flight.add_argument("dump", type=Path,
+                        help="a dump written by the serving layer "
+                             "(--flight-dump) or GET /debug/flight saved to disk")
+    flight.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the raw records as JSON instead of a table")
     return parser
 
 
@@ -475,6 +495,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     server = ReproServer(config, faults=faults)
     server.start()
+    uninstall_flight = server.flight.install(args.flight_dump)
+    say(f"flight recorder dumps to {args.flight_dump} on crash/SIGTERM")
     try:
         for name, path in preload:
             entry = server.registry.register(name, path)
@@ -488,7 +510,53 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         except KeyboardInterrupt:
             say("shutting down")
     finally:
+        uninstall_flight()
         server.shutdown()
+    return 0
+
+
+def _cmd_flight(args: argparse.Namespace) -> int:
+    """Pretty-print a flight-recorder dump (the post-mortem reader)."""
+    import json as _json
+
+    from repro.serve.flight import load_dump
+
+    try:
+        doc = load_dump(args.dump)
+    except (OSError, ValueError, _json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    records = doc["records"]
+    if args.as_json:
+        print(_json.dumps(records, indent=1))
+        return 0
+
+    print(f"{args.dump}: {len(records)} record(s), "
+          f"reason={doc.get('reason', '?')}")
+    if not records:
+        return 0
+    print(f"{'job':<12} {'dataset':<12} {'status':<10} {'fingerprint':<18} "
+          f"{'att':>3} {'queue_s':>8} {'total_s':>8}  detail")
+    for rec in records:
+        detail = rec.get("shed_reason") or rec.get("error") or ""
+        if rec.get("degradations"):
+            joined = ",".join(rec["degradations"])
+            detail = f"{detail} [degraded: {joined}]".strip()
+        print(f"{rec.get('job', '?'):<12} {rec.get('dataset', '?'):<12} "
+              f"{rec.get('status', '?'):<10} "
+              f"{rec.get('config_fingerprint', '?'):<18} "
+              f"{rec.get('attempts', 0):>3} "
+              f"{rec.get('queue_seconds', 0.0):>8.3f} "
+              f"{rec.get('total_seconds', 0.0):>8.3f}  {detail}")
+        for span in rec.get("spans", [])[:3]:
+            flags = "".join(
+                tag for tag, on in ((" open", span.get("open")),
+                                    (" errors", span.get("errors")))
+                if on
+            )
+            print(f"{'':<12} span {span['name']} x{span['count']} "
+                  f"{span['seconds']:.3f}s{flags}")
     return 0
 
 
@@ -509,6 +577,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_datasets(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "flight":
+            return _cmd_flight(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -36,14 +36,23 @@ from repro.obs.export import (
     format_hotspots,
     format_span_tree,
     metrics_summary_line,
+    summarize_spans,
     to_chrome_trace,
     to_prometheus_text,
     write_chrome_trace,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    labeled_name,
+)
 from repro.obs.spans import Span, Tracer
 
 __all__ = [
+    "DEFAULT_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",
@@ -59,9 +68,11 @@ __all__ = [
     "format_span_tree",
     "gauge",
     "histogram",
+    "labeled_name",
     "metrics_summary_line",
     "reset",
     "span",
+    "summarize_spans",
     "to_chrome_trace",
     "to_prometheus_text",
     "use",
@@ -87,16 +98,20 @@ def span(name: str, **attrs):
     return _tracer.span(name, **attrs)
 
 
-def counter(name: str) -> Counter:
-    return _metrics.counter(name)
+def counter(name: str, labels: dict | None = None) -> Counter:
+    return _metrics.counter(name, labels)
 
 
-def gauge(name: str) -> Gauge:
-    return _metrics.gauge(name)
+def gauge(name: str, labels: dict | None = None) -> Gauge:
+    return _metrics.gauge(name, labels)
 
 
-def histogram(name: str) -> Histogram:
-    return _metrics.histogram(name)
+def histogram(
+    name: str,
+    labels: dict | None = None,
+    buckets: tuple[float, ...] | None = None,
+) -> Histogram:
+    return _metrics.histogram(name, labels, buckets=buckets)
 
 
 def reset() -> None:

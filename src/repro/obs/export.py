@@ -32,13 +32,16 @@ def _clean_args(attrs: dict) -> dict:
     }
 
 
-def chrome_trace_events(tracer: Tracer) -> list[dict]:
-    """One ``"X"`` (complete) event per closed span, in start order.
+def chrome_trace_events(tracer: Tracer, include_open: bool = False) -> list[dict]:
+    """One ``"X"`` (complete) event per span, in start order.
 
     Timestamps are microseconds on the tracer's monotonic clock, rebased
-    to the earliest span so traces start near zero.
+    to the earliest span so traces start near zero.  Open spans are
+    excluded by default; with ``include_open`` they are emitted with
+    their elapsed-so-far duration and an ``"open": true`` arg, so a
+    still-running job's trace stays a connected tree.
     """
-    spans = [s for s in tracer.spans() if s.closed]
+    spans = [s for s in tracer.spans() if s.closed or include_open]
     if not spans:
         return []
     base = min(s.start for s in spans)
@@ -51,13 +54,15 @@ def chrome_trace_events(tracer: Tracer) -> list[dict]:
             args["parent_id"] = span.parent_id
         if span.error is not None:
             args["error"] = span.error
+        if not span.closed:
+            args["open"] = True
         events.append(
             {
                 "name": span.name,
                 "cat": "repro",
                 "ph": "X",
                 "ts": (span.start - base) * 1e6,
-                "dur": span.duration * 1e6,
+                "dur": span.elapsed * 1e6,
                 "pid": pid,
                 "tid": span.thread_id,
                 "args": args,
@@ -66,10 +71,14 @@ def chrome_trace_events(tracer: Tracer) -> list[dict]:
     return events
 
 
-def to_chrome_trace(tracer: Tracer, metrics: MetricsRegistry | None = None) -> dict:
+def to_chrome_trace(
+    tracer: Tracer,
+    metrics: MetricsRegistry | None = None,
+    include_open: bool = False,
+) -> dict:
     """The full trace document (object form, so metadata can ride along)."""
     doc = {
-        "traceEvents": chrome_trace_events(tracer),
+        "traceEvents": chrome_trace_events(tracer, include_open=include_open),
         "displayTimeUnit": "ms",
     }
     if metrics is not None:
@@ -85,6 +94,31 @@ def write_chrome_trace(
     )
 
 
+def summarize_spans(tracer: Tracer, top: int = 20) -> list[dict]:
+    """Compact per-name aggregation of a trace, heaviest names first.
+
+    The flight recorder keeps this instead of whole span trees: for each
+    span name, the occurrence count, total seconds (elapsed-so-far for
+    spans still open), how many are open, and how many recorded errors.
+    """
+    by_name: dict[str, dict] = {}
+    for span in tracer.spans():
+        entry = by_name.setdefault(
+            span.name, {"name": span.name, "count": 0, "seconds": 0.0,
+                        "open": 0, "errors": 0}
+        )
+        entry["count"] += 1
+        entry["seconds"] += span.elapsed
+        if not span.closed:
+            entry["open"] += 1
+        if span.error is not None:
+            entry["errors"] += 1
+    ranked = sorted(by_name.values(), key=lambda e: -e["seconds"])[:top]
+    for entry in ranked:
+        entry["seconds"] = round(entry["seconds"], 6)
+    return ranked
+
+
 # ---------------------------------------------------------------------------
 # Prometheus text exposition
 # ---------------------------------------------------------------------------
@@ -97,23 +131,63 @@ def prometheus_name(name: str) -> str:
     return "repro_" + _NAME_MANGLE.sub("_", name)
 
 
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def prometheus_labels(labels: dict, extra: dict | None = None) -> str:
+    """Render ``{k="v",...}`` (empty string for no labels)."""
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"'
+        for key, value in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
 def to_prometheus_text(metrics: MetricsRegistry) -> str:
-    """The text exposition format (one ``# TYPE`` line per family)."""
-    snapshot = metrics.snapshot()
+    """The text exposition format (one ``# TYPE`` line per family).
+
+    Counters get the ``_total`` suffix, histograms are emitted in the
+    real Prometheus histogram exposition — cumulative ``_bucket`` series
+    with ``le`` upper bounds (``+Inf`` included) plus ``_sum``/``_count``
+    — and every series carries its instrument's label set.
+    """
+    from repro.obs.metrics import Counter, Gauge
+
     lines: list[str] = []
-    for name, value in snapshot["counters"].items():
-        mangled = prometheus_name(name)
-        lines.append(f"# TYPE {mangled} counter")
-        lines.append(f"{mangled}_total {value:g}")
-    for name, value in snapshot["gauges"].items():
-        mangled = prometheus_name(name)
-        lines.append(f"# TYPE {mangled} gauge")
-        lines.append(f"{mangled} {value:g}")
-    for name, summary in snapshot["histograms"].items():
-        mangled = prometheus_name(name)
-        lines.append(f"# TYPE {mangled} summary")
-        lines.append(f"{mangled}_count {summary['count']}")
-        lines.append(f"{mangled}_sum {summary['sum']:g}")
+    typed: set[str] = set()
+
+    def type_line(mangled: str, kind: str) -> None:
+        if mangled not in typed:
+            typed.add(mangled)
+            lines.append(f"# TYPE {mangled} {kind}")
+
+    for instrument in metrics.instruments():
+        mangled = prometheus_name(instrument.name)
+        label_text = prometheus_labels(instrument.labels)
+        if isinstance(instrument, Counter):
+            type_line(mangled, "counter")
+            lines.append(f"{mangled}_total{label_text} {instrument.value:g}")
+        elif isinstance(instrument, Gauge):
+            type_line(mangled, "gauge")
+            lines.append(f"{mangled} {instrument.value:g}" if not label_text
+                         else f"{mangled}{label_text} {instrument.value:g}")
+        else:
+            type_line(mangled, "histogram")
+            for bound, cumulative in instrument.cumulative_buckets():
+                bucket_labels = prometheus_labels(
+                    instrument.labels, {"le": f"{bound:g}"}
+                )
+                lines.append(f"{mangled}_bucket{bucket_labels} {cumulative}")
+            inf_labels = prometheus_labels(instrument.labels, {"le": "+Inf"})
+            lines.append(f"{mangled}_bucket{inf_labels} {instrument.count}")
+            lines.append(f"{mangled}_sum{label_text} {instrument.total:g}")
+            lines.append(f"{mangled}_count{label_text} {instrument.count}")
     return "\n".join(lines) + "\n" if lines else ""
 
 

@@ -6,26 +6,63 @@ named instruments:
 * :class:`Counter` — monotonically increasing count (candidates tested,
   solver nodes visited, permutation batches reused);
 * :class:`Gauge` — last-written value (peak RSS, queue depths);
-* :class:`Histogram` — streaming summary of observations (count / sum /
-  min / max / mean), enough for the Prometheus summary exposition without
-  holding samples.
+* :class:`Histogram` — bucketed summary of observations (count / sum /
+  min / max / mean plus cumulative bucket counts), enough for the real
+  Prometheus histogram exposition without holding samples.
+
+Every instrument may carry a **label set** — a small ``dict[str, str]``
+such as ``{"dataset": "covid", "outcome": "completed"}``.  Instruments
+are keyed by ``(name, sorted(labels))``: the same family name with two
+different label sets is two independent instruments, but a family name
+is bound to exactly one *kind* (counter/gauge/histogram) for the
+registry's lifetime, labels or not.
 
 Metric names use dotted lowercase (``stats.candidates_tested``); the
-Prometheus exporter mangles them to the legal underscore form.
+Prometheus exporter mangles them to the legal underscore form.  In JSON
+snapshots, labeled instruments render as ``name{k=v,...}`` keys so
+unlabeled metrics keep their historical plain-name keys.
+
+Registries merge: :meth:`MetricsRegistry.export` emits a JSON-safe list
+of instrument states and :meth:`MetricsRegistry.merge` folds one into
+another (counters and histograms add, gauges keep the high-water mark) —
+the primitive behind shipping worker-process metrics across the pool's
+IPC boundary and folding per-job serve registries back into the resident
+session's registry.
 """
 
 from __future__ import annotations
 
 import threading
 
+#: Default latency-oriented bucket upper bounds (seconds).  ``+Inf`` is
+#: implicit — the histogram's total count covers it.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+def _normalize_labels(labels: dict | None) -> tuple[tuple[str, str], ...]:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def labeled_name(name: str, labels: dict | None) -> str:
+    """Render ``name{k=v,...}`` for labeled instruments, plain otherwise."""
+    items = _normalize_labels(labels)
+    if not items:
+        return name
+    return name + "{" + ",".join(f"{k}={v}" for k, v in items) + "}"
+
 
 class Counter:
     """A monotonically increasing counter."""
 
-    __slots__ = ("name", "_value", "_lock")
+    __slots__ = ("name", "labels", "_value", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: dict | None = None):
         self.name = name
+        self.labels = dict(_normalize_labels(labels))
         self._value = 0.0
         self._lock = threading.Lock()
 
@@ -43,10 +80,11 @@ class Counter:
 class Gauge:
     """A value that can go up and down; reads report the last write."""
 
-    __slots__ = ("name", "_value", "_lock")
+    __slots__ = ("name", "labels", "_value", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: dict | None = None):
         self.name = name
+        self.labels = dict(_normalize_labels(labels))
         self._value = 0.0
         self._lock = threading.Lock()
 
@@ -65,12 +103,33 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary of a series of observations."""
+    """Bucketed summary of a series of observations.
 
-    __slots__ = ("name", "count", "total", "minimum", "maximum", "_lock")
+    Buckets are cumulative upper bounds in the Prometheus sense: an
+    observation lands in every bucket whose bound is >= the value, and
+    ``count`` doubles as the implicit ``+Inf`` bucket.  Bounds are fixed
+    at creation (first caller wins for a family); the streaming
+    count/sum/min/max summary is kept alongside.
+    """
 
-    def __init__(self, name: str):
+    __slots__ = (
+        "name", "labels", "buckets", "bucket_counts",
+        "count", "total", "minimum", "maximum", "_lock",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        labels: dict | None = None,
+        buckets: tuple[float, ...] | None = None,
+    ):
         self.name = name
+        self.labels = dict(_normalize_labels(labels))
+        bounds = tuple(sorted(float(b) for b in (buckets or DEFAULT_BUCKETS)))
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket")
+        self.buckets = bounds
+        self.bucket_counts = [0] * len(bounds)
         self.count = 0
         self.total = 0.0
         self.minimum = float("inf")
@@ -84,73 +143,166 @@ class Histogram:
             self.total += value
             self.minimum = min(self.minimum, value)
             self.maximum = max(self.maximum, value)
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.bucket_counts[index] += 1
+                    break  # cumulative counts are derived at read time
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, +Inf excluded."""
+        with self._lock:
+            counts = list(self.bucket_counts)
+        running = 0
+        out = []
+        for bound, count in zip(self.buckets, counts):
+            running += count
+            out.append((bound, running))
+        return out
+
     def summary(self) -> dict:
-        if not self.count:
-            return {"count": 0, "sum": 0.0, "min": None, "max": None, "mean": 0.0}
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "min": self.minimum,
-            "max": self.maximum,
-            "mean": self.mean,
+        base = {"count": 0, "sum": 0.0, "min": None, "max": None, "mean": 0.0}
+        if self.count:
+            base = {
+                "count": self.count,
+                "sum": self.total,
+                "min": self.minimum,
+                "max": self.maximum,
+                "mean": self.mean,
+            }
+        base["buckets"] = {
+            f"{bound:g}": cumulative
+            for bound, cumulative in self.cumulative_buckets()
         }
+        return base
 
 
 class MetricsRegistry:
     """Thread-safe namespace of instruments, created on first use.
 
-    A name is bound to one instrument kind for the registry's lifetime;
-    asking for the same name as a different kind raises.
+    A family name is bound to one instrument kind for the registry's
+    lifetime; asking for the same name as a different kind raises, even
+    across different label sets.
     """
 
     def __init__(self):
         self._lock = threading.Lock()
-        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._instruments: dict[tuple, Counter | Gauge | Histogram] = {}
+        self._kinds: dict[str, type] = {}
 
-    def _get(self, name: str, kind: type):
+    def _get(self, name: str, kind: type, labels: dict | None = None, **kwargs):
+        key = (name, _normalize_labels(labels))
         with self._lock:
-            instrument = self._instruments.get(name)
-            if instrument is None:
-                instrument = kind(name)
-                self._instruments[name] = instrument
-            elif not isinstance(instrument, kind):
+            bound = self._kinds.get(name)
+            if bound is not None and bound is not kind:
                 raise TypeError(
-                    f"metric {name!r} is a {type(instrument).__name__}, "
-                    f"not a {kind.__name__}"
+                    f"metric {name!r} is a {bound.__name__}, not a {kind.__name__}"
                 )
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = kind(name, labels, **kwargs)
+                self._instruments[key] = instrument
+                self._kinds[name] = kind
             return instrument
 
-    def counter(self, name: str) -> Counter:
-        return self._get(name, Counter)
+    def counter(self, name: str, labels: dict | None = None) -> Counter:
+        return self._get(name, Counter, labels)
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get(name, Gauge)
+    def gauge(self, name: str, labels: dict | None = None) -> Gauge:
+        return self._get(name, Gauge, labels)
 
-    def histogram(self, name: str) -> Histogram:
-        return self._get(name, Histogram)
+    def histogram(
+        self,
+        name: str,
+        labels: dict | None = None,
+        buckets: tuple[float, ...] | None = None,
+    ) -> Histogram:
+        return self._get(name, Histogram, labels, buckets=buckets)
 
     def reset(self) -> None:
         with self._lock:
             self._instruments.clear()
+            self._kinds.clear()
+
+    def instruments(self) -> list[Counter | Gauge | Histogram]:
+        """A stable-ordered snapshot of every live instrument."""
+        with self._lock:
+            items = sorted(self._instruments.items())
+        return [instrument for _, instrument in items]
 
     def snapshot(self) -> dict:
-        """JSON-ready dump: {counters: {...}, gauges: {...}, histograms: {...}}."""
-        with self._lock:
-            instruments = dict(self._instruments)
+        """JSON-ready dump: {counters: {...}, gauges: {...}, histograms: {...}}.
+
+        Labeled instruments appear under ``name{k=v,...}`` keys; unlabeled
+        ones keep their plain names (the historical format).
+        """
         out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
-        for name, instrument in sorted(instruments.items()):
+        for instrument in self.instruments():
+            key = labeled_name(instrument.name, instrument.labels)
             if isinstance(instrument, Counter):
-                out["counters"][name] = instrument.value
+                out["counters"][key] = instrument.value
             elif isinstance(instrument, Gauge):
-                out["gauges"][name] = instrument.value
+                out["gauges"][key] = instrument.value
             else:
-                out["histograms"][name] = instrument.summary()
+                out["histograms"][key] = instrument.summary()
         return out
+
+    def export(self) -> list[dict]:
+        """A JSON-safe, mergeable dump of every instrument's state."""
+        out: list[dict] = []
+        for instrument in self.instruments():
+            record: dict = {"name": instrument.name, "labels": instrument.labels}
+            if isinstance(instrument, Counter):
+                record["kind"] = "counter"
+                record["value"] = instrument.value
+            elif isinstance(instrument, Gauge):
+                record["kind"] = "gauge"
+                record["value"] = instrument.value
+            else:
+                record["kind"] = "histogram"
+                with instrument._lock:
+                    record["buckets"] = list(instrument.buckets)
+                    record["bucket_counts"] = list(instrument.bucket_counts)
+                    record["count"] = instrument.count
+                    record["sum"] = instrument.total
+                    record["min"] = instrument.minimum
+                    record["max"] = instrument.maximum
+            out.append(record)
+        return out
+
+    def merge(self, exported: list[dict]) -> None:
+        """Fold another registry's :meth:`export` into this one.
+
+        Counters and histograms add; gauges keep the high-water mark
+        (the only order-independent combination of last-write values).
+        Histogram bucket counts add element-wise when bucket bounds
+        agree; on a bounds mismatch only count/sum/min/max merge.
+        """
+        for record in exported:
+            name, labels, kind = record["name"], record["labels"], record["kind"]
+            if kind == "counter":
+                self.counter(name, labels).inc(record["value"])
+            elif kind == "gauge":
+                self.gauge(name, labels).max(record["value"])
+            elif kind == "histogram":
+                if not record["count"]:
+                    continue
+                histogram = self.histogram(
+                    name, labels, buckets=tuple(record["buckets"])
+                )
+                with histogram._lock:
+                    histogram.count += record["count"]
+                    histogram.total += record["sum"]
+                    histogram.minimum = min(histogram.minimum, record["min"])
+                    histogram.maximum = max(histogram.maximum, record["max"])
+                    if list(histogram.buckets) == list(record["buckets"]):
+                        for index, extra in enumerate(record["bucket_counts"]):
+                            histogram.bucket_counts[index] += extra
+            else:  # pragma: no cover - future-proofing
+                raise ValueError(f"unknown instrument kind {kind!r}")
 
     def record_peak_rss(self) -> float | None:
         """Sample the process's peak RSS into ``process.peak_rss_bytes``.

@@ -37,7 +37,10 @@ from __future__ import annotations
 
 import logging
 import multiprocessing as mp
+import os
 import queue as queue_mod
+import shutil
+import tempfile
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -68,6 +71,40 @@ _RESTART_BACKOFF = RetryPolicy(base_delay=0.02, multiplier=2.0,
 
 class WorkerCrashed(ReproError):
     """A pool worker died; carries the exit code for diagnostics."""
+
+
+#: Exit code of a worker killed by the ``parallel.worker`` fault point,
+#: distinguishable from real crashes in logs.
+_INJECTED_EXIT = 17
+
+
+def _maybe_injected_worker_kill(guard_dir: str | None) -> None:
+    """Honor ``REPRO_FAULTS=parallel.worker:kill[:xN]`` inside a worker.
+
+    The guard directory is the cross-process fault budget: each planned
+    kill claims one marker file with ``O_CREAT|O_EXCL`` before dying, so
+    N planned kills crash exactly N task attempts across the whole fleet
+    — replacement workers and requeued shards included — regardless of
+    which worker dequeues them.
+    """
+    plan = os.environ.get("REPRO_FAULTS", "")
+    if "parallel.worker" not in plan or guard_dir is None:
+        return
+    from repro.runtime.faults import parse_fault_plan
+
+    for spec in parse_fault_plan(plan).specs:
+        if spec.stage != "parallel.worker" or spec.action != "kill":
+            continue
+        if spec.times is None:
+            os._exit(_INJECTED_EXIT)
+        for shot in range(spec.times):
+            try:
+                fd = os.open(os.path.join(guard_dir, f"kill-{shot}"),
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            os.close(fd)
+            os._exit(_INJECTED_EXIT)
 
 
 @dataclass(slots=True)
@@ -116,15 +153,17 @@ def _worker_main(
     task_fn: Callable[[WorkerContext, Any], Any],
     deadline_remaining: float | None,
     label: str,
+    fault_guard: str | None = None,
 ) -> None:
     """Worker loop: init once, then run tasks until the ``None`` sentinel.
 
     Every task executes under a fresh tracer/metrics pair; the exported
-    span subtree and counter deltas travel back with the result so the
-    parent can reassemble one coherent trace.  Exceptions are shipped as
-    ``(type name, message)`` — instances with custom ``__init__``
-    signatures (e.g. ``DeadlineExceeded(stage=...)``) do not unpickle
-    reliably, so the parent re-raises from the name.
+    span subtree and full metrics export travel back with the result so
+    the parent can reassemble one coherent trace and fold labeled
+    instruments losslessly.  Exceptions are shipped as ``(type name,
+    message)`` — instances with custom ``__init__`` signatures (e.g.
+    ``DeadlineExceeded(stage=...)``) do not unpickle reliably, so the
+    parent re-raises from the name.
     """
     deadline = None
     if deadline_remaining is not None:
@@ -139,7 +178,7 @@ def _worker_main(
         )
     except BaseException as exc:  # noqa: BLE001 - must cross the process boundary
         result_queue.put(
-            (None, worker_id, False, (type(exc).__name__, str(exc)), [], {})
+            (None, worker_id, False, (type(exc).__name__, str(exc)), [], [])
         )
         return
     while True:
@@ -147,6 +186,7 @@ def _worker_main(
         if message is None:
             break
         task_id, payload = message
+        _maybe_injected_worker_kill(fault_guard)
         with obs.capture() as (tracer, metrics):
             try:
                 value = task_fn(context, payload)
@@ -155,8 +195,7 @@ def _worker_main(
                 value = (type(exc).__name__, str(exc))
                 ok = False
         result_queue.put(
-            (task_id, worker_id, ok, value, tracer.export(),
-             metrics.snapshot().get("counters", {}))
+            (task_id, worker_id, ok, value, tracer.export(), metrics.export())
         )
 
 
@@ -339,6 +378,11 @@ class _Scheduler:
             _RESTART_BACKOFF, retries=pool._parallel.max_worker_restarts
         )
         self._failure: BaseException | None = None
+        # Cross-process budget for the parallel.worker fault point: a
+        # shared directory of claim markers, one per planned kill.
+        self._fault_guard: str | None = None
+        if "parallel.worker" in os.environ.get("REPRO_FAULTS", ""):
+            self._fault_guard = tempfile.mkdtemp(prefix="repro-worker-fault-")
 
     # -- worker lifecycle ---------------------------------------------------
 
@@ -352,7 +396,7 @@ class _Scheduler:
             target=_worker_main,
             args=(worker_id, task_queue, self._result_queue, self._cancel,
                   pool._worker_init, pool._init_payload, pool._task_fn,
-                  remaining, pool._label),
+                  remaining, pool._label, self._fault_guard),
             daemon=True,
             name=f"repro-{pool._label}-{worker_id}",
         )
@@ -401,11 +445,13 @@ class _Scheduler:
             if process.is_alive():  # pragma: no cover - stuck worker
                 process.terminate()
                 process.join(timeout=1.0)
+        if self._fault_guard is not None:
+            shutil.rmtree(self._fault_guard, ignore_errors=True)
 
     # -- observability ------------------------------------------------------
 
-    def _absorb(self, worker_id: int, spans: list, counters: dict) -> None:
-        """Re-parent the worker's span subtree; merge its counter deltas."""
+    def _absorb(self, worker_id: int, spans: list, exported: list) -> None:
+        """Re-parent the worker's span subtree; merge its metrics export."""
         flight = self._in_flight.get(worker_id)
         tracer = obs.current_tracer()
         tracer.adopt(
@@ -418,9 +464,7 @@ class _Scheduler:
                 "worker": worker_id,
             },
         )
-        registry = obs.current_metrics()
-        for name, value in counters.items():
-            registry.counter(name).inc(value)
+        obs.current_metrics().merge(exported)
 
     # -- main loop ----------------------------------------------------------
 
@@ -446,8 +490,8 @@ class _Scheduler:
         return sorted(self._pending)
 
     def _handle(self, message) -> None:
-        task_id, worker_id, ok, value, spans, counters = message
-        self._absorb(worker_id, spans, counters)
+        task_id, worker_id, ok, value, spans, exported = message
+        self._absorb(worker_id, spans, exported)
         self._in_flight.pop(worker_id, None)
         if not ok:
             self._failure = _shipped_error(*value, self._pool._label)

@@ -91,6 +91,8 @@ class AggregateCache:
                 hit = self._find(backend, attrs, want)
                 if hit is not None:
                     obs.counter("cache.aggregate_hits").inc()
+                    obs.counter("cache.aggregate_requests",
+                                {"outcome": "hit"}).inc()
                     return hit
                 reservation = self._building.get(reservation_key)
                 if reservation is None:
@@ -98,6 +100,7 @@ class AggregateCache:
                     break
             reservation.wait()
         obs.counter("cache.aggregate_misses").inc()
+        obs.counter("cache.aggregate_requests", {"outcome": "miss"}).inc()
         try:
             with obs.span(
                 "cache.aggregate_build",

@@ -182,6 +182,9 @@ def _run_ladder(
             logger.error("stage %s failed on every rung", stage)
         stage_span.set(rung=entry.rung, status=entry.status, retries=entry.retries)
     entry.seconds = stage_span.duration
+    obs.histogram(
+        "runtime.stage_seconds", {"stage": stage, "outcome": entry.status}
+    ).observe(entry.seconds)
     report.stages.append(entry)
     return result
 

@@ -13,6 +13,10 @@ Endpoints (full semantics in ``docs/serving.md``):
 ``GET  /jobs/<id>``          poll status/progress (``?wait=SECONDS`` long-
                              polls until terminal or the wait elapses)
 ``GET  /jobs/<id>/result``   the generated notebook (ipynb JSON)
+``GET  /jobs/<id>/trace``    the job's connected span tree (Chrome-trace
+                             JSON; open spans included live)
+``GET  /debug/flight``       the flight recorder's ring of recent job
+                             post-mortems
 ===========================  ==============================================
 
 Every handler thread fires the ``serve.handler`` fault point first, so a
@@ -41,9 +45,10 @@ from repro.errors import ReproError, ServeError, UnknownDatasetError
 from repro.obs.metrics import MetricsRegistry
 from repro.runtime.faults import FaultInjector, InjectedFault
 from repro.serve.admission import AdmissionController
-from repro.serve.breaker import STATE_OPEN
+from repro.serve.breaker import STATE_CLOSED, STATE_HALF_OPEN, STATE_OPEN
 from repro.serve.config import ServeConfig
 from repro.serve.executor import JobExecutor
+from repro.serve.flight import FlightRecorder
 from repro.serve.jobs import STATUS_SHED, JobStore
 from repro.serve.registry import DatasetRegistry
 
@@ -53,6 +58,9 @@ __all__ = ["ReproServer"]
 
 #: Longest a ``?wait=`` long-poll may block one handler thread.
 MAX_WAIT_SECONDS = 30.0
+
+#: Circuit-breaker states as gauge values (``serve.breaker_state{dataset=}``).
+BREAKER_STATE_VALUES = {STATE_CLOSED: 0, STATE_HALF_OPEN: 1, STATE_OPEN: 2}
 
 
 class ReproServer:
@@ -81,9 +89,10 @@ class ReproServer:
             faults=self.faults,
         )
         self.jobs = JobStore(self.config.max_finished_jobs)
+        self.flight = FlightRecorder(self.config.flight_capacity)
         self.executor = JobExecutor(
             self.config, self.registry, self.admission,
-            metrics=self.metrics, faults=self.faults,
+            metrics=self.metrics, faults=self.faults, flight=self.flight,
         )
         self._httpd: ThreadingHTTPServer | None = None
         self._listener: threading.Thread | None = None
@@ -137,6 +146,31 @@ class ReproServer:
 
     # -- request-level operations (HTTP-independent, reused by tests) --------
 
+    def refresh_gauges(self) -> None:
+        """Refresh the point-in-time operational gauges.
+
+        Called before every ``/metrics`` scrape so the exposition always
+        carries the *current* queue depth, inflight budget utilization,
+        resident-session count, and per-dataset breaker state — not
+        whatever they were when the last job touched them.
+        """
+        self.metrics.gauge("serve.queue_depth").set(self.admission.depth)
+        inflight = self.admission.inflight_cost
+        self.metrics.gauge("serve.inflight_cost").set(inflight)
+        self.metrics.gauge("serve.inflight_utilization").set(
+            inflight / self.config.max_inflight_cost
+        )
+        names = self.registry.names()
+        self.metrics.gauge("serve.datasets_resident").set(len(names))
+        for name in names:
+            try:
+                entry = self.registry.get(name)
+            except UnknownDatasetError:  # evicted between names() and get()
+                continue
+            self.metrics.gauge("serve.breaker_state", {"dataset": name}).set(
+                BREAKER_STATE_VALUES.get(entry.breaker.state, -1)
+            )
+
     def submit(self, dataset: str, params: dict | None = None) -> tuple[int, dict]:
         """Submit a generate job; returns ``(http_status, body)``."""
         params = dict(params or {})
@@ -168,13 +202,24 @@ class ReproServer:
             dataset, deadline_seconds=deadline, params=params,
             cost=entry.cost_units,
         )
-        admitted, reason = self.admission.try_admit(job)
+        # The submit-path spans open on this (handler) thread, where the
+        # job's serve.request root is still on the stack — they nest.
+        with job.tracer.span("serve.submit", dataset=dataset):
+            with job.tracer.span(
+                "serve.admission", queue_depth=self.admission.depth
+            ) as admission_span:
+                admitted, reason = self.admission.try_admit(job)
+                admission_span.set(admitted=admitted, reason=reason)
         if not admitted:
             job.finish(STATUS_SHED, shed_reason=reason)
             self.metrics.counter("serve.jobs_shed").inc()
+            self.metrics.counter(
+                "serve.jobs", {"dataset": dataset, "outcome": STATUS_SHED}
+            ).inc()
             self.metrics.histogram("serve.job_latency_seconds").observe(
                 job.total_seconds
             )
+            self.flight.record(job)
             return 429, {
                 "job": job.id, "status": job.status, "reason": reason,
                 "retry_after": 1,
@@ -261,11 +306,18 @@ def _make_handler(server: ReproServer):
                 self._json(200, {"ok": True, "queue_depth": server.admission.depth})
                 return
             if parts == ["metrics"]:
+                server.refresh_gauges()
                 self._text(200, obs.to_prometheus_text(server.metrics),
                            "text/plain; version=0.0.4")
                 return
             if parts == ["datasets"]:
                 self._json(200, {"datasets": server.registry.snapshot()})
+                return
+            if parts == ["debug", "flight"]:
+                self._json(200, {
+                    "capacity": server.flight.capacity,
+                    "records": server.flight.snapshot(),
+                })
                 return
             if len(parts) >= 2 and parts[0] == "jobs":
                 self._get_job(parts, parse_qs(parsed.query))
@@ -295,6 +347,9 @@ def _make_handler(server: ReproServer):
                     self._json(409, job.to_dict())
                 else:  # terminal without a notebook: shed or failed
                     self._json(410, job.to_dict())
+                return
+            if parts[2] == "trace":
+                self._json(200, job.trace_doc())
                 return
             self._json(404, {"error": f"no route for GET /{'/'.join(parts)}"})
 

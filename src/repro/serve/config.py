@@ -54,6 +54,9 @@ class ServeConfig:
         breaker opens, and the cool-down before a half-open probe.
     max_finished_jobs:
         Terminal jobs retained for polling before the oldest are pruned.
+    flight_capacity:
+        Terminal-job records kept in the always-on flight recorder ring
+        (``GET /debug/flight``; dumped to disk on crash/SIGTERM).
     """
 
     host: str = "127.0.0.1"
@@ -68,6 +71,7 @@ class ServeConfig:
     breaker_failures: int = 3
     breaker_reset_seconds: float = 30.0
     max_finished_jobs: int = 256
+    flight_capacity: int = 128
 
     def __post_init__(self) -> None:
         if self.max_queue_depth < 1:
@@ -94,6 +98,8 @@ class ServeConfig:
             raise ReproError("breaker_reset_seconds must be positive")
         if self.max_finished_jobs < 1:
             raise ReproError("max_finished_jobs must be at least 1")
+        if self.flight_capacity < 1:
+            raise ReproError("flight_capacity must be at least 1")
 
     def retry_policy(self) -> RetryPolicy:
         """The job-attempt retry policy this config describes."""

@@ -44,6 +44,7 @@ from repro.runtime.faults import FaultInjector, InjectedFault
 from repro.runtime.retry import retry_call
 from repro.serve.admission import AdmissionController
 from repro.serve.config import ServeConfig
+from repro.serve.flight import FlightRecorder
 from repro.serve.jobs import (
     STATUS_COMPLETED,
     STATUS_DEGRADED,
@@ -81,12 +82,14 @@ class JobExecutor:
         *,
         metrics: MetricsRegistry | None = None,
         faults: FaultInjector | None = None,
+        flight: FlightRecorder | None = None,
     ):
         self._config = config
         self._registry = registry
         self._admission = admission
         self._metrics = metrics or MetricsRegistry()
         self._faults = faults or FaultInjector.none()
+        self._flight = flight
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
 
@@ -127,7 +130,10 @@ class JobExecutor:
     def _execute(self, job: Job) -> None:
         """Run one job to a terminal state, whatever happens."""
         try:
-            self._run_job(job)
+            # The executor thread has no open span in the job's tracer,
+            # so serve.execute parents to the job's serve.request root.
+            with job.tracer.span("serve.execute", job=job.id):
+                self._run_job(job)
         except BaseException as exc:  # noqa: BLE001 - executor must survive
             logger.exception("job %s: unexpected executor error", job.id)
             job.finish(STATUS_FAILED, error=f"internal executor error: {exc}")
@@ -180,13 +186,16 @@ class JobExecutor:
                         f"job {job.id}: deadline budget exhausted before attempt",
                         stage="serve",
                     )
-                self._faults.fire("serve.job")
-                return session.generate(
-                    budget=job.params.get("budget"),
-                    deadline_seconds=budget,
-                    faults=self._faults,
-                    progress=job.add_progress,
-                )
+                with job.tracer.span("serve.attempt", number=job.attempts):
+                    self._faults.fire("serve.job")
+                    return session.generate(
+                        budget=job.params.get("budget"),
+                        deadline_seconds=budget,
+                        faults=self._faults,
+                        progress=job.add_progress,
+                        tracer=job.tracer,
+                        metrics=job.metrics,
+                    )
 
             def on_retry(index: int, delay: float, exc: BaseException) -> None:
                 self._metrics.counter("serve.job_retries").inc()
@@ -205,6 +214,8 @@ class JobExecutor:
                     run,
                     include_previews=bool(job.params.get("include_previews", True)),
                     faults=self._faults,
+                    tracer=job.tracer,
+                    metrics=job.metrics,
                 )
             except (ReproError, MemoryError) as exc:
                 entry.breaker.record_failure()
@@ -226,15 +237,25 @@ class JobExecutor:
                 degradations=run.report.degradations if run.report else [],
             )
         finally:
+            # Fold the job's private registry into the resident session's,
+            # so cross-request amortization evidence (cache.aggregate_hits
+            # and friends) keeps accumulating on the dataset entry while
+            # the job-scoped registry stays isolated.
+            session.metrics.merge(job.metrics.export())
             entry.release()
 
     # -- accounting ----------------------------------------------------------
 
     def _observe(self, job: Job) -> None:
         self._metrics.counter(f"serve.jobs_{job.status}").inc()
-        self._metrics.histogram("serve.job_latency_seconds").observe(
-            job.total_seconds
-        )
-        self._metrics.histogram("serve.queue_wait_seconds").observe(
-            job.queue_seconds
-        )
+        self._metrics.counter(
+            "serve.jobs", {"dataset": job.dataset, "outcome": job.status}
+        ).inc()
+        for name, value in (
+            ("serve.job_latency_seconds", job.total_seconds),
+            ("serve.queue_wait_seconds", job.queue_seconds),
+        ):
+            self._metrics.histogram(name).observe(value)
+            self._metrics.histogram(name, {"dataset": job.dataset}).observe(value)
+        if self._flight is not None:
+            self._flight.record(job)

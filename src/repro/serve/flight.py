@@ -1,0 +1,183 @@
+"""The flight recorder: a bounded ring of recent job post-mortems.
+
+When a served job ends badly — shed under load, failed after retries,
+or the whole process dies — the polling API is often gone by the time
+anyone investigates.  The flight recorder is the always-on autopsy
+surface: every job that reaches a terminal state leaves one compact
+record in a bounded ring (config fingerprint, terminal state, shed and
+degradation reasons, the error report, and a per-span-name summary of
+the job's trace), and the ring survives the job store's pruning.
+
+Three ways out of the ring:
+
+* ``GET /debug/flight`` returns the live ring as JSON;
+* :meth:`FlightRecorder.install` hooks ``SIGTERM`` and
+  ``sys.excepthook`` so an unhandled crash or a terminating signal
+  dumps the ring to disk on the way down (previous handlers are
+  chained, not replaced);
+* ``repro flight <dump.json>`` pretty-prints a dump for post-mortems
+  (see :mod:`repro.cli`).
+
+Records are plain JSON dicts end to end — what the HTTP endpoint
+serves, what the dump file holds, and what the CLI reads are the same
+shape.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import signal
+import sys
+import threading
+import time
+from collections import deque
+from pathlib import Path
+
+from repro.obs.export import summarize_spans
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["FlightRecorder", "config_fingerprint", "load_dump"]
+
+#: Ring capacity when the config names none.
+DEFAULT_CAPACITY = 128
+
+#: Dump-file schema version (bumped on breaking record changes).
+DUMP_VERSION = 1
+
+#: Span names kept per record (heaviest first).
+_SPAN_SUMMARY_TOP = 12
+
+
+def config_fingerprint(dataset: str, params: dict, deadline_seconds: float) -> str:
+    """A short stable hash of what was asked for.
+
+    Two jobs with the same fingerprint ran the same request shape —
+    the first thing a post-mortem groups by.
+    """
+    payload = json.dumps(
+        {"dataset": dataset, "params": params,
+         "deadline_seconds": deadline_seconds},
+        sort_keys=True, default=repr,
+    )
+    return hashlib.blake2s(payload.encode("utf-8"), digest_size=8).hexdigest()
+
+
+class FlightRecorder:
+    """Thread-safe bounded ring of terminal-job records."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self._lock = threading.Lock()
+        self._ring: deque[dict] = deque(maxlen=max(1, capacity))
+
+    @property
+    def capacity(self) -> int:
+        return self._ring.maxlen or 0
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, job) -> dict:
+        """Append one job's post-mortem record; returns the record."""
+        tracer = getattr(job, "tracer", None)
+        record = {
+            "job": job.id,
+            "dataset": job.dataset,
+            "status": job.status,
+            "config_fingerprint": config_fingerprint(
+                job.dataset, job.params, job.deadline_seconds
+            ),
+            "deadline_seconds": job.deadline_seconds,
+            "queue_seconds": round(job.queue_seconds, 6),
+            "total_seconds": round(job.total_seconds, 6),
+            "attempts": job.attempts,
+            "shed_reason": job.shed_reason,
+            "degradations": list(job.degradations),
+            "error": job.error,
+            "recorded_at": time.time(),
+            "spans": (
+                summarize_spans(tracer, top=_SPAN_SUMMARY_TOP)
+                if tracer is not None else []
+            ),
+        }
+        with self._lock:
+            self._ring.append(record)
+        return record
+
+    def snapshot(self) -> list[dict]:
+        """The ring's records, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    # -- persistence ---------------------------------------------------------
+
+    def dump(self, path: str | Path, reason: str = "manual") -> Path:
+        """Write the ring to ``path`` as one JSON document."""
+        path = Path(path)
+        doc = {
+            "version": DUMP_VERSION,
+            "reason": reason,
+            "dumped_at": time.time(),
+            "records": self.snapshot(),
+        }
+        path.write_text(json.dumps(doc, indent=1), encoding="utf-8")
+        return path
+
+    def install(self, path: str | Path):
+        """Dump to ``path`` on SIGTERM or an unhandled exception.
+
+        Both hooks chain to whatever was installed before them.  The
+        signal hook needs the main thread; elsewhere only the excepthook
+        is installed.  Returns an ``uninstall()`` callable restoring the
+        previous hooks (used by tests and clean CLI shutdown).
+        """
+        path = Path(path)
+        previous_hook = sys.excepthook
+
+        def crash_hook(exc_type, exc, tb):
+            try:
+                self.dump(path, reason=f"crash:{exc_type.__name__}")
+                logger.error("flight recorder dumped to %s (unhandled %s)",
+                             path, exc_type.__name__)
+            except Exception:  # noqa: BLE001 - never mask the original crash
+                logger.exception("flight-recorder crash dump failed")
+            previous_hook(exc_type, exc, tb)
+
+        sys.excepthook = crash_hook
+
+        previous_signal = None
+        signal_installed = False
+
+        def on_sigterm(signum, frame):
+            try:
+                self.dump(path, reason="sigterm")
+                logger.warning("flight recorder dumped to %s (SIGTERM)", path)
+            except Exception:  # noqa: BLE001 - still honour the signal
+                logger.exception("flight-recorder SIGTERM dump failed")
+            if callable(previous_signal):
+                previous_signal(signum, frame)
+            else:
+                raise SystemExit(128 + signal.SIGTERM)
+
+        try:
+            previous_signal = signal.signal(signal.SIGTERM, on_sigterm)
+            signal_installed = True
+        except ValueError:  # pragma: no cover - not the main thread
+            logger.debug("flight recorder: no SIGTERM hook off the main thread")
+
+        def uninstall() -> None:
+            if sys.excepthook is crash_hook:
+                sys.excepthook = previous_hook
+            if signal_installed and signal.getsignal(signal.SIGTERM) is on_sigterm:
+                signal.signal(signal.SIGTERM, previous_signal)
+
+        return uninstall
+
+
+def load_dump(path: str | Path) -> dict:
+    """Read a dump file back, validating the coarse shape."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(doc, dict) or "records" not in doc:
+        raise ValueError(f"{path}: not a flight-recorder dump")
+    return doc

@@ -22,6 +22,13 @@ Progress comes from two feeds: the pipeline's ``progress`` callback
 strings, and the per-stage entries of the
 :class:`~repro.runtime.report.RunReport` (themselves distilled from the
 obs spans of the run) once the run finishes.
+
+Every job also owns its observability: a private
+:class:`~repro.obs.spans.Tracer` rooted at a ``serve.request`` span and
+a private :class:`~repro.obs.metrics.MetricsRegistry`.  The submit path,
+the executor, and the Session run all record into the job's pair, so
+``GET /jobs/<id>/trace`` returns one connected span tree per request —
+and nothing leaks between jobs, because the pair dies with the job.
 """
 
 from __future__ import annotations
@@ -33,6 +40,9 @@ from collections import OrderedDict, deque
 from typing import Callable
 
 from repro.errors import ServeError
+from repro.obs.export import to_chrome_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Tracer
 
 __all__ = ["Job", "JobStore", "TERMINAL_STATES"]
 
@@ -83,6 +93,16 @@ class Job:
         self.notebook: dict | None = None
         self.degradations: list[str] = []
         self._progress: deque[str] = deque(maxlen=_MAX_PROGRESS)
+        # Request-scoped observability: the root span opens on the
+        # submitting thread, so submit-path spans nest under it there,
+        # while executor threads (empty stack) fall back to it as the
+        # oldest open root — one connected tree across both.
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+        self._root_span = self.tracer.start(
+            "serve.request", job=job_id, dataset=dataset,
+            deadline_seconds=deadline_seconds,
+        )
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -128,6 +148,10 @@ class Job:
             if degradations:
                 self.degradations = list(degradations)
             self.finished_at = self._clock()
+            self._root_span.set(status=status)
+            if shed_reason:
+                self._root_span.set(shed_reason=shed_reason)
+            self.tracer.finish(self._root_span, error=error)
             self._done.set()
 
     def wait(self, timeout: float | None = None) -> bool:
@@ -167,6 +191,15 @@ class Job:
                 "report": self.report,
                 "has_notebook": self.notebook is not None,
             }
+
+    def trace_doc(self) -> dict:
+        """The job's span tree as a Chrome-trace document.
+
+        Open spans are included live (``args.open = true``) so a
+        still-running job's trace is already one connected tree —
+        the debugging-a-slow-request path.
+        """
+        return to_chrome_trace(self.tracer, self.metrics, include_open=True)
 
 
 class JobStore:

@@ -14,6 +14,7 @@ from repro.obs.export import (
     format_span_tree,
     metrics_summary_line,
     prometheus_name,
+    summarize_spans,
     to_chrome_trace,
     to_prometheus_text,
     write_chrome_trace,
@@ -78,6 +79,20 @@ class TestChromeTrace:
         tracer.start("never-closed")
         assert chrome_trace_events(tracer) == []
 
+    def test_include_open_emits_live_spans_marked_open(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        root = tracer.start("serve.request")
+        clock.tick(0.1)
+        with tracer.span("serve.submit"):
+            clock.tick(0.05)
+        events = chrome_trace_events(tracer, include_open=True)
+        by_name = {e["name"]: e for e in events}
+        assert by_name["serve.request"]["args"]["open"] is True
+        assert by_name["serve.request"]["dur"] == pytest.approx(150_000)
+        assert "open" not in by_name["serve.submit"]["args"]
+        tracer.finish(root)
+
     def test_error_recorded_in_args(self):
         tracer = Tracer()
         with pytest.raises(ValueError):
@@ -125,6 +140,60 @@ class TestPrometheus:
 
     def test_empty_registry_yields_empty_text(self):
         assert to_prometheus_text(MetricsRegistry()) == ""
+
+    def test_labeled_series_render_prometheus_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.jobs", {"dataset": "covid", "outcome": "completed"}).inc(3)
+        reg.gauge("serve.breaker_state", {"dataset": "covid"}).set(1)
+        text = to_prometheus_text(reg)
+        assert 'repro_serve_jobs_total{dataset="covid",outcome="completed"} 3' in text
+        assert 'repro_serve_breaker_state{dataset="covid"} 1' in text
+
+    def test_histogram_exposition_has_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("serve.job_latency_seconds", {"dataset": "covid"},
+                          buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        text = to_prometheus_text(reg)
+        assert "# TYPE repro_serve_job_latency_seconds histogram" in text
+        assert 'repro_serve_job_latency_seconds_bucket{dataset="covid",le="0.1"} 1' in text
+        assert 'repro_serve_job_latency_seconds_bucket{dataset="covid",le="1"} 2' in text
+        assert 'repro_serve_job_latency_seconds_bucket{dataset="covid",le="+Inf"} 3' in text
+        assert 'repro_serve_job_latency_seconds_count{dataset="covid"} 3' in text
+        # One TYPE line per family even with several label sets.
+        reg.histogram("serve.job_latency_seconds", {"dataset": "enedis"},
+                      buckets=(0.1, 1.0)).observe(0.2)
+        text = to_prometheus_text(reg)
+        assert text.count("# TYPE repro_serve_job_latency_seconds histogram") == 1
+
+
+class TestSummarizeSpans:
+    def test_aggregates_by_name_heaviest_first(self):
+        summary = summarize_spans(traced_run())
+        names = [entry["name"] for entry in summary]
+        assert names[0] == "run"  # encloses everything, so heaviest
+        by_name = {entry["name"]: entry for entry in summary}
+        assert by_name["stage.stats"]["count"] == 1
+        assert by_name["stage.stats"]["seconds"] == pytest.approx(0.2)
+        assert by_name["stage.stats"]["errors"] == 0
+
+    def test_counts_open_spans_and_errors(self):
+        tracer = Tracer()
+        tracer.start("serve.request")
+        with pytest.raises(ValueError):
+            with tracer.span("stage.stats"):
+                raise ValueError("boom")
+        by_name = {e["name"]: e for e in summarize_spans(tracer)}
+        assert by_name["serve.request"]["open"] == 1
+        assert by_name["stage.stats"]["errors"] == 1
+
+    def test_top_truncates(self):
+        tracer = Tracer()
+        for i in range(30):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(summarize_spans(tracer, top=5)) == 5
 
 
 class TestSummaries:

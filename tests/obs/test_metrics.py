@@ -62,13 +62,100 @@ class TestHistogram:
         for v in (1.0, 3.0, 2.0):
             h.observe(v)
         s = h.summary()
-        assert s == {"count": 3, "sum": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0}
+        assert (s["count"], s["sum"], s["min"], s["max"], s["mean"]) == (
+            3, 6.0, 1.0, 3.0, 2.0
+        )
 
     def test_empty_summary(self):
         reg = MetricsRegistry()
         s = reg.histogram("nothing").summary()
         assert s["count"] == 0
         assert s["min"] is None
+        assert set(s["buckets"].values()) == {0}
+
+    def test_bucket_counts_are_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("latency", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.7, 5.0, 50.0):
+            h.observe(v)
+        assert h.cumulative_buckets() == [(0.1, 1), (1.0, 3), (10.0, 4)]
+        assert h.summary()["buckets"] == {"0.1": 1, "1": 3, "10": 4}
+        assert h.count == 5  # the implicit +Inf bucket
+
+    def test_bucket_bounds_fixed_by_first_caller(self):
+        reg = MetricsRegistry()
+        a = reg.histogram("latency", buckets=(1.0, 2.0))
+        b = reg.histogram("latency", buckets=(5.0,))
+        assert a is b
+        assert a.buckets == (1.0, 2.0)
+
+
+class TestLabels:
+    def test_label_sets_are_distinct_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs", {"dataset": "covid"}).inc(2)
+        reg.counter("jobs", {"dataset": "enedis"}).inc(5)
+        reg.counter("jobs").inc()
+        snap = reg.snapshot()["counters"]
+        assert snap == {
+            "jobs": 1.0,
+            "jobs{dataset=covid}": 2.0,
+            "jobs{dataset=enedis}": 5.0,
+        }
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        a = reg.counter("jobs", {"a": "1", "b": "2"})
+        b = reg.counter("jobs", {"b": "2", "a": "1"})
+        assert a is b
+
+    def test_kind_conflict_across_label_sets_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs", {"dataset": "covid"})
+        with pytest.raises(TypeError):
+            reg.gauge("jobs", {"dataset": "enedis"})
+
+
+class TestMerge:
+    def test_counters_add_gauges_high_water(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("hits", {"outcome": "ok"}).inc(2)
+        b.counter("hits", {"outcome": "ok"}).inc(3)
+        a.gauge("peak").set(10)
+        b.gauge("peak").set(4)
+        a.merge(b.export())
+        assert a.counter("hits", {"outcome": "ok"}).value == 5.0
+        assert a.gauge("peak").value == 10.0
+
+    def test_histograms_merge_bucketwise(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for v in (0.05, 0.5):
+            a.histogram("lat", buckets=(0.1, 1.0)).observe(v)
+        for v in (0.07, 7.0):
+            b.histogram("lat", buckets=(0.1, 1.0)).observe(v)
+        a.merge(b.export())
+        h = a.histogram("lat")
+        assert h.count == 4
+        assert h.cumulative_buckets() == [(0.1, 2), (1.0, 3)]
+        assert h.minimum == 0.05 and h.maximum == 7.0
+
+    def test_merge_into_empty_registry_reproduces_snapshot(self):
+        src, dst = MetricsRegistry(), MetricsRegistry()
+        src.counter("c", {"k": "v"}).inc(3)
+        src.gauge("g").set(2)
+        src.histogram("h").observe(0.2)
+        dst.merge(src.export())
+        assert dst.snapshot() == src.snapshot()
+
+    def test_merge_is_json_safe(self):
+        import json
+
+        src = MetricsRegistry()
+        src.histogram("h").observe(1.0)
+        src.counter("c").inc()
+        dst = MetricsRegistry()
+        dst.merge(json.loads(json.dumps(src.export())))
+        assert dst.snapshot() == src.snapshot()
 
 
 class TestRegistry:

@@ -67,6 +67,12 @@ def _state_plus(ctx, payload):
     return ctx.state + payload
 
 
+def _labeled_counting(ctx, payload):
+    flavor = "even" if payload % 2 == 0 else "odd"
+    obs.counter("pooltest.tasks", {"flavor": flavor}).inc()
+    return payload
+
+
 def _bad_init(payload):
     raise RuntimeError("init exploded")
 
@@ -180,3 +186,38 @@ def test_worker_spans_are_adopted_into_the_main_trace(isolated_obs):
     names = [span.name for span in tracer.spans()]
     assert "parallel.adopt" in names
     assert "parallel.task" in names
+
+
+def test_crashed_task_spans_adopted_exactly_once(isolated_obs, monkeypatch):
+    """A killed worker's in-flight task re-runs — and its span subtree is
+    adopted exactly once (the crashed attempt's spans die with the
+    process; the retry's ship with its result): neither lost nor doubled.
+    """
+    tracer, _ = isolated_obs
+    monkeypatch.setenv("REPRO_FAULTS", "parallel.worker:kill:x1")
+    pool = ShardPool(
+        ParallelConfig(workers=2, max_worker_restarts=2),
+        task_fn=_double, label="faulty",
+    )
+    payloads = list(range(8))
+    assert pool.run(payloads) == [i * 2 for i in payloads]
+    assert _counters().get("parallel.worker_restarts", 0) >= 1
+
+    wrappers = [s for s in tracer.spans() if s.name == "parallel.task"]
+    by_task: dict[int, int] = {}
+    for span in wrappers:
+        by_task[span.attrs["task"]] = by_task.get(span.attrs["task"], 0) + 1
+    # Every task shipped exactly one subtree — including the one whose
+    # first attempt died with its worker.
+    assert by_task == {task_id: 1 for task_id in range(len(payloads))}
+
+
+def test_worker_labeled_metrics_merge_across_the_process_boundary(
+    isolated_obs,
+):
+    _, metrics = isolated_obs
+    pool = ShardPool(ParallelConfig(workers=2), task_fn=_labeled_counting)
+    assert pool.run([1, 2, 3, 4]) == [1, 2, 3, 4]
+    snapshot = metrics.snapshot()["counters"]
+    assert snapshot.get("pooltest.tasks{flavor=even}", 0) == 2
+    assert snapshot.get("pooltest.tasks{flavor=odd}", 0) == 2

@@ -1,0 +1,197 @@
+"""The flight recorder: ring semantics, crash dumps, and the chaos path.
+
+The acceptance scenario from the chaos suite: kill every attempt of a
+job with ``serve.job:kill``, then prove the failed job's post-mortem is
+reachable three ways — ``GET /debug/flight``, the on-disk dump, and the
+``repro flight`` CLI reader — with terminal state, fault reason, and a
+partial span summary intact.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+
+import pytest
+
+from repro.cli import main
+from repro.runtime.faults import parse_fault_plan
+from repro.serve import ServeConfig
+from repro.serve.flight import FlightRecorder, config_fingerprint, load_dump
+from repro.serve.jobs import Job
+
+from tests.serve.conftest import http_request
+
+
+def _finished_job(n: int = 1, status: str = "failed",
+                  error: str | None = "boom") -> Job:
+    job = Job(f"job-{n:06d}", "covid", deadline_seconds=5.0)
+    job.finish(status, error=error)
+    return job
+
+
+class TestRing:
+    def test_ring_is_bounded_and_oldest_drop_first(self):
+        recorder = FlightRecorder(capacity=3)
+        for n in range(5):
+            recorder.record(_finished_job(n))
+        records = recorder.snapshot()
+        assert len(records) == 3
+        assert [r["job"] for r in records] == [
+            "job-000002", "job-000003", "job-000004"
+        ]
+
+    def test_record_carries_the_post_mortem_fields(self):
+        job = Job("job-000009", "covid", deadline_seconds=7.0,
+                  params={"budget": 5})
+        job.attempts = 2
+        job.finish("failed", error="InjectedFault: boom")
+        record = FlightRecorder().record(job)
+        assert record["status"] == "failed"
+        assert record["attempts"] == 2
+        assert record["error"] == "InjectedFault: boom"
+        assert record["config_fingerprint"] == config_fingerprint(
+            "covid", {"budget": 5}, 7.0
+        )
+        # The compact span summary: at least the request root, with its
+        # error counted.
+        names = {s["name"]: s for s in record["spans"]}
+        assert names["serve.request"]["count"] == 1
+        assert names["serve.request"]["errors"] == 1
+
+    def test_fingerprint_groups_identical_request_shapes(self):
+        a = config_fingerprint("covid", {"budget": 5}, 30.0)
+        b = config_fingerprint("covid", {"budget": 5}, 30.0)
+        c = config_fingerprint("covid", {"budget": 6}, 30.0)
+        assert a == b != c
+
+
+class TestDump:
+    def test_dump_and_load_round_trip(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.record(_finished_job())
+        path = recorder.dump(tmp_path / "flight.json", reason="test")
+        doc = load_dump(path)
+        assert doc["version"] == 1
+        assert doc["reason"] == "test"
+        assert doc["records"][0]["job"] == "job-000001"
+
+    def test_load_rejects_non_dump_files(self, tmp_path):
+        path = tmp_path / "not-a-dump.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="not a flight-recorder dump"):
+            load_dump(path)
+
+    def test_install_dumps_on_unhandled_exception_and_chains(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.record(_finished_job())
+        path = tmp_path / "crash.json"
+        seen = []
+        previous = sys.excepthook
+        sys.excepthook = lambda *exc: seen.append(exc[0])
+        try:
+            uninstall = recorder.install(path)
+            try:
+                sys.excepthook(RuntimeError, RuntimeError("kaput"), None)
+            finally:
+                uninstall()
+            assert sys.excepthook is not previous  # our sentinel, restored next
+        finally:
+            sys.excepthook = previous
+        assert seen == [RuntimeError]  # the previous hook still ran
+        doc = load_dump(path)
+        assert doc["reason"] == "crash:RuntimeError"
+        assert doc["records"]
+
+    def test_install_dumps_on_sigterm(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.record(_finished_job())
+        path = tmp_path / "term.json"
+        uninstall = recorder.install(path)
+        try:
+            handler = signal.getsignal(signal.SIGTERM)
+            with pytest.raises(SystemExit):
+                handler(signal.SIGTERM, None)
+        finally:
+            uninstall()
+        assert load_dump(path)["reason"] == "sigterm"
+
+    def test_uninstall_restores_previous_hooks(self, tmp_path):
+        recorder = FlightRecorder()
+        previous_hook = sys.excepthook
+        previous_signal = signal.getsignal(signal.SIGTERM)
+        uninstall = recorder.install(tmp_path / "x.json")
+        uninstall()
+        assert sys.excepthook is previous_hook
+        assert signal.getsignal(signal.SIGTERM) is previous_signal
+
+
+class TestChaosFlightPath:
+    def test_killed_job_is_recoverable_from_all_three_surfaces(
+        self, make_server, tmp_path, capsys
+    ):
+        # Kill every attempt: retries exhaust and the job fails terminally.
+        server = make_server(
+            ServeConfig(port=0, job_attempts=2, retry_base_delay=0.01),
+            faults=parse_fault_plan("serve.job:kill:xall"),
+        )
+        code, out = http_request(f"{server.url}/generate", "POST",
+                                 {"dataset": "covid"})
+        assert code == 202
+        code, job = http_request(f"{server.url}/jobs/{out['job']}?wait=30")
+        assert job["status"] == "failed"
+        assert "InjectedFault" in job["error"]
+
+        # Surface 1: the live ring over HTTP.
+        code, body = http_request(f"{server.url}/debug/flight")
+        assert code == 200
+        (record,) = [r for r in body["records"] if r["job"] == out["job"]]
+        assert record["status"] == "failed"
+        assert "InjectedFault" in record["error"]
+        assert record["attempts"] == 2
+        span_names = {s["name"] for s in record["spans"]}
+        assert "serve.request" in span_names
+        assert "serve.attempt" in span_names  # partial trace survived
+
+        # Surface 2: the on-disk dump.
+        path = server.flight.dump(tmp_path / "flight.json", reason="chaos")
+        doc = load_dump(path)
+        assert any(r["job"] == out["job"] and r["status"] == "failed"
+                   for r in doc["records"])
+
+        # Surface 3: the CLI reader.
+        assert main(["flight", str(path)]) == 0
+        printed = capsys.readouterr().out
+        assert out["job"] in printed
+        assert "failed" in printed
+
+    def test_shed_jobs_reach_the_ring_too(self, make_server):
+        server = make_server(
+            ServeConfig(port=0),
+            faults=parse_fault_plan("serve.admission:kill"),
+        )
+        code, out = http_request(f"{server.url}/generate", "POST",
+                                 {"dataset": "covid"})
+        assert code == 429
+        code, body = http_request(f"{server.url}/debug/flight")
+        (record,) = [r for r in body["records"] if r["job"] == out["job"]]
+        assert record["status"] == "shed"
+        assert record["shed_reason"]
+
+
+class TestFlightCli:
+    def test_missing_or_malformed_dump_exits_2(self, tmp_path, capsys):
+        assert main(["flight", str(tmp_path / "absent.json")]) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["flight", str(bad)]) == 2
+        capsys.readouterr()
+
+    def test_json_mode_emits_the_raw_records(self, tmp_path, capsys):
+        recorder = FlightRecorder()
+        recorder.record(_finished_job())
+        path = recorder.dump(tmp_path / "flight.json")
+        assert main(["flight", str(path), "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert records[0]["job"] == "job-000001"

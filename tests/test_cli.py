@@ -63,6 +63,24 @@ class TestGenerate:
         stdout = capsys.readouterr().out
         assert "[repro]" in stdout and "selected" in stdout
 
+    def test_quiet_run_leaks_nothing_into_the_ambient_registry(
+        self, covid_csv, tmp_path
+    ):
+        """Each invocation records into its Session's own tracer/registry;
+        the module-level ambient pair must come back untouched — the leak
+        regression the per-job isolation work guards against.
+        """
+        from repro import obs
+
+        before_counters = dict(obs.current_metrics().snapshot()["counters"])
+        before_spans = len(obs.current_tracer().spans())
+        for n in range(2):
+            out = tmp_path / f"nb-{n}.ipynb"
+            assert main(["generate", str(covid_csv), "--budget", "3",
+                         "--out", str(out), "--quiet"]) == 0
+        assert obs.current_metrics().snapshot()["counters"] == before_counters
+        assert len(obs.current_tracer().spans()) == before_spans
+
 
 class TestVersion:
     def test_version_flag_prints_and_exits_zero(self, capsys):
