@@ -120,6 +120,52 @@ class Session:
         self._backend = None
         self._closed = False
         self._lock = threading.RLock()
+        self._shared_store = None
+        self._fleet = None
+        if self.table is not None:
+            self.table = self._materialize(self.table)
+
+    def _materialize(self, table: Table) -> Table:
+        """Move the resident table onto the configured data plane.
+
+        Under the shared-memory plane the table's arrays are copied into
+        one ``repro_*`` segment *once*; every stage of every run — and,
+        in the serving layer, every concurrent job's pool — then passes
+        the compact handle instead of re-pickling the data.  The segment
+        is owned by this session and unlinked in :meth:`close`.
+        """
+        from repro.parallel.config import resolve_store_kind
+        from repro.relational.store import share_table, shm_resident_bytes
+
+        if table.storage != "heap":
+            return table
+        if resolve_store_kind(self.config.parallel) != "shm":
+            return table
+        try:
+            shared = share_table(table)
+        except ReproError:  # pragma: no cover - shm probe raced the share
+            return table
+        self._shared_store = shared._store
+        self.metrics.gauge("data_plane.shm_resident_bytes").set(
+            shm_resident_bytes()
+        )
+        return shared
+
+    def _run_fleet(self):
+        """The session's worker fleet (spawned lazily, reused per run).
+
+        Workers are spawned once per session and amortized across the
+        stats and support stages of every run; ``None`` when the config
+        never uses a subprocess pool.
+        """
+        parallel = self.config.parallel
+        if not parallel.active or parallel.backend != "processes":
+            return None
+        if self._fleet is None or self._fleet.closed:
+            from repro.parallel import WorkerFleet
+
+            self._fleet = WorkerFleet()
+        return self._fleet
 
     # -- owned resources -----------------------------------------------------
 
@@ -154,16 +200,28 @@ class Session:
             return False
         return True
 
+    @property
+    def storage(self) -> str:
+        """Where the resident table lives: ``"heap"`` or ``"shm"``."""
+        return "heap" if self.table is None else self.table.storage
+
     def close(self) -> None:
-        """Release the backend.  Idempotent.
+        """Release the backend, the worker fleet, and the shared segment.
+        Idempotent.
 
         Waits for a run in flight on another thread: the lock guarantees
-        the backend is never closed under an active run.
+        nothing is torn down under an active run.
         """
         with self._lock:
             if self._backend is not None:
                 self._backend.close()
                 self._backend = None
+            if self._fleet is not None:
+                self._fleet.close()
+                self._fleet = None
+            if self._shared_store is not None:
+                self._shared_store.release()
+                self._shared_store = None
             self._closed = True
 
     def __enter__(self) -> "Session":
@@ -197,6 +255,9 @@ class Session:
         every request owns its spans); the session's own pair is used
         otherwise.
         """
+        from contextlib import nullcontext
+
+        from repro.parallel import use_fleet
         from repro.runtime import resilient_generate
 
         cfg = self.config
@@ -205,28 +266,31 @@ class Session:
         ):
             if self._closed:
                 raise ReproError("session is closed")
-            return resilient_generate(
-                self.table,
-                cfg.generation,
-                budget=cfg.budget if budget is None else budget,
-                epsilon_distance=(
-                    cfg.epsilon_distance if epsilon_distance is None
-                    else epsilon_distance
-                ),
-                solver=cfg.solver,
-                exact_timeout=cfg.exact_timeout,
-                max_exact_queries=cfg.max_exact_queries,
-                deadline_seconds=(
-                    cfg.deadline_seconds if deadline_seconds is None
-                    else deadline_seconds
-                ),
-                policy=policy,
-                faults=faults,
-                checkpoint_path=checkpoint_path,
-                resume=resume,
-                progress=progress,
-                backend=self.backend if self.table is not None else None,
-            )
+            fleet = self._run_fleet()
+            ambient = use_fleet(fleet) if fleet is not None else nullcontext()
+            with ambient:
+                return resilient_generate(
+                    self.table,
+                    cfg.generation,
+                    budget=cfg.budget if budget is None else budget,
+                    epsilon_distance=(
+                        cfg.epsilon_distance if epsilon_distance is None
+                        else epsilon_distance
+                    ),
+                    solver=cfg.solver,
+                    exact_timeout=cfg.exact_timeout,
+                    max_exact_queries=cfg.max_exact_queries,
+                    deadline_seconds=(
+                        cfg.deadline_seconds if deadline_seconds is None
+                        else deadline_seconds
+                    ),
+                    policy=policy,
+                    faults=faults,
+                    checkpoint_path=checkpoint_path,
+                    resume=resume,
+                    progress=progress,
+                    backend=self.backend if self.table is not None else None,
+                )
 
     def render(
         self,

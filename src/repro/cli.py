@@ -63,7 +63,7 @@ from repro import __version__, obs
 from repro.api import Session
 from repro.backend import BACKEND_NAMES
 from repro.config import ReproConfig
-from repro.parallel import PARALLEL_BACKEND_NAMES
+from repro.parallel import PARALLEL_BACKEND_NAMES, STORE_NAMES
 from repro.stats import KERNEL_NAMES
 from repro.datasets import covid_table, enedis_table, flights_table, vaccine_table
 from repro.errors import ReproError
@@ -131,6 +131,12 @@ def build_parser() -> argparse.ArgumentParser:
                            help="pool flavour when --workers > 1: processes "
                                 "(sharded subprocess pool, default) or threads "
                                 "(shared-memory, GIL-bound)")
+    execution.add_argument("--store", choices=STORE_NAMES, default=None,
+                           help="column-store data plane for worker processes: "
+                                "shm (zero-copy shared memory), heap "
+                                "(per-worker pickled copies), or auto (shm "
+                                "when a subprocess pool is active; default, "
+                                "honours $REPRO_SHM)")
     # Hidden alias: the pre-5.x spelling of --workers keeps working.
     execution.add_argument("--threads", type=int, default=None, dest="workers",
                            help=argparse.SUPPRESS)
@@ -165,6 +171,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="permutations per statistical test (default 200)")
     prof.add_argument("--workers", type=int, default=None,
                       help="worker count (default honours $REPRO_WORKERS)")
+    prof.add_argument("--store", choices=STORE_NAMES, default=None,
+                      help="column-store data plane (auto, heap, or shm)")
     prof.add_argument("--threads", type=int, default=None, dest="workers",
                       help=argparse.SUPPRESS)
     prof.add_argument("--backend", choices=BACKEND_NAMES, default=None,
@@ -289,6 +297,8 @@ def _config_from_args(args: argparse.Namespace) -> ReproConfig:
         parallel_changes["workers"] = args.workers
     if getattr(args, "parallel_backend", None):
         parallel_changes["backend"] = args.parallel_backend
+    if getattr(args, "store", None):
+        parallel_changes["store"] = args.store
     if parallel_changes:
         config = config.with_parallel(**parallel_changes)
     if getattr(args, "solver", None):
@@ -388,6 +398,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print(obs.format_hotspots(tracer, top_k=args.top))
         print()
         print(obs.metrics_summary_line(metrics))
+        print(_data_plane_line(session, metrics))
     if args.trace:
         obs.write_chrome_trace(tracer, args.trace, metrics)
         print(f"wrote {args.trace}")
@@ -397,6 +408,20 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     if args.out:
         print(f"wrote {args.out}")
     return 0
+
+
+def _data_plane_line(session: Session, metrics) -> str:
+    """One-line data-plane summary: store kind, IPC volume, shm residency."""
+    snapshot = metrics.snapshot()
+    counters = snapshot["counters"]
+    gauges = snapshot["gauges"]
+    ipc = int(counters.get("parallel.ipc_bytes", 0.0))
+    attaches = int(counters.get("parallel.shm_attach", 0.0))
+    resident = int(gauges.get("data_plane.shm_resident_bytes", 0.0))
+    return (
+        f"data plane: store={session.storage} ipc_bytes={ipc} "
+        f"shm_attaches={attaches} shm_resident_bytes={resident}"
+    )
 
 
 def _print_report(run, quiet: bool) -> int:

@@ -229,8 +229,9 @@ class ReproConfig:
         """Defaults adjusted by the ``REPRO_*`` environment variables.
 
         Honours the per-subsystem hooks the CI matrix already uses —
-        ``REPRO_BACKEND``, ``REPRO_STATS_KERNEL``, ``REPRO_WORKERS`` —
-        plus the run-level ``REPRO_BUDGET``, ``REPRO_SOLVER``, and
+        ``REPRO_BACKEND``, ``REPRO_STATS_KERNEL``, ``REPRO_WORKERS``,
+        ``REPRO_SHM`` (column-store plane: ``0``/``1``/``auto``) — plus
+        the run-level ``REPRO_BUDGET``, ``REPRO_SOLVER``, and
         ``REPRO_DEADLINE``.  Pass ``environ`` to read from a mapping other
         than ``os.environ`` (tests).
         """
@@ -257,8 +258,16 @@ class ReproConfig:
         if kernel is not None:
             gen_kwargs["significance"] = SignificanceConfig(kernel=kernel)
         workers = number("REPRO_WORKERS", int)
-        if workers is not None:
-            gen_kwargs["parallel"] = ParallelConfig(workers=workers)
+        shm = get("REPRO_SHM")
+        if workers is not None or shm is not None:
+            from repro.parallel.config import store_from_env_value
+
+            parallel_kwargs: dict = {}
+            if workers is not None:
+                parallel_kwargs["workers"] = workers
+            if shm is not None:
+                parallel_kwargs["store"] = store_from_env_value(shm)
+            gen_kwargs["parallel"] = ParallelConfig(**parallel_kwargs)
 
         top_kwargs: dict = {}
         budget = number("REPRO_BUDGET", float)

@@ -10,10 +10,15 @@ model and failure semantics are documented in ``docs/parallelism.md``.
 
 from repro.parallel.config import (
     PARALLEL_BACKEND_NAMES,
+    SHM_ENV_VAR,
+    STORE_NAMES,
     WORKERS_ENV_VAR,
     ParallelConfig,
+    default_store,
     default_workers,
+    resolve_store_kind,
 )
+from repro.parallel.fleet import WorkerFleet, current_fleet, use_fleet
 from repro.parallel.pool import ShardPool, WorkerContext, WorkerCrashed
 from repro.parallel.shards import (
     ShardStore,
@@ -23,13 +28,20 @@ from repro.parallel.shards import (
 
 __all__ = [
     "PARALLEL_BACKEND_NAMES",
+    "SHM_ENV_VAR",
+    "STORE_NAMES",
     "WORKERS_ENV_VAR",
     "ParallelConfig",
     "ShardPool",
     "ShardStore",
     "WorkerContext",
     "WorkerCrashed",
+    "WorkerFleet",
+    "current_fleet",
+    "default_store",
     "default_workers",
+    "resolve_store_kind",
     "run_stats_shards",
     "run_support_shards",
+    "use_fleet",
 ]

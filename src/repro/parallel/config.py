@@ -25,9 +25,14 @@ from repro.errors import ReproError
 
 __all__ = [
     "PARALLEL_BACKEND_NAMES",
+    "SHM_ENV_VAR",
+    "STORE_NAMES",
     "WORKERS_ENV_VAR",
     "ParallelConfig",
+    "default_store",
     "default_workers",
+    "resolve_store_kind",
+    "store_from_env_value",
 ]
 
 #: Pool flavours: ``processes`` (the sharded pool; beats the GIL) and
@@ -38,6 +43,38 @@ PARALLEL_BACKEND_NAMES: tuple[str, ...] = ("processes", "threads")
 #: Environment variable holding the default worker count (CI matrix hook,
 #: mirroring ``REPRO_BACKEND`` and ``REPRO_STATS_KERNEL``).
 WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+#: Column-store planes for the data shipped to workers: ``auto`` picks
+#: shared memory whenever a process pool would actually run and the
+#: platform supports it, ``heap`` forces the pickling plane, ``shm``
+#: forces shared memory (degrading to heap only where shm is physically
+#: unavailable).
+STORE_NAMES: tuple[str, ...] = ("auto", "heap", "shm")
+
+#: Environment variable selecting the store plane (CI matrix hook):
+#: ``0``/``heap``, ``1``/``shm``, or ``auto`` (the default).
+SHM_ENV_VAR = "REPRO_SHM"
+
+
+def store_from_env_value(raw: str) -> str:
+    """Translate a ``REPRO_SHM`` value into a store name."""
+    value = raw.strip()
+    if not value:
+        return "auto"
+    if value == "0":
+        return "heap"
+    if value == "1":
+        return "shm"
+    if value in STORE_NAMES:
+        return value
+    raise ReproError(
+        f"{SHM_ENV_VAR}={raw!r} must be one of 0, 1, auto, heap, shm"
+    )
+
+
+def default_store() -> str:
+    """The process-wide default store plane: ``$REPRO_SHM`` or ``auto``."""
+    return store_from_env_value(os.environ.get(SHM_ENV_VAR, ""))
 
 
 def default_workers() -> int:
@@ -83,6 +120,16 @@ class ParallelConfig:
         Target candidates per stats shard.  Shards are cut only at
         pair-family boundaries so the batched kernel sees whole families
         per worker; the exact value never affects results, only balance.
+    store:
+        Which data plane carries the table to workers: ``"auto"``
+        (shared memory when a process pool runs and the platform has
+        it), ``"heap"`` (pickle the table — the pre-8.x plane), or
+        ``"shm"`` (force shared memory).  Never affects results, only
+        how bytes move; see :func:`resolve_store_kind`.
+    ipc_block_size:
+        Upper bound on tasks batched into one pool submission.  Blocks
+        amortize queue round-trips without starving the work-stealing
+        scheduler; like ``chunk_size`` this never affects results.
     deadline_margin:
         Seconds of remaining deadline below which the pool stops
         dispatching to workers and finishes in-process, where the
@@ -95,6 +142,8 @@ class ParallelConfig:
     max_worker_restarts: int = 1
     chunk_size: int = 250
     deadline_margin: float = 1.0
+    store: str = field(default_factory=default_store)
+    ipc_block_size: int = 4
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -110,6 +159,12 @@ class ParallelConfig:
             raise ReproError("chunk_size must be at least 1")
         if self.deadline_margin < 0:
             raise ReproError("deadline_margin cannot be negative")
+        if self.store not in STORE_NAMES:
+            raise ReproError(
+                f"unknown column store {self.store!r}; known: {STORE_NAMES}"
+            )
+        if self.ipc_block_size < 1:
+            raise ReproError("ipc_block_size must be at least 1")
 
     @property
     def active(self) -> bool:
@@ -123,6 +178,8 @@ class ParallelConfig:
             "max_worker_restarts": self.max_worker_restarts,
             "chunk_size": self.chunk_size,
             "deadline_margin": self.deadline_margin,
+            "store": self.store,
+            "ipc_block_size": self.ipc_block_size,
         }
 
     @classmethod
@@ -134,3 +191,22 @@ class ParallelConfig:
                 f"unknown ParallelConfig keys {sorted(unknown)}; known: {sorted(known)}"
             )
         return cls(**data)
+
+
+def resolve_store_kind(parallel: ParallelConfig) -> str:
+    """The concrete data plane a run under ``parallel`` uses.
+
+    ``heap`` and ``shm`` are honoured directly (``shm`` still degrades
+    to heap where shared memory is physically unavailable — the paper's
+    pipeline must run anywhere); ``auto`` picks shared memory exactly
+    when a subprocess pool would carry the data.
+    """
+    from repro.relational.store import shm_available
+
+    if parallel.store == "heap":
+        return "heap"
+    if parallel.store == "shm":
+        return "shm" if shm_available() else "heap"
+    if parallel.active and parallel.backend == "processes" and shm_available():
+        return "shm"
+    return "heap"

@@ -1,25 +1,39 @@
-"""A crash-isolated, work-stealing subprocess pool for pipeline shards.
+"""A crash-isolated, work-stealing shard scheduler over a worker fleet.
 
 The pipeline is embarrassingly parallel at two choke points — permutation
 testing per pair-family shard and hypothesis-query evaluation per grouping
 attribute — but both need more than ``ProcessPoolExecutor.map`` offers:
 
+* **amortized workers** — workers live in a
+  :class:`~repro.parallel.fleet.WorkerFleet` that outlives any single
+  stage: a :class:`ShardPool` borrows the ambient fleet (installed by
+  ``api.Session`` for the whole run) and only spins up a private one when
+  none is ambient, so a run's stats and support stages — and every
+  request against a warm serving session — reuse the same processes
+  (``parallel.worker_spawns`` stays flat);
+* **block IPC with exact accounting** — tasks travel in small blocks and
+  every message crosses the queues as counted bytes
+  (``parallel.ipc_bytes``); with the shared-memory data plane
+  (:mod:`repro.relational.store`) the per-stage payload is a
+  :class:`~repro.relational.store.TableHandle`, not the dataset;
 * **work stealing** — shard costs are wildly uneven (one large-domain
   attribute can hold 10x the candidates of the rest), so each worker owns
-  a deque of shards and an idle worker steals from the back of the longest
+  a deque of blocks and an idle worker steals from the back of the longest
   remaining deque (``parallel.tasks_stolen`` counts the steals);
 * **crash isolation** — a worker that dies (OOM killer, native crash) is
-  replaced up to ``max_worker_restarts`` times and its in-flight shard is
-  re-queued; past the restart budget the pool stops replacing workers and
-  the remaining shards run *in-process*, where the cooperative
+  replaced up to ``max_worker_restarts`` times and its in-flight block is
+  re-queued; the replacement re-runs the stage setup, which under the shm
+  plane re-attaches the existing segment instead of re-pickling the data.
+  Past the restart budget the pool stops replacing workers and the
+  remaining shards run *in-process*, where the cooperative
   :class:`~repro.runtime.deadline.Deadline` checkpoints can fire and the
   PR 1 runtime ladder can degrade the stage
   (``parallel.worker_restarts`` / ``parallel.tasks_inprocess``);
 * **deadline awareness** — when the remaining deadline falls under
-  ``deadline_margin`` the pool stops dispatching, signals in-flight
-  workers through a shared cancel event (checked between permutation-kernel
-  slices), and finishes in-process so expiry surfaces as a normal
-  :class:`~repro.errors.DeadlineExceeded` for the ladder to catch;
+  ``deadline_margin`` the pool stops dispatching, cancels its epoch
+  (checked between permutation-kernel slices), and finishes in-process so
+  expiry surfaces as a normal :class:`~repro.errors.DeadlineExceeded` for
+  the ladder to catch;
 * **observability** — each task runs under an isolated tracer/registry in
   the worker; its span subtree is shipped back and re-parented into the
   main trace under a ``parallel.task`` span, and its counters merge into
@@ -27,28 +41,31 @@ attribute — but both need more than ``ProcessPoolExecutor.map`` offers:
   coherent tree.
 
 Determinism: the pool only schedules.  Results are reassembled positionally
-(``run`` returns them in payload order), so any worker count and any steal
-pattern produce identical output; the bit-identical-results guarantee comes
-from the shards themselves (key-derived RNG substreams, family-boundary
-chunking).
+(``run`` returns them in payload order), so any worker count, block size,
+and steal pattern produce identical output; the bit-identical-results
+guarantee comes from the shards themselves (key-derived RNG substreams,
+family-boundary chunking).
 """
 
 from __future__ import annotations
 
 import logging
-import multiprocessing as mp
 import os
-import queue as queue_mod
+import pickle
 import shutil
 import tempfile
 import time
 from collections import deque
-from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro import obs
 from repro.errors import DeadlineExceeded, ReproError
 from repro.parallel.config import ParallelConfig
+from repro.parallel.fleet import (
+    WorkerContext,
+    WorkerFleet,
+    current_fleet,
+)
 from repro.runtime.deadline import Deadline
 from repro.runtime.retry import RetryPolicy, RetryState
 
@@ -71,132 +88,6 @@ _RESTART_BACKOFF = RetryPolicy(base_delay=0.02, multiplier=2.0,
 
 class WorkerCrashed(ReproError):
     """A pool worker died; carries the exit code for diagnostics."""
-
-
-#: Exit code of a worker killed by the ``parallel.worker`` fault point,
-#: distinguishable from real crashes in logs.
-_INJECTED_EXIT = 17
-
-
-def _maybe_injected_worker_kill(guard_dir: str | None) -> None:
-    """Honor ``REPRO_FAULTS=parallel.worker:kill[:xN]`` inside a worker.
-
-    The guard directory is the cross-process fault budget: each planned
-    kill claims one marker file with ``O_CREAT|O_EXCL`` before dying, so
-    N planned kills crash exactly N task attempts across the whole fleet
-    — replacement workers and requeued shards included — regardless of
-    which worker dequeues them.
-    """
-    plan = os.environ.get("REPRO_FAULTS", "")
-    if "parallel.worker" not in plan or guard_dir is None:
-        return
-    from repro.runtime.faults import parse_fault_plan
-
-    for spec in parse_fault_plan(plan).specs:
-        if spec.stage != "parallel.worker" or spec.action != "kill":
-            continue
-        if spec.times is None:
-            os._exit(_INJECTED_EXIT)
-        for shot in range(spec.times):
-            try:
-                fd = os.open(os.path.join(guard_dir, f"kill-{shot}"),
-                             os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-            except FileExistsError:
-                continue
-            os.close(fd)
-            os._exit(_INJECTED_EXIT)
-
-
-@dataclass(slots=True)
-class WorkerContext:
-    """What a shard function sees as its first argument.
-
-    ``state`` is whatever ``worker_init`` built once for this worker (for
-    the evaluation stage: its own backend — SQLite connections never cross
-    process boundaries).  ``checkpoint`` is the cooperative cancellation
-    hook: it raises :class:`DeadlineExceeded` past the worker's deadline
-    or when the parent signalled cancellation, and is cheap enough to call
-    as often as the permutation kernel calls its slice checkpoint.  In the
-    in-process fallback path, ``state`` comes from the same ``worker_init``
-    and ``checkpoint`` wraps the *real* run deadline.
-    """
-
-    state: Any
-    checkpoint: Callable[[], None] | None
-
-
-def _pool_context() -> mp.context.BaseContext:
-    """Fork where available (cheap, shares the dataset pages); else spawn."""
-    methods = mp.get_all_start_methods()
-    return mp.get_context("fork" if "fork" in methods else "spawn")
-
-
-def _make_worker_checkpoint(cancel, deadline: Deadline | None, label: str):
-    def checkpoint() -> None:
-        if cancel.is_set():
-            raise DeadlineExceeded(
-                f"{label}: cancelled by the pool scheduler", stage=label
-            )
-        if deadline is not None:
-            deadline.check(label)
-
-    return checkpoint
-
-
-def _worker_main(
-    worker_id: int,
-    task_queue,
-    result_queue,
-    cancel,
-    worker_init: Callable[[Any], Any] | None,
-    init_payload: Any,
-    task_fn: Callable[[WorkerContext, Any], Any],
-    deadline_remaining: float | None,
-    label: str,
-    fault_guard: str | None = None,
-) -> None:
-    """Worker loop: init once, then run tasks until the ``None`` sentinel.
-
-    Every task executes under a fresh tracer/metrics pair; the exported
-    span subtree and full metrics export travel back with the result so
-    the parent can reassemble one coherent trace and fold labeled
-    instruments losslessly.  Exceptions are shipped as ``(type name,
-    message)`` — instances with custom ``__init__`` signatures (e.g.
-    ``DeadlineExceeded(stage=...)``) do not unpickle reliably, so the
-    parent re-raises from the name.
-    """
-    deadline = None
-    if deadline_remaining is not None:
-        deadline = Deadline(max(1e-3, deadline_remaining))
-    context = WorkerContext(
-        state=None,
-        checkpoint=_make_worker_checkpoint(cancel, deadline, label),
-    )
-    try:
-        context.state = (
-            worker_init(init_payload) if worker_init is not None else init_payload
-        )
-    except BaseException as exc:  # noqa: BLE001 - must cross the process boundary
-        result_queue.put(
-            (None, worker_id, False, (type(exc).__name__, str(exc)), [], [])
-        )
-        return
-    while True:
-        message = task_queue.get()
-        if message is None:
-            break
-        task_id, payload = message
-        _maybe_injected_worker_kill(fault_guard)
-        with obs.capture() as (tracer, metrics):
-            try:
-                value = task_fn(context, payload)
-                ok = True
-            except BaseException as exc:  # noqa: BLE001 - shipped to the parent
-                value = (type(exc).__name__, str(exc))
-                ok = False
-        result_queue.put(
-            (task_id, worker_id, ok, value, tracer.export(), metrics.export())
-        )
 
 
 def _shipped_error(kind: str, detail: str, label: str) -> BaseException:
@@ -224,13 +115,17 @@ class ShardPool:
         ``task_fn(ctx, payload) -> result``; must be a module-level
         function (it crosses the process boundary under spawn).
     worker_init:
-        Optional per-worker constructor ``worker_init(init_payload) ->
-        state``, run once per worker (and again in each replacement
-        worker).  Build per-worker resources here — e.g. a backend with
-        its own SQLite connection.
+        Optional per-stage constructor ``worker_init(init_payload) ->
+        state``, run once per worker for each *distinct* stage payload:
+        workers cache the built state keyed by the init blob's digest, so
+        a repeat of the same stage (a warm serving session, a replacement
+        worker rejoining) reuses it instead of rebuilding.  Build
+        per-worker resources here — e.g. a backend with its own SQLite
+        connection, or a zero-copy attach of a
+        :class:`~repro.relational.store.TableHandle`.
     init_payload:
-        Shipped once per worker; becomes ``ctx.state`` directly when no
-        ``worker_init`` is given.
+        Shipped once per worker per stage; becomes ``ctx.state`` directly
+        when no ``worker_init`` is given.
     label:
         Span/log prefix (the pool span is ``parallel.<label>``).
     deadline:
@@ -255,7 +150,6 @@ class ShardPool:
         self._init_payload = init_payload
         self._label = label
         self._deadline = deadline
-        self._ctx = _pool_context()
 
     # -- in-process execution (fallback and degradation path) ---------------
 
@@ -328,12 +222,20 @@ class ShardPool:
             )
             return results
 
-        with obs.span(
-            f"parallel.{self._label}", workers=n_workers, tasks=len(todo)
-        ) as pool_span:
-            leftovers = _Scheduler(self, payloads, todo, results,
-                                   on_result, n_workers).run()
-            pool_span.set(pool_completed=len(todo) - len(leftovers))
+        fleet = current_fleet()
+        ephemeral = fleet is None
+        if ephemeral:
+            fleet = WorkerFleet()
+        try:
+            with obs.span(
+                f"parallel.{self._label}", workers=n_workers, tasks=len(todo)
+            ) as pool_span:
+                leftovers = _Scheduler(self, payloads, todo, results,
+                                       on_result, n_workers, fleet).run()
+                pool_span.set(pool_completed=len(todo) - len(leftovers))
+        finally:
+            if ephemeral:
+                fleet.close()
         if leftovers:
             logger.warning(
                 "%s: running %d remaining shard(s) in-process "
@@ -354,25 +256,32 @@ class ShardPool:
 
 
 class _Scheduler:
-    """One ``ShardPool.run`` invocation's worker fleet and task ledger."""
+    """One ``ShardPool.run`` invocation's stage over a (borrowed) fleet."""
 
     def __init__(self, pool: ShardPool, payloads, todo, results,
-                 on_result, n_workers: int):
+                 on_result, n_workers: int, fleet: WorkerFleet):
         self._pool = pool
         self._payloads = payloads
         self._results = results
         self._on_result = on_result
         self._n_workers = n_workers
-        ctx = pool._ctx
-        self._cancel = ctx.Event()
-        self._result_queue = ctx.Queue()
-        # Contiguous block partition: a steal moves one shard from the
+        self._fleet = fleet
+        self._epoch = fleet.next_epoch()
+        # Tasks travel in contiguous blocks (fewer queue round-trips);
+        # capped so every worker still sees at least two blocks and the
+        # stealing scheduler keeps something to steal.
+        block_size = max(1, min(pool._parallel.ipc_block_size,
+                                -(-len(todo) // (n_workers * 2))))
+        self._blocks: list[list[int]] = [
+            todo[i:i + block_size] for i in range(0, len(todo), block_size)
+        ]
+        # Contiguous block partition: a steal moves one block from the
         # tail of the fullest deque, preserving range locality.
         self._deques: list[deque] = [deque() for _ in range(n_workers)]
-        for position, task_id in enumerate(todo):
-            self._deques[position * n_workers // len(todo)].append(task_id)
-        self._workers: dict[int, tuple] = {}  # id -> (process, task_queue)
-        self._in_flight: dict[int, tuple[int, float]] = {}  # id -> (task, t)
+        for index in range(len(self._blocks)):
+            self._deques[index * n_workers // len(self._blocks)].append(index)
+        self._slots: dict[int, int] = {}  # worker id -> deque slot
+        self._in_flight: dict[int, tuple[int, float]] = {}  # id -> (block, t)
         self._pending: set[int] = set(todo)
         self._restarts = RetryState(
             _RESTART_BACKOFF, retries=pool._parallel.max_worker_restarts
@@ -383,29 +292,34 @@ class _Scheduler:
         self._fault_guard: str | None = None
         if "parallel.worker" in os.environ.get("REPRO_FAULTS", ""):
             self._fault_guard = tempfile.mkdtemp(prefix="repro-worker-fault-")
+        # The stage's identity on the wire: one pre-pickled blob of
+        # (task_fn, worker_init, init_payload), built once per run and
+        # shipped verbatim to every worker (and every replacement).
+        # Workers key their state cache on its digest, so a repeat setup —
+        # the second run against a warm serving session, a restarted
+        # worker rejoining a stage — reuses the state it already built
+        # (attached segments, backend connections, warm aggregate caches)
+        # instead of re-running the init.
+        self._init_blob = pickle.dumps(
+            (pool._task_fn, pool._worker_init, pool._init_payload),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
 
-    # -- worker lifecycle ---------------------------------------------------
+    # -- per-stage worker setup ---------------------------------------------
 
-    def _spawn(self, worker_id: int) -> None:
+    def _setup(self, worker_id: int) -> None:
         pool = self._pool
-        task_queue = pool._ctx.SimpleQueue()
         remaining = None
         if pool._deadline is not None and pool._deadline.limited:
             remaining = pool._deadline.remaining()
-        process = pool._ctx.Process(
-            target=_worker_main,
-            args=(worker_id, task_queue, self._result_queue, self._cancel,
-                  pool._worker_init, pool._init_payload, pool._task_fn,
-                  remaining, pool._label, self._fault_guard),
-            daemon=True,
-            name=f"repro-{pool._label}-{worker_id}",
-        )
-        process.start()
-        self._workers[worker_id] = (process, task_queue)
+        self._fleet.send(worker_id, (
+            "setup", self._epoch, self._init_blob, remaining,
+            pool._label, self._fault_guard,
+        ))
 
     def _dispatch(self, worker_id: int) -> None:
-        """Send the next task to ``worker_id``, stealing if its deque is dry."""
-        own = self._deques[worker_id % self._n_workers]
+        """Send the next block to ``worker_id``, stealing if its deque is dry."""
+        own = self._deques[self._slots[worker_id]]
         if not own:
             victim = max(self._deques, key=len)
             if victim:
@@ -413,92 +327,116 @@ class _Scheduler:
                 obs.counter("parallel.tasks_stolen").inc()
         if not own:
             return
-        task_id = own.popleft()
-        self._in_flight[worker_id] = (task_id, time.perf_counter())
-        self._workers[worker_id][1].put((task_id, self._payloads[task_id]))
+        block_index = own.popleft()
+        self._in_flight[worker_id] = (block_index, time.perf_counter())
+        self._fleet.send(worker_id, (
+            "block", self._epoch, block_index,
+            [(task_id, self._payloads[task_id])
+             for task_id in self._blocks[block_index]],
+        ))
 
     def _reap_dead(self) -> None:
-        """Requeue dead workers' shards; replace workers within budget."""
-        dead = [wid for wid, (process, _) in self._workers.items()
-                if not process.is_alive()]
-        for worker_id in dead:
-            process, _ = self._workers.pop(worker_id)
+        """Requeue dead workers' blocks; replace workers within budget."""
+        for worker_id in [wid for wid in list(self._slots)
+                          if not self._fleet.alive(wid)]:
+            slot = self._slots.pop(worker_id)
+            exitcode = self._fleet.discard(worker_id)
             flight = self._in_flight.pop(worker_id, None)
             if flight is not None:
-                self._deques[worker_id % self._n_workers].appendleft(flight[0])
+                self._deques[slot].appendleft(flight[0])
             logger.warning("%s: worker %d died (exitcode %s)",
-                           self._pool._label, worker_id, process.exitcode)
+                           self._pool._label, worker_id, exitcode)
             delay = self._restarts.next_delay()
             if delay is not None:
                 obs.counter("parallel.worker_restarts").inc()
                 if not self._pool._deadline_near():
                     time.sleep(delay)
-                self._spawn(worker_id)  # keeps the deque affinity
+                replacement = self._fleet.spawn()
+                self._slots[replacement] = slot  # keeps the deque affinity
+                self._setup(replacement)
+                self._dispatch(replacement)
+
+    def _kick_idle(self) -> None:
+        """Hand stranded blocks to idle workers.
+
+        A worker is normally re-dispatched when it delivers a result, so
+        one that went idle (nothing left to steal) is never contacted
+        again.  If a block re-enters a deque *after* that — a dead
+        worker's requeued flight with the restart budget exhausted — it
+        would strand forever.  Called on every poll timeout, this keeps
+        the invariant that queued work reaches a live worker within one
+        poll interval.
+        """
+        if not any(self._deques):
+            return
+        for worker_id in list(self._slots):
+            if worker_id in self._in_flight:
+                continue
+            if self._fleet.alive(worker_id):
                 self._dispatch(worker_id)
-
-    def _shutdown(self) -> None:
-        self._cancel.set()
-        for _, task_queue in self._workers.values():
-            task_queue.put(None)
-        for process, _ in self._workers.values():
-            process.join(timeout=2.0)
-            if process.is_alive():  # pragma: no cover - stuck worker
-                process.terminate()
-                process.join(timeout=1.0)
-        if self._fault_guard is not None:
-            shutil.rmtree(self._fault_guard, ignore_errors=True)
-
-    # -- observability ------------------------------------------------------
-
-    def _absorb(self, worker_id: int, spans: list, exported: list) -> None:
-        """Re-parent the worker's span subtree; merge its metrics export."""
-        flight = self._in_flight.get(worker_id)
-        tracer = obs.current_tracer()
-        tracer.adopt(
-            spans,
-            parent=tracer.current(),
-            anchor=flight[1] if flight is not None else None,
-            wrapper_name="parallel.task",
-            wrapper_attrs={
-                "task": flight[0] if flight is not None else None,
-                "worker": worker_id,
-            },
-        )
-        obs.current_metrics().merge(exported)
 
     # -- main loop ----------------------------------------------------------
 
     def run(self) -> list[int]:
-        """Drive the fleet; return the sorted task ids left unexecuted."""
+        """Drive the stage; return the sorted task ids left unexecuted."""
         try:
-            for worker_id in range(self._n_workers):
-                self._spawn(worker_id)
+            for slot, worker_id in enumerate(self._fleet.ensure(self._n_workers)):
+                self._slots[worker_id] = slot
+                self._setup(worker_id)
                 self._dispatch(worker_id)
-            while self._pending and self._failure is None and self._workers:
+            while self._pending and self._failure is None and self._slots:
                 if self._pool._deadline_near():
                     break
-                try:
-                    message = self._result_queue.get(timeout=_POLL_SECONDS)
-                except queue_mod.Empty:
+                message = self._fleet.recv(timeout=_POLL_SECONDS)
+                if message is None:
                     self._reap_dead()
+                    self._kick_idle()
                     continue
                 self._handle(message)
         finally:
-            self._shutdown()
+            if self._pending or self._failure is not None:
+                # Cancel whatever is still outstanding under this epoch;
+                # the fleet itself stays warm for the next stage.
+                self._fleet.cancel(self._epoch)
+            if self._fault_guard is not None:
+                shutil.rmtree(self._fault_guard, ignore_errors=True)
         if self._failure is not None:
             raise self._failure
         return sorted(self._pending)
 
     def _handle(self, message) -> None:
-        task_id, worker_id, ok, value, spans, exported = message
-        self._absorb(worker_id, spans, exported)
-        self._in_flight.pop(worker_id, None)
-        if not ok:
-            self._failure = _shipped_error(*value, self._pool._label)
+        tracer = obs.current_tracer()
+        if message[0] == "ready":
+            _, worker_id, epoch, ok, detail, spans, exported = message
+            if epoch != self._epoch:
+                return  # ack from a cancelled stage
+            tracer.adopt(
+                spans, parent=tracer.current(),
+                wrapper_name="parallel.setup",
+                wrapper_attrs={"worker": worker_id},
+            )
+            obs.current_metrics().merge(exported)
+            if not ok:
+                self._failure = _shipped_error(*detail, self._pool._label)
             return
-        self._results[task_id] = value
-        self._pending.discard(task_id)
-        if self._on_result is not None:
-            self._on_result(task_id, value)
-        if worker_id in self._workers:
+        _, worker_id, epoch, block_index, outputs = message
+        if epoch != self._epoch:
+            return  # straggler from a cancelled stage
+        flight = self._in_flight.pop(worker_id, None)
+        anchor = flight[1] if flight is not None else None
+        for task_id, ok, value, spans, exported in outputs:
+            tracer.adopt(
+                spans, parent=tracer.current(), anchor=anchor,
+                wrapper_name="parallel.task",
+                wrapper_attrs={"task": task_id, "worker": worker_id},
+            )
+            obs.current_metrics().merge(exported)
+            if not ok:
+                self._failure = _shipped_error(*value, self._pool._label)
+                return
+            self._results[task_id] = value
+            self._pending.discard(task_id)
+            if self._on_result is not None:
+                self._on_result(task_id, value)
+        if worker_id in self._slots and self._fleet.alive(worker_id):
             self._dispatch(worker_id)

@@ -41,8 +41,9 @@ from repro.insights.significance import (
     run_attribute_chunk,
 )
 from repro.insights.types import insight_type
-from repro.parallel.config import ParallelConfig
+from repro.parallel.config import ParallelConfig, resolve_store_kind
 from repro.parallel.pool import ShardPool, WorkerContext
+from repro.relational.store import export_table, resolve_table
 from repro.queries.comparison import ComparisonQuery
 from repro.queries.evaluate import ComparisonResult
 from repro.relational.table import Table
@@ -113,11 +114,35 @@ def stats_shard_ids(
     return [shard_id for shard_id, _, _ in _stats_jobs(work, chunk_size)]
 
 
+def _stats_worker_init(payload):
+    """Resolve the shipped per-attribute sources into tables.
+
+    Under the shared-memory plane each source is a compact
+    :class:`~repro.relational.store.TableHandle`; attaching is zero-copy
+    and counted (``parallel.shm_attach``).  Under the heap plane the
+    sources are the pickled tables themselves.
+    """
+    sources, config = payload
+    return (
+        {name: resolve_table(source) for name, source in sources.items()},
+        config,
+    )
+
+
 def _stats_task(ctx: WorkerContext, payload) -> tuple[list, list]:
     tables, config = ctx.state
     _, attribute, chunk = payload
     return run_attribute_chunk(
         tables[attribute], attribute, chunk, config, checkpoint=ctx.checkpoint
+    )
+
+
+def _exportable(parallel: ParallelConfig) -> bool:
+    """Whether this run should ship handles instead of tables."""
+    return (
+        parallel.active
+        and parallel.backend == "processes"
+        and resolve_store_kind(parallel) == "shm"
     )
 
 
@@ -135,13 +160,30 @@ def run_stats_shards(
     order, BH applied per attribute family over the merged chunks.
     """
     jobs = _stats_jobs(work, parallel.chunk_size)
-    # Pickled once per worker; the per-attribute sample tables typically
-    # alias one object, which pickle ships once.
     tables = {attribute: sample for attribute, sample, _ in work}
+    # Under the shm plane workers receive handles (a table already shared
+    # — e.g. the session's resident table — reuses its segment; sampled
+    # tables are shared for the duration of this run).  Under the heap
+    # plane the tables ship pickled, once per worker; per-attribute
+    # samples typically alias one object, deduplicated either way.
+    sources: dict[str, object] = tables
+    owned: list = []
+    if _exportable(parallel):
+        by_identity: dict[int, object] = {}
+        sources = {}
+        for attribute, sample in tables.items():
+            payload = by_identity.get(id(sample))
+            if payload is None:
+                payload, owned_store = export_table(sample, "shm")
+                by_identity[id(sample)] = payload
+                if owned_store is not None:
+                    owned.append(owned_store)
+            sources[attribute] = payload
     pool = ShardPool(
         parallel,
         task_fn=_stats_task,
-        init_payload=(tables, config),
+        worker_init=_stats_worker_init,
+        init_payload=(sources, config),
         label="stats",
         deadline=deadline,
     )
@@ -163,7 +205,11 @@ def run_stats_shards(
             oriented, results = value
             store.put(jobs[index][0], oriented, results)
 
-    outputs = pool.run(jobs, on_result=on_result, skip=frozenset(skip))
+    try:
+        outputs = pool.run(jobs, on_result=on_result, skip=frozenset(skip))
+    finally:
+        for owned_store in owned:
+            owned_store.release()
     for index, cached in restored.items():
         outputs[index] = cached
 
@@ -206,13 +252,31 @@ class _SupportWorkerState:
         # importable without touching repro.generation (which imports
         # repro.parallel.config for its own configuration).
         from repro.backend import create_backend
-        from repro.generation.evaluators import build_evaluator
 
+        # create_backend resolves a TableHandle into a zero-copy view.
         self.backend = create_backend(backend_name, table)
-        self.evaluator = build_evaluator(self.backend, evaluator_name, memory_budget)
+        self.evaluator_name = evaluator_name
+        self.memory_budget = memory_budget
         self.groups = groups
         self.valid_groupings = valid_groupings
         self.aggregates = aggregates
+        self.refresh()
+
+    def refresh(self) -> None:
+        """Per-stage reset when the fleet reuses this state.
+
+        The backend — its connection, attached segment views, and the
+        table's cross-stage :class:`~repro.relational.aggcache
+        .AggregateCache` — stays warm; only the cheap evaluator wrapper
+        is rebuilt, so a repeat run re-requests its pair aggregates and
+        records ``cache.aggregate_hits`` exactly as a ``workers=1`` rerun
+        over the resident table does.
+        """
+        from repro.generation.evaluators import build_evaluator
+
+        self.evaluator = build_evaluator(
+            self.backend, self.evaluator_name, self.memory_budget
+        )
 
     def close(self) -> None:
         self.backend.close()
@@ -284,16 +348,26 @@ def run_support_shards(
     queries byte-identically.
     """
     shard_groupings = sorted({g for gs in valid_groupings.values() for g in gs})
+    # Ship the table's handle when the shm plane is on (a session's
+    # resident table is already shared, costing nothing extra here).
+    source: object = table
+    owned_store = None
+    if _exportable(parallel):
+        source, owned_store = export_table(table, "shm")
     pool = ShardPool(
         parallel,
         task_fn=_support_task,
         worker_init=_support_worker_init,
-        init_payload=(table, backend_name, evaluator_name, memory_budget,
+        init_payload=(source, backend_name, evaluator_name, memory_budget,
                       groups, valid_groupings, list(aggregates)),
         label="support",
         deadline=deadline,
     )
-    outputs = pool.run(shard_groupings)
+    try:
+        outputs = pool.run(shard_groupings)
+    finally:
+        if owned_store is not None:
+            owned_store.release()
     records: dict[tuple[int, str, str], tuple[int, int, tuple[int, ...]]] = {}
     queries_sent = 0
     statements = 0

@@ -64,6 +64,16 @@ from repro.relational.operators import (
     union_all,
 )
 from repro.relational.schema import Attribute, AttributeKind, Schema, categorical, measure
+from repro.relational.store import (
+    ColumnStore,
+    SharedMemoryStore,
+    TableHandle,
+    attach_table,
+    leaked_segments,
+    share_table,
+    shm_available,
+    shm_resident_bytes,
+)
 from repro.relational.statistics import (
     collect_statistics,
     estimate_aggregate_bytes,
@@ -83,6 +93,14 @@ __all__ = [
     "AttributeKind",
     "CategoricalColumn",
     "ColumnRef",
+    "ColumnStore",
+    "SharedMemoryStore",
+    "TableHandle",
+    "attach_table",
+    "leaked_segments",
+    "share_table",
+    "shm_available",
+    "shm_resident_bytes",
     "Comparison",
     "Expression",
     "FunctionalDependency",

@@ -56,7 +56,7 @@ class Table:
     Mutating the underlying arrays after construction is unsupported.
     """
 
-    __slots__ = ("schema", "_columns", "_aggregate_cache")
+    __slots__ = ("schema", "_columns", "_aggregate_cache", "_store")
 
     def __init__(self, schema: Schema, columns: Mapping[str, Column]):
         lengths = {name: len(col) for name, col in columns.items()}
@@ -75,6 +75,7 @@ class Table:
         self.schema = schema
         self._columns = dict(columns)
         self._aggregate_cache = None
+        self._store = None
 
     # -- constructors ---------------------------------------------------------
 
@@ -131,6 +132,9 @@ class Table:
     # -- pickling -------------------------------------------------------------
     # The aggregate cache holds threading primitives and is a pure memo;
     # process-pool workers (the parallel test phase) rebuild it lazily.
+    # The column store is process-local lifecycle state: a pickled copy
+    # materializes the arrays and lands on the heap (zero-copy transfer
+    # is the handle's job — see repro.relational.store).
 
     def __getstate__(self) -> tuple:
         return (self.schema, self._columns)
@@ -138,6 +142,19 @@ class Table:
     def __setstate__(self, state: tuple) -> None:
         self.schema, self._columns = state
         self._aggregate_cache = None
+        self._store = None
+
+    # -- storage --------------------------------------------------------------
+
+    @property
+    def storage(self) -> str:
+        """Where this table's arrays live: ``"heap"`` or ``"shm"``."""
+        return "heap" if self._store is None else self._store.kind
+
+    def handle(self):
+        """The compact :class:`~repro.relational.store.TableHandle` of a
+        shared table, or ``None`` for heap-backed tables."""
+        return None if self._store is None else self._store.handle
 
     # -- aggregate cache ------------------------------------------------------
 

@@ -109,6 +109,7 @@ class DatasetEntry:
             "name": self.name,
             "rows": self.session.table.n_rows,
             "columns": len(self.session.table.schema),
+            "storage": self.session.storage,
             "cost_units": self.cost_units,
             "runs": self.runs,
             "leases": self.leases,

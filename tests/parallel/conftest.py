@@ -1,0 +1,23 @@
+"""Shared fixtures for the parallel-layer tests.
+
+The teardown audit is the enforcement arm of the data-plane lifecycle
+contract: no test in this package may leave a ``repro_*`` segment behind
+in ``/dev/shm`` — not on success, not on worker crash, not on restart
+exhaustion.  A leak here means the refcounting, the resource-tracker
+suppression, or the atexit sweep regressed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.store import leaked_segments
+
+
+@pytest.fixture(autouse=True)
+def no_shm_leaks():
+    """Assert every test leaves /dev/shm exactly as it found it."""
+    before = set(leaked_segments())
+    yield
+    leaked = sorted(set(leaked_segments()) - before)
+    assert not leaked, f"test leaked shared-memory segments: {leaked}"

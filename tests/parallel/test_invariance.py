@@ -4,7 +4,9 @@ For every execution backend and permutation kernel, a notebook generated
 with ``workers in {2, 4}`` must be byte-identical to the ``workers=1``
 run — same selected queries, same rendered ``.ipynb`` JSON — and the
 :class:`RunReport` must agree on everything except wall-clock timings and
-the worker count itself.
+the worker count itself.  The column-store plane (``heap`` pickling vs
+``shm`` zero-copy handles) is one more dimension that must never show up
+in the output.
 """
 
 from __future__ import annotations
@@ -17,9 +19,11 @@ from repro.generation import GenerationConfig
 from repro.insights import SignificanceConfig
 from repro.notebook import to_ipynb_json
 from repro.parallel import ParallelConfig
+from repro.relational.store import shm_available
 
 BACKENDS = ("columnar", "sqlite")
 KERNELS = ("batched", "legacy")
+STORES = ("heap", "shm")
 
 
 @pytest.fixture(autouse=True)
@@ -33,12 +37,12 @@ def table():
     return covid_table(400)
 
 
-def _run(table, backend: str, kernel: str, workers: int):
+def _run(table, backend: str, kernel: str, workers: int, store: str = "heap"):
     config = ReproConfig(
         generation=GenerationConfig(
             backend=backend,
             significance=SignificanceConfig(kernel=kernel, n_permutations=80),
-            parallel=ParallelConfig(workers=workers, chunk_size=10),
+            parallel=ParallelConfig(workers=workers, chunk_size=10, store=store),
         ),
         budget=6.0,
     )
@@ -75,14 +79,17 @@ def _baseline(table, backend: str, kernel: str):
     return _baselines[key]
 
 
+@pytest.mark.parametrize("store", STORES)
 @pytest.mark.parametrize("workers", [2, 4])
 @pytest.mark.parametrize("kernel", KERNELS)
 @pytest.mark.parametrize("backend", BACKENDS)
 def test_notebook_is_byte_identical_across_worker_counts(
-    table, backend, kernel, workers
+    table, backend, kernel, workers, store
 ):
+    if store == "shm" and not shm_available():
+        pytest.skip("shared memory unavailable on this platform")
     base_run, base_json = _baseline(table, backend, kernel)
-    run, ipynb_json = _run(table, backend, kernel, workers)
+    run, ipynb_json = _run(table, backend, kernel, workers, store)
 
     assert ipynb_json == base_json
     assert [str(q.query) for q in run.selected] == [

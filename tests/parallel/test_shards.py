@@ -43,6 +43,18 @@ def test_sharded_stats_match_sequential(covid):
     assert sharded.excluded_pairs == serial.excluded_pairs
 
 
+def test_shm_plane_matches_heap_plane(covid, isolated_obs):
+    from repro.relational.store import shm_available
+
+    if not shm_available():
+        pytest.skip("shared memory unavailable on this platform")
+    heap = run_stats_stage(covid, _config(workers=2, store="heap"))
+    shm = run_stats_stage(covid, _config(workers=2, store="shm"))
+    assert _stats_key(shm) == _stats_key(heap)
+    _, metrics = isolated_obs
+    assert metrics.counter("parallel.shm_attach").value > 0
+
+
 def test_completed_shards_are_skipped_on_rerun(covid, caplog):
     config = _config(workers=2)
     store = ShardStore()
