@@ -31,13 +31,22 @@ segment).  Results are bit-identical; the recorded ``ipc_shrink`` ratio
 is the whole point of the zero-copy plane and the quick test holds it at
 >= 10x.
 
+A fifth workload measures the multi-query optimizer: the same support
+stage on a wide-schema synthetic under the sqlite pushdown backend, per-set
+(``mqo=False``, one statement per group-by set) vs batched (``mqo=True``,
+UNION-ALL grouping-set statements).  Results are identical; the recorded
+``stmt_shrink`` ratio is the COMPARE-style statement collapse and the
+quick test holds it at >= 5x.
+
 Gauges written (all under ``bench.stats.*``):
 ``wide_legacy_seconds`` / ``wide_batched_seconds`` / ``wide_speedup``,
 ``enedis_legacy_seconds`` / ``enedis_batched_seconds`` /
 ``enedis_speedup``, ``enedis_aggregate_hits``, ``parity_mismatches``,
 ``workers_{1,2,4}_seconds``, ``workers_speedup``,
 ``workers_parity_mismatches``, ``cpu_count``, ``ipc_bytes_heap``,
-``ipc_bytes_shm``, ``ipc_shrink``, ``shm_attaches``.
+``ipc_bytes_shm``, ``ipc_shrink``, ``shm_attaches``,
+``stmts_per_set``, ``stmts_batched``, ``stmt_shrink``,
+``mqo_parity_mismatches``.
 """
 
 from __future__ import annotations
@@ -247,6 +256,87 @@ def run_data_plane(quick: bool) -> dict:
     }
 
 
+def run_mqo(quick: bool) -> dict:
+    """Batched multi-aggregate compilation vs the per-set statement oracle.
+
+    Wide-schema synthetic (many categorical attributes, so the set-cover
+    evaluator's chosen cover is dozens of group-by sets) through the
+    resilient pipeline on the sqlite pushdown backend, ``mqo`` off vs on.
+    The supported queries and scores must match exactly; the recorded
+    ``stmt_shrink`` is the whole point of the UNION-ALL grouping-set
+    compiler — one compound statement where the per-set path sends one
+    statement per set.
+    """
+    n_rows = 400 if quick else 1200
+    n_attrs = 8 if quick else 10
+
+    def mqo_table():
+        rng = derive_rng(7, "mqo-wide")
+        cats = {
+            f"a{i}": rng.choice([f"a{i}v{j}" for j in range(3)], n_rows)
+            for i in range(n_attrs)
+        }
+        shift = (cats["a0"] == "a0v0") * 12.0
+        return table_from_arrays(cats, {"m": rng.normal(10, 2, n_rows) + shift})
+
+    statements: dict[bool, int] = {}
+    seconds: dict[bool, float] = {}
+    outputs: dict[bool, list] = {}
+    plan: dict | None = None
+    for mqo in (False, True):
+        table = mqo_table()
+        config = GenerationConfig(
+            significance=SignificanceConfig(n_permutations=100 if quick else 200),
+            backend="sqlite",
+            evaluator="setcover",
+            mqo=mqo,
+        )
+        with obs.capture():
+            start = time.perf_counter()
+            run = resilient_generate(table, config, budget=6, solver="heuristic")
+            seconds[mqo] = time.perf_counter() - start
+        statements[mqo] = run.report.backend_statements
+        outputs[mqo] = [
+            (g.query, g.interest, g.tuples_aggregated, g.n_groups)
+            for g in run.outcome.queries
+        ]
+        if mqo:
+            plan = run.report.mqo_plan
+    mismatches = sum(1 for a, b in zip(outputs[False], outputs[True]) if a != b)
+    mismatches += abs(len(outputs[False]) - len(outputs[True]))
+    shrink = statements[False] / max(1, statements[True])
+    obs.gauge("bench.stats.stmts_per_set").set(statements[False])
+    obs.gauge("bench.stats.stmts_batched").set(statements[True])
+    obs.gauge("bench.stats.stmt_shrink").set(shrink)
+    obs.gauge("bench.stats.mqo_parity_mismatches").set(mismatches)
+    return {
+        "n_attrs": n_attrs,
+        "statements": {"per_set": statements[False], "batched": statements[True]},
+        "seconds": {"per_set": seconds[False], "batched": seconds[True]},
+        "plan": plan,
+        "shrink": shrink,
+        "mismatches": mismatches,
+        "n_queries": len(outputs[True]),
+    }
+
+
+def build_mqo_report(mqo: dict) -> str:
+    plan = mqo["plan"] or {}
+    lines = [
+        f"{'plan':<12}{'statements':>12}{'support (s)':>13}",
+        f"{'per-set':<12}{mqo['statements']['per_set']:>12}"
+        f"{mqo['seconds']['per_set']:>12.2f}s",
+        f"{'batched':<12}{mqo['statements']['batched']:>12}"
+        f"{mqo['seconds']['batched']:>12.2f}s",
+        "",
+        f"statement shrink: {mqo['shrink']:.1f}x over {mqo['n_attrs']} "
+        f"attributes ({plan.get('sets', '?')} group-by sets in "
+        f"{plan.get('batches', '?')} batches); "
+        f"parity mismatches: {mqo['mismatches']} over {mqo['n_queries']} queries",
+    ]
+    return "\n".join(lines)
+
+
 def build_report(wide: dict, enedis: dict) -> str:
     lines = [
         f"{'workload':<16}{'candidates':>11}{'legacy':>9}{'batched':>9}{'speedup':>9}",
@@ -315,6 +405,9 @@ def main(quick: bool = False) -> None:
     plane = run_data_plane(quick)
     print_report("Data plane — heap pickling vs shm handles",
                  build_data_plane_report(plane))
+    mqo = run_mqo(quick)
+    print_report("Multi-query optimization — batched vs per-set statements",
+                 build_mqo_report(mqo))
 
 
 def test_stats_kernel_wide(benchmark, capsys):
@@ -345,6 +438,16 @@ def test_stats_data_plane(benchmark, capsys):
     # The acceptance bar: shipping handles instead of pickled tables must
     # shrink per-stage IPC by at least an order of magnitude.
     assert result["shrink"] >= 10.0, result
+
+
+def test_stats_mqo(benchmark, capsys):
+    result = run_once(benchmark, run_mqo, True)
+    with capsys.disabled():
+        print_report("Multi-query optimization (quick)", build_mqo_report(result))
+    assert result["mismatches"] == 0
+    # The acceptance bar: batched compilation must collapse the pushed-down
+    # statement count at least 5x on the wide schema.
+    assert result["shrink"] >= 5.0, result
 
 
 def test_stats_kernel_worker_scaling(benchmark, capsys):

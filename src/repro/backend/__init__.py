@@ -12,10 +12,14 @@ from __future__ import annotations
 from repro.backend.base import (
     BACKEND_ENV_VAR,
     BACKEND_NAMES,
+    MQO_ENV_VAR,
+    AggregateRequest,
     BackendCapabilities,
     BackendError,
     ExecutionBackend,
     default_backend_name,
+    default_mqo,
+    materialize_batch,
     source_table,
 )
 from repro.backend.columnar import ColumnarBackend
@@ -25,6 +29,8 @@ from repro.relational.table import Table
 __all__ = [
     "BACKEND_ENV_VAR",
     "BACKEND_NAMES",
+    "MQO_ENV_VAR",
+    "AggregateRequest",
     "BackendCapabilities",
     "BackendError",
     "ColumnarBackend",
@@ -33,6 +39,8 @@ __all__ = [
     "as_backend",
     "create_backend",
     "default_backend_name",
+    "default_mqo",
+    "materialize_batch",
     "source_table",
 ]
 

@@ -25,6 +25,14 @@ the backend is numerically backend-agnostic.
 metric: the number of SQL statements actually sent to an external engine.
 It stays 0 for the in-process columnar backend and counts every pushed-down
 statement for the SQLite backend.
+
+Backends that declare ``capabilities.batched_aggregates`` additionally
+compile a whole *batch* of grouping requests (:class:`AggregateRequest`)
+into minimal engine work through :meth:`ExecutionBackend
+.materialize_aggregates` — the COMPARE-style multi-query optimization:
+one shared scan answers many group-by sets instead of one statement per
+set.  :func:`materialize_batch` routes through the capability and falls
+back transparently to the per-set path, so callers never need to branch.
 """
 
 from __future__ import annotations
@@ -44,6 +52,9 @@ BACKEND_NAMES: tuple[str, ...] = ("columnar", "sqlite")
 
 #: Environment variable holding the default backend name (CI matrix hook).
 BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: Environment variable toggling multi-query optimization (CI matrix hook).
+MQO_ENV_VAR = "REPRO_MQO"
 
 
 class BackendError(ReproError):
@@ -66,6 +77,32 @@ def default_backend_name() -> str:
     return name
 
 
+def parse_mqo_flag(raw: str | None) -> bool:
+    """Parse a ``REPRO_MQO``-style boolean (empty/None means on).
+
+    Invalid values raise rather than silently running the wrong plan.
+    """
+    raw = (raw or "").strip().lower()
+    if not raw:
+        return True
+    if raw in ("1", "true", "on", "yes"):
+        return True
+    if raw in ("0", "false", "off", "no"):
+        return False
+    raise BackendError(f"{MQO_ENV_VAR}={raw!r} is not a boolean flag (use 0 or 1)")
+
+
+def default_mqo() -> bool:
+    """The process-wide multi-query-optimization default.
+
+    ``$REPRO_MQO`` (the CI matrix hook) turns batched aggregate
+    compilation off with ``0`` and on with ``1``; unset means on — the
+    batched planner is the production path and the per-set path is the
+    parity oracle.
+    """
+    return parse_mqo_flag(os.environ.get(MQO_ENV_VAR))
+
+
 @dataclass(frozen=True, slots=True)
 class BackendCapabilities:
     """Capability flags a caller may branch on (never required for parity).
@@ -85,12 +122,47 @@ class BackendCapabilities:
     concurrent_evaluate:
         ``materialize_aggregate``/``evaluate_comparison`` may be called
         from multiple threads concurrently.
+    batched_aggregates:
+        :meth:`ExecutionBackend.materialize_aggregates` compiles a batch
+        of grouping requests into fewer engine passes than one-per-set
+        (multi-query optimization).  Callers should route batches through
+        :func:`materialize_batch`, which falls back per-set when the flag
+        is off.
     """
 
     sql_pushdown: bool
     zero_copy_scan: bool
     additive_summaries: bool = True
     concurrent_evaluate: bool = True
+    batched_aggregates: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class AggregateRequest:
+    """One group-by set of a batched aggregation plan.
+
+    Attributes
+    ----------
+    attributes:
+        Grouping attributes in canonical (sorted) order — the same
+        canonicalization :meth:`ExecutionBackend.materialize_aggregate`
+        applies, so a batched build and a per-set build share cache keys.
+    measures:
+        Measures to materialize, or ``None`` for every measure of the
+        schema (the cross-stage cache's superset-serving key).
+    """
+
+    attributes: tuple[str, ...]
+    measures: tuple[str, ...] | None = None
+
+    @classmethod
+    def of(
+        cls, attributes: Iterable[str], measures: Sequence[str] | None = None
+    ) -> "AggregateRequest":
+        return cls(
+            tuple(sorted(attributes)),
+            None if measures is None else tuple(measures),
+        )
 
 
 @runtime_checkable
@@ -140,12 +212,45 @@ class ExecutionBackend(Protocol):
         """``GROUP BY attributes`` with additive summaries per measure."""
         ...
 
+    def materialize_aggregates(
+        self, requests: Sequence[AggregateRequest]
+    ) -> list[MaterializedAggregate]:  # pragma: no cover
+        """Batched group-bys, compiled into minimal backend work.
+
+        Only meaningful when ``capabilities.batched_aggregates`` is set;
+        results are returned in request order and are element-for-element
+        identical to per-set :meth:`materialize_aggregate` calls (exact
+        parity obligation).  Use :func:`materialize_batch` for the
+        capability-checked entry point.
+        """
+        ...
+
     def evaluate_comparison(self, query: ComparisonQuery) -> ComparisonResult:  # pragma: no cover
         """One comparison query, evaluated directly against base data."""
         ...
 
     def close(self) -> None:  # pragma: no cover
         ...
+
+
+def materialize_batch(
+    backend: ExecutionBackend, requests: Sequence[AggregateRequest]
+) -> list[MaterializedAggregate]:
+    """Batched aggregation with transparent per-set fallback.
+
+    Routes the whole batch through the backend's multi-query compiler when
+    it declares the capability; otherwise issues the classic one statement
+    (or pass) per group-by set.  Either way the results come back in
+    request order and hit the same cross-stage cache keys.
+    """
+    if not requests:
+        return []
+    if getattr(backend.capabilities, "batched_aggregates", False):
+        return backend.materialize_aggregates(requests)
+    return [
+        backend.materialize_aggregate(request.attributes, request.measures)
+        for request in requests
+    ]
 
 
 def source_table(source: "Table | ExecutionBackend") -> Table:

@@ -30,7 +30,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro import obs
-from repro.backend.base import BackendCapabilities, BackendError
+from repro.backend.base import AggregateRequest, BackendCapabilities, BackendError
 from repro.queries.comparison import ComparisonQuery
 from repro.queries.evaluate import ComparisonResult, comparison_from_aggregate
 from repro.queries.sqlgen import sql_identifier
@@ -47,6 +47,7 @@ from repro.sqlengine.ast_nodes import (
     SqlLiteral,
     SqlName,
     TableRef,
+    UnionStatement,
 )
 from repro.sqlengine.formatter import format_statement
 
@@ -54,6 +55,14 @@ from repro.sqlengine.formatter import format_statement
 def _name(identifier: str) -> SqlName:
     """A (pre-quoted) column reference node for the emitted SQL."""
     return SqlName((sql_identifier(identifier),))
+
+
+#: Most grouping-set arms fused into one compound statement.  SQLite caps
+#: compound SELECT terms at 500 (SQLITE_MAX_COMPOUND_SELECT); 64 keeps
+#: statements comfortably inside that with room for engines that compile
+#: each arm separately, while still collapsing any realistic per-attribute
+#: batch (one arm per selection attribute) into a single statement.
+_MAX_BATCH_BRANCHES = 64
 
 
 class SqliteBackend:
@@ -75,7 +84,9 @@ class SqliteBackend:
     """
 
     name = "sqlite"
-    capabilities = BackendCapabilities(sql_pushdown=True, zero_copy_scan=False)
+    capabilities = BackendCapabilities(
+        sql_pushdown=True, zero_copy_scan=False, batched_aggregates=True
+    )
 
     def __init__(self, table: Table, table_name: str = "dataset", path: str | None = None):
         self._table = table
@@ -267,22 +278,43 @@ class SqliteBackend:
         if measures is None:
             measures = self._table.schema.measure_names
         rows = self._execute(self._aggregate_statement(attrs, measures))
+        attr_pos = {attr_name: axis for axis, attr_name in enumerate(attrs)}
+        measure_base = {m: len(attrs) + 5 * i for i, m in enumerate(measures)}
+        return self._rows_to_aggregate(attrs, measures, rows, attr_pos, measure_base)
+
+    def _rows_to_aggregate(
+        self,
+        attrs: tuple[str, ...],
+        measures: Sequence[str],
+        rows: list[tuple],
+        attr_pos: dict[str, int],
+        measure_base: dict[str, int],
+    ) -> MaterializedAggregate:
+        """Parse SQLite result rows into a :class:`MaterializedAggregate`.
+
+        ``attr_pos`` / ``measure_base`` map each key attribute and measure to
+        its column position, so the same parse serves both the per-set
+        statement (dense layout) and the UNION-ALL batch statement (sparse
+        layout padded with NULL columns for attrs/measures of other sets).
+        """
         n_groups = len(rows)
         columns = {attr_name: self._table.categorical_column(attr_name) for attr_name in attrs}
         keys = tuple(
             np.fromiter(
                 (
-                    -1 if row[axis] is None else columns[attr_name].code_of(str(row[axis]))
+                    -1
+                    if row[attr_pos[attr_name]] is None
+                    else columns[attr_name].code_of(str(row[attr_pos[attr_name]]))
                     for row in rows
                 ),
                 dtype=np.int64,
                 count=n_groups,
             )
-            for axis, attr_name in enumerate(attrs)
+            for attr_name in attrs
         )
         summaries: dict[str, GroupedSummary] = {}
-        for m_index, measure in enumerate(measures):
-            base = len(attrs) + 5 * m_index
+        for measure in measures:
+            base = measure_base[measure]
             count = np.fromiter(
                 (float(row[base]) for row in rows), dtype=np.float64, count=n_groups
             )
@@ -314,6 +346,116 @@ class SqliteBackend:
             for attr_name in attrs
         }
         return MaterializedAggregate(attrs, keys, categories, summaries)
+
+    # -- batched pushdown aggregation (multi-query optimization) --------------
+
+    def materialize_aggregates(
+        self, requests: Sequence[AggregateRequest]
+    ) -> list[MaterializedAggregate]:
+        """Batched group-bys compiled into one compound statement per chunk.
+
+        Cache hits never reach the engine; the residual batch is compiled by
+        :meth:`_materialize_batch_uncached` into UNION-ALL grouping-set
+        statements, collapsing ``statements_executed`` from one per set to
+        one per :data:`_MAX_BATCH_BRANCHES` sets.
+        """
+        return self._table.aggregate_cache().get_or_build_batch(
+            self.name,
+            [(r.attributes, r.measures) for r in requests],
+            self._materialize_batch_uncached,
+        )
+
+    def _materialize_batch_uncached(
+        self, residual: Sequence[tuple[tuple[str, ...], Sequence[str] | None]]
+    ) -> list[MaterializedAggregate]:
+        resolved: list[tuple[tuple[str, ...], tuple[str, ...]]] = []
+        for attributes, measures in residual:
+            attrs = tuple(sorted(attributes))
+            for attr_name in attrs:
+                self._table.schema.require_categorical(attr_name)
+            if measures is None:
+                measures = self._table.schema.measure_names
+            resolved.append((attrs, tuple(measures)))
+        out: list[MaterializedAggregate] = []
+        for start in range(0, len(resolved), _MAX_BATCH_BRANCHES):
+            out.extend(self._compile_chunk(resolved[start : start + _MAX_BATCH_BRANCHES]))
+        return out
+
+    def _compile_chunk(
+        self, chunk: list[tuple[tuple[str, ...], tuple[str, ...]]]
+    ) -> list[MaterializedAggregate]:
+        """One compound statement answering every grouping set of ``chunk``.
+
+        The statement is a UNION ALL of grouped subselects over a *uniform
+        column grid*: a grouping-set tag, every key attribute appearing in
+        any set (NULL-padded where absent), then the five summary columns of
+        every measure appearing in any set (NULL-padded likewise).  Each arm
+        is the exact per-set statement projected into the grid, so SQLite
+        plans it like the standalone query; demultiplexing by tag recovers
+        per-set aggregates element-for-element identical to per-set calls —
+        a padded NULL is never mistaken for a NULL group value because each
+        set's parse only reads the columns of its own attributes/measures.
+        """
+        union_attrs = sorted({a for attrs, _ in chunk for a in attrs})
+        union_measures = sorted({m for _, ms in chunk for m in ms})
+        with obs.span(
+            "backend.batch_compile", backend=self.name, sets=len(chunk)
+        ):
+            sql = self._batch_statement(chunk, union_attrs, union_measures)
+            rows = self._execute(sql)
+        obs.counter("backend.batched_statements").inc()
+        obs.counter("backend.sets_per_statement").inc(len(chunk))
+        by_tag: dict[int, list[tuple]] = {tag: [] for tag in range(len(chunk))}
+        for row in rows:
+            by_tag[int(row[0])].append(row)
+        results: list[MaterializedAggregate] = []
+        for tag, (attrs, measures) in enumerate(chunk):
+            attr_pos = {a: 1 + union_attrs.index(a) for a in attrs}
+            measure_base = {
+                m: 1 + len(union_attrs) + 5 * union_measures.index(m) for m in measures
+            }
+            results.append(
+                self._rows_to_aggregate(attrs, measures, by_tag[tag], attr_pos, measure_base)
+            )
+        return results
+
+    def _batch_statement(
+        self,
+        chunk: list[tuple[tuple[str, ...], tuple[str, ...]]],
+        union_attrs: list[str],
+        union_measures: list[str],
+    ) -> str:
+        arms: list[SelectStatement] = []
+        for tag, (attrs, measures) in enumerate(chunk):
+            items = [SelectItem(SqlLiteral(str(tag)), alias="grouping_set")]
+            for attr_name in union_attrs:
+                items.append(
+                    SelectItem(_name(attr_name) if attr_name in attrs else SqlLiteral(None))
+                )
+            for measure in union_measures:
+                if measure in measures:
+                    ref = _name(measure)
+                    items.extend(
+                        (
+                            SelectItem(SqlFunction("count", (ref,))),
+                            SelectItem(SqlFunction("sum", (ref,))),
+                            SelectItem(SqlFunction("sum", (SqlBinary("*", ref, ref),))),
+                            SelectItem(SqlFunction("min", (ref,))),
+                            SelectItem(SqlFunction("max", (ref,))),
+                        )
+                    )
+                else:
+                    items.extend(SelectItem(SqlLiteral(None)) for _ in range(5))
+            arms.append(
+                SelectStatement(
+                    items=tuple(items),
+                    from_items=(TableRef(self._sql_table),),
+                    group_by=tuple(_name(a) for a in attrs),
+                )
+            )
+        if len(arms) == 1:
+            return format_statement(arms[0])
+        return format_statement(UnionStatement(tuple(arms), all=True))
 
     def evaluate_comparison(self, query: ComparisonQuery) -> ComparisonResult:
         query.validate_against(self._table)

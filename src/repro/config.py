@@ -160,6 +160,7 @@ class ReproConfig:
                 "prune_transitive": gen.prune_transitive,
                 "evaluator": gen.evaluator,
                 "backend": gen.backend,
+                "mqo": gen.mqo,
                 "memory_budget_bytes": gen.memory_budget_bytes,
                 "parallel": gen.effective_parallel().as_dict(),
                 "max_pairs_per_attribute": gen.max_pairs_per_attribute,
@@ -230,8 +231,9 @@ class ReproConfig:
 
         Honours the per-subsystem hooks the CI matrix already uses —
         ``REPRO_BACKEND``, ``REPRO_STATS_KERNEL``, ``REPRO_WORKERS``,
-        ``REPRO_SHM`` (column-store plane: ``0``/``1``/``auto``) — plus
-        the run-level ``REPRO_BUDGET``, ``REPRO_SOLVER``, and
+        ``REPRO_SHM`` (column-store plane: ``0``/``1``/``auto``),
+        ``REPRO_MQO`` (batched multi-aggregate compilation: ``0``/``1``)
+        — plus the run-level ``REPRO_BUDGET``, ``REPRO_SOLVER``, and
         ``REPRO_DEADLINE``.  Pass ``environ`` to read from a mapping other
         than ``os.environ`` (tests).
         """
@@ -254,6 +256,11 @@ class ReproConfig:
         backend = get("REPRO_BACKEND")
         if backend is not None:
             gen_kwargs["backend"] = backend
+        mqo = get("REPRO_MQO")
+        if mqo is not None:
+            from repro.backend.base import parse_mqo_flag
+
+            gen_kwargs["mqo"] = parse_mqo_flag(mqo)
         kernel = get("REPRO_STATS_KERNEL")
         if kernel is not None:
             gen_kwargs["significance"] = SignificanceConfig(kernel=kernel)

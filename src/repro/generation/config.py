@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.backend.base import BACKEND_NAMES, default_backend_name
+from repro.backend.base import BACKEND_NAMES, default_backend_name, default_mqo
 from repro.errors import QueryError
 from repro.insights.significance import SignificanceConfig
 from repro.parallel.config import ParallelConfig, default_workers
@@ -66,6 +66,14 @@ class GenerationConfig:
         ``"columnar"`` (in-process NumPy, default) or ``"sqlite"``
         (pushdown to stdlib :mod:`sqlite3`).  The default honours the
         ``REPRO_BACKEND`` environment variable (CI matrix hook).
+    mqo:
+        Multi-query optimization: batch each work unit's group-by sets
+        through the backend's :meth:`materialize_aggregates` compiler so
+        ``statements_executed`` collapses to ~1 per grouping-attribute
+        batch (see ``docs/performance.md``).  Default honours the
+        ``REPRO_MQO`` environment variable (CI matrix hook; unset = on).
+        Notebook output is byte-identical either way — ``False`` is the
+        per-set parity oracle.
     memory_budget_bytes:
         Byte budget for Algorithm 2's cache (None = unlimited).
     parallel:
@@ -99,6 +107,7 @@ class GenerationConfig:
     prune_transitive: bool = True
     evaluator: str = "pairwise"
     backend: str = field(default_factory=default_backend_name)
+    mqo: bool = field(default_factory=default_mqo)
     memory_budget_bytes: int | None = None
     parallel: ParallelConfig | None = None
     n_threads: int = 1

@@ -245,11 +245,14 @@ def run_support_stage(
             evaluator=config.evaluator,
             backend=backend.name,
             insights=len(stats.significant),
+            mqo=config.mqo,
         ) as sp:
-            evaluator = build_evaluator(backend, config.evaluator, config.memory_budget_bytes)
-            logger.info("hypothesis evaluation: evaluator=%s backend=%s over %d insights",
-                        config.evaluator, backend.name, len(stats.significant))
-            queries, evidences, n_hypothesis, worker_counts = _evaluate_support(
+            evaluator = build_evaluator(
+                backend, config.evaluator, config.memory_budget_bytes, mqo=config.mqo
+            )
+            logger.info("hypothesis evaluation: evaluator=%s backend=%s mqo=%s over %d insights",
+                        config.evaluator, backend.name, config.mqo, len(stats.significant))
+            queries, evidences, n_hypothesis, worker_counts, plan = _evaluate_support(
                 table, stats.significant, stats.excluded_pairs, evaluator, config, deadline
             )
             if worker_counts is None:
@@ -267,6 +270,14 @@ def run_support_stage(
             counters["queries_supported"] = len(queries)
             counters["aggregation_queries_sent"] = aggregation_queries
             counters["backend_statements_executed"] = statements
+            # The multi-query plan shape (what a batching backend was asked
+            # to compile): set-cover ships its whole chosen cover as one
+            # batch; the pairwise strategies batch per grouping attribute.
+            if config.evaluator == "setcover":
+                chosen = getattr(evaluator, "chosen_sets", ())
+                plan = {"batches": 1 if chosen else 0, "sets": len(chosen)}
+            counters["mqo_plan_batches"] = plan["batches"]
+            counters["mqo_plan_sets"] = plan["sets"]
 
             with obs.span("generation.scoring", candidates=len(queries)):
                 scored = _score_and_deduplicate(queries, config)
@@ -423,13 +434,15 @@ def _evaluate_support(
     evaluator: SupportEvaluator,
     config: GenerationConfig,
     deadline: Deadline | None = None,
-) -> tuple[list[_SupportedQuery], dict[tuple, InsightEvidence], int, dict | None]:
+) -> tuple[list[_SupportedQuery], dict[tuple, InsightEvidence], int, dict | None, dict]:
     """Evaluate every hypothesis query; returns the supported set.
 
     The fourth element is ``None`` on the in-process paths; on the sharded
     process path it carries the workers' aggregation-query and
     backend-statement counts (the parent's evaluator and backend never see
-    that traffic).
+    that traffic).  The fifth is the multi-query plan shape — how many
+    per-grouping-attribute batches cover how many distinct group-by sets —
+    computed parent-side so it is identical at every worker count.
     """
     categorical = table.schema.categorical_names
     evidences: dict[tuple, InsightEvidence] = {}
@@ -459,6 +472,19 @@ def _evaluate_support(
     items = list(groups.items())
     parallel = config.effective_parallel()
 
+    # The full pair demand, partitioned per grouping attribute — the shard
+    # unit — so every execution path (sequential, threads, process shards)
+    # issues the same per-grouping batches to the backend's multi-query
+    # compiler.
+    demand: dict[str, list[frozenset[str]]] = {}
+    distinct_pairs: set[frozenset[str]] = set()
+    for attribute in sorted(valid_groupings):
+        for grouping in valid_groupings[attribute]:
+            pair = frozenset((grouping, attribute))
+            demand.setdefault(grouping, []).append(pair)
+            distinct_pairs.add(pair)
+    plan = {"batches": len(demand), "sets": len(distinct_pairs)}
+
     # Sharded process pool, one shard per grouping attribute.  Workers
     # build their own backend + evaluator; the parent replays the
     # sequential iteration order over their compact records, so the query
@@ -479,6 +505,7 @@ def _evaluate_support(
             memory_budget=config.memory_budget_bytes,
             parallel=parallel,
             deadline=deadline,
+            mqo=config.mqo,
         )
         for group_index, (key, members) in enumerate(items):
             attribute, lo, hi, measure_name = key
@@ -500,7 +527,7 @@ def _evaluate_support(
                         )
                     )
         extra = {"queries_sent": queries_sent, "statements": statements}
-        return supported_queries, evidences, hypothesis_count, extra
+        return supported_queries, evidences, hypothesis_count, extra, plan
 
     def process_group(key: tuple, members: list[InsightEvidence]) -> tuple[list[_SupportedQuery], int]:
         attribute, lo, hi, measure_name = key
@@ -530,6 +557,14 @@ def _evaluate_support(
             sp.set(hypotheses=local_count, supported=len(local_queries))
         return local_queries, local_count
 
+    # Announce the demand before evaluating: one batched backend call per
+    # grouping attribute (no-op for non-batching evaluators or mqo=off),
+    # mirroring the per-grouping shards of the process path.
+    for grouping in sorted(demand):
+        if deadline is not None:
+            deadline.check("hypothesis evaluation")
+        evaluator.plan(demand[grouping])
+
     if not parallel.active or len(items) <= 1:
         outputs = [process_group(key, members) for key, members in items]
     else:
@@ -545,7 +580,7 @@ def _evaluate_support(
                     evidence.n_supporting += 1
             supported_queries.append(record)
 
-    return supported_queries, evidences, hypothesis_count, None
+    return supported_queries, evidences, hypothesis_count, None, plan
 
 
 # ---------------------------------------------------------------------------

@@ -247,7 +247,7 @@ class _SupportWorkerState:
     """Per-worker evaluation state: own backend, own evaluator."""
 
     def __init__(self, table, backend_name, evaluator_name, memory_budget,
-                 groups, valid_groupings, aggregates):
+                 groups, valid_groupings, aggregates, mqo=None):
         # Imported here, not at module top: repro.parallel must stay
         # importable without touching repro.generation (which imports
         # repro.parallel.config for its own configuration).
@@ -260,6 +260,7 @@ class _SupportWorkerState:
         self.groups = groups
         self.valid_groupings = valid_groupings
         self.aggregates = aggregates
+        self.mqo = mqo
         self.refresh()
 
     def refresh(self) -> None:
@@ -275,7 +276,7 @@ class _SupportWorkerState:
         from repro.generation.evaluators import build_evaluator
 
         self.evaluator = build_evaluator(
-            self.backend, self.evaluator_name, self.memory_budget
+            self.backend, self.evaluator_name, self.memory_budget, mqo=self.mqo
         )
 
     def close(self) -> None:
@@ -298,6 +299,16 @@ def _support_task(ctx: WorkerContext, grouping: str):
     queries_before = state.evaluator.queries_sent
     statements_before = state.backend.statements_executed
     records = []
+    # Plan this shard's full pair demand up front: one batched backend
+    # call per grouping attribute (the multi-query optimization), instead
+    # of one lazy materialization per (grouping, selection) pair inside
+    # the evaluate loop.  A no-op for non-batching evaluators or mqo=off.
+    shard_pairs = [
+        frozenset((grouping, key[0]))
+        for key, _ in state.groups
+        if grouping in state.valid_groupings[key[0]]
+    ]
+    state.evaluator.plan(shard_pairs)
     with obs.span("generation.evaluate_grouping", grouping=grouping) as sp:
         evaluated = 0
         for group_index, (key, members) in enumerate(state.groups):
@@ -338,6 +349,7 @@ def run_support_shards(
     memory_budget: int | None,
     parallel: ParallelConfig,
     deadline: Deadline | None = None,
+    mqo: bool | None = None,
 ) -> tuple[dict[tuple[int, str, str], tuple[int, int, tuple[int, ...]]], int, int]:
     """Evaluate the hypothesis stage sharded by grouping attribute.
 
@@ -359,7 +371,7 @@ def run_support_shards(
         task_fn=_support_task,
         worker_init=_support_worker_init,
         init_payload=(source, backend_name, evaluator_name, memory_budget,
-                      groups, valid_groupings, list(aggregates)),
+                      groups, valid_groupings, list(aggregates), mqo),
         label="support",
         deadline=deadline,
     )

@@ -18,6 +18,12 @@ its own slice of the pipeline.  :class:`AggregateCache` memoizes
 * **single-flight building** — concurrent requests for the same key build
   once; latecomers wait on a reservation event (the same check-then-build
   discipline as ``PairwiseEvaluator``).
+* **batch-aware single-flight** — :meth:`AggregateCache.get_or_build_batch`
+  classifies a whole plan of requests in one pass under the lock: hits are
+  served from cache, every missing key is reserved at once, and only the
+  *residual* batch reaches the backend's multi-query compiler.  Keys some
+  other thread is already building are waited on afterwards, so one
+  aggregation pass per key still holds under concurrency.
 * **byte-budget LRU eviction** — unlike the transient per-stage aggregates
   it replaces, the cache lives for the owning ``Table``'s lifetime, so on
   wide tables it could otherwise pin every pair aggregate at once.  A
@@ -119,6 +125,113 @@ class AggregateCache:
             with self._lock:
                 event = self._building.pop(reservation_key)
             event.set()
+
+    def get_or_build_batch(
+        self,
+        backend: str,
+        requests: Sequence[tuple[tuple[str, ...], Sequence[str] | None]],
+        build_batch: Callable[[list[tuple[tuple[str, ...], Sequence[str] | None]]],
+                              Sequence[MaterializedAggregate]],
+    ) -> list[MaterializedAggregate]:
+        """Serve a whole plan of ``(attributes, measures)`` requests at once.
+
+        Hits come straight from the cache; all missing keys are reserved in
+        one pass and ``build_batch`` receives only that *residual* list (in
+        request order, duplicates collapsed) — the hook where a backend
+        compiles the batch into minimal engine work.  Keys reserved by a
+        concurrent builder are not rebuilt: they are awaited after our own
+        residual lands, preserving the one-build-per-key guarantee.
+
+        Returns the aggregates in request order.  A failed batch build
+        releases every reservation this call made.
+        """
+        keyed = [
+            (tuple(sorted(attrs)), None if measures is None else frozenset(measures))
+            for attrs, measures in requests
+        ]
+        results: dict[int, MaterializedAggregate] = {}
+        residual: list[tuple[tuple[str, ...], Sequence[str] | None]] = []
+        residual_keys: list[tuple] = []
+        foreign: list[int] = []
+        with self._lock:
+            reserved_here: set[tuple] = set()
+            for index, (request, (attrs, want)) in enumerate(zip(requests, keyed)):
+                hit = self._find(backend, attrs, want)
+                if hit is not None:
+                    obs.counter("cache.aggregate_hits").inc()
+                    obs.counter("cache.aggregate_requests", {"outcome": "hit"}).inc()
+                    results[index] = hit
+                    continue
+                reservation_key = (backend, attrs, want)
+                if reservation_key in reserved_here:
+                    # Duplicate within this very batch: the first occurrence
+                    # builds it; resolve this index from the cache afterwards.
+                    foreign.append(index)
+                    continue
+                if reservation_key in self._building:
+                    foreign.append(index)
+                    continue
+                self._building[reservation_key] = threading.Event()
+                reserved_here.add(reservation_key)
+                residual.append(request)
+                residual_keys.append(reservation_key)
+                results[index] = None  # type: ignore[assignment] # placeholder
+                obs.counter("cache.aggregate_misses").inc()
+                obs.counter("cache.aggregate_requests", {"outcome": "miss"}).inc()
+        built_by_key: dict[tuple, MaterializedAggregate] = {}
+        try:
+            if residual:
+                with obs.span(
+                    "cache.aggregate_build",
+                    backend=backend,
+                    batch=len(residual),
+                    measures="batch",
+                ):
+                    built = list(build_batch(residual))
+                if len(built) != len(residual):
+                    raise ValueError(
+                        f"batch builder returned {len(built)} aggregates "
+                        f"for {len(residual)} requests"
+                    )
+                with self._lock:
+                    for reservation_key, aggregate in zip(residual_keys, built):
+                        _, attrs, want = reservation_key
+                        nbytes = aggregate.actual_bytes()
+                        self._entries[(backend, attrs, want)] = (aggregate, nbytes)
+                        self._retained_bytes += nbytes
+                        built_by_key[reservation_key] = aggregate
+                    self._evict_over_budget()
+        finally:
+            with self._lock:
+                events = [self._building.pop(key, None) for key in residual_keys]
+            for event in events:
+                if event is not None:
+                    event.set()
+        for reservation_key, index in zip(residual_keys, (
+            i for i, r in results.items() if r is None
+        )):
+            results[index] = built_by_key[reservation_key]
+        # Keys built elsewhere (or duplicated within the batch): the plain
+        # single-flight path waits on the reservation and serves the hit.
+        for index in foreign:
+            attrs, want = keyed[index]
+            request = requests[index]
+            results[index] = self.get_or_build(
+                backend,
+                attrs,
+                request[1],
+                lambda r=request: self._batch_single(build_batch, r),
+            )
+        return [results[index] for index in range(len(requests))]
+
+    @staticmethod
+    def _batch_single(build_batch, request) -> MaterializedAggregate:
+        """Build one straggler through the batch builder (degenerate batch).
+
+        Reached only when a foreign reservation's builder failed and this
+        caller retries as the new builder.
+        """
+        return list(build_batch([request]))[0]
 
     def _find(
         self, backend: str, attrs: tuple, want: frozenset | None

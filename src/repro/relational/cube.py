@@ -24,17 +24,23 @@ import numpy as np
 
 from repro.errors import QueryError
 from repro.relational.aggregates import GroupedSummary
-from repro.relational.table import Table
+from repro.relational.table import Table, group_codes_from_arrays
 
 
-def powerset_group_by_sets(attributes: Sequence[str], min_size: int = 2) -> list[frozenset[str]]:
-    """All group-by sets of ``attributes`` with at least ``min_size`` members.
+def powerset_group_by_sets(
+    attributes: Sequence[str], min_size: int = 2, max_size: int | None = None
+) -> list[frozenset[str]]:
+    """All group-by sets of ``attributes`` with ``min_size`` to ``max_size`` members.
 
     This is the candidate collection ``G`` of Algorithm 2 (the powerset
-    minus the 1-group-by sets).
+    minus the 1-group-by sets).  ``max_size`` (inclusive, ``None`` = no cap)
+    bounds the enumeration: the full powerset is exponential in attribute
+    count, and sets wider than a few attributes are never chosen by the
+    weighted cover anyway — their estimated size approaches the base table.
     """
+    top = len(attributes) if max_size is None else min(max_size, len(attributes))
     sets: list[frozenset[str]] = []
-    for size in range(min_size, len(attributes) + 1):
+    for size in range(min_size, top + 1):
         sets.extend(frozenset(c) for c in combinations(attributes, size))
     return sets
 
@@ -106,6 +112,67 @@ class MaterializedAggregate:
             for m in measures
         }
         return cls(attrs, grouping.key_codes, categories, summaries)
+
+    @classmethod
+    def build_many(
+        cls,
+        table: Table,
+        requests: Sequence[tuple[tuple[str, ...], Sequence[str] | None]],
+    ) -> list["MaterializedAggregate"]:
+        """Fused batch build: one pass over base columns serves every set.
+
+        The multi-query-optimized counterpart of :meth:`build` — the shifted
+        categorical code arrays (``codes + 1``) and measure value arrays are
+        fetched from the table *once* and shared across all requested
+        group-by sets, so the per-set cost is only the mixed-radix combine
+        and the bincounts.  Each set still runs through the identical numpy
+        op sequence as :meth:`build`
+        (:func:`~repro.relational.table.group_codes_from_arrays` +
+        :meth:`GroupedSummary.from_values`), so results are bit-identical to
+        per-set builds — the exact-parity obligation of the batched backend
+        contract.
+        """
+        shifted_codes: dict[str, "np.ndarray"] = {}
+        radices: dict[str, int] = {}
+        categories: dict[str, tuple[str, ...]] = {}
+        measure_arrays: dict[str, "np.ndarray"] = {}
+        out: list[MaterializedAggregate] = []
+        for attributes, measures in requests:
+            attrs = tuple(sorted(attributes))
+            if measures is None:
+                measures = table.schema.measure_names
+            for name in attrs:
+                if name not in shifted_codes:
+                    col = table.categorical_column(name)
+                    shifted_codes[name] = col.codes.astype(np.int64) + 1
+                    radices[name] = len(col.categories) + 1
+                    categories[name] = col.categories
+            for m in measures:
+                if m not in measure_arrays:
+                    measure_arrays[m] = table.measure_values(m)
+            if attrs:
+                grouping = group_codes_from_arrays(
+                    [shifted_codes[a] for a in attrs],
+                    [radices[a] for a in attrs],
+                    table.n_rows,
+                )
+            else:
+                grouping = table.group_by_codes(attrs)
+            summaries = {
+                m: GroupedSummary.from_values(
+                    grouping.group_ids, measure_arrays[m], grouping.n_groups
+                )
+                for m in measures
+            }
+            out.append(
+                cls(
+                    attrs,
+                    grouping.key_codes,
+                    {a: categories[a] for a in attrs},
+                    summaries,
+                )
+            )
+        return out
 
     def pair_view(self, first: str, second: str) -> "PairAggregate":
         """Memoized 2-attribute view over this (pair-granularity) aggregate.

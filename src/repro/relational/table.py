@@ -49,6 +49,46 @@ class GroupingResult:
         self.key_codes = key_codes
 
 
+def group_codes_from_arrays(
+    code_arrays: Sequence[np.ndarray], radices: Sequence[int], n_rows: int
+) -> GroupingResult:
+    """Mixed-radix grouping over pre-shifted code arrays (codes + 1).
+
+    The single op sequence behind :meth:`Table.group_by_codes`; exposed at
+    module level so batched aggregation (``MaterializedAggregate.build_many``)
+    can share the prefetched code arrays across many group-by sets while
+    producing *bit-identical* results to the per-set path — identical inputs
+    through identical numpy calls.
+
+    Mixed-radix combine with *iterative compaction*: after folding each
+    attribute in, compact the combined key to dense ids so the running key
+    stays below ``n_rows * radix`` — no int64 overflow however many
+    attributes or how large their domains.
+    """
+    combined = code_arrays[0]
+    unique_combined = np.unique(combined)
+    group_ids = np.searchsorted(unique_combined, combined).astype(np.int64)
+    per_group_key = unique_combined  # dense id -> combined key (for decode)
+    decode_stack: list[tuple[np.ndarray, int]] = [(per_group_key, radices[0])]
+    for codes, radix in zip(code_arrays[1:], radices[1:]):
+        combined = group_ids * radix + codes
+        unique_combined, group_ids = np.unique(combined, return_inverse=True)
+        group_ids = group_ids.astype(np.int64)
+        decode_stack.append((unique_combined, radix))
+    n_groups = int(unique_combined.size) if n_rows else 0
+    # Decode per-attribute codes of each group by unwinding the stack.
+    key_codes_rev: list[np.ndarray] = []
+    current = decode_stack[-1][0]
+    for level in range(len(decode_stack) - 1, 0, -1):
+        _, radix = decode_stack[level]
+        key_codes_rev.append((current % radix).astype(np.int64) - 1)
+        parent_ids = current // radix  # dense ids at the previous level
+        current = decode_stack[level - 1][0][parent_ids]
+    key_codes_rev.append(current.astype(np.int64) - 1)
+    key_codes = tuple(reversed(key_codes_rev))
+    return GroupingResult(group_ids, n_groups, key_codes)
+
+
 class Table:
     """Immutable-by-convention columnar relation.
 
@@ -267,32 +307,7 @@ class Table:
             # Shift by one so NULL (-1) participates as its own group value.
             code_arrays.append(col.codes.astype(np.int64) + 1)
             radices.append(len(col.categories) + 1)
-        # Mixed-radix combine with *iterative compaction*: after folding each
-        # attribute in, compact the combined key to dense ids so the running
-        # key stays below n_rows * radix — no int64 overflow however many
-        # attributes or how large their domains.
-        combined = code_arrays[0]
-        unique_combined = np.unique(combined)
-        group_ids = np.searchsorted(unique_combined, combined).astype(np.int64)
-        per_group_key = unique_combined  # dense id -> combined key (for decode)
-        decode_stack: list[tuple[np.ndarray, int]] = [(per_group_key, radices[0])]
-        for codes, radix in zip(code_arrays[1:], radices[1:]):
-            combined = group_ids * radix + codes
-            unique_combined, group_ids = np.unique(combined, return_inverse=True)
-            group_ids = group_ids.astype(np.int64)
-            decode_stack.append((unique_combined, radix))
-        n_groups = int(unique_combined.size) if self.n_rows else 0
-        # Decode per-attribute codes of each group by unwinding the stack.
-        key_codes_rev: list[np.ndarray] = []
-        current = decode_stack[-1][0]
-        for level in range(len(decode_stack) - 1, 0, -1):
-            _, radix = decode_stack[level]
-            key_codes_rev.append((current % radix).astype(np.int64) - 1)
-            parent_ids = current // radix  # dense ids at the previous level
-            current = decode_stack[level - 1][0][parent_ids]
-        key_codes_rev.append(current.astype(np.int64) - 1)
-        key_codes = tuple(reversed(key_codes_rev))
-        return GroupingResult(group_ids, n_groups, key_codes)
+        return group_codes_from_arrays(code_arrays, radices, self.n_rows)
 
     def group_keys_table(self, attributes: Sequence[str], grouping: GroupingResult) -> "Table":
         """Per-group key columns as a table (one row per group)."""

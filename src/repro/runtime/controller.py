@@ -419,7 +419,8 @@ def resilient_generate(
     report = RunReport(deadline_seconds=policy.deadline_seconds,
                        backend=config.backend,
                        stats_kernel=config.significance.kernel,
-                       workers=parallel.workers)
+                       workers=parallel.workers,
+                       mqo=config.mqo)
     if epsilon_distance is None:
         epsilon_distance = DEFAULT_EPSILON_PER_QUERY * max(1.0, budget - 1.0)
 
@@ -446,6 +447,8 @@ def resilient_generate(
             report.resumed_from = str(resume.source) if resume.source else "checkpoint"
             if resume.report is not None:
                 report.backend_statements = resume.report.backend_statements
+                if resume.report.mqo_plan is not None:
+                    report.mqo_plan = resume.report.mqo_plan
             if resume.outcome is not None:
                 outcome = resume.outcome
                 _resumed_stage(report, STAGE_STATS)
@@ -526,6 +529,11 @@ def resilient_generate(
                     report,
                     policy.grace_seconds,
                 )
+                if outcome is not None and "mqo_plan_batches" in outcome.counters:
+                    report.mqo_plan = {
+                        "batches": outcome.counters["mqo_plan_batches"],
+                        "sets": outcome.counters["mqo_plan_sets"],
+                    }
                 if outcome is not None and checkpoint_path is not None:
                     from repro.persistence import save_checkpoint
 

@@ -80,6 +80,13 @@ class RunReport:
     #: Worker count of the sharded execution layer (1 = in-process).  A
     #: "worker field" in the invariance sense: results never depend on it.
     workers: int = 1
+    #: Whether batched multi-aggregate compilation (multi-query
+    #: optimization) was enabled for the support stage.
+    mqo: bool = True
+    #: The chosen multi-query plan: ``{"batches": n, "sets": m}`` — how
+    #: many per-grouping-attribute batches covered how many group-by sets.
+    #: ``None`` until the support stage has run (or for old checkpoints).
+    mqo_plan: dict | None = None
 
     def stage(self, name: str) -> StageReport | None:
         for entry in self.stages:
@@ -113,6 +120,8 @@ class RunReport:
             "backend_statements": self.backend_statements,
             "stats_kernel": self.stats_kernel,
             "workers": self.workers,
+            "mqo": self.mqo,
+            "mqo_plan": dict(self.mqo_plan) if self.mqo_plan else None,
         }
 
     @classmethod
@@ -126,6 +135,8 @@ class RunReport:
             backend_statements=int(data.get("backend_statements", 0)),
             stats_kernel=data.get("stats_kernel"),
             workers=int(data.get("workers", 1)),
+            mqo=bool(data.get("mqo", True)),
+            mqo_plan=data.get("mqo_plan"),
         )
 
     def summary_lines(self) -> list[str]:
@@ -142,6 +153,13 @@ class RunReport:
                 line += f"  kernel={self.stats_kernel}"
             if self.workers > 1:
                 line += f"  workers={self.workers}"
+            if not self.mqo:
+                line += "  mqo=off"
+            elif self.mqo_plan:
+                line += (
+                    f"  mqo={self.mqo_plan.get('sets', 0)} sets"
+                    f"/{self.mqo_plan.get('batches', 0)} batches"
+                )
             lines.append(line)
         for entry in self.stages:
             line = (

@@ -223,6 +223,7 @@ def test_from_env_reads_the_ci_matrix_hooks():
             "REPRO_BACKEND": "sqlite",
             "REPRO_STATS_KERNEL": "legacy",
             "REPRO_WORKERS": "2",
+            "REPRO_MQO": "0",
             "REPRO_BUDGET": "3.5",
             "REPRO_SOLVER": "exact",
             "REPRO_DEADLINE": "30",
@@ -230,6 +231,7 @@ def test_from_env_reads_the_ci_matrix_hooks():
     )
     assert config.backend == "sqlite"
     assert config.significance.kernel == "legacy"
+    assert config.generation.mqo is False
     assert config.parallel.workers == 2
     assert config.budget == 3.5
     assert config.solver == "exact"
@@ -243,6 +245,18 @@ def test_from_env_empty_is_default():
 def test_from_env_rejects_garbage_numbers():
     with pytest.raises(ReproError, match="REPRO_WORKERS"):
         ReproConfig.from_env({"REPRO_WORKERS": "many"})
+
+
+def test_from_env_rejects_garbage_mqo_flag():
+    with pytest.raises(ReproError, match="REPRO_MQO"):
+        ReproConfig.from_env({"REPRO_MQO": "maybe"})
+
+
+def test_mqo_round_trips_through_dict():
+    config = ReproConfig().with_generation(mqo=False)
+    restored = ReproConfig.from_dict(config.to_dict())
+    assert restored.generation.mqo is False
+    assert restored.to_dict() == config.to_dict()
 
 
 def test_with_helpers_are_functional_updates():

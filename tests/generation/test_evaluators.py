@@ -1,13 +1,21 @@
 """Unit tests for repro.generation.evaluators — all strategies must agree."""
 
+import threading
+
 import numpy as np
 import pytest
 
+from repro.backend import BackendError, ColumnarBackend
 from repro.generation import (
     NaiveEvaluator,
     PairwiseEvaluator,
     SetCoverEvaluator,
     build_evaluator,
+)
+from repro.generation.evaluators import (
+    DEFAULT_MAX_SET_SIZE,
+    MAX_BUILD_ATTEMPTS,
+    _cap_candidates,
 )
 from repro.queries import ComparisonQuery
 from repro.relational import table_from_arrays
@@ -103,6 +111,161 @@ class TestSetCoverSpecifics:
     def test_cache_bytes_reported(self, table):
         setcover = SetCoverEvaluator(table)
         assert setcover.cache_bytes > 0
+
+
+class TestPlanning:
+    def test_planned_pairs_cost_nothing_at_evaluate_time(self, table):
+        pairwise = PairwiseEvaluator(table, mqo=True)
+        pairwise.plan([("a", "b"), ("b", "c")])
+        sent = pairwise.queries_sent
+        assert sent == 2
+        pairwise.evaluate(QUERIES[0])  # (a, b): planned
+        pairwise.evaluate(QUERIES[2])  # (c, b): planned
+        assert pairwise.queries_sent == sent
+        pairwise.evaluate(QUERIES[4])  # (a, c): unplanned, lazy build
+        assert pairwise.queries_sent == sent + 1
+
+    def test_plan_is_a_noop_with_mqo_off(self, table):
+        pairwise = PairwiseEvaluator(table, mqo=False)
+        pairwise.plan([("a", "b")])
+        assert pairwise.queries_sent == 0
+        pairwise.evaluate(QUERIES[0])
+        assert pairwise.queries_sent == 1
+
+    def test_plan_skips_already_covered_pairs(self, table):
+        pairwise = PairwiseEvaluator(table, mqo=True)
+        pairwise.evaluate(QUERIES[0])  # builds (a, b) lazily
+        pairwise.plan([("a", "b"), ("a", "b"), ("b", "c")])
+        assert pairwise.queries_sent == 2  # only (b, c) was new
+
+    def test_planned_results_match_lazy_results(self, table):
+        planned = PairwiseEvaluator(table, mqo=True)
+        planned.plan(
+            [(q.group_by, q.selection_attribute) for q in QUERIES]
+        )
+        lazy = PairwiseEvaluator(table, mqo=False)
+        for query in QUERIES:
+            got, ref = planned.evaluate(query), lazy.evaluate(query)
+            assert got.groups == ref.groups
+            np.testing.assert_allclose(got.x, ref.x, rtol=1e-9, equal_nan=True)
+            np.testing.assert_allclose(got.y, ref.y, rtol=1e-9, equal_nan=True)
+
+
+class FailingBackend:
+    """Delegates everything but fails every aggregation build."""
+
+    def __init__(self, table):
+        self._inner = ColumnarBackend(table)
+        self.name = self._inner.name
+        self.capabilities = self._inner.capabilities
+        self.statements_executed = 0
+        self.build_attempts = 0
+
+    @property
+    def table(self):
+        return self._inner.table
+
+    def materialize_aggregate(self, attributes, measures=None):
+        self.build_attempts += 1
+        raise BackendError("injected build failure")
+
+    def materialize_aggregates(self, requests):
+        self.build_attempts += len(requests)
+        raise BackendError("injected batch failure")
+
+
+class TestBoundedRetry:
+    def test_builder_failure_propagates_immediately(self, table):
+        pairwise = PairwiseEvaluator(FailingBackend(table), mqo=False)
+        with pytest.raises(BackendError, match="injected"):
+            pairwise.evaluate(QUERIES[0])
+
+    def test_waiters_give_up_after_bounded_attempts(self, table):
+        """A waiter whose builder keeps failing must not recurse forever.
+
+        Simulated by pre-registering a completed build event that never
+        produced a covering aggregate: each wait returns instantly, the
+        cache never covers the pair, and the loop must terminate with a
+        BackendError instead of unbounded recursion.
+        """
+        pairwise = PairwiseEvaluator(table, mqo=False)
+        key = frozenset((QUERIES[0].group_by, QUERIES[0].selection_attribute))
+        stuck = threading.Event()
+        stuck.set()
+        pairwise._building[key] = stuck
+        with pytest.raises(BackendError, match=f"{MAX_BUILD_ATTEMPTS} attempts"):
+            pairwise.evaluate(QUERIES[0])
+
+    def test_failed_plan_releases_reservations(self, table):
+        backend = FailingBackend(table)
+        pairwise = PairwiseEvaluator(backend, mqo=True)
+        with pytest.raises(BackendError, match="injected"):
+            pairwise.plan([("a", "b")])
+        # The reservation is gone: a later evaluate may become the builder
+        # (and sees the backend's error, not a deadlock or a stale wait).
+        with pytest.raises(BackendError, match="injected"):
+            pairwise.evaluate(QUERIES[0])
+        assert backend.build_attempts >= 2
+
+
+def wide_schema_table(n_attrs: int, n_rows: int = 80):
+    rng = derive_rng(67, "evaluators-wide")
+    return table_from_arrays(
+        {f"a{i:02d}": rng.choice(["x", "y", "z"], n_rows) for i in range(n_attrs)},
+        {"m": rng.normal(0, 1, n_rows)},
+    )
+
+
+class TestBoundedEnumeration:
+    def test_cap_keeps_all_pairs(self):
+        candidates = {
+            frozenset(s): float(len(s))
+            for s in [("a", "b"), ("a", "c"), ("b", "c"), ("a", "b", "c"),
+                      ("a", "b", "d"), ("a", "c", "d"), ("b", "c", "d")]
+        }
+        capped = _cap_candidates(candidates, max_candidates=4)
+        assert all(len(s) == 2 for s in capped if len(s) == 2)
+        assert {s for s in candidates if len(s) == 2} <= set(capped)
+        assert len(capped) == 4
+
+    def test_cap_prefers_cheapest_larger_sets_deterministically(self):
+        candidates = {
+            frozenset(("a", "b")): 1.0,
+            frozenset(("a", "b", "c")): 5.0,
+            frozenset(("a", "b", "d")): 2.0,
+        }
+        capped = _cap_candidates(candidates, max_candidates=2)
+        assert set(capped) == {frozenset(("a", "b")), frozenset(("a", "b", "d"))}
+
+    def test_many_attribute_schema_stays_bounded(self):
+        """The satellite regression: 12 attributes (4083 subsets of size
+        >= 2 unbounded) must enumerate at most max_candidates sets and
+        never pick a set wider than max_set_size."""
+        from repro.generation import pairs_covered
+        from repro.relational import pair_group_by_sets
+
+        table = wide_schema_table(12)
+        setcover = SetCoverEvaluator(table)
+        assert all(len(s) <= DEFAULT_MAX_SET_SIZE for s in setcover.chosen_sets)
+        names = table.schema.categorical_names
+        covered = set()
+        for s in setcover.chosen_sets:
+            covered |= pairs_covered(s)
+        assert set(pair_group_by_sets(names)) <= covered
+
+    def test_tighter_caps_still_cover(self):
+        from repro.generation import pairs_covered
+        from repro.relational import pair_group_by_sets
+
+        table = wide_schema_table(9)
+        n_pairs = 9 * 8 // 2
+        setcover = SetCoverEvaluator(table, max_set_size=3, max_candidates=n_pairs)
+        # With no room for larger sets, the cover degenerates to pairs.
+        assert all(len(s) == 2 for s in setcover.chosen_sets)
+        covered = set()
+        for s in setcover.chosen_sets:
+            covered |= pairs_covered(s)
+        assert set(pair_group_by_sets(table.schema.categorical_names)) <= covered
 
 
 class TestFactory:

@@ -59,6 +59,19 @@ class TestSerialization:
         restored = RunReport.from_dict(report.as_dict())
         assert restored == report
 
+    def test_mqo_fields_round_trip(self):
+        report = sample_report()
+        report.mqo = False
+        report.mqo_plan = {"batches": 3, "sets": 17}
+        restored = RunReport.from_dict(report.as_dict())
+        assert restored.mqo is False
+        assert restored.mqo_plan == {"batches": 3, "sets": 17}
+
+    def test_old_checkpoints_default_mqo_on(self):
+        restored = RunReport.from_dict({})
+        assert restored.mqo is True
+        assert restored.mqo_plan is None
+
     def test_from_dict_defaults(self):
         restored = RunReport.from_dict({})
         assert restored.stages == []
@@ -82,3 +95,12 @@ class TestSummaryLines:
     def test_error_line_marked(self):
         report = RunReport(stages=[StageReport("render", status=STATUS_FAILED, error="boom")])
         assert any(line.strip() == "x boom" for line in report.summary_lines())
+
+    def test_backend_line_shows_the_mqo_plan(self):
+        report = RunReport(backend="sqlite", mqo_plan={"batches": 2, "sets": 9})
+        text = "\n".join(report.summary_lines())
+        assert "mqo=9 sets/2 batches" in text
+
+    def test_backend_line_shows_mqo_off(self):
+        report = RunReport(backend="sqlite", mqo=False)
+        assert any("mqo=off" in line for line in report.summary_lines())
