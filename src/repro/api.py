@@ -29,9 +29,10 @@ instead of failing, checkpoints make runs resumable, and the attached
 
 from __future__ import annotations
 
+import logging
 import threading
 from pathlib import Path
-from typing import Callable
+from typing import Callable, Mapping, Sequence
 
 from repro import obs
 from repro.config import ReproConfig
@@ -41,6 +42,8 @@ from repro.notebook.cells import Notebook
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import Tracer
 from repro.relational import Table, read_csv
+
+logger = logging.getLogger(__name__)
 
 __all__ = ["Session", "generate_notebook"]
 
@@ -122,8 +125,35 @@ class Session:
         self._lock = threading.RLock()
         self._shared_store = None
         self._fleet = None
+        # Mutation bookkeeping.  ``_state_lock`` guards the (table, backend,
+        # versioner, moments, memo) tuple so :meth:`append` can swap the
+        # dataset *while a run is in flight*: the run keeps working on the
+        # snapshot it took at start, and the superseded backend / shared
+        # segment land on ``_retired`` (closed at the next run boundary or
+        # in :meth:`close`) instead of being torn down under it.
+        self._state_lock = threading.Lock()
+        self._retired: list = []
+        self._versioner = None
+        self._moments = None
+        self._memo = None
+        self._fleet_stale = False
         if self.table is not None:
             self.table = self._materialize(self.table)
+
+    @classmethod
+    def from_csv(
+        cls,
+        path: str | Path,
+        *,
+        config: ReproConfig | None = None,
+        table_name: str | None = None,
+    ) -> "Session":
+        """Open a session over a CSV file (strict load).
+
+        The canonical constructor for file-backed sessions;
+        ``Session(path)`` remains as a thin shim that delegates here.
+        """
+        return cls(Path(path), config=config, table_name=table_name)
 
     def _materialize(self, table: Table) -> Table:
         """Move the resident table onto the configured data plane.
@@ -172,6 +202,10 @@ class Session:
     @property
     def backend(self):
         """The session's execution backend (created on first use)."""
+        with self._state_lock:
+            return self._backend_locked()
+
+    def _backend_locked(self):
         if self._closed:
             raise ReproError("session is closed")
         if self.table is None:
@@ -205,6 +239,131 @@ class Session:
         """Where the resident table lives: ``"heap"`` or ``"shm"``."""
         return "heap" if self.table is None else self.table.storage
 
+    # -- versioned mutation ---------------------------------------------------
+
+    @property
+    def version(self) -> str | None:
+        """Content-version token of the resident table (None when table-less).
+
+        The token is ``"<rows>-<digest>"`` over the table's decoded
+        contents: two tables with identical rows share it regardless of how
+        they were loaded, and :meth:`append` advances it in O(delta).
+        Pass it to :meth:`generate` as ``since=`` to run incrementally, or
+        to the serving layer's ``if_version`` guard for optimistic
+        concurrency.
+        """
+        with self._state_lock:
+            return self._version_locked()
+
+    def _version_locked(self) -> str | None:
+        if self.table is None:
+            return None
+        if self._versioner is None:
+            from repro.relational.table import TableVersioner
+
+            self._versioner = TableVersioner(self.table)
+        return self._versioner.token
+
+    def append(
+        self, rows: "Mapping[str, Sequence[object]] | Sequence[Sequence[object]]"
+    ) -> str:
+        """Append a row block to the resident table; returns the new version.
+
+        ``rows`` is a mapping of column name -> values, or a sequence of
+        row tuples in schema order (:meth:`Table.append_block`).  The call
+        is cheap and does not wait for a run in flight: the grown table is
+        swapped in under the state lock, the run keeps its snapshot, and
+        resources bound to the superseded version are retired and released
+        at the next run boundary.
+
+        What carries over — in O(delta), bit-identically to a cold rebuild
+        over the concatenated data:
+
+        * the version token (streaming hash fold);
+        * the per-attribute :class:`~repro.relational.moments.MomentStore`;
+        * every patchable :class:`AggregateCache` entry — only the groups
+          the block touched are recomputed (partition-granular
+          invalidation; ``cache.groups_carried`` counts the rest);
+        * the last run's stats memo, so the next
+          ``generate(since=...)`` re-tests only the touched pair families.
+        """
+        from repro.backend import incremental_backend_names
+        from repro.relational.moments import MomentStore
+
+        with self._state_lock:
+            if self._closed:
+                raise ReproError("session is closed")
+            if self.table is None:
+                raise ReproError("a table-less session cannot append rows")
+            old = self.table
+            old_version = self._version_locked()
+            grown = old.append_block(rows)
+            delta_start = old.n_rows
+            self._versioner.advance(grown, delta_start)
+            version = self._versioner.token
+            if self._moments is None:
+                # First append: one cold grouping pass per attribute over
+                # the old rows; every later append advances in O(delta).
+                self._moments = MomentStore.build(old, old_version)
+            self._moments = self._moments.advance(grown, delta_start, version)
+            patchable = incremental_backend_names()
+            migration = grown.aggregate_cache().adopt(
+                old.aggregate_cache(), grown, delta_start, patchable
+            )
+            if self.config.backend in patchable:
+                self._moments.seed_cache(
+                    grown.aggregate_cache(), self.config.backend
+                )
+            if self._backend is not None:
+                self._retired.append(self._backend)
+                self._backend = None
+            if self._shared_store is not None:
+                self._retired.append(self._shared_store)
+                self._shared_store = None
+            self.table = self._materialize(grown)
+            self._fleet_stale = True
+            self.metrics.counter("session.appends").inc()
+            self.metrics.counter("session.rows_appended").inc(
+                grown.n_rows - delta_start
+            )
+            logger.info(
+                "appended %d row(s): version %s -> %s (%d cache entr%s "
+                "migrated, %d dropped)",
+                grown.n_rows - delta_start, old_version, version,
+                migration["migrated"],
+                "y" if migration["migrated"] == 1 else "ies",
+                migration["dropped"],
+            )
+            return version
+
+    def restore_memo(self, memo) -> None:
+        """Adopt a persisted stats memo (:class:`repro.stats.delta.StatsMemo`).
+
+        The CLI's ``--since-checkpoint`` path uses this to seed a fresh
+        process with the previous run's memo; ``generate(since=memo.version)``
+        then runs the statistical stage incrementally.  The caller is
+        responsible for having verified that the memo's version is a row
+        prefix of the resident table (``content_token(table, memo.n_rows)``);
+        an unverifiable memo simply downgrades that run to a full pass.
+        """
+        with self._state_lock:
+            self._memo = memo
+
+    def _drain_retired(self) -> None:
+        """Release resources superseded by :meth:`append`.
+
+        Called at run boundaries (under the run locks, so nothing is in
+        flight on them) and from :meth:`close`.
+        """
+        with self._state_lock:
+            retired, self._retired = self._retired, []
+        for resource in retired:
+            closer = getattr(resource, "close", None) or getattr(
+                resource, "release", None
+            )
+            if closer is not None:
+                closer()
+
     def close(self) -> None:
         """Release the backend, the worker fleet, and the shared segment.
         Idempotent.
@@ -213,6 +372,7 @@ class Session:
         nothing is torn down under an active run.
         """
         with self._lock:
+            self._drain_retired()
             if self._backend is not None:
                 self._backend.close()
                 self._backend = None
@@ -245,6 +405,7 @@ class Session:
         progress: Callable[[str], None] | None = None,
         tracer=None,
         metrics=None,
+        since: str | None = None,
     ) -> NotebookRun:
         """Run the full pipeline under the resilient controller.
 
@@ -254,6 +415,14 @@ class Session:
         caller-owned instances (the serving layer passes a job's pair so
         every request owns its spans); the session's own pair is used
         otherwise.
+
+        ``since`` is a version token from an earlier :meth:`generate` /
+        :meth:`append` on this session: when the session still holds the
+        stats memo of a run at that version, the statistical stage
+        re-tests only the pair families touched by the rows appended
+        since — and the notebook is byte-identical to a full cold run.
+        When it cannot (different version, configuration changed, offline
+        sampling), the run falls back to a full pass with a warning.
         """
         from contextlib import nullcontext
 
@@ -266,11 +435,32 @@ class Session:
         ):
             if self._closed:
                 raise ReproError("session is closed")
+            self._drain_retired()
             fleet = self._run_fleet()
+            with self._state_lock:
+                table = self.table
+                run_backend = self._backend_locked() if table is not None else None
+                version = self._version_locked()
+                memo = self._memo
+                fleet_stale, self._fleet_stale = self._fleet_stale, False
+            if fleet_stale and fleet is not None:
+                fleet.refresh()
+            incremental = None
+            if since is not None:
+                if memo is not None and memo.version == since:
+                    from repro.stats.delta import IncrementalRequest
+
+                    incremental = IncrementalRequest(memo)
+                else:
+                    logger.warning(
+                        "no stats memo for version %s (have: %s); running the "
+                        "statistical stage in full",
+                        since, memo.version if memo is not None else "none",
+                    )
             ambient = use_fleet(fleet) if fleet is not None else nullcontext()
             with ambient:
-                return resilient_generate(
-                    self.table,
+                run = resilient_generate(
+                    table,
                     cfg.generation,
                     budget=cfg.budget if budget is None else budget,
                     epsilon_distance=(
@@ -289,8 +479,14 @@ class Session:
                     checkpoint_path=checkpoint_path,
                     resume=resume,
                     progress=progress,
-                    backend=self.backend if self.table is not None else None,
+                    backend=run_backend,
+                    incremental=incremental,
+                    version=version,
                 )
+            if run.stats_memo is not None:
+                with self._state_lock:
+                    self._memo = run.stats_memo
+            return run
 
     def render(
         self,

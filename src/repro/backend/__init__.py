@@ -40,9 +40,25 @@ __all__ = [
     "create_backend",
     "default_backend_name",
     "default_mqo",
+    "incremental_backend_names",
     "materialize_batch",
     "source_table",
 ]
+
+
+def incremental_backend_names() -> frozenset[str]:
+    """Backends whose cached aggregates can be patched across an append.
+
+    A backend declaring ``capabilities.incremental_aggregates`` guarantees
+    its group ordering matches :meth:`~repro.relational.cube
+    .MaterializedAggregate.patched`; cache entries of other backends are
+    dropped on append and re-aggregated from the grown table on demand.
+    """
+    return frozenset(
+        cls.name
+        for cls in (ColumnarBackend, SqliteBackend)
+        if cls.capabilities.incremental_aggregates
+    )
 
 
 def create_backend(name: str, table, table_name: str = "dataset") -> ExecutionBackend:

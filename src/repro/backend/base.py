@@ -128,6 +128,13 @@ class BackendCapabilities:
         (multi-query optimization).  Callers should route batches through
         :func:`materialize_batch`, which falls back per-set when the flag
         is off.
+    incremental_aggregates:
+        Materialized aggregates built by this backend can be *patched* in
+        place of a rebuild when the base table grows by an appended row
+        block (:meth:`~repro.relational.cube.MaterializedAggregate.patched`
+        yields bit-identical results to a cold build).  Backends without
+        the flag fall back transparently: their cached aggregates are
+        dropped on append and rebuilt from the grown table.
     """
 
     sql_pushdown: bool
@@ -135,6 +142,7 @@ class BackendCapabilities:
     additive_summaries: bool = True
     concurrent_evaluate: bool = True
     batched_aggregates: bool = False
+    incremental_aggregates: bool = False
 
 
 @dataclass(frozen=True, slots=True)

@@ -27,7 +27,10 @@ class ColumnarBackend:
 
     name = "columnar"
     capabilities = BackendCapabilities(
-        sql_pushdown=False, zero_copy_scan=True, batched_aggregates=True
+        sql_pushdown=False,
+        zero_copy_scan=True,
+        batched_aggregates=True,
+        incremental_aggregates=True,
     )
 
     def __init__(self, table: Table):

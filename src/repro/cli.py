@@ -8,6 +8,7 @@ Usage::
     python -m repro generate data.csv --stats-kernel legacy
     python -m repro generate data.csv --deadline 5 --checkpoint run.ckpt.json
     python -m repro generate data.csv --resume run.ckpt.json --out notebook.ipynb
+    python -m repro generate grown.csv --checkpoint run.ckpt.json --since-checkpoint
     python -m repro profile data.csv --trace trace.json
     python -m repro inspect data.csv
     python -m repro datasets --out-dir ./demo-data
@@ -137,9 +138,16 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(per-worker pickled copies), or auto (shm "
                                 "when a subprocess pool is active; default, "
                                 "honours $REPRO_SHM)")
-    # Hidden alias: the pre-5.x spelling of --workers keeps working.
-    execution.add_argument("--threads", type=int, default=None, dest="workers",
-                           help=argparse.SUPPRESS)
+    execution.add_argument("--since-checkpoint", action="store_true",
+                           help="incremental re-run: reuse the stats memo saved "
+                                "in --checkpoint by an earlier run over a row "
+                                "prefix of this CSV, re-testing only the pair "
+                                "families the appended rows touched (the "
+                                "notebook is byte-identical to a full run)")
+    # Hidden alias: the pre-5.x spelling of --workers keeps working, but
+    # now warns once per process (see repro.deprecation).
+    execution.add_argument("--threads", type=int, default=None,
+                           dest="legacy_threads", help=argparse.SUPPRESS)
     gen.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
                      help="wall-clock budget; stages degrade instead of overrunning")
     gen.add_argument("--checkpoint", type=Path, default=None, metavar="PATH",
@@ -173,7 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="worker count (default honours $REPRO_WORKERS)")
     prof.add_argument("--store", choices=STORE_NAMES, default=None,
                       help="column-store data plane (auto, heap, or shm)")
-    prof.add_argument("--threads", type=int, default=None, dest="workers",
+    prof.add_argument("--threads", type=int, default=None, dest="legacy_threads",
                       help=argparse.SUPPRESS)
     prof.add_argument("--backend", choices=BACKEND_NAMES, default=None,
                       help="execution backend (columnar or sqlite)")
@@ -292,9 +300,20 @@ def _config_from_args(args: argparse.Namespace) -> ReproConfig:
         config = config.with_generation(backend=args.backend)
     if getattr(args, "stats_kernel", None):
         config = config.with_significance(kernel=args.stats_kernel)
+    workers = getattr(args, "workers", None)
+    legacy_threads = getattr(args, "legacy_threads", None)
+    if legacy_threads is not None:
+        from repro.deprecation import warn_once
+
+        warn_once(
+            "cli--threads",
+            "--threads is deprecated and will be removed; use --workers",
+        )
+        if not workers:
+            workers = legacy_threads
     parallel_changes = {}
-    if getattr(args, "workers", None):
-        parallel_changes["workers"] = args.workers
+    if workers:
+        parallel_changes["workers"] = workers
     if getattr(args, "parallel_backend", None):
         parallel_changes["backend"] = args.parallel_backend
     if getattr(args, "store", None):
@@ -334,12 +353,20 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         deadline_seconds=args.deadline,
     )
 
+    since, memo = None, None
+    if args.since_checkpoint:
+        memo = _load_since_memo(args, table, say)
+        since = memo.version if memo is not None else None
+
     with Session(table, config=config, table_name=table_name) as session:
+        if memo is not None:
+            session.restore_memo(memo)
         run = session.generate(
             checkpoint_path=args.checkpoint,
             resume=resume,
             faults=faults,
             progress=say,
+            since=since,
         )
 
         if not run.selected:
@@ -376,6 +403,46 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         say(obs.metrics_summary_line(session.metrics))
     _print_report(run, args.quiet)
     return 0
+
+
+def _load_since_memo(args: argparse.Namespace, table, say):
+    """The validated stats memo behind ``--since-checkpoint``, or None.
+
+    Every way the memo can be unusable — no checkpoint flag, unreadable
+    file, no stored memo, or a memo whose version is not a row prefix of
+    the loaded CSV — downgrades to a full run with a warning, never an
+    error: the flag is a speed knob, and the output is byte-identical
+    either way.
+    """
+    from repro.persistence import PersistenceError, load_checkpoint
+    from repro.relational.table import content_token
+
+    if args.checkpoint is None:
+        raise ReproError("--since-checkpoint requires --checkpoint PATH")
+    if table is None:
+        raise ReproError("--since-checkpoint requires a CSV argument")
+    try:
+        prior = load_checkpoint(args.checkpoint)
+    except PersistenceError as exc:
+        logger.warning("--since-checkpoint: %s; running in full", exc)
+        return None
+    memo = prior.memo
+    if memo is None:
+        logger.warning(
+            "--since-checkpoint: %s holds no incremental stats memo; "
+            "running the statistical stage in full", args.checkpoint,
+        )
+        return None
+    if memo.n_rows > table.n_rows or content_token(table, memo.n_rows) != memo.version:
+        logger.warning(
+            "--since-checkpoint: checkpointed version %s is not a row prefix "
+            "of %s; running the statistical stage in full",
+            memo.version, args.csv,
+        )
+        return None
+    say(f"incremental run since version {memo.version} "
+        f"({table.n_rows - memo.n_rows} appended row(s))")
+    return memo
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:

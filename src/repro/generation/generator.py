@@ -31,7 +31,6 @@ from repro.insights.significance import (
     family_chunks,
     finalize_attribute,
     run_attribute_chunk,
-    run_attribute_significance,
 )
 from repro.parallel.shards import (
     ShardStore,
@@ -43,8 +42,17 @@ from repro.insights.transitivity import prune_transitive
 from repro.queries.comparison import ComparisonQuery
 from repro.queries.interestingness import conciseness, insight_term
 from repro.relational.functional_deps import detect_functional_dependencies, related_attributes
+from repro.relational.moments import touched_labels
 from repro.relational.table import Table
 from repro.runtime.deadline import Deadline
+from repro.stats.delta import (
+    IncrementalRequest,
+    StatsMemo,
+    incremental_config_token,
+    merge_attribute,
+    plan_incremental,
+    segment_families,
+)
 from repro.stats.sampling import offline_test_sources
 
 logger = logging.getLogger(__name__)
@@ -120,12 +128,19 @@ class StatsStageResult:
     Holds the significant insights plus the FD-derived exclusions the
     support stage needs, so an interrupted run can resume from here without
     re-running a single permutation test.
+
+    ``memo`` — present when the run was memoizable (no offline sampling,
+    shared permutation batches, and a table version token supplied) —
+    carries the raw per-family test results so a later run over an
+    *appended* table can re-test only the touched pair families
+    (:mod:`repro.stats.delta`).
     """
 
     significant: list[TestedInsight]
     excluded_pairs: set[frozenset[str]]
     timings: PhaseTimings
     counters: dict[str, int] = field(default_factory=dict)
+    memo: StatsMemo | None = None
 
 
 def run_stats_stage(
@@ -135,6 +150,8 @@ def run_stats_stage(
     deadline: Deadline | None = None,
     backend: ExecutionBackend | None = None,
     shard_store: ShardStore | None = None,
+    incremental: IncrementalRequest | None = None,
+    version: str | None = None,
 ) -> StatsStageResult:
     """FD preprocessing, offline sampling, and the statistical tests.
 
@@ -146,6 +163,15 @@ def run_stats_stage(
     a resumed run skips them.  ``backend`` supplies the rows the offline
     samples draw from; the tests themselves are row-level statistics and
     run in-process or on the worker pool per ``config.effective_parallel()``.
+
+    ``incremental`` carries a :class:`~repro.stats.delta.StatsMemo` from an
+    earlier run over a *prefix* of ``table`` (the caller has verified the
+    version match); only pair families touched by the appended rows — or
+    whose candidate set changed — are re-tested, and the merged raw results
+    are element-identical to a full run's.  When the memo cannot soundly
+    serve this configuration the stage logs a warning and runs in full.
+    ``version`` is the table's content-version token; when given (and the
+    run is memoizable) the result carries a fresh memo for the next append.
     """
     config = config or GenerationConfig()
     timings = PhaseTimings()
@@ -182,13 +208,42 @@ def run_stats_stage(
     # -- statistical tests ------------------------------------------------------
     logger.info("statistical tests: %d permutations, engine=%s",
                 config.significance.n_permutations, config.significance.engine)
+    delta_input = None
+    if incremental is not None:
+        memo = incremental.memo
+        if memo.n_rows > table.n_rows:
+            logger.warning(
+                "incremental stats disabled: memo covers %d rows but the "
+                "table holds only %d", memo.n_rows, table.n_rows,
+            )
+        else:
+            dirty_values = {
+                name: touched_labels(table, name, memo.n_rows)
+                for name in table.schema.categorical_names
+            }
+            delta_input = (memo, dirty_values)
+
     with obs.span(
         "stats.tests",
         engine=config.significance.engine,
         permutations=config.significance.n_permutations,
         workers=config.effective_parallel().workers,
     ) as sp:
-        tested = _run_tests(test_source, config, deadline, shard_store)
+        tested, records, plan = _run_tests(
+            test_source, config, deadline, shard_store,
+            delta=delta_input, collect_memo=version is not None,
+        )
+        if plan is not None:
+            counters["stats_partitions_skipped"] = plan.skipped
+            counters["stats_partitions_retested"] = plan.retested
+            obs.counter("stats.partitions_skipped").inc(plan.skipped)
+            obs.counter("stats.partitions_retested").inc(plan.retested)
+            say(f"incremental: {plan.skipped} pair families reused, "
+                f"{plan.retested} re-tested")
+            logger.info("incremental stats: %d pair families reused, %d re-tested",
+                        plan.skipped, plan.retested)
+        elif incremental is not None:
+            counters["stats_partitions_skipped"] = 0
         counters["insights_tested"] = len(tested)
         significant = [t for t in tested if t.is_significant(config.significance.threshold)]
         counters["insights_significant"] = len(significant)
@@ -209,7 +264,12 @@ def run_stats_stage(
     logger.info("%d/%d insights significant (%d after pruning) in %.3fs",
                 counters["insights_significant"], counters["insights_tested"],
                 counters["insights_after_pruning"], timings.statistical_tests)
-    return StatsStageResult(significant, excluded_pairs, timings, counters)
+    memo = None
+    if records is not None and version is not None:
+        memo = StatsMemo(
+            version, table.n_rows, incremental_config_token(config), records
+        )
+    return StatsStageResult(significant, excluded_pairs, timings, counters, memo)
 
 
 def run_support_stage(
@@ -321,12 +381,20 @@ def _run_tests(
     config: GenerationConfig,
     deadline: Deadline | None = None,
     shard_store: ShardStore | None = None,
-) -> list[TestedInsight]:
+    delta: tuple[StatsMemo, dict[str, frozenset]] | None = None,
+    collect_memo: bool = False,
+) -> tuple[list[TestedInsight], dict[str, list] | None, object]:
     """Run the per-attribute significance tests, possibly in parallel.
 
     ``test_source`` is either one table shared by every attribute (full
     data or a uniform random sample) or a mapping attribute -> table
     (per-attribute balanced samples of the unbalanced strategy).
+
+    ``delta`` — ``(memo, dirty_values)`` from a verified prior run — routes
+    only the dirty pair families through the runners and splices the
+    memo's stored raw results in for the rest; ``collect_memo`` asks for
+    the per-family records of this run (for the *next* memo).  Returns
+    ``(tested, records_or_None, plan_or_None)``.
 
     ``config.effective_parallel()`` picks the execution strategy: the
     sharded subprocess pool of :mod:`repro.parallel` (``processes``, with
@@ -335,7 +403,8 @@ def _run_tests(
     (``threads``, the legacy GIL-bound path), or plain sequential when one
     worker is configured.  All three produce identical results — shards
     are cut at pair-family boundaries and permutation batches derive their
-    RNG from chunk-independent keys.
+    RNG from chunk-independent keys.  The incremental path feeds its dirty
+    work through the same runners, so the parity holds there too.
     """
     if isinstance(test_source, Table):
         tables = {name: test_source for name in test_source.schema.categorical_names}
@@ -361,19 +430,77 @@ def _run_tests(
             work.append((attribute, sample, candidates))
 
     parallel = config.effective_parallel()
-    if parallel.active and parallel.backend == "processes" and work:
+    memoizable = config.sampling is None and config.significance.share_across_pairs
+
+    plan = None
+    if delta is not None:
+        memo, dirty_values = delta
+        plan = plan_incremental(memo, work, dirty_values, config)
+
+    if plan is not None:
+        raw: dict[str, tuple[list, list]] = {}
+        if plan.dirty_work:
+            _execute_tests(
+                plan.dirty_work, config, parallel, deadline, shard_store,
+                checkpoint, raw_out=raw,
+            )
+        tested: list[TestedInsight] = []
+        records: dict[str, list] = {}
+        for attribute, _, _ in work:
+            oriented, results, family_records = merge_attribute(
+                plan, attribute, raw.get(attribute, ((), ()))
+            )
+            tested.extend(finalize_attribute(oriented, results, config.significance))
+            records[attribute] = family_records
+        return tested, (records if collect_memo else None), plan
+
+    want_raw = collect_memo and memoizable
+    raw = {} if want_raw else None
+    tested = _execute_tests(
+        work, config, parallel, deadline, shard_store, checkpoint, raw_out=raw
+    )
+    records = None
+    if want_raw:
+        records = {
+            attribute: segment_families(candidates, *raw.get(attribute, ((), ())))
+            for attribute, _, candidates in work
+        }
+    return tested, records, None
+
+
+def _execute_tests(
+    work: list[tuple[str, Table, list[CandidateInsight]]],
+    config: GenerationConfig,
+    parallel,
+    deadline: Deadline | None,
+    shard_store: ShardStore | None,
+    checkpoint,
+    raw_out: dict[str, tuple[list, list]] | None = None,
+) -> list[TestedInsight]:
+    """Feed a work list through the configured runner.
+
+    The single execution funnel for both full and incremental runs: the
+    sharded process pool, the thread pool, or plain sequential.  When
+    ``raw_out`` is given it receives each attribute's merged raw
+    ``(oriented, results)`` before the BH correction.
+    """
+    if not work:
+        return []
+    if parallel.active and parallel.backend == "processes":
         return run_stats_shards(
-            work, config.significance, parallel, deadline, store=shard_store
+            work, config.significance, parallel, deadline,
+            store=shard_store, raw_out=raw_out,
         )
 
     if not parallel.active or len(work) <= 1:
         tested: list[TestedInsight] = []
         for attribute, sample, candidates in work:
-            tested.extend(
-                run_attribute_significance(
-                    sample, attribute, candidates, config.significance, checkpoint=checkpoint
-                )
+            oriented, results = run_attribute_chunk(
+                sample, attribute, candidates, config.significance, checkpoint
             )
+            if raw_out is not None:
+                raw_out[attribute] = (list(oriented), list(results))
+            tested.extend(finalize_attribute(oriented, results, config.significance))
         return tested
 
     # Thread pool: chunk within attributes so one large-domain attribute
@@ -405,6 +532,8 @@ def _run_tests(
             pool.shutdown(wait=False, cancel_futures=True)
             raise
 
+    if raw_out is not None:
+        raw_out.update(merged)
     tested = []
     for attribute, _, _ in work:
         oriented, results = merged[attribute]

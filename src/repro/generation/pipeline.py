@@ -79,6 +79,9 @@ class NotebookRun:
     budget: float
     epsilon_distance: float
     report: RunReport | None = None
+    #: Raw per-family stats memo (:class:`repro.stats.delta.StatsMemo`)
+    #: when the run was memoizable — the seed of the next incremental run.
+    stats_memo: object | None = None
 
     @property
     def timings(self):

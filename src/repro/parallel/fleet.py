@@ -193,6 +193,16 @@ def _fleet_worker_main(worker_id: int, task_queue, result_queue,
             if raw is None:
                 break
             message = pickle.loads(raw)
+            if message[0] == "drop_states":
+                # The session's dataset changed (rows appended): every warm
+                # stage state is keyed by an init blob naming the *old*
+                # table, so none can ever be hit again — close them now
+                # instead of waiting for cache-size eviction.
+                for _, state in states.values():
+                    _close_state(state)
+                states.clear()
+                stage = None
+                continue
             if message[0] == "setup":
                 (_, epoch, init_blob, deadline_remaining,
                  label, fault_guard) = message
@@ -335,6 +345,23 @@ class WorkerFleet:
         """Forget a (dead) worker; returns its exit code for diagnostics."""
         process, _ = self._workers.pop(worker_id)
         return process.exitcode
+
+    def refresh(self) -> None:
+        """Tell every live worker to drop its warm stage states.
+
+        Called after the owning session's table version advances: the
+        cached states reference the superseded table (and, under the shm
+        plane, hold attached views of its segment), and their digest keys
+        can never match again.  The broadcast is fire-and-forget — each
+        worker's task queue is serial, so the drop lands before any
+        subsequent stage setup.
+        """
+        if self.closed:
+            return
+        for worker_id, (process, _) in list(self._workers.items()):
+            if process.is_alive():
+                self.send(worker_id, ("drop_states",))
+        obs.counter("parallel.fleet_refreshes").inc()
 
     # -- the byte-counted wire ----------------------------------------------
 

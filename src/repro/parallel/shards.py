@@ -152,12 +152,17 @@ def run_stats_shards(
     parallel: ParallelConfig,
     deadline: Deadline | None = None,
     store: ShardStore | None = None,
+    raw_out: dict[str, tuple[list, list]] | None = None,
 ) -> list[TestedInsight]:
     """Test every attribute's candidates across the shard pool.
 
     Returns the tested insights in the exact order the sequential path
     produces them: attributes in ``work`` order, candidates in enumeration
     order, BH applied per attribute family over the merged chunks.
+
+    When ``raw_out`` is given it receives, per attribute, the merged raw
+    ``(oriented, results)`` sequences *before* the BH correction — the
+    incremental stats stage memoizes these per pair family.
     """
     jobs = _stats_jobs(work, parallel.chunk_size)
     tables = {attribute: sample for attribute, sample, _ in work}
@@ -219,6 +224,8 @@ def run_stats_shards(
     for (shard_id, attribute, _), (oriented, results) in zip(jobs, outputs):
         merged[attribute][0].extend(oriented)
         merged[attribute][1].extend(results)
+    if raw_out is not None:
+        raw_out.update(merged)
     tested: list[TestedInsight] = []
     for attribute, _, _ in work:
         oriented, results = merged[attribute]

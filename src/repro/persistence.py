@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -36,8 +37,11 @@ from repro.parallel.shards import ShardStore
 from repro.queries.comparison import ComparisonQuery
 from repro.queries.distance import DEFAULT_WEIGHTS, DistanceWeights, query_distance
 from repro.runtime.report import RunReport
+from repro.stats.delta import StatsMemo
 from repro.stats.permutation import TestResult
 from repro.tap.heuristic import HeuristicConfig, solve_heuristic_lazy
+
+logger = logging.getLogger(__name__)
 
 SCHEMA_VERSION = 1
 
@@ -274,6 +278,9 @@ class RunCheckpoint:
     #: ignored on resume rather than mixing incompatible test results).
     partial_shards: dict[str, tuple[list, list]] = field(default_factory=dict)
     partial_token: str | None = None
+    #: The run's per-family stats memo, when the checkpointed run was
+    #: memoizable — the seed of a ``--since-checkpoint`` incremental run.
+    memo: StatsMemo | None = None
 
 
 def _candidate_to_dict(candidate: CandidateInsight) -> dict:
@@ -405,8 +412,13 @@ def save_checkpoint(
     stats: StatsStageResult | None = None,
     outcome: GenerationOutcome | None = None,
     report: RunReport | None = None,
+    memo: StatsMemo | None = None,
 ) -> None:
     """Write a stage snapshot; the generation outcome supersedes stats.
+
+    ``memo`` rides along when the run was memoizable: a later
+    ``--since-checkpoint`` run over a grown copy of the same data reuses
+    it to re-test only the pair families the appended rows touched.
 
     The write goes through a temporary file and an atomic rename so a
     crash mid-checkpoint never leaves a truncated file behind.
@@ -424,6 +436,8 @@ def save_checkpoint(
         data["stats"] = stats_stage_to_dict(stats)
     if report is not None:
         data["report"] = report.as_dict()
+    if memo is not None:
+        data["incremental"] = memo.to_dict()
     path = Path(path)
     scratch = path.with_name(path.name + ".tmp")
     scratch.write_text(json.dumps(data, indent=1), encoding="utf-8")
@@ -493,8 +507,20 @@ def load_checkpoint(path: str | Path) -> RunCheckpoint:
         raise PersistenceError(
             f"checkpoint {path} carries a malformed run report: {exc}"
         ) from exc
+    memo = None
+    if data.get("incremental") is not None:
+        # The memo is an optimization seed, never a correctness input: a
+        # malformed or stale payload downgrades to a full run, not an error.
+        try:
+            memo = StatsMemo.from_dict(data["incremental"])
+        except (KeyError, TypeError, ValueError) as exc:
+            logger.warning(
+                "ignoring malformed incremental payload in checkpoint %s: %s",
+                path, exc,
+            )
     return RunCheckpoint(stage, stats=stats, outcome=outcome, report=report,
-                         source=path, partial_shards=partial, partial_token=token)
+                         source=path, partial_shards=partial, partial_token=token,
+                         memo=memo)
 
 
 def resolve_outcome(

@@ -233,6 +233,77 @@ class AggregateCache:
         """
         return list(build_batch([request]))[0]
 
+    def seed(
+        self,
+        backend: str,
+        attributes: Iterable[str],
+        measures: Sequence[str] | None,
+        aggregate: MaterializedAggregate,
+    ) -> None:
+        """Insert a ready-built aggregate (moment-store / migration path).
+
+        The entry lands with normal LRU recency and counts against the byte
+        budget; an existing entry under the same key is replaced.
+        """
+        attrs = tuple(sorted(attributes))
+        want = None if measures is None else frozenset(measures)
+        nbytes = aggregate.actual_bytes()
+        with self._lock:
+            key = (backend, attrs, want)
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._retained_bytes -= previous[1]
+            self._entries[key] = (aggregate, nbytes)
+            self._retained_bytes += nbytes
+            self._evict_over_budget()
+
+    def adopt(
+        self,
+        previous: "AggregateCache",
+        table,
+        delta_start: int,
+        patchable_backends: Iterable[str],
+    ) -> dict[str, int]:
+        """Carry a previous table version's entries across an append.
+
+        Entries built by a backend declaring ``incremental_aggregates``
+        are *patched* in O(delta) (:meth:`MaterializedAggregate.patched`)
+        — partition-granular invalidation: only the groups the appended
+        block touched are recomputed, every other partition's moments are
+        carried verbatim.  Entries of non-incremental backends are dropped
+        (their engine re-aggregates from the grown table on next request).
+
+        Returns migration stats: ``migrated`` / ``dropped`` entry counts
+        plus ``groups_touched`` / ``groups_carried`` partition totals, also
+        published as ``cache.*`` counters.
+        """
+        patchable = set(patchable_backends)
+        with previous._lock:
+            snapshot = [
+                (key, aggregate) for key, (aggregate, _) in previous._entries.items()
+            ]
+        migrated = dropped = groups_touched = groups_carried = 0
+        for (backend, attrs, want), aggregate in snapshot:
+            if backend not in patchable:
+                dropped += 1
+                continue
+            stats: dict[str, int] = {}
+            patched = aggregate.patched(table, delta_start, stats)
+            self.seed(backend, attrs, want, patched)
+            migrated += 1
+            groups_touched += stats["touched_groups"]
+            groups_carried += stats["total_groups"] - stats["touched_groups"]
+        obs.counter("cache.aggregates_migrated").inc(migrated)
+        obs.counter("cache.aggregates_dropped").inc(dropped)
+        obs.counter("cache.groups_touched").inc(groups_touched)
+        obs.counter("cache.groups_carried").inc(groups_carried)
+        return {
+            "migrated": migrated,
+            "dropped": dropped,
+            "groups_touched": groups_touched,
+            "groups_carried": groups_carried,
+        }
+
     def _find(
         self, backend: str, attrs: tuple, want: frozenset | None
     ) -> MaterializedAggregate | None:

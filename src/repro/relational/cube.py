@@ -174,6 +174,101 @@ class MaterializedAggregate:
             )
         return out
 
+    def patched(self, table: Table, delta_start: int,
+                stats_out: dict | None = None) -> "MaterializedAggregate":
+        """This aggregate updated for an appended row block — in O(delta).
+
+        ``table`` must extend the base relation this aggregate was built
+        from by rows ``delta_start:`` (dictionary-extending append, see
+        :meth:`Table.append_block`).  The result is *bit-identical* to
+        ``build(table, self.attributes, measures)``: the delta rows are
+        folded into the old per-group summaries with the same sequential
+        accumulation ops (``np.add.at`` continues exactly where the cold
+        ``np.bincount`` fold would be after the prefix rows), and the
+        merged group keys are re-ranked through the same mixed-radix
+        grouping, so group order matches a cold build's lexicographic
+        order.
+
+        ``stats_out``, when given, receives ``touched_groups`` (groups the
+        delta block landed in) and ``total_groups`` — the partition-
+        granularity evidence the cache-invalidation counters report.
+        """
+        measures = tuple(self.summaries)
+        n_delta = table.n_rows - delta_start
+        if n_delta < 0:
+            raise QueryError(
+                f"table of {table.n_rows} rows cannot have a delta at {delta_start}"
+            )
+        if n_delta == 0:
+            if stats_out is not None:
+                stats_out["touched_groups"] = 0
+                stats_out["total_groups"] = self.n_groups
+            return self
+        if not self.attributes or self.n_groups == 0:
+            # Global group, or an empty base: a cold build is already O(delta).
+            built = MaterializedAggregate.build(table, self.attributes, measures)
+            if stats_out is not None:
+                stats_out["touched_groups"] = built.n_groups
+                stats_out["total_groups"] = built.n_groups
+            return built
+        attrs = self.attributes
+        shifted: list[np.ndarray] = []
+        radices: list[int] = []
+        for name in attrs:
+            col = table.categorical_column(name)
+            shifted.append(col.codes[delta_start:].astype(np.int64) + 1)
+            radices.append(len(col.categories) + 1)
+        delta_grouping = group_codes_from_arrays(shifted, radices, n_delta)
+        # Rank the union of old and delta group keys with the same grouping
+        # machinery a cold build uses: the dense ids come out in the cold
+        # build's lexicographic key order, and the slot arrays say where
+        # each old group and each delta group lands.
+        n_old = self.n_groups
+        merged = group_codes_from_arrays(
+            [
+                np.concatenate([self.keys[j] + 1, delta_grouping.key_codes[j] + 1])
+                for j in range(len(attrs))
+            ],
+            radices,
+            n_old + delta_grouping.n_groups,
+        )
+        old_slot = merged.group_ids[:n_old]
+        delta_slot = merged.group_ids[n_old:]
+        n_final = merged.n_groups
+        row_slot = delta_slot[delta_grouping.group_ids]
+        summaries: dict[str, GroupedSummary] = {}
+        for m in measures:
+            old = self.summaries[m]
+            values = np.asarray(table.measure_values(m)[delta_start:], dtype=np.float64)
+            valid = ~np.isnan(values)
+            gid = row_slot[valid]
+            vals = values[valid]
+            count = np.zeros(n_final, dtype=np.float64)
+            count[old_slot] = old.count
+            count += np.bincount(gid, minlength=n_final).astype(np.float64)
+            total = np.zeros(n_final, dtype=np.float64)
+            total[old_slot] = old.total
+            np.add.at(total, gid, vals)
+            total_sq = np.zeros(n_final, dtype=np.float64)
+            total_sq[old_slot] = old.total_sq
+            np.add.at(total_sq, gid, vals * vals)
+            minimum = np.full(n_final, np.inf)
+            maximum = np.full(n_final, -np.inf)
+            nonempty = old.count > 0
+            minimum[old_slot[nonempty]] = old.minimum[nonempty]
+            maximum[old_slot[nonempty]] = old.maximum[nonempty]
+            np.minimum.at(minimum, gid, vals)
+            np.maximum.at(maximum, gid, vals)
+            empty = count == 0
+            minimum[empty] = np.nan
+            maximum[empty] = np.nan
+            summaries[m] = GroupedSummary(count, total, total_sq, minimum, maximum)
+        categories = {name: table.categorical_column(name).categories for name in attrs}
+        if stats_out is not None:
+            stats_out["touched_groups"] = int(delta_grouping.n_groups)
+            stats_out["total_groups"] = int(n_final)
+        return MaterializedAggregate(attrs, merged.key_codes, categories, summaries)
+
     def pair_view(self, first: str, second: str) -> "PairAggregate":
         """Memoized 2-attribute view over this (pair-granularity) aggregate.
 

@@ -8,6 +8,7 @@ dense group ids that the aggregate layer consumes.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from typing import Iterable, Mapping, Sequence
 
@@ -15,6 +16,7 @@ import numpy as np
 
 from repro.errors import SchemaError
 from repro.relational.columns import (
+    NULL_LABEL,
     CategoricalColumn,
     Column,
     MeasureColumn,
@@ -288,6 +290,70 @@ class Table:
     def head(self, n: int) -> "Table":
         return self.take(np.arange(min(n, self.n_rows)))
 
+    # -- append ------------------------------------------------------------------
+
+    def append_block(self, rows: "Iterable[Sequence[object]] | Mapping[str, Sequence[object]]") -> "Table":
+        """This table plus an appended row block, as a new table.
+
+        ``rows`` is an iterable of row tuples in schema order, or a mapping
+        of column name -> value sequence.  Existing rows keep their exact
+        dictionary codes: each categorical dictionary is *extended* with the
+        block's previously-unseen labels in first-appearance order, which is
+        precisely the encoding a cold :meth:`from_columns` load of the
+        concatenated data would produce.  That prefix stability is what lets
+        aggregates and version tokens of the old table be reused verbatim
+        for the grown table's prefix (see
+        :meth:`~repro.relational.cube.MaterializedAggregate.patched`).
+        """
+        if isinstance(rows, Mapping):
+            data = {name: list(values) for name, values in rows.items()}
+            if set(data) != set(self.schema.names):
+                raise SchemaError(
+                    f"appended columns {sorted(data)} do not match schema "
+                    f"attributes {sorted(self.schema.names)}"
+                )
+            lengths = {len(v) for v in data.values()}
+            if len(lengths) > 1:
+                raise SchemaError(f"ragged appended columns: { {n: len(v) for n, v in data.items()} }")
+        else:
+            names = self.schema.names
+            data = {name: [] for name in names}
+            for row in rows:
+                if len(row) != len(names):
+                    raise SchemaError(
+                        f"appended row of arity {len(row)} for schema of arity {len(names)}"
+                    )
+                for name, value in zip(names, row):
+                    data[name].append(value)
+        columns: dict[str, Column] = {}
+        for attr in self.schema:
+            old = self._columns[attr.name]
+            values = data[attr.name]
+            if attr.is_measure:
+                delta = MeasureColumn.from_values(values)
+                columns[attr.name] = MeasureColumn(
+                    np.concatenate([old.data, delta.data])
+                )
+                continue
+            categories = list(old.categories)
+            index = {c: i for i, c in enumerate(categories)}
+            codes = np.empty(len(values), dtype=np.int32)
+            for i, value in enumerate(values):
+                label = NULL_LABEL if value is None else str(value)
+                if label == NULL_LABEL:
+                    codes[i] = -1
+                    continue
+                code = index.get(label)
+                if code is None:
+                    code = len(categories)
+                    index[label] = code
+                    categories.append(label)
+                codes[i] = code
+            columns[attr.name] = CategoricalColumn(
+                np.concatenate([old.codes, codes]), categories
+            )
+        return Table(self.schema, columns)
+
     # -- grouping ---------------------------------------------------------------
 
     def group_by_codes(self, attributes: Sequence[str]) -> GroupingResult:
@@ -343,6 +409,95 @@ class Table:
         if self.n_rows > limit:
             lines.append(f"... ({self.n_rows - limit} more rows)")
         return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Content-addressed version tokens
+# ---------------------------------------------------------------------------
+
+
+def _categorical_stream_bytes(col: CategoricalColumn, start: int) -> bytes:
+    """The label stream of rows ``start:`` (``\\x1f``-joined, prefix-stable).
+
+    A column's full stream is its decoded labels joined by ``\\x1f``; the
+    stream of a grown column is the old stream plus these bytes, so running
+    hashers advance in O(delta).
+    """
+    labels = col.values()[start:].tolist()
+    text = "\x1f".join(labels)
+    if start > 0 and labels:
+        text = "\x1f" + text
+    return text.encode("utf-8", "surrogatepass")
+
+
+def _measure_stream_bytes(col: MeasureColumn, start: int) -> bytes:
+    return np.ascontiguousarray(col.data[start:]).tobytes()
+
+
+class TableVersioner:
+    """Streaming content-version tokens for a growing table.
+
+    The token is a pure function of the table's *content* (decoded labels
+    and measure bytes, in schema order) — independent of dictionary layout,
+    storage plane, or how many append steps produced the rows.  Keeping one
+    unfinalized hasher per column lets :meth:`advance` fold in an appended
+    block in O(delta); :func:`content_token` computes the identical token
+    cold, so a checkpointed token can be validated against a re-loaded
+    (possibly externally grown) file by hashing just the prefix rows.
+    """
+
+    __slots__ = ("_hashers", "_names", "n_rows")
+
+    def __init__(self, table: Table):
+        self._names = table.schema.names
+        self._hashers = {}
+        self.n_rows = 0
+        for name in self._names:
+            h = hashlib.blake2s(digest_size=16)
+            h.update(name.encode("utf-8"))
+            h.update(b"\x00")
+            self._hashers[name] = h
+        self.advance(table, 0)
+
+    def advance(self, table: Table, delta_start: int) -> str:
+        """Fold rows ``delta_start:`` of ``table`` into the running token.
+
+        ``table`` must extend the previously hashed rows exactly (the
+        caller guarantees this by building it with :meth:`Table.append_block`).
+        """
+        if tuple(table.schema.names) != tuple(self._names):
+            raise SchemaError("appended table has a different schema")
+        if delta_start != self.n_rows:
+            raise SchemaError(
+                f"version stream is at row {self.n_rows}, got delta at {delta_start}"
+            )
+        for name in self._names:
+            col = table.column(name)
+            if col.is_categorical:
+                self._hashers[name].update(_categorical_stream_bytes(col, delta_start))
+            else:
+                self._hashers[name].update(_measure_stream_bytes(col, delta_start))
+        self.n_rows = table.n_rows
+        return self.token
+
+    @property
+    def token(self) -> str:
+        combined = hashlib.blake2s(digest_size=10)
+        for name in self._names:
+            combined.update(self._hashers[name].copy().digest())
+        return f"{self.n_rows}-{combined.hexdigest()}"
+
+
+def content_token(table: Table, n_rows: int | None = None) -> str:
+    """Content-addressed version token of (a row prefix of) ``table``.
+
+    ``content_token(grown, k) == content_token(old)`` whenever ``grown``
+    extends ``old``'s ``k`` rows — the prefix check behind the CLI's
+    ``--since-checkpoint`` validation.
+    """
+    if n_rows is not None and n_rows < table.n_rows:
+        table = table.take(np.arange(n_rows))
+    return TableVersioner(table).token
 
 
 def table_from_arrays(

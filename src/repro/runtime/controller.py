@@ -205,6 +205,8 @@ def _stats_ladder(
     progress: Callable[[str], None] | None,
     backend: ExecutionBackend | None = None,
     shard_store=None,
+    incremental=None,
+    version: str | None = None,
 ) -> list[_Rung]:
     base_permutations = config.significance.n_permutations
     cut = reduced_permutations(base_permutations, policy.permutation_cut_factor)
@@ -228,14 +230,16 @@ def _stats_ladder(
         sampling=config.sampling,
         max_pairs_per_attribute=pair_cap,
     )
-    # Only the configured rung records mid-shard checkpoints: the degraded
-    # rungs change the test configuration, which would invalidate the
-    # shards' config token anyway.
+    # Only the configured rung records mid-shard checkpoints or consumes
+    # the incremental memo: the degraded rungs change the test
+    # configuration, which would invalidate the shards' (and the memo's)
+    # config token anyway.
     return [
         _Rung(
             "full",
             lambda d, n: run_stats_stage(table, config, progress, d, backend=backend,
-                                         shard_store=shard_store),
+                                         shard_store=shard_store,
+                                         incremental=incremental, version=version),
         ),
         _Rung(
             "reduced",
@@ -394,6 +398,8 @@ def resilient_generate(
     resume=None,
     progress: Callable[[str], None] | None = None,
     backend: ExecutionBackend | None = None,
+    incremental=None,
+    version: str | None = None,
 ) -> NotebookRun:
     """End-to-end generation that *always* returns a valid NotebookRun.
 
@@ -406,6 +412,13 @@ def resilient_generate(
     stage.  ``backend`` lets a caller (the :class:`repro.api.Session`
     facade) lend a long-lived engine; the controller then reports only the
     statements this run executed and leaves closing to the owner.
+
+    ``incremental`` is an :class:`~repro.stats.delta.IncrementalRequest`
+    from a verified prior run over a prefix of ``table``: the stats
+    stage's configured rung then re-tests only the pair families touched
+    by the appended rows.  ``version`` stamps the table's content-version
+    token onto the run so the stats stage can memoize its raw results for
+    the *next* append (``run.stats_memo``).
     """
     if solver not in ("heuristic", "exact"):
         raise ReproError(f"unknown solver {solver!r}")
@@ -499,7 +512,8 @@ def resilient_generate(
                 stats = _run_ladder(
                     STAGE_STATS,
                     _stats_ladder(table, config, policy, progress, backend=backend,
-                                  shard_store=shard_store),
+                                  shard_store=shard_store,
+                                  incremental=incremental, version=version),
                     deadline,
                     faults,
                     report,
@@ -510,7 +524,8 @@ def resilient_generate(
 
                     executed = backend.statements_executed - statements_before
                     report.backend_statements += executed
-                    save_checkpoint(checkpoint_path, stats=stats, report=report)
+                    save_checkpoint(checkpoint_path, stats=stats, report=report,
+                                    memo=stats.memo)
                     report.backend_statements -= executed
                     logger.info("checkpoint written after stats stage: %s", checkpoint_path)
                 if stats is None:
@@ -539,7 +554,13 @@ def resilient_generate(
 
                     executed = backend.statements_executed - statements_before
                     report.backend_statements += executed
-                    save_checkpoint(checkpoint_path, outcome=outcome, report=report)
+                    # A resumed-stats run re-saves the resume file's memo so
+                    # the superseding generation checkpoint never drops it.
+                    memo = stats.memo if stats is not None else None
+                    if memo is None and resume is not None:
+                        memo = resume.memo
+                    save_checkpoint(checkpoint_path, outcome=outcome, report=report,
+                                    memo=memo)
                     report.backend_statements -= executed
                     logger.info("checkpoint written after generation stage: %s",
                                 checkpoint_path)
@@ -585,7 +606,8 @@ def resilient_generate(
         report.total_seconds = run_span.elapsed
         obs.current_metrics().record_peak_rss()
     run = NotebookRun(outcome, solution, selected, budget, epsilon_distance,
-                      report=report)
+                      report=report,
+                      stats_memo=stats.memo if stats is not None else None)
     if report.degraded:
         logger.warning("run degraded: %s", "; ".join(report.degradations) or
                        "stage failures")

@@ -5,11 +5,19 @@ Endpoints (full semantics in ``docs/serving.md``):
 ===========================  ==============================================
 ``GET  /healthz``            liveness probe
 ``GET  /metrics``            Prometheus text exposition of server metrics
-``GET  /datasets``           registry listing (rows, cost, breaker, cache)
+``GET  /datasets``           registry listing (rows, version, cost,
+                             breaker, cache)
 ``POST /datasets``           register ``{"name": ..., "path": ...}``
+``GET  /datasets/<name>``    one dataset's snapshot (incl. its current
+                             ``version`` token)
+``POST /datasets/<name>/rows``  append ``{"rows": ...}``; 200 + the new
+                             dataset version (running jobs keep their
+                             snapshot — the mutation is lease-safe)
 ``DELETE /datasets/<name>``  evict (lease-safe; running jobs finish)
 ``POST /generate``           submit a job; 202 + job id, 429 shed,
-                             503 circuit open, 404 unknown dataset
+                             503 circuit open, 404 unknown dataset,
+                             409 ``stale_version`` when ``if_version``
+                             no longer matches the dataset
 ``GET  /jobs/<id>``          poll status/progress (``?wait=SECONDS`` long-
                              polls until terminal or the wait elapses)
 ``GET  /jobs/<id>/result``   the generated notebook (ipynb JSON)
@@ -175,6 +183,44 @@ class ReproServer:
                 BREAKER_STATE_VALUES.get(entry.breaker.state, -1)
             )
 
+    def append_rows(self, dataset: str, rows) -> tuple[int, dict]:
+        """Append ``rows`` to a dataset; returns ``(http_status, body)``.
+
+        The append goes through the entry's lease, so it can never evict
+        or corrupt the snapshot of a job already running — that job keeps
+        the pre-append table; only later submissions see the new version.
+        """
+        if not isinstance(rows, (list, dict)) or not rows:
+            return 400, {
+                "error": "'rows' must be a non-empty list of rows or a "
+                         "column->values mapping"
+            }
+        if isinstance(rows, list) and all(isinstance(r, dict) for r in rows):
+            # JSON-friendly row-object form -> the column mapping the
+            # table layer expects.
+            names = set(rows[0])
+            if any(set(r) != names for r in rows):
+                return 400, {"error": "row objects must all share one key set"}
+            rows = {name: [r[name] for r in rows] for name in names}
+        try:
+            entry = self.registry.get(dataset)
+            before = entry.session.table.n_rows
+            version = entry.append(rows)
+        except UnknownDatasetError as exc:
+            return 404, {"error": str(exc)}
+        except (ReproError, TypeError, ValueError) as exc:
+            return 400, {"error": f"cannot append rows: {exc}"}
+        total = entry.session.table.n_rows
+        self.metrics.counter("serve.rows_appended", {"dataset": dataset}).inc(
+            max(0, total - before)
+        )
+        return 200, {
+            "dataset": dataset,
+            "version": version,
+            "rows": total,
+            "appended": max(0, total - before),
+        }
+
     def submit(self, dataset: str, params: dict | None = None) -> tuple[int, dict]:
         """Submit a generate job; returns ``(http_status, body)``."""
         params = dict(params or {})
@@ -182,6 +228,23 @@ class ReproServer:
             entry = self.registry.get(dataset)
         except UnknownDatasetError as exc:
             return 404, {"error": str(exc)}
+
+        # Optimistic concurrency: a client that planned its request against
+        # a specific table version can refuse to run against a mutated one.
+        if_version = params.pop("if_version", None)
+        if if_version is not None:
+            current = entry.session.version
+            if if_version != current:
+                self.metrics.counter("serve.rejected_stale_version").inc()
+                return 409, {
+                    "error": (
+                        f"dataset {dataset!r} is at version {current}, "
+                        f"not {if_version}"
+                    ),
+                    "code": "stale_version",
+                    "version": current,
+                    "requested": if_version,
+                }
 
         if entry.breaker.state == STATE_OPEN:
             self.metrics.counter("serve.rejected_circuit_open").inc()
@@ -206,6 +269,9 @@ class ReproServer:
             dataset, deadline_seconds=deadline, params=params,
             cost=entry.cost_units,
         )
+        # Stamped again by the executor when it takes its lease, so the
+        # job body always carries the version of the snapshot it ran on.
+        job.dataset_version = entry.session.version
         # The submit-path spans open on this (handler) thread, where the
         # job's serve.request root is still on the stack — they nest.
         with job.tracer.span("serve.submit", dataset=dataset):
@@ -317,6 +383,14 @@ def _make_handler(server: ReproServer):
             if parts == ["datasets"]:
                 self._json(200, {"datasets": server.registry.snapshot()})
                 return
+            if len(parts) == 2 and parts[0] == "datasets":
+                try:
+                    entry = server.registry.get(parts[1])
+                except UnknownDatasetError as exc:
+                    self._json(404, {"error": str(exc)})
+                    return
+                self._json(200, entry.snapshot())
+                return
             if parts == ["debug", "flight"]:
                 self._json(200, {
                     "capacity": server.flight.capacity,
@@ -346,7 +420,10 @@ def _make_handler(server: ReproServer):
                 return
             if parts[2] == "result":
                 if job.notebook is not None:
-                    self._json(200, job.notebook)
+                    # The notebook body is pure ipynb JSON; the version of
+                    # the snapshot it was generated from rides in a header.
+                    self._json(200, job.notebook,
+                               {"X-Dataset-Version": job.dataset_version or ""})
                 elif not job.terminal:
                     self._json(409, job.to_dict())
                 else:  # terminal without a notebook: shed or failed
@@ -367,6 +444,10 @@ def _make_handler(server: ReproServer):
                 return
             if parts == ["datasets"]:
                 self._post_dataset(body)
+                return
+            if len(parts) == 3 and parts[0] == "datasets" and parts[2] == "rows":
+                code, payload = server.append_rows(parts[1], body.get("rows"))
+                self._json(code, payload)
                 return
             if parts == ["generate"]:
                 dataset = body.pop("dataset", None)

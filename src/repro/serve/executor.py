@@ -165,6 +165,12 @@ class JobExecutor:
             job.finish(STATUS_FAILED, error=str(exc))
             return
         try:
+            # Stamp the version of the snapshot this run will actually use
+            # (an append landing after this point swaps the session's table
+            # but cannot touch the run's snapshot — generate() reads it
+            # once under the session's state lock).
+            job.dataset_version = session.version
+
             # The eviction-race fault point: yank the dataset out of the
             # registry *now*, while this job's lease keeps it alive.
             if self._faults.poll("serve.evict"):

@@ -87,6 +87,9 @@ class Job:
         self.started_at: float | None = None
         self.finished_at: float | None = None
         self.attempts = 0
+        #: The dataset-version token of the table snapshot the run used
+        #: (stamped at submit, refreshed when the executor takes its lease).
+        self.dataset_version: str | None = None
         self.error: str | None = None
         self.shed_reason: str | None = None
         self.report: dict | None = None
@@ -178,6 +181,7 @@ class Job:
             return {
                 "id": self.id,
                 "dataset": self.dataset,
+                "dataset_version": self.dataset_version,
                 "status": self.status,
                 "terminal": self._done.is_set(),
                 "deadline_seconds": self.deadline_seconds,

@@ -68,6 +68,25 @@ class DatasetEntry:
             self._leases += 1
             return self.session
 
+    def append(self, rows) -> str:
+        """Append ``rows`` under a lease; returns the new dataset version.
+
+        The lease is what makes append safe against the eviction race and
+        against running jobs: :meth:`Session.append` swaps the session's
+        table atomically, so a job mid-run keeps its snapshot (the old
+        table stays alive until the run's references drop) while the next
+        job sees the grown table.
+        """
+        session = self.acquire()
+        try:
+            version = session.append(rows)
+            self.cost_units = max(
+                1.0, session.table.n_rows / _ROWS_PER_COST_UNIT
+            )
+            return version
+        finally:
+            self.release()
+
     def release(self) -> None:
         close = False
         with self._lock:
@@ -109,6 +128,7 @@ class DatasetEntry:
             "name": self.name,
             "rows": self.session.table.n_rows,
             "columns": len(self.session.table.schema),
+            "version": self.session.version,
             "storage": self.session.storage,
             "cost_units": self.cost_units,
             "runs": self.runs,

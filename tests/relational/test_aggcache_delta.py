@@ -1,0 +1,166 @@
+"""Partition-granular cache migration across an append.
+
+``MaterializedAggregate.patched`` must be bit-identical to a cold rebuild
+while touching only the groups the appended block contains, and
+``AggregateCache.adopt`` must carry patchable entries (columnar) across a
+table version while dropping non-incremental ones (sqlite) — so untouched
+partitions keep producing ``cache.aggregate_hits`` after an append.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.backend import incremental_backend_names
+from repro.relational import table_from_arrays
+from repro.relational.aggcache import AggregateCache
+from repro.relational.cube import MaterializedAggregate
+from repro.stats import derive_rng
+
+
+@pytest.fixture
+def base():
+    rng = derive_rng(23, "aggcache-delta")
+    n = 150
+    return table_from_arrays(
+        {
+            "a": rng.choice(["a0", "a1", "a2", "a3"], n),
+            "b": rng.choice(["b0", "b1"], n),
+        },
+        {"m1": rng.normal(0, 1, n), "m2": rng.normal(5, 2, n)},
+    )
+
+
+BLOCK = {
+    "a": ["a1", "a1", "a4"],
+    "b": ["b0", "b0", "b0"],
+    "m1": [0.5, -0.5, 2.5],
+    "m2": [4.0, 6.0, 5.0],
+}
+
+
+def assert_bitwise(one, two):
+    assert one.attributes == two.attributes
+    assert one.categories == two.categories
+    for k1, k2 in zip(one.keys, two.keys):
+        assert np.array_equal(k1, k2)
+    for name in two.summaries:
+        s1, s2 = one.summaries[name], two.summaries[name]
+        for field in ("count", "total", "total_sq", "minimum", "maximum"):
+            assert np.array_equal(
+                getattr(s1, field), getattr(s2, field), equal_nan=True
+            ), f"{name}.{field}"
+
+
+class TestPatched:
+    @pytest.mark.parametrize("attrs", [("a",), ("b",), ("a", "b")])
+    def test_bitwise_equal_to_cold_rebuild(self, base, attrs):
+        old = MaterializedAggregate.build(base, attrs)
+        grown = base.append_block(BLOCK)
+        patched = old.patched(grown, base.n_rows)
+        cold = MaterializedAggregate.build(grown, attrs)
+        assert_bitwise(patched, cold)
+
+    def test_only_touched_groups_recomputed(self, base):
+        old = MaterializedAggregate.build(base, ("a",))
+        grown = base.append_block(BLOCK)
+        stats: dict = {}
+        old.patched(grown, base.n_rows, stats)
+        # The block contains values a1 and (new) a4: 2 touched partitions,
+        # every other 'a' partition carried verbatim.
+        assert stats["touched_groups"] == 2
+        assert stats["total_groups"] >= 4
+        assert stats["touched_groups"] < stats["total_groups"]
+
+    def test_measure_subset_preserved(self, base):
+        old = MaterializedAggregate.build(base, ("a",), ["m1"])
+        grown = base.append_block(BLOCK)
+        patched = old.patched(grown, base.n_rows)
+        cold = MaterializedAggregate.build(grown, ("a",), ["m1"])
+        assert set(patched.summaries) == {"m1"}
+        assert_bitwise(patched, cold)
+
+
+class TestAdopt:
+    def test_incremental_backends_capability(self):
+        assert "columnar" in incremental_backend_names()
+        assert "sqlite" not in incremental_backend_names()
+
+    def test_patchable_entries_migrate_others_drop(self, base):
+        previous = AggregateCache()
+        previous.seed("columnar", ("a",), None,
+                      MaterializedAggregate.build(base, ("a",)))
+        previous.seed("columnar", ("a", "b"), None,
+                      MaterializedAggregate.build(base, ("a", "b")))
+        previous.seed("sqlite", ("a",), None,
+                      MaterializedAggregate.build(base, ("a",)))
+        grown = base.append_block(BLOCK)
+        fresh = AggregateCache()
+        outcome = fresh.adopt(previous, grown, base.n_rows,
+                              incremental_backend_names())
+        assert outcome["migrated"] == 2
+        assert outcome["dropped"] == 1
+        assert outcome["groups_carried"] > 0
+        assert outcome["groups_touched"] > 0
+        assert len(fresh) == 2
+
+    def test_migrated_entry_serves_hits_without_rebuild(self, base):
+        previous = AggregateCache()
+        previous.seed("columnar", ("a",), None,
+                      MaterializedAggregate.build(base, ("a",)))
+        grown = base.append_block(BLOCK)
+        fresh = AggregateCache()
+        fresh.adopt(previous, grown, base.n_rows, incremental_backend_names())
+
+        calls = []
+
+        def build():
+            calls.append(1)
+            return MaterializedAggregate.build(grown, ("a",))
+
+        with obs.capture() as (_, metrics):
+            served = fresh.get_or_build("columnar", ("a",), ["m1"], build)
+            snap = metrics.snapshot()
+        assert not calls, "migrated entry should be a hit, not a rebuild"
+        assert snap["counters"]["cache.aggregate_hits"] == 1
+        assert_bitwise(served, MaterializedAggregate.build(grown, ("a",)))
+
+    def test_dropped_backend_rebuilds_on_demand(self, base):
+        previous = AggregateCache()
+        previous.seed("sqlite", ("a",), None,
+                      MaterializedAggregate.build(base, ("a",)))
+        grown = base.append_block(BLOCK)
+        fresh = AggregateCache()
+        fresh.adopt(previous, grown, base.n_rows, incremental_backend_names())
+
+        calls = []
+
+        def build():
+            calls.append(1)
+            return MaterializedAggregate.build(grown, ("a",))
+
+        with obs.capture() as (_, metrics):
+            fresh.get_or_build("sqlite", ("a",), None, build)
+            snap = metrics.snapshot()
+        assert calls, "dropped entry must rebuild from the grown table"
+        assert snap["counters"]["cache.aggregate_misses"] == 1
+
+
+class TestSeed:
+    def test_seed_replaces_and_counts_bytes(self, base):
+        cache = AggregateCache()
+        agg = MaterializedAggregate.build(base, ("a",))
+        cache.seed("columnar", ("a",), None, agg)
+        cache.seed("columnar", ("a",), None, agg)
+        assert len(cache) == 1
+        assert cache.total_bytes() == agg.actual_bytes()
+
+    def test_seeded_all_measures_serves_any_subset(self, base):
+        cache = AggregateCache()
+        cache.seed("columnar", ("a",), None,
+                   MaterializedAggregate.build(base, ("a",)))
+        with obs.capture() as (_, metrics):
+            cache.get_or_build("columnar", ("a",), ["m2"],
+                               lambda: pytest.fail("must not build"))
+            snap = metrics.snapshot()
+        assert snap["counters"]["cache.aggregate_hits"] == 1

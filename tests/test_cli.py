@@ -218,6 +218,135 @@ class TestRecut:
         assert all(not c["outputs"] for c in code_cells)
 
 
+class TestSinceCheckpoint:
+    """``--since-checkpoint``: incremental re-runs carried by the checkpoint."""
+
+    @pytest.fixture
+    def grown_pair(self, tmp_path):
+        """(base_csv, grown_csv): the same dataset before/after 40 appended rows."""
+        import numpy as np
+
+        full = covid_table(240)
+        base_csv = tmp_path / "base.csv"
+        grown_csv = tmp_path / "grown.csv"
+        write_csv(full.take(np.arange(200)), base_csv)
+        write_csv(full, grown_csv)
+        return base_csv, grown_csv
+
+    def test_incremental_rerun_is_byte_identical(self, grown_pair, tmp_path,
+                                                 capsys):
+        base_csv, grown_csv = grown_pair
+        ck = tmp_path / "run.ckpt.json"
+        first = tmp_path / "first.ipynb"
+        assert main(["generate", str(base_csv), "--checkpoint", str(ck),
+                     "--out", str(first), "--permutations", "50",
+                     "--quiet"]) == 0
+        # The checkpoint carries the stats memo for the next run.
+        doc = json.loads(ck.read_text())
+        assert "incremental" in doc
+        old_version = doc["incremental"]["version"]
+
+        warm = tmp_path / "warm.ipynb"
+        assert main(["generate", str(grown_csv), "--checkpoint", str(ck),
+                     "--since-checkpoint", "--out", str(warm),
+                     "--permutations", "50"]) == 0
+        assert "incremental run since version" in capsys.readouterr().out
+
+        cold = tmp_path / "cold.ipynb"
+        assert main(["generate", str(grown_csv), "--out", str(cold),
+                     "--permutations", "50", "--quiet"]) == 0
+        assert warm.read_bytes() == cold.read_bytes()
+
+        # The incremental run rewrote the checkpoint at the grown version:
+        # a replay over the same CSV is fully incremental and still identical.
+        assert json.loads(ck.read_text())["incremental"]["version"] != old_version
+        replay = tmp_path / "replay.ipynb"
+        assert main(["generate", str(grown_csv), "--checkpoint", str(ck),
+                     "--since-checkpoint", "--out", str(replay),
+                     "--permutations", "50", "--quiet"]) == 0
+        assert replay.read_bytes() == cold.read_bytes()
+
+    def test_version_mismatch_falls_back_to_full_run(self, grown_pair,
+                                                     tmp_path, caplog):
+        base_csv, grown_csv = grown_pair
+        ck = tmp_path / "run.ckpt.json"
+        assert main(["generate", str(base_csv), "--checkpoint", str(ck),
+                     "--permutations", "50",
+                     "--out", str(tmp_path / "a.ipynb"), "--quiet"]) == 0
+        doc = json.loads(ck.read_text())
+        tampered = ck.read_text().replace(
+            doc["incremental"]["version"], "999-deadbeefdeadbeefdead"
+        )
+        ck.write_text(tampered)
+        warm = tmp_path / "warm.ipynb"
+        with caplog.at_level(logging.WARNING, logger="repro.cli"):
+            assert main(["generate", str(grown_csv), "--checkpoint", str(ck),
+                         "--since-checkpoint", "--out", str(warm),
+                         "--permutations", "50", "--quiet"]) == 0
+        assert "not a row prefix" in caplog.text
+        cold = tmp_path / "cold.ipynb"
+        assert main(["generate", str(grown_csv), "--out", str(cold),
+                     "--permutations", "50", "--quiet"]) == 0
+        assert warm.read_bytes() == cold.read_bytes()
+
+    def test_requires_checkpoint_flag(self, covid_csv, capsys):
+        assert main(["generate", str(covid_csv), "--since-checkpoint",
+                     "--quiet"]) == 2
+        assert "--since-checkpoint requires --checkpoint" in (
+            capsys.readouterr().err
+        )
+
+    def test_checkpoint_without_memo_warns_and_runs_full(self, covid_csv,
+                                                         tmp_path, caplog):
+        ck = tmp_path / "stale.ckpt.json"
+        # A sampled run is not memoizable: its checkpoint carries no memo.
+        assert main(["generate", str(covid_csv), "--checkpoint", str(ck),
+                     "--preset", "wsc-rand-approx", "--sample-rate", "0.5",
+                     "--budget", "3",
+                     "--out", str(tmp_path / "a.ipynb"), "--quiet"]) == 0
+        assert "incremental" not in json.loads(ck.read_text())
+        out = tmp_path / "b.ipynb"
+        with caplog.at_level(logging.WARNING, logger="repro.cli"):
+            assert main(["generate", str(covid_csv), "--checkpoint", str(ck),
+                         "--since-checkpoint", "--preset", "wsc-rand-approx",
+                         "--sample-rate", "0.5",
+                         "--budget", "3", "--out", str(out), "--quiet"]) == 0
+        assert "holds no incremental stats memo" in caplog.text
+        assert out.exists()
+
+
+class TestThreadsDeprecation:
+    def test_threads_warns_once_and_maps_to_workers(self, covid_csv, tmp_path):
+        import warnings
+
+        from repro import deprecation
+
+        deprecation.reset()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert main(["generate", str(covid_csv), "--threads", "2",
+                         "--budget", "3", "--out", str(tmp_path / "t.ipynb"),
+                         "--quiet"]) == 0
+        messages = [str(w.message) for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+        assert any("--threads is deprecated" in m for m in messages)
+
+    def test_workers_takes_precedence_over_threads(self):
+        from repro import deprecation
+        from repro.cli import _config_from_args, build_parser
+
+        deprecation.reset()
+        args = build_parser().parse_args(
+            ["generate", "x.csv", "--threads", "3", "--workers", "2"]
+        )
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            config = _config_from_args(args)
+        assert config.parallel.workers == 2
+
+
 class TestErrorExits:
     """Malformed inputs exit with code 2 and a one-line message, no traceback."""
 
